@@ -1,0 +1,95 @@
+package repro
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCLIBfhrfd drives the multi-node pipeline end to end through the
+// actual binaries: two worker processes, one coordinator, results compared
+// against the single-node bfhrf tool.
+func TestCLIBfhrfd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests in -short mode")
+	}
+	dir := buildCLIs(t)
+	data := t.TempDir()
+	refs := filepath.Join(data, "refs.nwk")
+	queries := filepath.Join(data, "q.nwk")
+	if _, stderr, err := run(t, "treegen", "-n", "12", "-r", "30", "-seed", "3", "-out", refs); err != nil {
+		t.Fatalf("treegen: %v\n%s", err, stderr)
+	}
+	if _, stderr, err := run(t, "treegen", "-n", "12", "-r", "30", "-seed", "3", "-queries", "4", "-out", queries); err != nil {
+		t.Fatalf("treegen: %v\n%s", err, stderr)
+	}
+
+	// Two ephemeral worker ports.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close() // free it for the worker process
+	}
+	for _, addr := range addrs {
+		cmd := exec.Command(filepath.Join(dir, "bfhrfd"), "-serve", addr)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	}
+	// Wait for the workers to accept.
+	for _, addr := range addrs {
+		ok := false
+		for i := 0; i < 50; i++ {
+			if conn, err := net.Dial("tcp", addr); err == nil {
+				conn.Close()
+				ok = true
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if !ok {
+			t.Fatalf("worker on %s never came up", addr)
+		}
+	}
+
+	distOut, stderr, err := run(t, "bfhrfd",
+		"-workers", strings.Join(addrs, ","), "-ref", refs, "-query", queries, "-chunk", "7")
+	if err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, stderr)
+	}
+	localOut, _, err := run(t, "bfhrf", "-ref", refs, "-query", queries)
+	if err != nil {
+		t.Fatalf("bfhrf: %v", err)
+	}
+	if strings.TrimSpace(distOut) != strings.TrimSpace(localOut) {
+		t.Errorf("distributed output differs from local:\n%s\nvs\n%s", distOut, localOut)
+	}
+	if n := len(strings.Split(strings.TrimSpace(distOut), "\n")); n != 4 {
+		t.Errorf("distributed lines = %d, want 4", n)
+	}
+}
+
+func TestCLIBfhrfdErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests in -short mode")
+	}
+	if _, _, err := run(t, "bfhrfd"); err == nil {
+		t.Error("no mode should exit non-zero")
+	}
+	if _, _, err := run(t, "bfhrfd", "-workers", "127.0.0.1:1", "-ref", "/nonexistent.nwk"); err == nil {
+		t.Error("unreachable workers should exit non-zero")
+	}
+	if _, _, err := run(t, "bfhrfd", "-workers", "127.0.0.1:1"); err == nil {
+		t.Error("missing -ref should exit non-zero")
+	}
+}

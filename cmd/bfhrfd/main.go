@@ -1,0 +1,112 @@
+// Command bfhrfd runs BFHRF in multi-node mode — the paper's §VII.B
+// extension. One process per worker node serves a shard of the reference
+// collection; a coordinator process distributes the references, fans
+// queries out, and folds the exact average-RF results.
+//
+// Worker (one per node):
+//
+//	bfhrfd -serve :7001
+//
+// Coordinator:
+//
+//	bfhrfd -workers host1:7001,host2:7001 -ref refs.nwk -query queries.nwk
+//
+// Output matches cmd/bfhrf: one "index<TAB>avgRF" line per query.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/collection"
+	"repro/internal/distrib"
+)
+
+func main() {
+	var (
+		serve     = flag.String("serve", "", "run as a worker, listening on this address (e.g. :7001)")
+		workers   = flag.String("workers", "", "coordinator mode: comma-separated worker addresses")
+		refPath   = flag.String("ref", "", "reference tree collection (coordinator mode)")
+		queryPath = flag.String("query", "", "query tree collection; defaults to -ref")
+		compress  = flag.Bool("compress", false, "store compressed bipartition keys on the shards")
+		chunk     = flag.Int("chunk", 512, "reference trees per load RPC")
+		batch     = flag.Int("batch", 256, "query trees per query RPC")
+	)
+	flag.Parse()
+
+	switch {
+	case *serve != "":
+		runWorker(*serve)
+	case *workers != "":
+		runCoordinator(*workers, *refPath, *queryPath, *compress, *chunk, *batch)
+	default:
+		fmt.Fprintln(os.Stderr, "bfhrfd: need -serve (worker) or -workers (coordinator)")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bfhrfd: %v\n", err)
+	os.Exit(1)
+}
+
+func runWorker(addr string) {
+	l, err := distrib.Listen(addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bfhrfd: worker serving on %s\n", l.Addr())
+	select {} // serve until killed
+}
+
+func runCoordinator(workerList, refPath, queryPath string, compress bool, chunk, batch int) {
+	if refPath == "" {
+		fatal(fmt.Errorf("-ref is required in coordinator mode"))
+	}
+	if queryPath == "" {
+		queryPath = refPath
+	}
+	var addrs []string
+	for _, a := range strings.Split(workerList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	coord, err := distrib.Dial(addrs)
+	if err != nil {
+		fatal(err)
+	}
+	defer coord.Close()
+	coord.ChunkSize = chunk
+	coord.BatchSize = batch
+
+	refs, err := collection.OpenFile(refPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer refs.Close()
+	ts, err := collection.ScanTaxa(refs)
+	if err != nil {
+		fatal(err)
+	}
+	if err := coord.Load(refs, ts, compress); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bfhrfd: loaded references across %d workers\n", coord.NumWorkers())
+
+	queries, err := collection.OpenFile(queryPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer queries.Close()
+	results, err := coord.AverageRF(queries)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%d\t%g\n", r.Index, r.AvgRF)
+	}
+}

@@ -1,0 +1,99 @@
+// Command rfbench regenerates every table and figure of the paper's
+// evaluation section on simulated stand-ins for its datasets, printing the
+// same rows the paper reports (runtime in minutes, peak memory in MB, per
+// engine and data point) plus empirical complexity fits and the §VI.C
+// statistics.
+//
+// Usage:
+//
+//	rfbench                          # full suite at the default scale (minutes)
+//	rfbench -exp avian               # only Fig. 1
+//	rfbench -exp headline            # the abstract's speedup/memory ratios
+//	rfbench -scale 0.1 -csv out/     # 10% of the paper's sizes, CSVs saved
+//	rfbench -scale 1                 # the paper's full sizes (hours, tens of GB)
+//
+// Experiments: datasets (Table II), avian (Fig. 1), insect (Table III),
+// vartaxa (Table IV), vartrees (Table V / Fig. 2), complexity (Table I +
+// §VI.C), accuracy (§III.C), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all | datasets | avian | insect | vartaxa | vartrees | complexity | accuracy | headline | ablation | distrib")
+		scale   = flag.Float64("scale", 0.02, "fraction of the paper's dataset sizes (1 = full scale)")
+		engines = flag.String("engines", "", "comma-separated engine subset (DS,DSMP8,DSMP16,HashRF,BFHRF8,BFHRF16)")
+		qcap    = flag.Int("query-cap", 64, "max queries executed by DS/DSMP before extrapolating (paper's estimation protocol)")
+		membw   = flag.Int("mem-budget", 2048, "HashRF matrix budget in MB (simulates the paper's OOM kills)")
+		csvDir  = flag.String("csv", "", "directory to save per-table CSV files")
+		workDir = flag.String("work", "", "directory for materialized dataset files (default: temp)")
+		verbose = flag.Bool("v", false, "per-run progress on stderr")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:       *scale,
+		QueryCap:    *qcap,
+		MemBudgetMB: *membw,
+		WorkDir:     *workDir,
+		Verbose:     *verbose,
+	}
+	if *engines != "" {
+		for _, e := range strings.Split(*engines, ",") {
+			cfg.Engines = append(cfg.Engines, experiments.Engine(strings.TrimSpace(e)))
+		}
+	}
+
+	type runner struct {
+		name string
+		run  func() *experiments.Report
+	}
+	all := []runner{
+		{"datasets", cfg.Datasets},
+		{"accuracy", cfg.Accuracy},
+		{"avian", cfg.Avian},
+		{"insect", cfg.Insect},
+		{"vartaxa", cfg.VarTaxa},
+		{"vartrees", cfg.VarTrees},
+		{"complexity", cfg.Complexity},
+		{"headline", cfg.Headline},
+		{"ablation", cfg.Ablation},
+		{"distrib", cfg.Distrib},
+	}
+	var selected []runner
+	if *exp == "all" {
+		selected = all
+	} else {
+		for _, r := range all {
+			if r.name == *exp {
+				selected = append(selected, r)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "rfbench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+
+	for _, r := range selected {
+		rep := r.run()
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rfbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := rep.SaveCSV(*csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "rfbench: saving CSV: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command treegen writes the simulated tree collections of the paper's
+// Table II (or custom sweeps) as Newick files — the stand-in for the
+// SimPhy/ASTRAL-II S100 pipeline and the non-redistributable real data.
+//
+// Usage:
+//
+//	treegen -dataset avian -out avian.nwk
+//	treegen -dataset insect -r 5000 -out insect5k.nwk     # first 5000 trees
+//	treegen -n 200 -r 1000 -seed 7 -out custom.nwk        # custom MSC collection
+//	treegen -n 64 -r 500 -random -out random.nwk          # i.i.d. random topologies
+//	treegen -dataset avian -queries 50 -moves 3 -out q.nwk # perturbed query set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/collection"
+	"repro/internal/dataset"
+	"repro/internal/newick"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "", "named dataset: avian | insect | vartrees | vartaxa")
+		n       = flag.Int("n", 100, "taxa count for custom collections (or vartaxa point)")
+		r       = flag.Int("r", 0, "tree count; 0 = dataset's full size")
+		seed    = flag.Int64("seed", 42, "random seed for custom collections")
+		random  = flag.Bool("random", false, "custom mode: i.i.d. uniform random topologies instead of MSC")
+		queries = flag.Int("queries", 0, "emit this many NNI-perturbed query trees instead of the collection")
+		moves   = flag.Int("moves", 2, "NNI moves per query tree (with -queries)")
+		out     = flag.String("out", "", "output file (default stdout)")
+		meanBr  = flag.Float64("mean-branch", 1.0, "species-tree mean internal branch length (coalescent units)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	spec, err := resolveSpec(*name, *n, *r, *seed, *meanBr)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *queries > 0 {
+		qs, err := spec.QuerySet(*queries, *moves)
+		if err != nil {
+			fatal(err)
+		}
+		if err := newick.WriteAll(w, qs, writeOpts(spec)); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "treegen: wrote %d query trees (%d NNI moves each)\n", len(qs), *moves)
+		return
+	}
+
+	count := spec.NumTrees
+	if *r > 0 && *r < count {
+		count = *r
+	}
+	var src collection.Source
+	if *random {
+		ts := taxa.Generate(spec.NumTaxa)
+		src = &collection.Generator{N: count, Make: func(i int) *tree.Tree {
+			rng := rand.New(rand.NewSource(*seed ^ int64(i+1)*0x5851F42D4C957F2D))
+			return simphy.RandomBinary(ts, rng)
+		}}
+	} else {
+		full, _ := spec.Source()
+		src = &collection.Head{Src: full, N: count}
+	}
+	written := 0
+	opts := writeOpts(spec)
+	for {
+		t, err := src.Next()
+		if err != nil {
+			break
+		}
+		if err := newick.Write(w, t, opts); err != nil {
+			fatal(err)
+		}
+		written++
+	}
+	fmt.Fprintf(os.Stderr, "treegen: wrote %d trees (n=%d, %s)\n", written, spec.NumTaxa, spec.Name)
+}
+
+func resolveSpec(name string, n, r int, seed int64, meanBr float64) (dataset.Spec, error) {
+	switch name {
+	case "avian":
+		return dataset.Avian(), nil
+	case "insect":
+		return dataset.Insect(), nil
+	case "vartrees":
+		size := r
+		if size <= 0 {
+			size = 100000
+		}
+		return dataset.VariableTrees(size), nil
+	case "vartaxa":
+		return dataset.VariableTaxa(n), nil
+	case "":
+		size := r
+		if size <= 0 {
+			size = 1000
+		}
+		return dataset.Spec{
+			Name:               fmt.Sprintf("custom-n%d", n),
+			NumTaxa:            n,
+			NumTrees:           size,
+			Seed:               seed,
+			MeanInternalBranch: meanBr,
+		}, nil
+	default:
+		return dataset.Spec{}, fmt.Errorf("unknown dataset %q (want avian|insect|vartrees|vartaxa)", name)
+	}
+}
+
+func writeOpts(spec dataset.Spec) newick.WriteOptions {
+	return newick.WriteOptions{BranchLengths: !spec.Unweighted, Precision: 6}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "treegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Consensus: the most-parsimonious-tree workflow that motivates the paper's
+// introduction. Given a collection of gene trees (simulated here under the
+// multispecies coalescent), rank candidate species trees by average RF and
+// read the majority-rule consensus directly off the bipartition frequency
+// hash — the "other application of directly using a BFH" from §IX.
+//
+// Run: go run ./examples/consensus
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/day"
+	"repro/internal/draw"
+	"repro/internal/newick"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+func main() {
+	const (
+		numTaxa  = 30
+		numGenes = 500
+	)
+	ts := taxa.Generate(numTaxa)
+
+	// Simulate a species tree and a collection of gene trees with moderate
+	// incomplete lineage sorting.
+	msc := simphy.NewMSCCollection(ts, 2024, 1.0)
+	simphy.ScaleMeanInternal(msc.Species, 1.2)
+	genes := &collection.Generator{N: numGenes, Make: msc.Make}
+
+	// Build the bipartition frequency hash over the gene trees once.
+	hash, err := core.BuildDefault(genes, ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BFH over %d gene trees: %d unique bipartitions (of %d instances)\n",
+		hash.NumTrees(), hash.UniqueBipartitions(), hash.TotalBipartitions())
+
+	// Candidates: the true species tree, NNI-corrupted versions of it, and
+	// a random tree. The true tree should win under the RF criterion.
+	rng := rand.New(rand.NewSource(7))
+	species := msc.Species.Clone()
+	species.Deroot()
+	candidates := []*tree.Tree{
+		species,
+		simphy.PerturbNNI(species, 2, rng),
+		simphy.PerturbNNI(species, 8, rng),
+		simphy.RandomBinary(ts, rng),
+	}
+	labels := []string{"true species tree", "2-NNI corrupted", "8-NNI corrupted", "random tree"}
+
+	results, err := hash.AverageRF(collection.FromTrees(candidates), core.QueryOptions{RequireComplete: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\naverage RF of each candidate against the gene trees:")
+	for _, r := range results {
+		fmt.Printf("  %-18s %.3f\n", labels[r.Index], r.AvgRF)
+	}
+	best, err := core.Best(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("winner: %s\n", labels[best.Index])
+
+	// Majority-rule consensus straight from the hash.
+	cons, err := hash.Consensus(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := day.RF(cons, species)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmajority-rule consensus: %d internal edges (max %d), RF to true species tree = %d\n",
+		cons.NumInternalEdges(), numTaxa-3, d)
+	fmt.Println(newick.String(cons, newick.WriteOptions{}))
+
+	// Support-annotated copy, drawn for the terminal.
+	annotated := cons.Clone()
+	if err := hash.AnnotateSupport(annotated, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nconsensus with support percentages:")
+	if err := draw.Write(os.Stdout, annotated, draw.Options{}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Filtering: the extensibility hook the paper demonstrates (§VII.F),
+// bipartition size filtering. Because the BFH stores untransformed
+// bipartitions, any filter that could be applied to a traditional RF
+// computation applies identically to the hash — here we compare distances
+// computed from all splits, from shallow splits only (small clades), and
+// from deep splits only (backbone structure).
+//
+// Run: go run ./examples/filtering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/bipart"
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+)
+
+func main() {
+	const (
+		numTaxa = 40
+		numRefs = 300
+	)
+	ts := taxa.Generate(numTaxa)
+	msc := simphy.NewMSCCollection(ts, 99, 1.0)
+	simphy.ScaleMeanInternal(msc.Species, 0.8)
+	refs := &collection.Generator{N: numRefs, Make: msc.Make}
+
+	// A query whose shallow structure is corrupted but whose backbone is
+	// intact: NNI moves mostly touch local (small) splits.
+	rng := rand.New(rand.NewSource(5))
+	base := msc.Species.Clone()
+	base.Deroot()
+	query := simphy.PerturbNNI(base, 4, rng)
+
+	type regime struct {
+		name   string
+		filter bipart.Filter
+	}
+	regimes := []regime{
+		{"all splits", nil},
+		{"shallow only (small side ≤ 5)", bipart.SizeFilter(0, 5, numTaxa)},
+		{"deep only (small side ≥ 6)", bipart.SizeFilter(6, 0, numTaxa)},
+	}
+
+	fmt.Printf("query vs %d MSC gene trees (n=%d) under bipartition size filters:\n\n", numRefs, numTaxa)
+	for _, reg := range regimes {
+		// The same filter is applied when building the hash and when
+		// extracting query bipartitions — exactly as one would preprocess a
+		// traditional RF computation.
+		h, err := core.Build(refs, ts, core.BuildOptions{RequireComplete: true, Filter: reg.filter})
+		if err != nil {
+			log.Fatal(err)
+		}
+		avg, err := h.AverageRFOne(query, core.QueryOptions{RequireComplete: true, Filter: reg.filter})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-32s unique splits in hash: %4d   avg RF: %8.3f\n",
+			reg.name, h.UniqueBipartitions(), avg)
+	}
+
+	fmt.Println("\nthe filtered hashes are smaller and the filtered distances isolate")
+	fmt.Println("the disagreement at the chosen depth — no change to the algorithm,")
+	fmt.Println("only a different Filter passed to Build and Query.")
+}

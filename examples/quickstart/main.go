@@ -1,0 +1,62 @@
+// Quickstart: compute the average Robinson-Foulds distance of query trees
+// against a reference collection with the public API — the paper's core
+// workflow (Algorithm 2) in a dozen lines.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A reference collection of gene trees over taxa A..F. Three support
+	// the ((A,B),(C,D)) backbone; one disagrees.
+	references := []string{
+		"((A,B),((C,D),(E,F)));",
+		"((A,B),((C,D),(E,F)));",
+		"(((A,B),(C,D)),(E,F));", // same unrooted topology, different rooting
+		"((A,E),((C,B),(D,F)));", // the dissenter
+	}
+	// Candidate summary trees whose fit we want to rank.
+	queries := []string{
+		"((A,B),((C,D),(E,F)));", // matches the majority
+		"((A,C),((B,D),(E,F)));", // partially wrong
+		"((A,F),((B,E),(C,D)));", // mostly wrong
+	}
+
+	results, err := repro.AverageRFNewick(queries, references, repro.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("average RF of each query against the reference collection:")
+	for _, r := range results {
+		fmt.Printf("  query %d: %.4f\n", r.Index, r.AvgRF)
+	}
+
+	best, err := repro.BestResult(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best candidate: query %d (avg RF %.4f)\n", best.Index, best.AvgRF)
+
+	// Exact pairwise RF (Day's algorithm) for two trees.
+	d, err := repro.PairwiseRF(queries[0], queries[2])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pairwise RF(query 0, query 2) = %d\n", d)
+
+	// Normalized variant: distances in [0, 1].
+	norm, err := repro.AverageRFNewick(queries, references, repro.Config{Variant: repro.VariantNormalized})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("normalized averages:")
+	for _, r := range norm {
+		fmt.Printf("  query %d: %.4f\n", r.Index, r.AvgRF)
+	}
+}

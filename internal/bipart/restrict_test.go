@@ -1,0 +1,166 @@
+package bipart
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// TestQuickRestrictionCommutes is the correctness property behind the
+// variable-taxa pipeline (paper §VII.E): extracting bipartitions from a
+// taxon-restricted tree must equal projecting the full tree's bipartitions
+// onto the surviving taxa. If this held only approximately, intersection
+// reduction would silently change distances.
+func TestQuickRestrictionCommutes(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%20 + 8
+		full := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(seed))
+		tr := simphy.RandomBinary(full, rng)
+
+		// Random subset of 4..n-1 taxa.
+		k := rng.Intn(n-4) + 4
+		perm := rng.Perm(n)
+		keep := map[string]bool{}
+		var kept []string
+		for _, i := range perm[:k] {
+			keep[full.Name(i)] = true
+			kept = append(kept, full.Name(i))
+		}
+		sub, err := taxa.NewSet(kept)
+		if err != nil {
+			return false
+		}
+
+		// Path A: restrict the tree, then extract over the sub-catalogue.
+		restricted, err := tree.Restrict(tr, func(name string) bool { return keep[name] })
+		if err != nil {
+			return false
+		}
+		exSub := NewExtractor(sub)
+		direct, err := exSub.Extract(restricted)
+		if err != nil {
+			return false
+		}
+
+		// Path B: extract over the full catalogue, then project each mask.
+		exFull := NewExtractor(full)
+		fullSplits, err := exFull.Extract(tr)
+		if err != nil {
+			return false
+		}
+		anchor := 0 // lowest index in sub-catalogue
+		projected := map[string]bool{}
+		for _, b := range fullSplits {
+			m := bitset.New(sub.Len())
+			for _, i := range b.Mask().Indices() {
+				name := full.Name(i)
+				if j, ok := sub.Index(name); ok {
+					m.Set(j)
+				}
+			}
+			pb := FromMask(m, anchor)
+			if pb.IsTrivial(sub.Len()) {
+				continue
+			}
+			projected[pb.Key()] = true
+		}
+
+		directKeys := map[string]bool{}
+		for _, b := range direct {
+			directKeys[b.Key()] = true
+		}
+		if len(directKeys) != len(projected) {
+			return false
+		}
+		for k := range directKeys {
+			if !projected[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompatibilityOracle cross-checks the anchored Compatible
+// predicate against the four-intersection definition on random masks.
+func TestQuickCompatibilityOracle(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%30 + 4
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Bipartition {
+			m := bitset.New(n)
+			for i := 1; i < n; i++ { // keep anchor 0 on the 0 side
+				if rng.Intn(2) == 1 {
+					m.Set(i)
+				}
+			}
+			return FromMask(m, 0)
+		}
+		a, b := mk(), mk()
+		// Oracle: compatible iff one of the four intersections is empty.
+		am, bm := a.Mask(), b.Mask()
+		inter := func(x, y *bitset.Bits) bool { return x.Intersects(y) }
+		ac, bc := am.Complement(), bm.Complement()
+		oracle := !inter(am, bm) || !inter(am, bc) || !inter(ac, bm) || !inter(ac, bc)
+		return Compatible(a, b) == oracle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTreeSplitsAlwaysCompatible: the splits of any single tree form
+// a compatible (laminar) family.
+func TestQuickTreeSplitsAlwaysCompatible(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%25 + 4
+		ts := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(seed))
+		tr := simphy.RandomBinary(ts, rng)
+		ex := NewExtractor(ts)
+		bs, err := ex.Extract(tr)
+		if err != nil {
+			return false
+		}
+		return MutuallyCompatible(bs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanity: projection keys used above are deterministic.
+func TestProjectionHelperDeterminism(t *testing.T) {
+	keys := func() []string {
+		full := taxa.Generate(10)
+		rng := rand.New(rand.NewSource(3))
+		tr := simphy.RandomBinary(full, rng)
+		ex := NewExtractor(full)
+		bs, err := ex.Extract(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(bs))
+		for i, b := range bs {
+			out[i] = b.Key()
+		}
+		sort.Strings(out)
+		return out
+	}
+	a, b := keys(), keys()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("extraction keys not deterministic")
+		}
+	}
+}

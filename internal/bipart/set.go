@@ -1,0 +1,131 @@
+package bipart
+
+import (
+	"sort"
+)
+
+// Set is a collection of distinct bipartitions keyed by their canonical
+// encodings. It implements the set algebra underlying the traditional RF
+// definition RF(T,T') = |B(T)\B(T')| + |B(T')\B(T)|.
+type Set struct {
+	m map[string]Bipartition
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{m: make(map[string]Bipartition)} }
+
+// SetOf builds a set from a slice of bipartitions, deduplicating.
+func SetOf(bs []Bipartition) *Set {
+	s := &Set{m: make(map[string]Bipartition, len(bs))}
+	for _, b := range bs {
+		s.Add(b)
+	}
+	return s
+}
+
+// Add inserts b (overwriting an equal entry, so length annotations from the
+// latest insertion win).
+func (s *Set) Add(b Bipartition) { s.m[b.Key()] = b }
+
+// Len returns the number of distinct bipartitions.
+func (s *Set) Len() int { return len(s.m) }
+
+// Contains reports membership by canonical encoding.
+func (s *Set) Contains(b Bipartition) bool {
+	_, ok := s.m[b.Key()]
+	return ok
+}
+
+// ContainsKey reports membership by precomputed key.
+func (s *Set) ContainsKey(key string) bool {
+	_, ok := s.m[key]
+	return ok
+}
+
+// Get returns the stored bipartition for key.
+func (s *Set) Get(key string) (Bipartition, bool) {
+	b, ok := s.m[key]
+	return b, ok
+}
+
+// Each visits every bipartition in unspecified order.
+func (s *Set) Each(visit func(Bipartition)) {
+	for _, b := range s.m {
+		visit(b)
+	}
+}
+
+// Sorted returns the bipartitions ordered by key, for deterministic output.
+func (s *Set) Sorted() []Bipartition {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Bipartition, len(keys))
+	for i, k := range keys {
+		out[i] = s.m[k]
+	}
+	return out
+}
+
+// IntersectionSize returns |s ∩ o|.
+func (s *Set) IntersectionSize(o *Set) int {
+	small, big := s, o
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	c := 0
+	for k := range small.m {
+		if _, ok := big.m[k]; ok {
+			c++
+		}
+	}
+	return c
+}
+
+// SymmetricDifferenceSize returns |s\o| + |o\s| — the traditional RF
+// distance between the two encoded trees (paper Eq. 1).
+func (s *Set) SymmetricDifferenceSize(o *Set) int {
+	shared := s.IntersectionSize(o)
+	return (s.Len() - shared) + (o.Len() - shared)
+}
+
+// WeightedSymmetricDifference returns the branch-length-weighted symmetric
+// difference: shared bipartitions contribute |len_s − len_o| and unshared
+// ones contribute their own length. Bipartitions without lengths contribute
+// 1 (reducing to the unweighted count when no tree has lengths). This is the
+// classic weighted-RF generalization the paper's extensibility discussion
+// targets.
+func (s *Set) WeightedSymmetricDifference(o *Set) float64 {
+	var d float64
+	for k, b := range s.m {
+		if ob, ok := o.m[k]; ok {
+			if b.HasLength && ob.HasLength {
+				d += abs(b.Length - ob.Length)
+			}
+		} else {
+			d += weight(b)
+		}
+	}
+	for k, ob := range o.m {
+		if _, ok := s.m[k]; !ok {
+			d += weight(ob)
+		}
+	}
+	return d
+}
+
+func weight(b Bipartition) float64 {
+	if b.HasLength {
+		return b.Length
+	}
+	return 1
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

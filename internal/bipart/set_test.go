@@ -1,0 +1,147 @@
+package bipart
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+func bp(s string) Bipartition {
+	return FromMask(bitset.MustParse(s), 0)
+}
+
+func bpLen(s string, l float64) Bipartition {
+	b := FromMask(bitset.MustParse(s), 0)
+	b.Length, b.HasLength = l, true
+	return b
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	if s.Len() != 0 {
+		t.Error("new set not empty")
+	}
+	a := bp("0110")
+	s.Add(a)
+	s.Add(a) // dedup
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after duplicate insert", s.Len())
+	}
+	if !s.Contains(a) || !s.ContainsKey(a.Key()) {
+		t.Error("membership lookup failed")
+	}
+	if s.Contains(bp("1010")) {
+		t.Error("absent element reported present")
+	}
+	got, ok := s.Get(a.Key())
+	if !ok || !got.Equal(a) {
+		t.Error("Get failed")
+	}
+}
+
+func TestSymmetricDifference(t *testing.T) {
+	// Matches the paper's example: one split each, disjoint → RF = 2.
+	s1 := SetOf([]Bipartition{bp("1100")})
+	s2 := SetOf([]Bipartition{bp("1010")})
+	if d := s1.SymmetricDifferenceSize(s2); d != 2 {
+		t.Errorf("RF = %d, want 2", d)
+	}
+	// Identical sets → 0.
+	if d := s1.SymmetricDifferenceSize(s1); d != 0 {
+		t.Errorf("self RF = %d, want 0", d)
+	}
+	// Partial overlap.
+	s3 := SetOf([]Bipartition{bp("1100"), bp("0110")})
+	if d := s1.SymmetricDifferenceSize(s3); d != 1 {
+		t.Errorf("partial RF = %d, want 1", d)
+	}
+}
+
+func TestIntersectionSize(t *testing.T) {
+	a := SetOf([]Bipartition{bp("1100"), bp("0110"), bp("1010")})
+	b := SetOf([]Bipartition{bp("0110"), bp("1010")})
+	if got := a.IntersectionSize(b); got != 2 {
+		t.Errorf("IntersectionSize = %d, want 2", got)
+	}
+	if got := b.IntersectionSize(a); got != 2 {
+		t.Errorf("IntersectionSize not symmetric: %d", got)
+	}
+}
+
+func TestSorted(t *testing.T) {
+	s := SetOf([]Bipartition{bp("1100"), bp("0110"), bp("1010")})
+	sorted := s.Sorted()
+	if len(sorted) != 3 {
+		t.Fatalf("Sorted len = %d", len(sorted))
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Key() >= sorted[i].Key() {
+			t.Error("Sorted output not ordered")
+		}
+	}
+}
+
+func TestEach(t *testing.T) {
+	s := SetOf([]Bipartition{bp("1100"), bp("0110")})
+	count := 0
+	s.Each(func(Bipartition) { count++ })
+	if count != 2 {
+		t.Errorf("Each visited %d", count)
+	}
+}
+
+func TestWeightedSymmetricDifference(t *testing.T) {
+	// Shared split with different lengths contributes |Δ|; unshared
+	// contribute their own lengths.
+	a := SetOf([]Bipartition{bpLen("1100", 1.0), bpLen("0110", 2.0)})
+	b := SetOf([]Bipartition{bpLen("1100", 1.5), bpLen("1010", 4.0)})
+	got := a.WeightedSymmetricDifference(b)
+	want := 0.5 + 2.0 + 4.0
+	if got != want {
+		t.Errorf("weighted = %v, want %v", got, want)
+	}
+	// Without lengths it reduces to the unweighted count.
+	c := SetOf([]Bipartition{bp("1100"), bp("0110")})
+	d := SetOf([]Bipartition{bp("1010")})
+	if got := c.WeightedSymmetricDifference(d); got != 3 {
+		t.Errorf("unweighted fallback = %v, want 3", got)
+	}
+}
+
+// Property: symmetric difference is a pseudometric on sets — symmetric,
+// zero on identity, triangle inequality.
+func TestQuickSymmetricDifferenceMetric(t *testing.T) {
+	gen := func(rng *rand.Rand) *Set {
+		s := NewSet()
+		for i := 0; i < rng.Intn(12); i++ {
+			m := bitset.New(10)
+			for j := 1; j < 10; j++ {
+				if rng.Intn(2) == 1 {
+					m.Set(j)
+				}
+			}
+			s.Add(FromMask(m, 0))
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := gen(rng), gen(rng), gen(rng)
+		dab := a.SymmetricDifferenceSize(b)
+		dba := b.SymmetricDifferenceSize(a)
+		if dab != dba {
+			return false
+		}
+		if a.SymmetricDifferenceSize(a) != 0 {
+			return false
+		}
+		dac := a.SymmetricDifferenceSize(c)
+		dcb := c.SymmetricDifferenceSize(b)
+		return dab <= dac+dcb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

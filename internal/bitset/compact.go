@@ -1,0 +1,136 @@
+package bitset
+
+import (
+	"fmt"
+)
+
+// This file implements the lossless, reversible compression of bipartition
+// keys the paper proposes as future work (§IX: "a loss less and reversible
+// compression of the bipartitions as keys in the hash to further reduce
+// memory"). Three encodings compete per vector and the smallest wins:
+//
+//	raw    — the full little-endian word bytes (dense vectors);
+//	sparse — varint-delta-coded indices of set bits (few 1s);
+//	cosparse — varint-delta-coded indices of clear bits (few 0s).
+//
+// Every encoding is self-describing via a 1-byte tag, so CompactKey is a
+// bijection on vectors of a given width: equal keys ⇔ equal vectors, the
+// collision-freedom BFHRF requires.
+
+const (
+	tagRaw      = 0x00
+	tagSparse   = 0x01
+	tagCosparse = 0x02
+)
+
+// CompactKey returns a collision-free map key that is never longer than
+// Key() plus one tag byte and is much shorter for shallow or deep splits
+// (few set or few clear bits — the common case for biological splits).
+func (b *Bits) CompactKey() string {
+	ones := b.Count()
+	zeros := b.width - ones
+
+	raw := b.rawBytes()
+	best := make([]byte, 0, len(raw)+1)
+	best = append(best, tagRaw)
+	best = append(best, raw...)
+
+	if sp := b.encodeIndices(tagSparse, ones, true); sp != nil && len(sp) < len(best) {
+		best = sp
+	}
+	if co := b.encodeIndices(tagCosparse, zeros, false); co != nil && len(co) < len(best) {
+		best = co
+	}
+	return string(best)
+}
+
+func (b *Bits) rawBytes() []byte {
+	buf := make([]byte, len(b.words)*8)
+	for i, w := range b.words {
+		putUint64LE(buf[i*8:], w)
+	}
+	return buf
+}
+
+// encodeIndices delta+varint encodes the positions of set (want=true) or
+// clear (want=false) bits. Returns nil if the encoding cannot be smaller
+// than raw (quick bail: more than width/8 indices can't win).
+func (b *Bits) encodeIndices(tag byte, count int, want bool) []byte {
+	if count*1 >= len(b.words)*8 { // each index costs ≥1 byte
+		return nil
+	}
+	out := make([]byte, 0, count*2+1)
+	out = append(out, tag)
+	prev := -1
+	for i := 0; i < b.width; i++ {
+		if b.Test(i) != want {
+			continue
+		}
+		out = appendUvarint(out, uint64(i-prev))
+		prev = i
+	}
+	return out
+}
+
+// FromCompactKey reconstructs a vector of the given width from a
+// CompactKey() string.
+func FromCompactKey(key string, width int) (*Bits, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("bitset: empty compact key")
+	}
+	tag, body := key[0], key[1:]
+	switch tag {
+	case tagRaw:
+		return FromKey(body, width)
+	case tagSparse, tagCosparse:
+		b := New(width)
+		if tag == tagCosparse {
+			b.ComplementInPlace()
+		}
+		pos := -1
+		for len(body) > 0 {
+			d, n := readUvarint(body)
+			if n <= 0 {
+				return nil, fmt.Errorf("bitset: corrupt varint in compact key")
+			}
+			body = body[n:]
+			pos += int(d)
+			if pos >= width {
+				return nil, fmt.Errorf("bitset: compact key index %d beyond width %d", pos, width)
+			}
+			if tag == tagSparse {
+				b.Set(pos)
+			} else {
+				b.Clear(pos)
+			}
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("bitset: unknown compact key tag %#x", tag)
+	}
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func readUvarint(s string) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x80 {
+			if i > 9 || (i == 9 && c > 1) {
+				return 0, -1 // overflow
+			}
+			return v | uint64(c)<<shift, i + 1
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, -1
+}

@@ -1,0 +1,155 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompactKeyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, width := range []int{1, 8, 63, 64, 65, 128, 500, 1000} {
+		for trial := 0; trial < 30; trial++ {
+			b := randomBits(rng, width)
+			got, err := FromCompactKey(b.CompactKey(), width)
+			if err != nil {
+				t.Fatalf("width %d: %v", width, err)
+			}
+			if !got.Equal(b) {
+				t.Fatalf("width %d: round trip mismatch", width)
+			}
+		}
+	}
+}
+
+func TestCompactKeySparseVectors(t *testing.T) {
+	// A 1000-bit vector with 3 set bits must compress far below 125 bytes.
+	b := New(1000)
+	b.Set(10)
+	b.Set(500)
+	b.Set(999)
+	k := b.CompactKey()
+	if len(k) > 10 {
+		t.Errorf("sparse compact key = %d bytes, expected <= 10", len(k))
+	}
+	got, err := FromCompactKey(k, 1000)
+	if err != nil || !got.Equal(b) {
+		t.Fatalf("sparse round trip failed: %v", err)
+	}
+}
+
+func TestCompactKeyCosparseVectors(t *testing.T) {
+	// Nearly-all-ones vectors use the cosparse encoding.
+	b := New(1000)
+	b.ComplementInPlace()
+	b.Clear(7)
+	b.Clear(800)
+	k := b.CompactKey()
+	if len(k) > 10 {
+		t.Errorf("cosparse compact key = %d bytes, expected <= 10", len(k))
+	}
+	got, err := FromCompactKey(k, 1000)
+	if err != nil || !got.Equal(b) {
+		t.Fatalf("cosparse round trip failed: %v", err)
+	}
+}
+
+func TestCompactKeyNeverMuchBigger(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		width := rng.Intn(512) + 1
+		b := randomBits(rng, width)
+		if len(b.CompactKey()) > len(b.Key())+1 {
+			t.Fatalf("compact key larger than raw+tag: %d vs %d", len(b.CompactKey()), len(b.Key()))
+		}
+	}
+}
+
+func TestCompactKeyCollisionFree(t *testing.T) {
+	// Distinct vectors must give distinct compact keys across encodings.
+	seen := map[string]string{}
+	width := 300
+	vecs := []*Bits{New(width)}
+	full := New(width)
+	full.ComplementInPlace()
+	vecs = append(vecs, full)
+	for i := 0; i < width; i += 7 {
+		v := New(width)
+		v.Set(i)
+		vecs = append(vecs, v)
+		c := full.Clone()
+		c.Clear(i)
+		vecs = append(vecs, c)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		vecs = append(vecs, randomBits(rng, width))
+	}
+	for _, v := range vecs {
+		k := v.CompactKey()
+		if prev, dup := seen[k]; dup && prev != v.String() {
+			t.Fatalf("collision between %s and %s", prev, v)
+		}
+		seen[k] = v.String()
+	}
+}
+
+func TestFromCompactKeyErrors(t *testing.T) {
+	if _, err := FromCompactKey("", 10); err == nil {
+		t.Error("empty key should fail")
+	}
+	if _, err := FromCompactKey("\xff", 10); err == nil {
+		t.Error("unknown tag should fail")
+	}
+	// Sparse index beyond width.
+	b := New(100)
+	b.Set(99)
+	k := b.CompactKey()
+	if _, err := FromCompactKey(k, 50); err == nil {
+		t.Error("index beyond width should fail")
+	}
+	// Truncated varint.
+	if _, err := FromCompactKey(string([]byte{tagSparse, 0x80}), 100); err == nil {
+		t.Error("truncated varint should fail")
+	}
+}
+
+func TestQuickCompactRoundTrip(t *testing.T) {
+	f := func(seed int64, w uint16) bool {
+		width := int(w)%700 + 1
+		rng := rand.New(rand.NewSource(seed))
+		// Mix densities: some trials sparse, some dense, some uniform.
+		b := New(width)
+		density := rng.Float64()
+		for i := 0; i < width; i++ {
+			if rng.Float64() < density {
+				b.Set(i)
+			}
+		}
+		got, err := FromCompactKey(b.CompactKey(), width)
+		return err == nil && got.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompactKeyDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := randomBits(rng, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.CompactKey()
+	}
+}
+
+func BenchmarkCompactKeySparse(b *testing.B) {
+	v := New(1000)
+	for i := 0; i < 10; i++ {
+		v.Set(i * 97)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.CompactKey()
+	}
+}

@@ -1,0 +1,243 @@
+// Package cluster implements agglomerative hierarchical clustering over RF
+// distance matrices — the analysis the all-versus-all matrix exists for
+// ("the all versus all RF matrix problem which is useful for clustering
+// techniques", paper §VIII). Single, complete, and average linkage are
+// provided; Cut extracts flat clusterings.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Linkage selects how the distance between merged clusters is computed.
+type Linkage int
+
+const (
+	// Single linkage: minimum pairwise distance (chains easily).
+	Single Linkage = iota
+	// Complete linkage: maximum pairwise distance (compact clusters).
+	Complete
+	// Average linkage (UPGMA): unweighted mean pairwise distance.
+	Average
+)
+
+// String names the linkage for diagnostics.
+func (l Linkage) String() string {
+	switch l {
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Distances is the minimal matrix view the clusterer needs; hashrf.Matrix
+// satisfies it.
+type Distances interface {
+	At(i, j int) int
+}
+
+// Merge records one agglomeration step of the dendrogram. Cluster IDs
+// 0..n-1 are the leaves; merge k creates cluster n+k.
+type Merge struct {
+	// A and B are the merged cluster IDs; Distance is their linkage
+	// distance at merge time.
+	A, B     int
+	Distance float64
+}
+
+// Dendrogram is the full merge history for n items.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Build runs agglomerative clustering over the first n items of d.
+func Build(d Distances, n int, linkage Linkage) (*Dendrogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 item, have %d", n)
+	}
+	// Working distance matrix between active clusters, plus sizes.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = float64(d.At(i, j))
+		}
+	}
+	active := make([]int, n) // active[i] = current cluster ID at slot i
+	size := make([]int, n)   // size[i] = items in slot i's cluster
+	alive := make([]bool, n) // slot in use
+	for i := 0; i < n; i++ {
+		active[i], size[i], alive[i] = i, 1, true
+	}
+
+	dd := &Dendrogram{N: n}
+	nextID := n
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair.
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				if dist[i][j] < best {
+					best, bi, bj = dist[i][j], i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		dd.Merges = append(dd.Merges, Merge{A: active[bi], B: active[bj], Distance: best})
+		// Fold slot bj into slot bi with the linkage update.
+		for k := 0; k < n; k++ {
+			if !alive[k] || k == bi || k == bj {
+				continue
+			}
+			switch linkage {
+			case Single:
+				dist[bi][k] = math.Min(dist[bi][k], dist[bj][k])
+			case Complete:
+				dist[bi][k] = math.Max(dist[bi][k], dist[bj][k])
+			case Average:
+				wi, wj := float64(size[bi]), float64(size[bj])
+				dist[bi][k] = (wi*dist[bi][k] + wj*dist[bj][k]) / (wi + wj)
+			default:
+				return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
+			}
+			dist[k][bi] = dist[bi][k]
+		}
+		size[bi] += size[bj]
+		alive[bj] = false
+		active[bi] = nextID
+		nextID++
+	}
+	return dd, nil
+}
+
+// Cut returns a flat clustering with k clusters: labels[i] in 0..k-1 for
+// each original item, numbered by first appearance.
+func (dd *Dendrogram) Cut(k int) ([]int, error) {
+	if k < 1 || k > dd.N {
+		return nil, fmt.Errorf("cluster: cut k=%d out of range [1, %d]", k, dd.N)
+	}
+	// Apply the first n-k merges with union-find.
+	parent := make([]int, dd.N+len(dd.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	steps := dd.N - k
+	if steps > len(dd.Merges) {
+		steps = len(dd.Merges)
+	}
+	for s := 0; s < steps; s++ {
+		m := dd.Merges[s]
+		newID := dd.N + s
+		parent[find(m.A)] = newID
+		parent[find(m.B)] = newID
+	}
+	labels := make([]int, dd.N)
+	ids := map[int]int{}
+	for i := 0; i < dd.N; i++ {
+		r := find(i)
+		if _, ok := ids[r]; !ok {
+			ids[r] = len(ids)
+		}
+		labels[i] = ids[r]
+	}
+	return labels, nil
+}
+
+// CutByDistance returns the flat clustering obtained by stopping merges at
+// linkage distance > maxDist.
+func (dd *Dendrogram) CutByDistance(maxDist float64) []int {
+	k := dd.N
+	for _, m := range dd.Merges {
+		if m.Distance <= maxDist {
+			k--
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	labels, _ := dd.Cut(k)
+	return labels
+}
+
+// Silhouette computes the mean silhouette coefficient of a flat clustering
+// over d — a [-1, 1] quality score (higher = tighter, better-separated
+// clusters). Items in singleton clusters contribute 0.
+func Silhouette(d Distances, labels []int) float64 {
+	n := len(labels)
+	if n == 0 {
+		return 0
+	}
+	groups := map[int][]int{}
+	for i, l := range labels {
+		groups[l] = append(groups[l], i)
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		own := groups[labels[i]]
+		if len(own) <= 1 {
+			continue
+		}
+		a := 0.0
+		for _, j := range own {
+			if j != i {
+				a += float64(d.At(i, j))
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := math.Inf(1)
+		for l, members := range groups {
+			if l == labels[i] {
+				continue
+			}
+			s := 0.0
+			for _, j := range members {
+				s += float64(d.At(i, j))
+			}
+			s /= float64(len(members))
+			if s < b {
+				b = s
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n)
+}
+
+// SortMergesByDistance returns the merges ordered by ascending distance
+// (they already are for single linkage; other linkages can invert).
+func (dd *Dendrogram) SortMergesByDistance() []Merge {
+	out := make([]Merge, len(dd.Merges))
+	copy(out, dd.Merges)
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/hashrf"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// fakeMatrix is a Distances over an explicit table.
+type fakeMatrix [][]int
+
+func (m fakeMatrix) At(i, j int) int { return m[i][j] }
+
+// twoBlobs: items 0-2 mutually close (distance 1), items 3-5 mutually
+// close, 10 apart across groups.
+func twoBlobs() fakeMatrix {
+	n := 6
+	m := make(fakeMatrix, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		for j := range m[i] {
+			switch {
+			case i == j:
+				m[i][j] = 0
+			case (i < 3) == (j < 3):
+				m[i][j] = 1
+			default:
+				m[i][j] = 10
+			}
+		}
+	}
+	return m
+}
+
+func TestBuildAndCutTwoBlobs(t *testing.T) {
+	for _, lk := range []Linkage{Single, Complete, Average} {
+		dd, err := Build(twoBlobs(), 6, lk)
+		if err != nil {
+			t.Fatalf("%v: %v", lk, err)
+		}
+		if len(dd.Merges) != 5 {
+			t.Fatalf("%v: merges = %d, want 5", lk, len(dd.Merges))
+		}
+		labels, err := dd.Cut(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if labels[0] != labels[1] || labels[1] != labels[2] {
+			t.Errorf("%v: first blob split: %v", lk, labels)
+		}
+		if labels[3] != labels[4] || labels[4] != labels[5] {
+			t.Errorf("%v: second blob split: %v", lk, labels)
+		}
+		if labels[0] == labels[3] {
+			t.Errorf("%v: blobs merged at k=2: %v", lk, labels)
+		}
+	}
+}
+
+func TestCutBounds(t *testing.T) {
+	dd, err := Build(twoBlobs(), 6, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dd.Cut(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := dd.Cut(7); err == nil {
+		t.Error("k>n should fail")
+	}
+	all, err := dd.Cut(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range all {
+		seen[l] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("k=n should give singletons, got %v", all)
+	}
+	one, err := dd.Cut(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range one {
+		if l != 0 {
+			t.Errorf("k=1 should give one cluster: %v", one)
+		}
+	}
+}
+
+func TestCutByDistance(t *testing.T) {
+	dd, err := Build(twoBlobs(), 6, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := dd.CutByDistance(5) // within-blob merges (distance 1) happen
+	distinct := map[int]bool{}
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	if len(distinct) != 2 {
+		t.Errorf("CutByDistance(5) clusters = %d, want 2 (%v)", len(distinct), labels)
+	}
+}
+
+func TestMergeDistancesMonotoneSingle(t *testing.T) {
+	dd, err := Build(twoBlobs(), 6, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(dd.Merges); i++ {
+		if dd.Merges[i].Distance < dd.Merges[i-1].Distance {
+			t.Errorf("single-linkage merges not monotone: %v", dd.Merges)
+		}
+	}
+}
+
+func TestSilhouette(t *testing.T) {
+	m := twoBlobs()
+	good := []int{0, 0, 0, 1, 1, 1}
+	bad := []int{0, 1, 0, 1, 0, 1}
+	sg := Silhouette(m, good)
+	sb := Silhouette(m, bad)
+	if sg <= sb {
+		t.Errorf("silhouette(good)=%v should beat silhouette(bad)=%v", sg, sb)
+	}
+	if sg < 0.5 {
+		t.Errorf("good clustering silhouette = %v, expected high", sg)
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	dd, err := Build(fakeMatrix{{0}}, 1, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dd.Merges) != 0 {
+		t.Error("single item produces no merges")
+	}
+	labels, err := dd.Cut(1)
+	if err != nil || len(labels) != 1 || labels[0] != 0 {
+		t.Errorf("labels = %v, err %v", labels, err)
+	}
+}
+
+// TestRecoversTreeSources is the end-to-end use case: RF matrix over two
+// pooled MSC collections, clustering recovers the source species trees.
+func TestRecoversTreeSources(t *testing.T) {
+	ts := taxa.Generate(16)
+	a := simphy.NewMSCCollection(ts, 10, 1.0)
+	simphy.ScaleMeanInternal(a.Species, 3)
+	b := simphy.NewMSCCollection(ts, 20, 1.0)
+	simphy.ScaleMeanInternal(b.Species, 3)
+	var pooled []*tree.Tree
+	var truth []int
+	for i := 0; i < 15; i++ {
+		pooled = append(pooled, a.Make(i))
+		truth = append(truth, 0)
+		pooled = append(pooled, b.Make(i))
+		truth = append(truth, 1)
+	}
+	m, err := hashrf.AllVsAll(collection.FromTrees(pooled), hashrf.Options{Taxa: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lk := range []Linkage{Single, Average} {
+		dd, err := Build(m, m.R, lk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels, err := dd.Cut(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agree := 0
+		for i := range labels {
+			if labels[i] == truth[i] {
+				agree++
+			}
+		}
+		if agree < len(labels)-agree {
+			agree = len(labels) - agree
+		}
+		if agree < 27 { // ≥ 90% of 30
+			t.Errorf("%v linkage recovered %d/30", lk, agree)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package collection
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/newick"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+func mustParseAll(t *testing.T, nwk ...string) []*tree.Tree {
+	t.Helper()
+	out := make([]*tree.Tree, len(nwk))
+	for i, s := range nwk {
+		out[i] = newick.MustParse(s)
+	}
+	return out
+}
+
+func drain(t *testing.T, s Source) int {
+	t.Helper()
+	n := 0
+	for {
+		_, err := s.Next()
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := FromTrees(mustParseAll(t, "(A,B,C);", "(A,(B,C));"))
+	if got := drain(t, s); got != 2 {
+		t.Errorf("drained %d", got)
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Error("exhausted source must keep returning EOF")
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, s); got != 2 {
+		t.Errorf("after Reset drained %d", got)
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d", s.Count())
+	}
+}
+
+func TestFileSource(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trees.nwk")
+	content := "(A,B,(C,D));\n((A,B),(C,D));\n(A,(B,(C,D)));\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := drain(t, s); got != 3 {
+		t.Errorf("drained %d", got)
+	}
+	// Count becomes known after a full pass.
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, s); got != 3 {
+		t.Errorf("after Reset drained %d", got)
+	}
+}
+
+func TestFileSourceMissing(t *testing.T) {
+	if _, err := OpenFile("/nonexistent/path/x.nwk"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestFileSourceParseError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.nwk")
+	if err := os.WriteFile(path, []byte("(A,B,(C,D));\n(A,;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Next(); err != nil {
+		t.Fatalf("first tree should parse: %v", err)
+	}
+	if _, err := s.Next(); err == nil || err == io.EOF {
+		t.Error("second tree should be a parse error")
+	}
+}
+
+func TestGeneratorSource(t *testing.T) {
+	calls := 0
+	g := &Generator{N: 5, Make: func(i int) *tree.Tree {
+		calls++
+		return newick.MustParse("(A,B,C);")
+	}}
+	if got := drain(t, g); got != 5 {
+		t.Errorf("drained %d", got)
+	}
+	if err := g.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, g); got != 5 {
+		t.Errorf("after Reset drained %d", got)
+	}
+	if calls != 10 {
+		t.Errorf("Make called %d times, want 10 (regenerated)", calls)
+	}
+	if g.Count() != 5 {
+		t.Errorf("Count = %d", g.Count())
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := FromTrees(mustParseAll(t, "(A,B,C);", "(A,B,C);"))
+	n, err := Len(s)
+	if err != nil || n != 2 {
+		t.Errorf("Len = %d, %v", n, err)
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	s := FromTrees(mustParseAll(t, "(A,B,C);", "(A,(B,C));"))
+	drain(t, s) // exhaust first; ReadAll must Reset
+	trees, err := ReadAll(s)
+	if err != nil || len(trees) != 2 {
+		t.Errorf("ReadAll = %d trees, %v", len(trees), err)
+	}
+	// Source is reset afterwards.
+	if got := drain(t, s); got != 2 {
+		t.Errorf("source not reset after ReadAll: %d", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := FromTrees(mustParseAll(t, "(A,B,C);", "(A,(B,C));", "((A,B),C);"))
+	lim, err := Limit(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, lim); got != 2 {
+		t.Errorf("Limit drained %d", got)
+	}
+	// Limit beyond size returns everything.
+	lim2, err := Limit(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, lim2); got != 3 {
+		t.Errorf("over-Limit drained %d", got)
+	}
+}
+
+func TestScanTaxa(t *testing.T) {
+	a := FromTrees(mustParseAll(t, "(A,B,C);"))
+	b := FromTrees(mustParseAll(t, "(B,C,D);"))
+	ts, err := ScanTaxa(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 4 {
+		t.Errorf("union taxa = %d, want 4", ts.Len())
+	}
+	// Sources usable afterwards.
+	if got := drain(t, a); got != 1 {
+		t.Error("source not reset after ScanTaxa")
+	}
+}
+
+func TestScanCommonTaxa(t *testing.T) {
+	a := FromTrees(mustParseAll(t, "(A,B,C,D);", "(A,B,C,E);"))
+	b := FromTrees(mustParseAll(t, "(A,B,C,F);"))
+	ts, err := ScanCommonTaxa(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 3 || !ts.Contains("A") || !ts.Contains("B") || !ts.Contains("C") {
+		t.Errorf("common taxa = %v", ts.Names())
+	}
+}
+
+func TestRestrictedSource(t *testing.T) {
+	src := FromTrees(mustParseAll(t, "((A,B),((C,D),(E,X)));"))
+	keep := taxa.MustNewSet([]string{"A", "B", "C", "D", "E"})
+	rs := Restricted(src, keep)
+	tr, err := rs.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 5 {
+		t.Errorf("restricted leaves = %d, want 5", tr.NumLeaves())
+	}
+	for _, n := range tr.LeafNames() {
+		if n == "X" {
+			t.Error("X should be pruned")
+		}
+	}
+	if _, err := rs.Next(); err != io.EOF {
+		t.Error("expected EOF")
+	}
+	if err := rs.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Next(); err != nil {
+		t.Errorf("after reset: %v", err)
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	src := FromTrees(mustParseAll(t, "(A,B,C);"))
+	m := &Map{Src: src, F: func(*tree.Tree) (*tree.Tree, error) {
+		return nil, io.ErrUnexpectedEOF
+	}}
+	if _, err := m.Next(); err != io.ErrUnexpectedEOF {
+		t.Errorf("Map should propagate F errors, got %v", err)
+	}
+}
+
+func TestFileSourceLarge(t *testing.T) {
+	// Streaming over a file with many trees, with interleaved Reset.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "many.nwk")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := f.WriteString("((A,B),(C,D));\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for pass := 0; pass < 3; pass++ {
+		if got := drain(t, s); got != 500 {
+			t.Fatalf("pass %d drained %d", pass, got)
+		}
+		if err := s.Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

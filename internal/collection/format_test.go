@@ -1,0 +1,123 @@
+package collection
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeGzip(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	if _, err := gz.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const nexusContent = `#NEXUS
+BEGIN TREES;
+  TRANSLATE 1 A, 2 B, 3 C, 4 D;
+  TREE one = ((1,2),(3,4));
+  TREE two = ((1,3),(2,4));
+END;
+`
+
+func TestOpenFileNexusAutoDetect(t *testing.T) {
+	path := writeFile(t, "trees.nex", nexusContent)
+	src, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	n, err := Len(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("NEXUS trees = %d, want 2", n)
+	}
+	tr, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := tr.LeafNames()
+	found := false
+	for _, nm := range names {
+		if nm == "A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("translate not applied: %v", names)
+	}
+}
+
+func TestOpenFileGzipNewick(t *testing.T) {
+	path := writeGzip(t, "trees.nwk.gz", "((A,B),(C,D));\n((A,C),(B,D));\n((A,D),(B,C));\n")
+	src, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for pass := 0; pass < 2; pass++ {
+		if got := drain(t, src); got != 3 {
+			t.Fatalf("pass %d: trees = %d, want 3", pass, got)
+		}
+		if err := src.Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenFileGzipNexus(t *testing.T) {
+	path := writeGzip(t, "trees.nex.gz", nexusContent)
+	src, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if got := drain(t, src); got != 2 {
+		t.Errorf("gzip NEXUS trees = %d, want 2", got)
+	}
+}
+
+func TestOpenFileNexusLeadingWhitespace(t *testing.T) {
+	path := writeFile(t, "pad.nex", "\n\n  "+nexusContent)
+	src, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if got := drain(t, src); got != 2 {
+		t.Errorf("padded NEXUS trees = %d, want 2", got)
+	}
+}
+
+func TestOpenFileCorruptGzip(t *testing.T) {
+	path := writeFile(t, "bad.gz", "\x1f\x8bnot really gzip")
+	if _, err := OpenFile(path); err == nil {
+		t.Error("corrupt gzip should fail at open")
+	}
+}

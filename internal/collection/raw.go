@@ -1,0 +1,130 @@
+package collection
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrRawUnsupported is returned by NextRaw when the underlying format
+// cannot be split into raw per-tree statements (e.g. NEXUS with a
+// TRANSLATE table, whose trees are not self-contained).
+var ErrRawUnsupported = errors.New("collection: raw statements unsupported for this format")
+
+// RawSource is implemented by sources that can hand out *unparsed* tree
+// statements, letting engines parse in parallel workers — the "parallelize
+// the reading of trees" dimension of the paper's DSMP/BFHRF design.
+// NextRaw returns one complete Newick statement (terminated by ';') per
+// call and io.EOF at the end.
+type RawSource interface {
+	Source
+	NextRaw() (string, error)
+}
+
+// NextRaw implements RawSource for plain-Newick files (including gzipped
+// ones). NEXUS inputs return ErrRawUnsupported; callers fall back to the
+// parsed path.
+func (s *File) NextRaw() (string, error) {
+	if s.r == nil {
+		if err := s.Reset(); err != nil {
+			return "", err
+		}
+	}
+	if s.raw == nil {
+		return "", ErrRawUnsupported
+	}
+	stmt, err := s.raw.next()
+	if err == io.EOF {
+		if s.count < 0 {
+			s.count = s.seen
+		}
+		return "", io.EOF
+	}
+	if err != nil {
+		return "", fmt.Errorf("collection: %s: %w", s.Path, err)
+	}
+	s.seen++
+	return stmt, nil
+}
+
+// NextRaw implements RawSource for Head when the wrapped source supports
+// it, preserving the N-tree cap. As with File, use either Next or NextRaw
+// within one pass, not both.
+func (h *Head) NextRaw() (string, error) {
+	if h.seen >= h.N {
+		return "", io.EOF
+	}
+	rs, ok := h.Src.(RawSource)
+	if !ok {
+		return "", ErrRawUnsupported
+	}
+	stmt, err := rs.NextRaw()
+	if err != nil {
+		return "", err
+	}
+	h.seen++
+	return stmt, nil
+}
+
+// rawScanner splits a Newick stream into per-tree statements at top-level
+// semicolons, respecting quoted labels and (nested) bracket comments. It
+// performs no parsing beyond that, so splitting is far cheaper than tree
+// construction and the expensive work lands in parallel workers.
+type rawScanner struct {
+	br *bufio.Reader
+	sb strings.Builder
+}
+
+func newRawScanner(br *bufio.Reader) *rawScanner { return &rawScanner{br: br} }
+
+func (rs *rawScanner) next() (string, error) {
+	rs.sb.Reset()
+	inQuote := false
+	depth := 0
+	nonSpace := false
+	for {
+		b, err := rs.br.ReadByte()
+		if err == io.EOF {
+			if nonSpace {
+				return "", fmt.Errorf("unterminated tree statement %q", clip(rs.sb.String()))
+			}
+			return "", io.EOF
+		}
+		if err != nil {
+			return "", err
+		}
+		rs.sb.WriteByte(b)
+		switch {
+		case inQuote:
+			if b == '\'' {
+				inQuote = false // doubled quotes toggle twice, harmlessly
+			}
+		case depth > 0:
+			switch b {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			}
+		case b == '\'':
+			inQuote = true
+			nonSpace = true
+		case b == '[':
+			depth++
+		case b == ';':
+			return rs.sb.String(), nil
+		case b != ' ' && b != '\t' && b != '\n' && b != '\r':
+			nonSpace = true
+		}
+	}
+}
+
+func clip(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 40 {
+		return s[:40] + "…"
+	}
+	return s
+}

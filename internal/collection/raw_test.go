@@ -1,0 +1,200 @@
+package collection
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/newick"
+)
+
+func openTempNewick(t *testing.T, content string) *File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.nwk")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+	return src
+}
+
+func TestNextRawSplitsStatements(t *testing.T) {
+	src := openTempNewick(t, "((A,B),(C,D));\n((A,C),(B,D));\n(A,D,(B,C));\n")
+	var stmts []string
+	for {
+		s, err := src.NextRaw()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		stmts = append(stmts, s)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d, want 3", len(stmts))
+	}
+	// Each statement must itself parse.
+	for i, s := range stmts {
+		tr, err := newick.Parse(s)
+		if err != nil {
+			t.Fatalf("statement %d does not parse: %v\n%q", i, err, s)
+		}
+		if tr.NumLeaves() != 4 {
+			t.Errorf("statement %d leaves = %d", i, tr.NumLeaves())
+		}
+	}
+	// Count becomes known after the raw pass too.
+	if src.Count() != 3 {
+		t.Errorf("Count = %d", src.Count())
+	}
+}
+
+func TestNextRawRespectsQuotesAndComments(t *testing.T) {
+	content := "(('a;b',C),(D,E))[note; with ; semis];\n((X,'it''s'),(Y,Z));\n"
+	src := openTempNewick(t, content)
+	var stmts []string
+	for {
+		s, err := src.NextRaw()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		stmts = append(stmts, s)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("statements = %d, want 2: %q", len(stmts), stmts)
+	}
+	if !strings.Contains(stmts[0], "a;b") {
+		t.Error("quoted semicolon split the first statement")
+	}
+	tr, err := newick.Parse(stmts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range tr.LeafNames() {
+		if n == "it's" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("escaped quote mangled: %v", tr.LeafNames())
+	}
+}
+
+func TestNextRawUnterminated(t *testing.T) {
+	src := openTempNewick(t, "((A,B),(C,D));\n((A,C),(B,D))")
+	if _, err := src.NextRaw(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.NextRaw(); err == nil || err == io.EOF {
+		t.Errorf("unterminated statement should error, got %v", err)
+	}
+}
+
+func TestNextRawResetInterleave(t *testing.T) {
+	src := openTempNewick(t, "(A,B,(C,D));\n(A,C,(B,D));\n")
+	if _, err := src.NextRaw(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// After Reset the parsed path works from the start.
+	n := 0
+	for {
+		_, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("parsed %d after raw+reset, want 2", n)
+	}
+}
+
+func TestNextRawNexusUnsupported(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.nex")
+	if err := os.WriteFile(path, []byte(nexusContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := src.NextRaw(); err != ErrRawUnsupported {
+		t.Errorf("NEXUS NextRaw = %v, want ErrRawUnsupported", err)
+	}
+	// The parsed path still works.
+	if got := drain(t, src); got != 2 {
+		t.Errorf("parsed NEXUS trees = %d", got)
+	}
+}
+
+func TestHeadCountSemantics(t *testing.T) {
+	src := openTempNewick(t, "(A,B,(C,D));\n(A,C,(B,D));\n(A,D,(B,C));\n")
+	h := &Head{Src: src, N: 2}
+	// Unknown before a pass.
+	if c := h.Count(); c != -1 {
+		t.Errorf("Head.Count before pass = %d, want -1", c)
+	}
+	if got := drain(t, h); got != 2 {
+		t.Fatalf("Head drained %d", got)
+	}
+	if err := h.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// Underlying file hasn't completed a FULL pass (Head stopped early), so
+	// its count may stay unknown; Head must report -1 or 2, never more.
+	if c := h.Count(); c > 2 {
+		t.Errorf("Head.Count = %d, want <= 2", c)
+	}
+	// A Head over a counted source caps at N.
+	sl := FromTrees(mustParseAll(t, "(A,B,C);", "(A,B,C);", "(A,B,C);"))
+	h2 := &Head{Src: sl, N: 2}
+	if c := h2.Count(); c != 2 {
+		t.Errorf("Head over slice Count = %d, want 2", c)
+	}
+	h3 := &Head{Src: sl, N: 10}
+	if c := h3.Count(); c != 3 {
+		t.Errorf("oversized Head Count = %d, want 3", c)
+	}
+}
+
+func TestHeadNextRaw(t *testing.T) {
+	src := openTempNewick(t, "(A,B,(C,D));\n(A,C,(B,D));\n(A,D,(B,C));\n")
+	h := &Head{Src: src, N: 2}
+	n := 0
+	for {
+		_, err := h.NextRaw()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("Head.NextRaw yielded %d, want 2", n)
+	}
+	// Over a non-raw source it must decline.
+	h2 := &Head{Src: FromTrees(mustParseAll(t, "(A,B,C);")), N: 1}
+	if _, err := h2.NextRaw(); err != ErrRawUnsupported {
+		t.Errorf("Head over Slice NextRaw = %v, want ErrRawUnsupported", err)
+	}
+}

@@ -1,0 +1,125 @@
+package collection
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// ScanTaxa streams every source once and returns the union of all leaf
+// names as a lexicographically ordered catalogue. Sources are reset before
+// and after scanning.
+func ScanTaxa(sources ...Source) (*taxa.Set, error) {
+	seen := make(map[string]bool)
+	var names []string
+	for _, src := range sources {
+		if err := src.Reset(); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range t.LeafNames() {
+				if name == "" {
+					return nil, fmt.Errorf("collection: tree with unnamed leaf")
+				}
+				if !seen[name] {
+					seen[name] = true
+					names = append(names, name)
+				}
+			}
+		}
+		if err := src.Reset(); err != nil {
+			return nil, err
+		}
+	}
+	return taxa.NewSet(names)
+}
+
+// ScanCommonTaxa streams every source once and returns the intersection of
+// the leaf-name sets of all trees across all sources — the catalogue used
+// by intersection-reduction variable-taxa RF.
+func ScanCommonTaxa(sources ...Source) (*taxa.Set, error) {
+	var common map[string]bool
+	for _, src := range sources {
+		if err := src.Reset(); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			names := t.LeafNames()
+			if common == nil {
+				common = make(map[string]bool, len(names))
+				for _, n := range names {
+					common[n] = true
+				}
+				continue
+			}
+			here := make(map[string]bool, len(names))
+			for _, n := range names {
+				here[n] = true
+			}
+			for n := range common {
+				if !here[n] {
+					delete(common, n)
+				}
+			}
+		}
+		if err := src.Reset(); err != nil {
+			return nil, err
+		}
+	}
+	names := make([]string, 0, len(common))
+	for n := range common {
+		names = append(names, n)
+	}
+	return taxa.NewSet(names)
+}
+
+// Map wraps src, applying f to every tree as it streams. Reset passes
+// through to the underlying source.
+type Map struct {
+	Src Source
+	F   func(*tree.Tree) (*tree.Tree, error)
+}
+
+// Next implements Source.
+func (m *Map) Next() (*tree.Tree, error) {
+	t, err := m.Src.Next()
+	if err != nil {
+		return nil, err
+	}
+	return m.F(t)
+}
+
+// Reset implements Source.
+func (m *Map) Reset() error { return m.Src.Reset() }
+
+// Count implements Counter when the underlying source does.
+func (m *Map) Count() int {
+	if c, ok := m.Src.(Counter); ok {
+		return c.Count()
+	}
+	return -1
+}
+
+// Restricted wraps src so every tree is restricted to the given catalogue
+// (intersection reduction for variable-taxa RF).
+func Restricted(src Source, ts *taxa.Set) Source {
+	return &Map{Src: src, F: func(t *tree.Tree) (*tree.Tree, error) {
+		return tree.Restrict(t, ts.Contains)
+	}}
+}

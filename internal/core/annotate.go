@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/bipart"
+	"repro/internal/bitset"
+	"repro/internal/tree"
+)
+
+// AnnotateSupport labels every internal node of t (in place) with the
+// support of its induced bipartition over the reference collection — the
+// standard way posterior/bootstrap proportions are put on a summary tree,
+// computed here with frequency lookups against the BFH instead of a sweep
+// over the collection.
+//
+// Labels are percentages formatted per format ("%.0f" style precision is
+// chosen by digits; 0 → integer percent). Pendant edges and the root keep
+// their names. The tree must cover the hash's full catalogue.
+func (h *FreqHash) AnnotateSupport(t *tree.Tree, digits int) error {
+	n := h.taxa.Len()
+	if digits < 0 {
+		digits = 0
+	}
+	// Postorder mask accumulation, mirroring the extractor but keeping the
+	// node handle so the label can be written back.
+	masks := make(map[*tree.Node]*bitset.Bits)
+	var fail error
+	anchor := -1
+	t.Postorder(func(nd *tree.Node) {
+		if fail != nil || !nd.IsLeaf() {
+			return
+		}
+		idx, ok := h.taxa.Index(nd.Name)
+		if !ok {
+			fail = fmt.Errorf("core: leaf %q not in the hash's catalogue", nd.Name)
+			return
+		}
+		if anchor == -1 || idx < anchor {
+			anchor = idx
+		}
+	})
+	if fail != nil {
+		return fail
+	}
+	skip := map[*tree.Node]bool{}
+	if t.Root != nil && len(t.Root.Children) == 2 {
+		// Degree-2 root: both child edges are the same unrooted edge; label
+		// only the first (the second would duplicate it).
+		skip[t.Root.Children[1]] = true
+	}
+	t.Postorder(func(nd *tree.Node) {
+		if fail != nil {
+			return
+		}
+		m := bitset.New(n)
+		if nd.IsLeaf() {
+			idx, _ := h.taxa.Index(nd.Name)
+			m.Set(idx)
+		} else {
+			for _, c := range nd.Children {
+				m.Or(masks[c])
+				delete(masks, c)
+			}
+		}
+		masks[nd] = m
+		if nd.IsLeaf() || nd.Parent == nil || skip[nd] {
+			return
+		}
+		b := bipart.FromMask(m.Clone(), anchor)
+		if b.IsTrivial(n) {
+			return
+		}
+		support := h.SupportOf(b) * 100
+		nd.Name = strconv.FormatFloat(support, 'f', digits, 64)
+	})
+	return fail
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/newick"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+func TestAnnotateSupport(t *testing.T) {
+	ts := taxa.MustNewSet([]string{"A", "B", "C", "D", "E", "F"})
+	refs := []*tree.Tree{
+		newick.MustParse("((A,B),((C,D),(E,F)));"),
+		newick.MustParse("((A,B),((C,D),(E,F)));"),
+		newick.MustParse("((A,B),((C,E),(D,F)));"),
+		newick.MustParse("((A,C),((B,D),(E,F)));"),
+	}
+	h := buildHash(t, refs, ts)
+	target := newick.MustParse("((A,B),((C,D),(E,F)));")
+	if err := h.AnnotateSupport(target, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Collect internal labels as numbers.
+	labels := map[string]bool{}
+	target.Postorder(func(n *tree.Node) {
+		if !n.IsLeaf() && n.Name != "" {
+			labels[n.Name] = true
+			if _, err := strconv.ParseFloat(n.Name, 64); err != nil {
+				t.Errorf("label %q is not numeric", n.Name)
+			}
+		}
+	})
+	// AB|rest appears in 3/4 trees → 75; CD|rest in 2/4 → 50;
+	// EF|rest in 3/4 → 75.
+	for _, want := range []string{"75", "50"} {
+		if !labels[want] {
+			t.Errorf("expected a %s%% support label, got %v", want, labels)
+		}
+	}
+}
+
+func TestAnnotateSupportSelf(t *testing.T) {
+	// Annotating a tree against a hash of identical trees gives 100 on
+	// every internal edge.
+	trees, ts := randomCollection(44, 10, 1)
+	refs := []*tree.Tree{trees[0], trees[0].Clone(), trees[0].Clone()}
+	h := buildHash(t, refs, ts)
+	target := trees[0].Clone()
+	if err := h.AnnotateSupport(target, 0); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	target.Postorder(func(n *tree.Node) {
+		if !n.IsLeaf() && n.Parent != nil && n.Name != "" {
+			count++
+			if n.Name != "100" {
+				t.Errorf("self-support label = %q, want 100", n.Name)
+			}
+		}
+	})
+	if count == 0 {
+		t.Error("no internal edges annotated")
+	}
+}
+
+func TestAnnotateSupportUnknownLeaf(t *testing.T) {
+	trees, ts := randomCollection(2, 8, 3)
+	h := buildHash(t, trees, ts)
+	bad := newick.MustParse("((A,B),(C,D));")
+	if err := h.AnnotateSupport(bad, 0); err == nil {
+		t.Error("foreign leaves should fail")
+	}
+}
+
+func TestAnnotateRoundTripsThroughNewick(t *testing.T) {
+	trees, ts := randomCollection(66, 12, 20)
+	h := buildHash(t, trees, ts)
+	target := trees[0].Clone()
+	if err := h.AnnotateSupport(target, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := newick.String(target, newick.DefaultWriteOptions())
+	back, err := newick.Parse(out)
+	if err != nil {
+		t.Fatalf("annotated tree does not reparse: %v\n%s", err, out)
+	}
+	if back.NumLeaves() != 12 {
+		t.Error("leaves lost through annotation round trip")
+	}
+}

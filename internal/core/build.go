@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/bipart"
+	"repro/internal/collection"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// BuildOptions configure the BFH construction phase (the first loop of
+// Algorithm 2).
+type BuildOptions struct {
+	// Workers is the number of goroutines extracting bipartitions.
+	// 0 selects GOMAXPROCS.
+	Workers int
+	// Filter optionally drops bipartitions before they enter the hash —
+	// the paper's pre-processing hook ("can still be pre-processed
+	// according to generalized or variant RF algorithms").
+	Filter bipart.Filter
+	// RequireComplete rejects reference trees that do not cover the whole
+	// catalogue. On by default via Build; variable-taxa pipelines restrict
+	// trees first and keep this on for the reduced catalogue.
+	RequireComplete bool
+	// CompressKeys stores losslessly compressed bipartition keys (§IX),
+	// trading a little CPU per lookup for a smaller hash.
+	CompressKeys bool
+}
+
+func (o BuildOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// Build streams the reference collection once and constructs the
+// bipartition frequency hash. Trees are fanned out to Workers goroutines
+// that extract bipartitions into worker-local maps, merged at the end —
+// the "embarrassingly parallel at the tree level" structure of the paper
+// with no lock contention on the hot path.
+func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, error) {
+	if ts == nil {
+		return nil, fmt.Errorf("core: taxon catalogue is required")
+	}
+	h := &FreqHash{
+		taxa:       ts,
+		m:          make(map[string]entry),
+		weighted:   true,
+		compressed: opts.CompressKeys,
+	}
+	// Parallel-parse fast path: when the source hands out raw statements,
+	// workers parse as well as extract.
+	if rs, ok := rawCapable(r); ok {
+		if err := buildRaw(rs, ts, opts, h); err != nil {
+			return nil, err
+		}
+		if h.numTrees == 0 {
+			return nil, fmt.Errorf("core: reference collection is empty")
+		}
+		return h, nil
+	}
+	if err := r.Reset(); err != nil {
+		return nil, err
+	}
+
+	workers := opts.workers()
+	jobs := make(chan *tree.Tree, workers*2)
+	locals := make([]map[string]entry, workers)
+	weightedFlags := make([]bool, workers)
+	errs := make([]error, workers)
+	treeCounts := make([]int, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ex := &bipart.Extractor{
+				Taxa:            ts,
+				RequireComplete: opts.RequireComplete,
+				Filter:          opts.Filter,
+			}
+			local := make(map[string]entry)
+			weighted := true
+			for t := range jobs {
+				bs, err := ex.Extract(t)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = err
+					}
+					continue
+				}
+				treeCounts[w]++
+				for _, b := range bs {
+					k := h.keyOf(b)
+					e := local[k]
+					e.Freq++
+					e.Size = uint32(b.Size())
+					if b.HasLength {
+						e.LengthSum += b.Length
+					} else {
+						weighted = false
+					}
+					local[k] = e
+				}
+			}
+			locals[w] = local
+			weightedFlags[w] = weighted
+		}(w)
+	}
+
+	var feedErr error
+	for {
+		t, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			feedErr = err
+			break
+		}
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+
+	if feedErr != nil {
+		return nil, fmt.Errorf("core: reading reference collection: %w", feedErr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: reference tree: %w", err)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		h.merge(locals[w])
+		h.numTrees += treeCounts[w]
+		if !weightedFlags[w] {
+			h.weighted = false
+		}
+	}
+	if h.numTrees == 0 {
+		return nil, fmt.Errorf("core: reference collection is empty")
+	}
+	return h, nil
+}
+
+// BuildDefault builds the hash with complete-coverage checking and
+// GOMAXPROCS workers, the common case.
+func BuildDefault(r collection.Source, ts *taxa.Set) (*FreqHash, error) {
+	return Build(r, ts, BuildOptions{RequireComplete: true})
+}

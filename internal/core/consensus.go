@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bipart"
+	"repro/internal/tree"
+)
+
+// Consensus builds the threshold consensus tree directly from the
+// frequency hash — one of the "other applications of directly using a BFH"
+// the paper proposes (§IX). A bipartition is included when its support
+// (frequency / r) strictly exceeds threshold; threshold 0.5 yields the
+// classic majority-rule consensus.
+//
+// threshold must be at least 0.5: strict majority guarantees the selected
+// splits are pairwise compatible and therefore realizable as one tree.
+// Consensus edges carry the mean branch length of the bipartition across
+// the reference trees when lengths were tracked.
+func (h *FreqHash) Consensus(threshold float64) (*tree.Tree, error) {
+	if threshold < 0.5 || threshold >= 1.0000001 {
+		return nil, fmt.Errorf("core: consensus threshold %v out of [0.5, 1]", threshold)
+	}
+	if h.taxa.Len() < 2 {
+		return nil, fmt.Errorf("core: consensus needs at least 2 taxa")
+	}
+	minFreq := int(threshold*float64(h.numTrees)) + 1
+	entries, err := h.Entries(minFreq)
+	if err != nil {
+		return nil, err
+	}
+	var splits []bipart.Bipartition
+	for _, e := range entries {
+		// Entries is >= minFreq; enforce strict support > threshold.
+		if e.Support <= threshold {
+			continue
+		}
+		b := e.Bipartition
+		if e.MeanLength > 0 {
+			b.Length, b.HasLength = e.MeanLength, true
+		}
+		splits = append(splits, b)
+	}
+	t, err := h.treeFromSplits(splits)
+	if err != nil {
+		return nil, fmt.Errorf("core: consensus construction: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/day"
+	"repro/internal/newick"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+func TestConsensusUnanimous(t *testing.T) {
+	// All references identical → consensus is that topology.
+	ref := "((A,B),((C,D),(E,F)));"
+	trees := []*tree.Tree{newick.MustParse(ref), newick.MustParse(ref), newick.MustParse(ref)}
+	ts := taxa.MustNewSet([]string{"A", "B", "C", "D", "E", "F"})
+	h := buildHash(t, trees, ts)
+	cons, err := h.Consensus(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := day.MustRF(cons, trees[0]); d != 0 {
+		t.Errorf("consensus differs from unanimous input: RF = %d", d)
+	}
+}
+
+func TestConsensusMajority(t *testing.T) {
+	// 2 of 3 trees share AB|CDEF and CD|ABEF; the third disagrees.
+	a := "((A,B),((C,D),(E,F)));"
+	b := "(((A,B),(C,D)),(E,F));" // same unrooted topology as a
+	c := "((A,C),((B,D),(E,F)));" // different
+	trees := []*tree.Tree{newick.MustParse(a), newick.MustParse(b), newick.MustParse(c)}
+	ts := taxa.MustNewSet([]string{"A", "B", "C", "D", "E", "F"})
+	h := buildHash(t, trees, ts)
+	cons, err := h.Consensus(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The consensus must match the majority topology exactly (a and b are
+	// the same unrooted tree, so all three of its splits have support 2/3).
+	if d := day.MustRF(cons, trees[0]); d != 0 {
+		t.Errorf("majority consensus RF to majority topology = %d, want 0", d)
+	}
+	if d := day.MustRF(cons, trees[2]); d == 0 {
+		t.Error("consensus should differ from the minority topology")
+	}
+}
+
+func TestConsensusStarOnTotalDisagreement(t *testing.T) {
+	// Three different quartet resolutions: no split reaches majority.
+	trees := []*tree.Tree{
+		newick.MustParse("((A,B),(C,D));"),
+		newick.MustParse("((A,C),(B,D));"),
+		newick.MustParse("((A,D),(B,C));"),
+	}
+	h := buildHash(t, trees, abcd)
+	cons, err := h.Consensus(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Star tree: root with 4 leaf children, no internal edges.
+	if cons.NumInternalEdges() != 0 {
+		t.Errorf("consensus of total disagreement should be a star, has %d internal edges",
+			cons.NumInternalEdges())
+	}
+	if cons.NumLeaves() != 4 {
+		t.Errorf("consensus lost taxa: %d", cons.NumLeaves())
+	}
+}
+
+func TestConsensusThresholds(t *testing.T) {
+	// 3 copies of topology X, 1 of topology Y: X's splits have support
+	// 0.75. At threshold 0.5 they appear; at 0.8 they do not.
+	x := "((A,B),((C,D),(E,F)));"
+	y := "((A,F),((C,E),(B,D)));"
+	trees := []*tree.Tree{
+		newick.MustParse(x), newick.MustParse(x), newick.MustParse(x), newick.MustParse(y),
+	}
+	ts := taxa.MustNewSet([]string{"A", "B", "C", "D", "E", "F"})
+	h := buildHash(t, trees, ts)
+	lo, err := h.Consensus(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.NumInternalEdges() != 3 {
+		t.Errorf("0.5 consensus internal edges = %d, want 3", lo.NumInternalEdges())
+	}
+	hi, err := h.Consensus(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.NumInternalEdges() != 0 {
+		t.Errorf("0.8 consensus internal edges = %d, want 0", hi.NumInternalEdges())
+	}
+}
+
+func TestConsensusInvalidThreshold(t *testing.T) {
+	trees, ts := randomCollection(9, 8, 4)
+	h := buildHash(t, trees, ts)
+	for _, bad := range []float64{0.49, 0.0, -1, 1.5} {
+		if _, err := h.Consensus(bad); err == nil {
+			t.Errorf("threshold %v should be rejected", bad)
+		}
+	}
+}
+
+func TestConsensusValidOnMSC(t *testing.T) {
+	// Consensus over a concordant MSC collection recovers most of the
+	// species tree and is always a valid tree containing all taxa.
+	ts := taxa.Generate(20)
+	msc := simphy.NewMSCCollection(ts, 404, 1.0)
+	simphy.ScaleMeanInternal(msc.Species, 2.0) // concordant regime
+	trees := make([]*tree.Tree, 60)
+	for i := range trees {
+		trees[i] = msc.Make(i)
+	}
+	h, err := BuildDefault(collection.FromTrees(trees), ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := h.Consensus(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.Validate(); err != nil {
+		t.Fatalf("consensus invalid: %v", err)
+	}
+	if cons.NumLeaves() != 20 {
+		t.Errorf("consensus leaves = %d, want 20", cons.NumLeaves())
+	}
+	if cons.NumInternalEdges() < 10 {
+		t.Errorf("concordant collection should give a mostly resolved consensus, got %d internal edges",
+			cons.NumInternalEdges())
+	}
+}
+
+func TestConsensusDeterministic(t *testing.T) {
+	trees, ts := randomCollection(15, 10, 9)
+	h := buildHash(t, trees, ts)
+	c1, err := h.Consensus(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := h.Consensus(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newick.String(c1, newick.WriteOptions{})
+	s2 := newick.String(c2, newick.WriteOptions{})
+	if s1 != s2 {
+		t.Errorf("consensus not deterministic:\n%s\n%s", s1, s2)
+	}
+}
+
+func TestConsensusRandomizedAgainstCountingOracle(t *testing.T) {
+	// For random collections, every consensus split's support must exceed
+	// 0.5 when checked by brute force against the collection.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(10)
+		r := 3 + rng.Intn(12)
+		trees, ts := randomCollection(rng.Int63(), n, r)
+		h := buildHash(t, trees, ts)
+		cons, err := h.Consensus(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every split in the consensus must be in a strict majority of the
+		// input trees: RF(cons, T) counts; use direct frequency check.
+		entries, err := h.Entries(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEdges := 0
+		for _, e := range entries {
+			if e.Support > 0.5 {
+				wantEdges++
+			}
+		}
+		if got := cons.NumInternalEdges(); got != wantEdges {
+			t.Errorf("trial %d: consensus has %d internal edges, want %d", trial, got, wantEdges)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package core implements BFHRF — Bipartition Frequency Hash
+// Robinson-Foulds — the paper's primary contribution (Algorithm 2).
+//
+// Instead of comparing every query tree against every reference tree
+// (q·r tree-vs-tree comparisons), BFHRF builds a single hash from canonical
+// bipartition encodings to their frequency over the reference collection R
+// (the BFH), then answers each query with one tree-vs-hash comparison:
+//
+//	RFleft  = Σfreq − Σ_{b'∈B(T')} freq[b']        (reference splits absent from T')
+//	RFright = Σ_{b'∈B(T')} (r − freq[b'])          (query splits absent from references)
+//	avgRF(T') = (RFleft + RFright) / r
+//
+// Time is O(max(n²r, n²q)); space is proportional to the number of unique
+// bipartitions rather than to r·q or r². The hash keys are exact canonical
+// bitmasks, so the structure is collision-free and non-transformative:
+// every extensibility hook of traditional RF (different Q and R, filters,
+// weighting, variable taxa after intersection reduction) applies unchanged,
+// and consensus structures can be read directly off the hash.
+package core

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bipart"
+	"repro/internal/collection"
+	"repro/internal/day"
+	"repro/internal/hashrf"
+	"repro/internal/newick"
+	"repro/internal/seqrf"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+var abcd = taxa.MustNewSet([]string{"A", "B", "C", "D"})
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func buildHash(t *testing.T, trees []*tree.Tree, ts *taxa.Set) *FreqHash {
+	t.Helper()
+	h, err := BuildDefault(collection.FromTrees(trees), ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func randomCollection(seed int64, n, r int) ([]*tree.Tree, *taxa.Set) {
+	ts := taxa.Generate(n)
+	rng := rand.New(rand.NewSource(seed))
+	trees := make([]*tree.Tree, r)
+	for i := range trees {
+		trees[i] = simphy.RandomBinary(ts, rng)
+	}
+	return trees, ts
+}
+
+func TestPaperExample(t *testing.T) {
+	refs := []*tree.Tree{newick.MustParse("((D,B),(C,A));")}
+	h := buildHash(t, refs, abcd)
+	if h.NumTrees() != 1 {
+		t.Fatalf("r = %d", h.NumTrees())
+	}
+	if h.UniqueBipartitions() != 1 || h.TotalBipartitions() != 1 {
+		t.Fatalf("hash sizes: unique=%d total=%d", h.UniqueBipartitions(), h.TotalBipartitions())
+	}
+	got, err := h.AverageRFOne(newick.MustParse("((A,B),(C,D));"), QueryOptions{RequireComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("avg RF = %v, want 2 (paper Eq. 1)", got)
+	}
+}
+
+func TestFrequencyCounts(t *testing.T) {
+	refs := []*tree.Tree{
+		newick.MustParse("((A,B),(C,D));"),
+		newick.MustParse("((A,B),(C,D));"),
+		newick.MustParse("((A,C),(B,D));"),
+	}
+	h := buildHash(t, refs, abcd)
+	ex := bipart.NewExtractor(abcd)
+	ab := ex.MustExtract(newick.MustParse("((A,B),(C,D));"))[0]
+	ac := ex.MustExtract(newick.MustParse("((A,C),(B,D));"))[0]
+	ad := ex.MustExtract(newick.MustParse("((A,D),(B,C));"))[0]
+	if h.Frequency(ab) != 2 {
+		t.Errorf("freq(AB|CD) = %d, want 2", h.Frequency(ab))
+	}
+	if h.Frequency(ac) != 1 {
+		t.Errorf("freq(AC|BD) = %d, want 1", h.Frequency(ac))
+	}
+	if h.Frequency(ad) != 0 {
+		t.Errorf("freq(AD|BC) = %d, want 0 (absent)", h.Frequency(ad))
+	}
+	if !approxEq(h.SupportOf(ab), 2.0/3.0) {
+		t.Errorf("support = %v", h.SupportOf(ab))
+	}
+}
+
+// TestAgreementAllEngines is the paper's §III.C accuracy claim: DS, DSMP,
+// HashRF and BFHRF report identical average RF values (Q = R).
+func TestAgreementAllEngines(t *testing.T) {
+	trees, ts := randomCollection(31, 12, 25)
+	src := collection.FromTrees(trees)
+
+	h, err := BuildDefault(src, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfhrf, err := h.AverageRF(src, QueryOptions{RequireComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := seqrf.AverageRF(src, src, seqrf.Options{Taxa: ts, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsmp, err := seqrf.AverageRF(src, src, seqrf.Options{Taxa: ts, Workers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrf, err := hashrf.AverageRF(src, hashrf.Options{Taxa: ts, AcceptUnweighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trees {
+		if !approxEq(bfhrf[i].AvgRF, ds[i]) {
+			t.Errorf("tree %d: BFHRF %v vs DS %v", i, bfhrf[i].AvgRF, ds[i])
+		}
+		if !approxEq(ds[i], dsmp[i]) {
+			t.Errorf("tree %d: DS %v vs DSMP %v", i, ds[i], dsmp[i])
+		}
+		if !approxEq(ds[i], hrf[i]) {
+			t.Errorf("tree %d: DS %v vs HashRF %v", i, ds[i], hrf[i])
+		}
+	}
+}
+
+// TestQuickAgreesWithDayMean verifies Algorithm 2's equivalence to the
+// definition: avgRF(T') = (1/r)·Σ RF(T, T').
+func TestQuickAgreesWithDayMean(t *testing.T) {
+	f := func(seed int64, sz, rsz uint8) bool {
+		n := int(sz)%20 + 5
+		r := int(rsz)%15 + 2
+		trees, ts := randomCollection(seed, n, r)
+		h, err := BuildDefault(collection.FromTrees(trees), ts)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		query := simphy.RandomBinary(ts, rng)
+		got, err := h.AverageRFOne(query, QueryOptions{RequireComplete: true})
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, ref := range trees {
+			sum += day.MustRF(query, ref)
+		}
+		return approxEq(got, float64(sum)/float64(r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	trees, ts := randomCollection(77, 15, 40)
+	src := collection.FromTrees(trees)
+	var baseline []Result
+	for _, w := range []int{1, 2, 8, 16} {
+		h, err := Build(src, ts, BuildOptions{Workers: w, RequireComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.AverageRF(src, QueryOptions{Workers: w, RequireComplete: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		for i := range res {
+			if !approxEq(res[i].AvgRF, baseline[i].AvgRF) {
+				t.Errorf("workers=%d tree %d: %v vs %v", w, i, res[i].AvgRF, baseline[i].AvgRF)
+			}
+		}
+	}
+}
+
+func TestDisparateQueryAndReference(t *testing.T) {
+	// Different Q and R — the capability HashRF lacks (§VII.D).
+	refs, ts := randomCollection(5, 10, 20)
+	rng := rand.New(rand.NewSource(6))
+	queries := make([]*tree.Tree, 7)
+	for i := range queries {
+		queries[i] = simphy.RandomBinary(ts, rng)
+	}
+	h := buildHash(t, refs, ts)
+	res, err := h.AverageRF(collection.FromTrees(queries), QueryOptions{RequireComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := seqrf.AverageRF(collection.FromTrees(queries), collection.FromTrees(refs), seqrf.Options{Taxa: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if !approxEq(res[i].AvgRF, ds[i]) {
+			t.Errorf("query %d: BFHRF %v vs DS %v", i, res[i].AvgRF, ds[i])
+		}
+	}
+}
+
+func TestNormalizedVariant(t *testing.T) {
+	trees, ts := randomCollection(13, 10, 10)
+	h := buildHash(t, trees, ts)
+	plain, err := h.AverageRF(collection.FromTrees(trees), QueryOptions{RequireComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := h.AverageRF(collection.FromTrees(trees), QueryOptions{Variant: Normalized, RequireComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRF := float64(2 * (ts.Len() - 3))
+	for i := range plain {
+		if !approxEq(norm[i].AvgRF, plain[i].AvgRF/maxRF) {
+			t.Errorf("normalized[%d] = %v, want %v", i, norm[i].AvgRF, plain[i].AvgRF/maxRF)
+		}
+		if norm[i].AvgRF < 0 || norm[i].AvgRF > 1 {
+			t.Errorf("normalized out of [0,1]: %v", norm[i].AvgRF)
+		}
+	}
+}
+
+func TestWeightedVariant(t *testing.T) {
+	// Weighted RF against a reference of one tree must equal the direct
+	// weighted symmetric difference (non-shared lengths only).
+	ref := newick.MustParse("((A:1,B:1):2,(C:1,D:1):2);")
+	qt := newick.MustParse("((A:1,C:1):4,(B:1,D:1):4);")
+	h := buildHash(t, []*tree.Tree{ref}, abcd)
+	if !h.Weighted() {
+		t.Fatal("hash should be weighted")
+	}
+	got, err := h.AverageRFOne(qt, QueryOptions{Variant: Weighted, RequireComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unshared: ref's AB|CD split (length 2) + query's AC|BD split (4) = 6.
+	if !approxEq(got, 6) {
+		t.Errorf("weighted avg = %v, want 6", got)
+	}
+	// Identical tree → 0.
+	same, err := h.AverageRFOne(ref.Clone(), QueryOptions{Variant: Weighted, RequireComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(same, 0) {
+		t.Errorf("weighted self distance = %v, want 0", same)
+	}
+}
+
+func TestWeightedVariantRequiresLengths(t *testing.T) {
+	refs := []*tree.Tree{newick.MustParse("((A,B),(C,D));")}
+	h := buildHash(t, refs, abcd)
+	if h.Weighted() {
+		t.Fatal("hash over unweighted trees must not claim weighted")
+	}
+	if _, err := h.AverageRFOne(newick.MustParse("((A,B),(C,D));"), QueryOptions{Variant: Weighted}); err == nil {
+		t.Error("weighted variant over unweighted hash should fail")
+	}
+}
+
+func TestFilteredVariant(t *testing.T) {
+	// With every bipartition filtered out, all distances are 0.
+	trees, ts := randomCollection(21, 10, 8)
+	h, err := Build(collection.FromTrees(trees), ts, BuildOptions{
+		RequireComplete: true,
+		Filter:          func(bipart.Bipartition) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.UniqueBipartitions() != 0 {
+		t.Fatalf("filtered hash should be empty, has %d", h.UniqueBipartitions())
+	}
+	res, err := h.AverageRF(collection.FromTrees(trees), QueryOptions{
+		RequireComplete: true,
+		Filter:          func(bipart.Bipartition) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.AvgRF != 0 {
+			t.Errorf("filtered distance = %v, want 0", r.AvgRF)
+		}
+	}
+}
+
+func TestSizeFilterMatchesSeqrf(t *testing.T) {
+	// The same size filter applied to BFHRF and to the sequential engine
+	// must give the same distances — extensibility parity (§VII.F).
+	trees, ts := randomCollection(41, 12, 15)
+	filter := bipart.SizeFilter(3, 0, ts.Len())
+	src := collection.FromTrees(trees)
+	h, err := Build(src, ts, BuildOptions{RequireComplete: true, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.AverageRF(src, QueryOptions{RequireComplete: true, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := seqrf.AverageRF(src, src, seqrf.Options{Taxa: ts, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if !approxEq(res[i].AvgRF, ds[i]) {
+			t.Errorf("tree %d: filtered BFHRF %v vs DS %v", i, res[i].AvgRF, ds[i])
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := BuildDefault(collection.FromTrees(nil), abcd); err == nil {
+		t.Error("empty reference collection should fail")
+	}
+	if _, err := BuildDefault(collection.FromTrees([]*tree.Tree{newick.MustParse("(A,B,C);")}), abcd); err == nil {
+		t.Error("incomplete tree should fail with RequireComplete")
+	}
+	if _, err := Build(collection.FromTrees(nil), nil, BuildOptions{}); err == nil {
+		t.Error("nil taxa should fail")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	trees, ts := randomCollection(3, 8, 5)
+	h := buildHash(t, trees, ts)
+	bad := newick.MustParse("(A,B,C);")
+	if _, err := h.AverageRFOne(bad, QueryOptions{RequireComplete: true}); err == nil {
+		t.Error("query with wrong taxa should fail")
+	}
+	if _, err := h.AverageRF(collection.FromTrees([]*tree.Tree{bad}), QueryOptions{RequireComplete: true}); err == nil {
+		t.Error("collection query with wrong taxa should fail")
+	}
+}
+
+func TestBest(t *testing.T) {
+	rs := []Result{{0, 3.5}, {1, 1.25}, {2, 2.0}}
+	b, err := Best(rs)
+	if err != nil || b.Index != 1 {
+		t.Errorf("Best = %+v, err %v", b, err)
+	}
+	if _, err := Best(nil); err == nil {
+		t.Error("Best of nothing should fail")
+	}
+}
+
+func TestEntries(t *testing.T) {
+	refs := []*tree.Tree{
+		newick.MustParse("((A,B),(C,D));"),
+		newick.MustParse("((A,B),(C,D));"),
+		newick.MustParse("((A,C),(B,D));"),
+	}
+	h := buildHash(t, refs, abcd)
+	all, err := h.Entries(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("entries = %d, want 2", len(all))
+	}
+	if all[0].Frequency != 2 || all[1].Frequency != 1 {
+		t.Errorf("entries not sorted by frequency: %+v", all)
+	}
+	maj, err := h.Entries(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maj) != 1 {
+		t.Errorf("minFreq=2 entries = %d, want 1", len(maj))
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bipart"
+	"repro/internal/bitset"
+	"repro/internal/taxa"
+)
+
+// entry is the per-bipartition record of the BFH. Freq is the number of
+// reference trees containing the bipartition; LengthSum accumulates the
+// inducing edges' branch lengths for the weighted-RF variant; Size is the
+// popcount of the canonical mask, kept so size-dependent variants
+// (information content) never need to decode keys.
+type entry struct {
+	Freq      uint32
+	Size      uint32
+	LengthSum float64
+}
+
+// FreqHash is the bipartition frequency hash BFH_R: a collision-free map
+// from canonical bipartition encodings to their frequency across the
+// reference collection. It is immutable after Build and safe for
+// concurrent readers.
+type FreqHash struct {
+	taxa *taxa.Set
+	m    map[string]entry
+	// sum is Σ_b freq[b] — the paper's sumBFHR.
+	sum uint64
+	// lenSum is Σ_b lengthSum[b], for the weighted variant's left term.
+	lenSum float64
+	// numTrees is r, the number of reference trees folded in.
+	numTrees int
+	// weighted records whether every indexed bipartition carried a length.
+	weighted bool
+	// compressed selects CompactKey (the §IX lossless key compression)
+	// instead of the raw bitmask bytes as the map key.
+	compressed bool
+
+	// mu guards the lazily built information-content state below and the
+	// incremental-update path; the read-only query hot paths never take it.
+	mu      sync.Mutex
+	icTable splitInfoTable
+	icSum   float64
+}
+
+// Compressed reports whether the hash stores compressed keys.
+func (h *FreqHash) Compressed() bool { return h.compressed }
+
+// keyOf returns b's map key under the hash's key scheme. Both schemes are
+// collision-free; the compressed one trades CPU for memory.
+func (h *FreqHash) keyOf(b bipart.Bipartition) string {
+	if h.compressed {
+		return b.CompactKey()
+	}
+	return b.Key()
+}
+
+// maskFromKey inverts keyOf for Entries.
+func (h *FreqHash) maskFromKey(k string) (*bitset.Bits, error) {
+	if h.compressed {
+		return bitset.FromCompactKey(k, h.taxa.Len())
+	}
+	return bitset.FromKey(k, h.taxa.Len())
+}
+
+// Taxa returns the catalogue the hash is encoded over.
+func (h *FreqHash) Taxa() *taxa.Set { return h.taxa }
+
+// NumTrees returns r, the number of reference trees.
+func (h *FreqHash) NumTrees() int { return h.numTrees }
+
+// UniqueBipartitions returns the number of distinct bipartitions stored —
+// the quantity that actually bounds BFHRF's memory (paper §VII.C).
+func (h *FreqHash) UniqueBipartitions() int { return len(h.m) }
+
+// TotalBipartitions returns sumBFHR, the total bipartition instances.
+func (h *FreqHash) TotalBipartitions() uint64 { return h.sum }
+
+// Weighted reports whether every reference bipartition carried a branch
+// length (required by the weighted-RF variant).
+func (h *FreqHash) Weighted() bool { return h.weighted }
+
+// Frequency returns the frequency of b over the reference collection
+// (0 if absent, per the paper's convention BFH_R[b] = 0).
+func (h *FreqHash) Frequency(b bipart.Bipartition) int {
+	return int(h.m[h.keyOf(b)].Freq)
+}
+
+// FrequencyByKey is Frequency for a precomputed canonical key.
+func (h *FreqHash) FrequencyByKey(key string) int { return int(h.m[key].Freq) }
+
+// SupportOf returns freq/r, the fraction of reference trees containing b.
+func (h *FreqHash) SupportOf(b bipart.Bipartition) float64 {
+	if h.numTrees == 0 {
+		return 0
+	}
+	return float64(h.Frequency(b)) / float64(h.numTrees)
+}
+
+// Entry describes one stored bipartition for inspection and consensus.
+type Entry struct {
+	Bipartition bipart.Bipartition
+	Frequency   int
+	// Support is Frequency / r.
+	Support float64
+	// MeanLength is LengthSum / Frequency when lengths were tracked.
+	MeanLength float64
+}
+
+// Entries returns every stored bipartition with frequency at least
+// minFreq, sorted by descending frequency (ties broken by key for
+// determinism). minFreq <= 1 returns everything.
+func (h *FreqHash) Entries(minFreq int) ([]Entry, error) {
+	if minFreq < 1 {
+		minFreq = 1
+	}
+	out := make([]Entry, 0, len(h.m))
+	for k, e := range h.m {
+		if int(e.Freq) < minFreq {
+			continue
+		}
+		mask, err := h.maskFromKey(k)
+		if err != nil {
+			return nil, fmt.Errorf("core: corrupt hash key: %w", err)
+		}
+		ent := Entry{
+			Bipartition: bipart.FromMask(mask, 0),
+			Frequency:   int(e.Freq),
+			Support:     float64(e.Freq) / float64(h.numTrees),
+		}
+		if e.Freq > 0 {
+			ent.MeanLength = e.LengthSum / float64(e.Freq)
+		}
+		out = append(out, ent)
+	}
+	// Tie-break on the canonical (uncompressed) encoding so the order — and
+	// anything derived from it, like the greedy consensus — is identical
+	// whether or not the hash stores compressed keys.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Frequency != out[j].Frequency {
+			return out[i].Frequency > out[j].Frequency
+		}
+		return out[i].Bipartition.Key() < out[j].Bipartition.Key()
+	})
+	return out, nil
+}
+
+// KeySizes returns the byte length of every stored key, for memory
+// accounting (the §IX compression ablation).
+func (h *FreqHash) KeySizes() []int {
+	out := make([]int, 0, len(h.m))
+	for k := range h.m {
+		out = append(out, len(k))
+	}
+	return out
+}
+
+// merge folds a worker-local frequency map into the hash (build phase only).
+func (h *FreqHash) merge(local map[string]entry) {
+	for k, le := range local {
+		e := h.m[k]
+		e.Freq += le.Freq
+		e.Size = le.Size
+		e.LengthSum += le.LengthSum
+		h.m[k] = e
+		h.sum += uint64(le.Freq)
+		h.lenSum += le.LengthSum
+	}
+}
+
+// invalidateDerived drops lazily computed state after a mutation.
+func (h *FreqHash) invalidateDerived() {
+	h.mu.Lock()
+	h.icTable = nil
+	h.icSum = 0
+	h.mu.Unlock()
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bipart"
+	"repro/internal/bitset"
+	"repro/internal/tree"
+)
+
+// GreedyConsensus extends the majority-rule consensus: bipartitions are
+// considered in decreasing support order and each is added if it is
+// compatible with everything accepted so far. The result refines the
+// majority-rule tree (majority splits are pairwise compatible and come
+// first) and is typically fully resolved for concordant collections.
+// minSupport (in (0, 1]) prunes the candidate list; a small value such as
+// 0.05 considers nearly everything.
+func (h *FreqHash) GreedyConsensus(minSupport float64) (*tree.Tree, error) {
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, fmt.Errorf("core: greedy consensus minSupport %v out of (0, 1]", minSupport)
+	}
+	minFreq := int(minSupport * float64(h.numTrees))
+	if minFreq < 1 {
+		minFreq = 1
+	}
+	entries, err := h.Entries(minFreq)
+	if err != nil {
+		return nil, err
+	}
+	// Entries is sorted by descending frequency with deterministic
+	// tie-breaks; accept greedily.
+	var accepted []bipart.Bipartition
+	for _, e := range entries {
+		ok := true
+		for _, a := range accepted {
+			if !bipart.Compatible(a, e.Bipartition) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			b := e.Bipartition
+			if e.MeanLength > 0 {
+				b.Length, b.HasLength = e.MeanLength, true
+			}
+			accepted = append(accepted, b)
+		}
+	}
+	t, err := h.treeFromSplits(accepted)
+	if err != nil {
+		return nil, fmt.Errorf("core: greedy consensus construction: %w", err)
+	}
+	return t, nil
+}
+
+// treeFromSplits builds a tree realizing a mutually compatible set of
+// canonical splits (their 1-sides form a laminar family, since every
+// canonical mask excludes the anchor taxon). Splits carrying lengths
+// annotate the corresponding edges.
+func (h *FreqHash) treeFromSplits(splits []bipart.Bipartition) (*tree.Tree, error) {
+	n := h.taxa.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("core: need at least 2 taxa")
+	}
+	sorted := make([]bipart.Bipartition, len(splits))
+	copy(sorted, splits)
+	sort.Slice(sorted, func(i, j int) bool {
+		si, sj := sorted[i].Size(), sorted[j].Size()
+		if si != sj {
+			return si > sj
+		}
+		return sorted[i].Key() < sorted[j].Key()
+	})
+
+	type cnode struct {
+		node *tree.Node
+		mask *bitset.Bits
+	}
+	root := &cnode{node: &tree.Node{}, mask: bitset.New(n)}
+	root.mask.ComplementInPlace()
+	children := map[*tree.Node][]*cnode{}
+	for i := 0; i < n; i++ {
+		m := bitset.New(n)
+		m.Set(i)
+		leaf := &cnode{node: &tree.Node{Name: h.taxa.Name(i)}, mask: m}
+		root.node.AddChild(leaf.node)
+		children[root.node] = append(children[root.node], leaf)
+	}
+
+	for _, sp := range sorted {
+		c := sp.Mask()
+		// Descend to the smallest existing cluster strictly containing c.
+		p := root
+		for {
+			var next *cnode
+			for _, ch := range children[p.node] {
+				if c.IsSubsetOf(ch.mask) && !c.Equal(ch.mask) {
+					next = ch
+					break
+				}
+			}
+			if next == nil {
+				break
+			}
+			p = next
+		}
+		var inside, outside []*cnode
+		for _, ch := range children[p.node] {
+			if ch.mask.IsSubsetOf(c) {
+				inside = append(inside, ch)
+			} else {
+				outside = append(outside, ch)
+			}
+		}
+		if len(inside) < 2 {
+			continue
+		}
+		u := &cnode{node: &tree.Node{}, mask: c.Clone()}
+		if sp.HasLength {
+			u.node.Length, u.node.HasLength = sp.Length, true
+		}
+		for _, ch := range inside {
+			u.node.AddChild(ch.node)
+		}
+		children[u.node] = inside
+		newKids := make([]*tree.Node, 0, len(outside)+1)
+		for _, ch := range outside {
+			newKids = append(newKids, ch.node)
+		}
+		newKids = append(newKids, u.node)
+		p.node.Children = newKids
+		u.node.Parent = p.node
+		children[p.node] = append(outside, u)
+	}
+	t := tree.New(root.node)
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bipart"
+	"repro/internal/collection"
+	"repro/internal/tree"
+)
+
+// This file implements the information-content generalized RF — the style
+// of "generalized Robinson-Foulds" the paper's future work targets (§IX,
+// citing Wilkinson's information content [17] and Smith's information
+// theoretic generalizations [19]).
+//
+// The phylogenetic information content of a split dividing n taxa into
+// sides of a and n−a is h = −log₂ P(split), where P(split) is the fraction
+// of unrooted binary n-trees containing it:
+//
+//	P = (2a−3)!! · (2(n−a)−3)!! / (2n−5)!!
+//
+// Rare (balanced) splits carry more information than shallow ones. The
+// information-weighted distance replaces the unit count of each unshared
+// bipartition with its information content:
+//
+//	icRF(T,T') = Σ_{b ∈ B(T) Δ B(T')} h(b)
+//
+// which decomposes over the frequency hash exactly like the weighted
+// variant: left term from the total information mass of the hash, right
+// term per query split.
+
+// splitInfoTable holds lg₂(2k−3)!! for k = 0..n, so h(a) is three lookups.
+type splitInfoTable []float64
+
+func newSplitInfoTable(n int) splitInfoTable {
+	t := make(splitInfoTable, n+1)
+	// lg (2k−3)!! = Σ_{j=2..k} lg(2j−3); (2·0−3)!! and (2·1−3)!! are 1.
+	acc := 0.0
+	for k := 2; k <= n; k++ {
+		acc += math.Log2(float64(2*k - 3))
+		t[k] = acc
+	}
+	return t
+}
+
+// info returns h for a split with one side of size a out of n taxa.
+// The total number of unrooted binary n-trees is (2n−5)!! = table[n−1].
+func (t splitInfoTable) info(n, a int) float64 {
+	if a < 2 || n-a < 2 {
+		return 0 // trivial splits carry no information
+	}
+	return t[n-1] - t[a] - t[n-a]
+}
+
+// infoState lazily caches the per-hash information table and total mass.
+func (h *FreqHash) infoState() (splitInfoTable, float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.icTable == nil {
+		h.icTable = newSplitInfoTable(h.taxa.Len())
+		sum := 0.0
+		for _, e := range h.m {
+			sum += float64(e.Freq) * h.icTable.info(h.taxa.Len(), int(e.Size))
+		}
+		h.icSum = sum
+	}
+	return h.icTable, h.icSum
+}
+
+// AverageInfoRF computes the average information-weighted RF of each query
+// tree against the reference collection (tree-vs-hash, like AverageRF).
+func (h *FreqHash) AverageInfoRF(q collection.Source, opts QueryOptions) ([]Result, error) {
+	if err := q.Reset(); err != nil {
+		return nil, err
+	}
+	var out []Result
+	idx := 0
+	for {
+		t, err := q.Next()
+		if err != nil {
+			break
+		}
+		v, err := h.InfoRFOne(t, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: query tree %d: %w", idx, err)
+		}
+		out = append(out, Result{Index: idx, AvgRF: v})
+		idx++
+	}
+	return out, nil
+}
+
+// InfoRFOne is the single-tree information-weighted comparison.
+func (h *FreqHash) InfoRFOne(t *tree.Tree, opts QueryOptions) (float64, error) {
+	ex := &bipart.Extractor{
+		Taxa:            h.taxa,
+		RequireComplete: opts.RequireComplete,
+		Filter:          opts.Filter,
+	}
+	bs, err := ex.Extract(t)
+	if err != nil {
+		return 0, err
+	}
+	table, icSum := h.infoState()
+	n := h.taxa.Len()
+	r := float64(h.numTrees)
+	left := icSum
+	right := 0.0
+	for _, b := range bs {
+		hb := table.info(n, b.Size())
+		e := h.m[h.keyOf(b)]
+		left -= float64(e.Freq) * hb
+		right += hb * (r - float64(e.Freq))
+	}
+	v := (left + right) / r
+	if v < 0 {
+		// Guard the floating-point dust that subtraction of equal masses
+		// can leave behind; true distances are never negative.
+		v = 0
+	}
+	return v, nil
+}
+
+// SplitInformation returns the information content in bits of a split with
+// one side of size a over n taxa. Exposed for tests and analyses.
+func SplitInformation(n, a int) float64 {
+	return newSplitInfoTable(n).info(n, a)
+}

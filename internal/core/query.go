@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/bipart"
+	"repro/internal/collection"
+	"repro/internal/tree"
+)
+
+// Variant selects the RF flavour computed against the hash. Because the
+// hash stores untransformed bipartitions with exact frequencies, each
+// variant is a different fold over the same structure — the extensibility
+// property the paper emphasizes (§VII.F).
+type Variant int
+
+const (
+	// Plain is the traditional symmetric-difference count (paper Eq. 1).
+	Plain Variant = iota
+	// Normalized divides Plain by the maximum RF between two binary trees
+	// on n taxa, 2(n−3), yielding values in [0, 1].
+	Normalized
+	// Weighted sums branch lengths of unshared bipartitions instead of
+	// counting them (the hash-decomposable weighted-RF generalization):
+	// wRF(T,T') = Σ_{b∈B(T)\B(T')} len_T(b) + Σ_{b∈B(T')\B(T)} len_T'(b).
+	Weighted
+)
+
+// String names the variant for diagnostics and CLI flags.
+func (v Variant) String() string {
+	switch v {
+	case Plain:
+		return "plain"
+	case Normalized:
+		return "normalized"
+	case Weighted:
+		return "weighted"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// QueryOptions configure the query phase (the second loop of Algorithm 2).
+type QueryOptions struct {
+	// Workers is the number of goroutines comparing trees against the
+	// hash. 0 selects GOMAXPROCS.
+	Workers int
+	// Filter optionally drops query bipartitions before comparison. For
+	// meaningful distances use the same filter as at build time.
+	Filter bipart.Filter
+	// Variant selects the RF flavour (Plain by default).
+	Variant Variant
+	// RequireComplete rejects query trees not covering the catalogue.
+	RequireComplete bool
+}
+
+func (o QueryOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// Result is the average distance of one query tree to the reference
+// collection.
+type Result struct {
+	// Index is the query tree's position in Q.
+	Index int
+	// AvgRF is (RFleft + RFright) / r in the selected variant's units.
+	AvgRF float64
+}
+
+// AverageRF streams the query collection and computes each tree's average
+// RF distance to the reference collection via tree-vs-hash comparison.
+// Results are in query order.
+func (h *FreqHash) AverageRF(q collection.Source, opts QueryOptions) ([]Result, error) {
+	if opts.Variant == Weighted && !h.weighted {
+		return nil, fmt.Errorf("core: weighted variant requires branch lengths on every reference bipartition")
+	}
+	// Parallel-parse fast path (see rawbuild.go).
+	if rs, ok := rawCapable(q); ok {
+		return h.averageRFRaw(rs, opts)
+	}
+	if err := q.Reset(); err != nil {
+		return nil, err
+	}
+	workers := opts.workers()
+
+	type job struct {
+		idx int
+		t   *tree.Tree
+	}
+	jobs := make(chan job, workers*2)
+	outs := make([][]Result, workers)
+	errs := make([]error, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ex := &bipart.Extractor{
+				Taxa:            h.taxa,
+				RequireComplete: opts.RequireComplete,
+				Filter:          opts.Filter,
+			}
+			for j := range jobs {
+				avg, err := h.queryOne(j.t, ex, opts.Variant)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = fmt.Errorf("core: query tree %d: %w", j.idx, err)
+					}
+					continue
+				}
+				outs[w] = append(outs[w], Result{Index: j.idx, AvgRF: avg})
+			}
+		}(w)
+	}
+
+	idx := 0
+	var feedErr error
+	for {
+		t, err := q.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			feedErr = err
+			break
+		}
+		jobs <- job{idx: idx, t: t}
+		idx++
+	}
+	close(jobs)
+	wg.Wait()
+
+	if feedErr != nil {
+		return nil, fmt.Errorf("core: reading query collection: %w", feedErr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	results := make([]Result, idx)
+	filled := make([]bool, idx)
+	for _, part := range outs {
+		for _, r := range part {
+			results[r.Index] = r
+			filled[r.Index] = true
+		}
+	}
+	for i, ok := range filled {
+		if !ok {
+			return nil, fmt.Errorf("core: query tree %d produced no result", i)
+		}
+	}
+	return results, nil
+}
+
+// AverageRFOne computes the average distance of a single tree against the
+// hash — one tree-vs-hash comparison.
+func (h *FreqHash) AverageRFOne(t *tree.Tree, opts QueryOptions) (float64, error) {
+	if opts.Variant == Weighted && !h.weighted {
+		return 0, fmt.Errorf("core: weighted variant requires branch lengths on every reference bipartition")
+	}
+	ex := &bipart.Extractor{
+		Taxa:            h.taxa,
+		RequireComplete: opts.RequireComplete,
+		Filter:          opts.Filter,
+	}
+	return h.queryOne(t, ex, opts.Variant)
+}
+
+// queryOne is Algorithm 2's inner body: one tree versus the hash.
+func (h *FreqHash) queryOne(t *tree.Tree, ex *bipart.Extractor, v Variant) (float64, error) {
+	bs, err := ex.Extract(t)
+	if err != nil {
+		return 0, err
+	}
+	r := float64(h.numTrees)
+	switch v {
+	case Plain, Normalized:
+		// RFleft starts at sumBFHR; each query bipartition subtracts its
+		// frequency. RFright accumulates r − freq per query bipartition.
+		rfLeft := int64(h.sum)
+		rfRight := int64(0)
+		for _, b := range bs {
+			f := int64(h.m[h.keyOf(b)].Freq)
+			rfLeft -= f
+			rfRight += int64(h.numTrees) - f
+		}
+		avg := float64(rfLeft+rfRight) / r
+		if v == Normalized {
+			n := h.taxa.Len()
+			maxRF := 2 * (n - 3)
+			if maxRF <= 0 {
+				return 0, nil
+			}
+			avg /= float64(maxRF)
+		}
+		return avg, nil
+	case Weighted:
+		// Left term: total reference length mass minus the mass of
+		// bipartitions matched by the query. Right term: each query
+		// bipartition's own length once per reference tree lacking it.
+		left := h.lenSum
+		right := 0.0
+		for _, b := range bs {
+			if !b.HasLength {
+				return 0, fmt.Errorf("query bipartition without branch length in weighted variant")
+			}
+			e := h.m[h.keyOf(b)]
+			left -= e.LengthSum
+			right += b.Length * (r - float64(e.Freq))
+		}
+		return (left + right) / r, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %v", v)
+	}
+}
+
+// Best returns the result with the lowest average RF — the
+// most-parsimonious candidate under the RF optimality criterion, the
+// selection problem that motivates the paper's introduction.
+func Best(results []Result) (Result, error) {
+	if len(results) == 0 {
+		return Result{}, fmt.Errorf("core: no results")
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.AvgRF < best.AvgRF {
+			best = r
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/bipart"
+	"repro/internal/collection"
+	"repro/internal/newick"
+	"repro/internal/taxa"
+)
+
+// This file implements the parallel-parse fast path: when the reference or
+// query source can hand out raw Newick statements (collection.RawSource),
+// workers parse *and* extract, so tree construction — the dominant cost of
+// file-backed runs — scales with the worker count. This is the full
+// "parallelized the reading of trees, generating bipartitions, and then
+// computing RF comparisons at the tree level" decomposition the paper
+// describes for DSMP and BFHRF (§V).
+
+// rawCapable reports whether src supports the raw path right now
+// (RawSource implemented and the format splittable).
+func rawCapable(src collection.Source) (collection.RawSource, bool) {
+	rs, ok := src.(collection.RawSource)
+	if !ok {
+		return nil, false
+	}
+	if err := rs.Reset(); err != nil {
+		return nil, false
+	}
+	stmt, err := rs.NextRaw()
+	if err == collection.ErrRawUnsupported {
+		return nil, false
+	}
+	if err != nil && err != io.EOF {
+		return nil, false
+	}
+	_ = stmt
+	if err := rs.Reset(); err != nil {
+		return nil, false
+	}
+	return rs, true
+}
+
+// buildRaw is Build's worker body over raw statements.
+func buildRaw(rs collection.RawSource, ts *taxa.Set, opts BuildOptions, h *FreqHash) error {
+	workers := opts.workers()
+	jobs := make(chan string, workers*4)
+	locals := make([]map[string]entry, workers)
+	weightedFlags := make([]bool, workers)
+	errs := make([]error, workers)
+	treeCounts := make([]int, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ex := &bipart.Extractor{
+				Taxa:            ts,
+				RequireComplete: opts.RequireComplete,
+				Filter:          opts.Filter,
+			}
+			local := make(map[string]entry)
+			weighted := true
+			for stmt := range jobs {
+				t, err := newick.Parse(stmt)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = err
+					}
+					continue
+				}
+				bs, err := ex.Extract(t)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = err
+					}
+					continue
+				}
+				treeCounts[w]++
+				for _, b := range bs {
+					k := h.keyOf(b)
+					e := local[k]
+					e.Freq++
+					e.Size = uint32(b.Size())
+					if b.HasLength {
+						e.LengthSum += b.Length
+					} else {
+						weighted = false
+					}
+					local[k] = e
+				}
+			}
+			locals[w] = local
+			weightedFlags[w] = weighted
+		}(w)
+	}
+
+	var feedErr error
+	for {
+		stmt, err := rs.NextRaw()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			feedErr = err
+			break
+		}
+		jobs <- stmt
+	}
+	close(jobs)
+	wg.Wait()
+
+	if feedErr != nil {
+		return fmt.Errorf("core: reading reference collection: %w", feedErr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: reference tree: %w", err)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		h.merge(locals[w])
+		h.numTrees += treeCounts[w]
+		if !weightedFlags[w] {
+			h.weighted = false
+		}
+	}
+	return nil
+}
+
+// averageRFRaw is AverageRF's worker body over raw statements.
+func (h *FreqHash) averageRFRaw(rs collection.RawSource, opts QueryOptions) ([]Result, error) {
+	workers := opts.workers()
+	type job struct {
+		idx  int
+		stmt string
+	}
+	jobs := make(chan job, workers*4)
+	outs := make([][]Result, workers)
+	errs := make([]error, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ex := &bipart.Extractor{
+				Taxa:            h.taxa,
+				RequireComplete: opts.RequireComplete,
+				Filter:          opts.Filter,
+			}
+			for j := range jobs {
+				t, err := newick.Parse(j.stmt)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = fmt.Errorf("core: query tree %d: %w", j.idx, err)
+					}
+					continue
+				}
+				avg, err := h.queryOne(t, ex, opts.Variant)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = fmt.Errorf("core: query tree %d: %w", j.idx, err)
+					}
+					continue
+				}
+				outs[w] = append(outs[w], Result{Index: j.idx, AvgRF: avg})
+			}
+		}(w)
+	}
+
+	idx := 0
+	var feedErr error
+	for {
+		stmt, err := rs.NextRaw()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			feedErr = err
+			break
+		}
+		jobs <- job{idx: idx, stmt: stmt}
+		idx++
+	}
+	close(jobs)
+	wg.Wait()
+
+	if feedErr != nil {
+		return nil, fmt.Errorf("core: reading query collection: %w", feedErr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	results := make([]Result, idx)
+	filled := make([]bool, idx)
+	for _, part := range outs {
+		for _, r := range part {
+			results[r.Index] = r
+			filled[r.Index] = true
+		}
+	}
+	for i, ok := range filled {
+		if !ok {
+			return nil, fmt.Errorf("core: query tree %d produced no result", i)
+		}
+	}
+	return results, nil
+}

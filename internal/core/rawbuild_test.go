@@ -1,0 +1,110 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/newick"
+	"repro/internal/tree"
+)
+
+// writeCollection materializes trees to a Newick file and opens it.
+func writeCollection(t *testing.T, trees []*tree.Tree) *collection.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trees.nwk")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trees {
+		if err := newick.Write(f, tr, newick.DefaultWriteOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := collection.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+	return src
+}
+
+// TestRawPathMatchesParsedPath: building/querying from a file (raw
+// parallel-parse path) must equal the in-memory (pre-parsed) path exactly.
+func TestRawPathMatchesParsedPath(t *testing.T) {
+	trees, ts := randomCollection(303, 15, 80)
+	fileSrc := writeCollection(t, trees)
+	memSrc := collection.FromTrees(trees)
+
+	hFile, err := Build(fileSrc, ts, BuildOptions{RequireComplete: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hMem, err := Build(memSrc, ts, BuildOptions{RequireComplete: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hFile.NumTrees() != hMem.NumTrees() {
+		t.Fatalf("r: %d vs %d", hFile.NumTrees(), hMem.NumTrees())
+	}
+	if hFile.UniqueBipartitions() != hMem.UniqueBipartitions() {
+		t.Fatalf("unique: %d vs %d", hFile.UniqueBipartitions(), hMem.UniqueBipartitions())
+	}
+	if hFile.TotalBipartitions() != hMem.TotalBipartitions() {
+		t.Fatalf("sum: %d vs %d", hFile.TotalBipartitions(), hMem.TotalBipartitions())
+	}
+
+	resFile, err := hFile.AverageRF(fileSrc, QueryOptions{RequireComplete: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMem, err := hMem.AverageRF(memSrc, QueryOptions{RequireComplete: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resFile) != len(resMem) {
+		t.Fatalf("results: %d vs %d", len(resFile), len(resMem))
+	}
+	for i := range resFile {
+		if resFile[i].AvgRF != resMem[i].AvgRF {
+			t.Errorf("query %d: raw %v vs parsed %v", i, resFile[i].AvgRF, resMem[i].AvgRF)
+		}
+	}
+}
+
+func TestRawPathErrorsPropagate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.nwk")
+	if err := os.WriteFile(path, []byte("((A,B),(C,D));\n(A,;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := collection.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := BuildDefault(src, abcd); err == nil {
+		t.Error("malformed tree in the raw path should fail the build")
+	}
+}
+
+func TestRawPathQueryErrorsPropagate(t *testing.T) {
+	trees, ts := randomCollection(5, 8, 6)
+	h := buildHash(t, trees, ts)
+	path := filepath.Join(t.TempDir(), "q.nwk")
+	if err := os.WriteFile(path, []byte("((A,B),(C,D));\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := collection.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := h.AverageRF(src, QueryOptions{RequireComplete: true}); err == nil {
+		t.Error("wrong-taxa query in the raw path should fail")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bipart"
+	"repro/internal/tree"
+)
+
+// Incremental maintenance of the frequency hash. Because the BFH stores
+// exact per-bipartition frequencies, adding or removing a reference tree
+// is a handful of counter updates — no rebuild, no other engine supports
+// this. Useful for growing collections (e.g. posterior samples arriving
+// from an MCMC run) and for leave-one-out analyses.
+
+// AddTree folds one more reference tree into the hash (r increases by 1).
+func (h *FreqHash) AddTree(t *tree.Tree, filter bipart.Filter, requireComplete bool) error {
+	bs, err := h.extractFor(t, filter, requireComplete)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, b := range bs {
+		k := h.keyOf(b)
+		e := h.m[k]
+		e.Freq++
+		e.Size = uint32(b.Size())
+		if b.HasLength {
+			e.LengthSum += b.Length
+		} else {
+			h.weighted = false
+		}
+		h.m[k] = e
+		h.sum++
+		if b.HasLength {
+			h.lenSum += b.Length
+		}
+	}
+	h.numTrees++
+	h.icTable, h.icSum = nil, 0
+	return nil
+}
+
+// RemoveTree subtracts a previously added reference tree (r decreases by
+// 1). It is the caller's responsibility that the tree was in fact part of
+// the collection; removing a tree that was never added corrupts the
+// frequencies, and the method returns an error when that is detectable
+// (a bipartition frequency would go negative).
+func (h *FreqHash) RemoveTree(t *tree.Tree, filter bipart.Filter, requireComplete bool) error {
+	bs, err := h.extractFor(t, filter, requireComplete)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.numTrees == 0 {
+		return fmt.Errorf("core: RemoveTree on an empty hash")
+	}
+	// Validate first so the hash is never left half-updated.
+	for _, b := range bs {
+		if h.m[h.keyOf(b)].Freq == 0 {
+			return fmt.Errorf("core: RemoveTree: bipartition %s was never in the hash", b)
+		}
+	}
+	for _, b := range bs {
+		k := h.keyOf(b)
+		e := h.m[k]
+		e.Freq--
+		if b.HasLength {
+			e.LengthSum -= b.Length
+			h.lenSum -= b.Length
+		}
+		if e.Freq == 0 {
+			delete(h.m, k)
+		} else {
+			h.m[k] = e
+		}
+		h.sum--
+	}
+	h.numTrees--
+	h.icTable, h.icSum = nil, 0
+	return nil
+}
+
+func (h *FreqHash) extractFor(t *tree.Tree, filter bipart.Filter, requireComplete bool) ([]bipart.Bipartition, error) {
+	ex := &bipart.Extractor{
+		Taxa:            h.taxa,
+		RequireComplete: requireComplete,
+		Filter:          filter,
+	}
+	return ex.Extract(t)
+}

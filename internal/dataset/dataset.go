@@ -1,0 +1,127 @@
+// Package dataset provides the named tree collections of the paper's
+// Table II. The two real collections (Avian, Insect) are not
+// redistributable, so each is substituted by a multispecies-coalescent
+// simulation with the same number of taxa and trees (see DESIGN.md for the
+// substitution argument); the two simulated sweeps (variable trees,
+// variable taxa) follow the paper's ASTRAL-II/SimPhy-style setup directly.
+//
+// Collections are exposed as deterministic generators: any prefix of a
+// dataset can be streamed any number of times without materializing it.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/collection"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// Spec describes one dataset. The zero value is not useful; use the
+// constructors or the package-level variables.
+type Spec struct {
+	// Name identifies the dataset in tables and CLI flags.
+	Name string
+	// NumTaxa is n; NumTrees is the full-size r from Table II.
+	NumTaxa  int
+	NumTrees int
+	// Seed makes the collection reproducible.
+	Seed int64
+	// MeanInternalBranch is the species tree's mean internal branch length
+	// in coalescent units; it controls gene-tree discordance.
+	MeanInternalBranch float64
+	// Unweighted strips branch lengths (the Insect collection is
+	// structure-only, which is what made HashRF reject it, §VI.B).
+	Unweighted bool
+}
+
+// Avian substitutes the Jarvis et al. 2014 avian gene trees:
+// 48 taxa, 14446 trees, weighted.
+func Avian() Spec {
+	return Spec{Name: "avian", NumTaxa: 48, NumTrees: 14446, Seed: 20140101, MeanInternalBranch: 0.8}
+}
+
+// Insect substitutes the Sayyari et al. 2017 insect gene trees:
+// 144 taxa, 149278 trees, unweighted (structure only).
+func Insect() Spec {
+	return Spec{Name: "insect", NumTaxa: 144, NumTrees: 149278, Seed: 20170101, MeanInternalBranch: 0.6, Unweighted: true}
+}
+
+// VariableTrees is the n=100 sweep collection; r is chosen per data point
+// (1000..100000 in the paper's Table V / Fig. 2).
+func VariableTrees(r int) Spec {
+	return Spec{Name: fmt.Sprintf("vartrees-r%d", r), NumTaxa: 100, NumTrees: r, Seed: 29001, MeanInternalBranch: 1.0}
+}
+
+// VariableTaxa is the r=1000 sweep collection; n is chosen per data point
+// (100..1000 in the paper's Table IV).
+func VariableTaxa(n int) Spec {
+	return Spec{Name: fmt.Sprintf("vartaxa-n%d", n), NumTaxa: n, NumTrees: 1000, Seed: 29002 + int64(n), MeanInternalBranch: 1.0}
+}
+
+// Taxa returns the dataset's taxon catalogue.
+func (s Spec) Taxa() *taxa.Set { return taxa.Generate(s.NumTaxa) }
+
+// Source returns a deterministic streaming Source over the full collection
+// together with its catalogue. Use collection.Limit for prefixes ("each
+// data point is the first r trees", paper Fig. 1).
+func (s Spec) Source() (collection.Source, *taxa.Set) {
+	ts := s.Taxa()
+	msc := s.msc(ts)
+	gen := &collection.Generator{
+		N: s.NumTrees,
+		Make: func(i int) *tree.Tree {
+			t := msc.Make(i)
+			if s.Unweighted {
+				simphy.StripLengths(t)
+			}
+			return t
+		},
+	}
+	return gen, ts
+}
+
+func (s Spec) msc(ts *taxa.Set) *simphy.MSCCollection {
+	c := simphy.NewMSCCollection(ts, s.Seed, 1.0)
+	simphy.ScaleMeanInternal(c.Species, s.MeanInternalBranch)
+	return c
+}
+
+// Prefix materializes the first r trees of the dataset in memory.
+func (s Spec) Prefix(r int) ([]*tree.Tree, *taxa.Set, error) {
+	if r > s.NumTrees {
+		return nil, nil, fmt.Errorf("dataset %s: prefix %d exceeds collection size %d", s.Name, r, s.NumTrees)
+	}
+	src, ts := s.Source()
+	limited, err := collection.Limit(src, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	trees, err := collection.ReadAll(limited)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trees, ts, nil
+}
+
+// QuerySet derives a disparate query collection of size q from the
+// dataset: NNI/SPR perturbations of sampled reference trees, exercising
+// BFHRF's different-Q-and-R capability (paper §VII.D).
+func (s Spec) QuerySet(q, moves int) ([]*tree.Tree, error) {
+	src, _ := s.Source()
+	rng := rand.New(rand.NewSource(s.Seed * 7919))
+	out := make([]*tree.Tree, 0, q)
+	if err := src.Reset(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < q; i++ {
+		t, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: query base %d: %w", s.Name, i, err)
+		}
+		out = append(out, simphy.PerturbNNI(t, moves, rng))
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/tree"
+)
+
+func TestSpecsMatchTableII(t *testing.T) {
+	cases := []struct {
+		spec     Spec
+		n, trees int
+	}{
+		{Avian(), 48, 14446},
+		{Insect(), 144, 149278},
+		{VariableTrees(100000), 100, 100000},
+		{VariableTaxa(1000), 1000, 1000},
+	}
+	for _, c := range cases {
+		if c.spec.NumTaxa != c.n || c.spec.NumTrees != c.trees {
+			t.Errorf("%s: n=%d r=%d, want n=%d r=%d",
+				c.spec.Name, c.spec.NumTaxa, c.spec.NumTrees, c.n, c.trees)
+		}
+	}
+}
+
+func TestSourceStreamsValidTrees(t *testing.T) {
+	spec := VariableTrees(10)
+	src, ts := spec.Source()
+	if ts.Len() != 100 {
+		t.Fatalf("taxa = %d", ts.Len())
+	}
+	count := 0
+	for {
+		tr, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("tree %d invalid: %v", count, err)
+		}
+		if tr.NumLeaves() != 100 {
+			t.Fatalf("tree %d leaves = %d", count, tr.NumLeaves())
+		}
+		count++
+	}
+	if count != 10 {
+		t.Errorf("streamed %d trees", count)
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	spec := VariableTrees(5)
+	src1, _ := spec.Source()
+	src2, _ := spec.Source()
+	t1, err := collection.ReadAll(src1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := collection.ReadAll(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1 {
+		a, b := t1[i].LeafNames(), t2[i].LeafNames()
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("tree %d differs between regenerations", i)
+			}
+		}
+	}
+}
+
+func TestInsectIsUnweighted(t *testing.T) {
+	spec := Insect()
+	src, _ := spec.Source()
+	tr, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Postorder(func(n *tree.Node) {
+		if n.HasLength {
+			t.Error("insect trees must be structure-only")
+		}
+	})
+	if tr.NumLeaves() != 144 {
+		t.Errorf("insect leaves = %d", tr.NumLeaves())
+	}
+}
+
+func TestAvianIsWeighted(t *testing.T) {
+	src, _ := Avian().Source()
+	tr, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := 0
+	tr.Postorder(func(n *tree.Node) {
+		if n.HasLength {
+			lengths++
+		}
+	})
+	if lengths == 0 {
+		t.Error("avian trees should carry branch lengths")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	trees, ts, err := VariableTaxa(100).Prefix(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 7 || ts.Len() != 100 {
+		t.Errorf("Prefix: %d trees, %d taxa", len(trees), ts.Len())
+	}
+	if _, _, err := VariableTaxa(100).Prefix(5000); err == nil {
+		t.Error("oversized prefix should fail")
+	}
+}
+
+func TestQuerySet(t *testing.T) {
+	spec := VariableTrees(20)
+	qs, err := spec.QuerySet(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 6 {
+		t.Fatalf("query set = %d", len(qs))
+	}
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("query %d invalid: %v", i, err)
+		}
+		if q.NumLeaves() != 100 {
+			t.Errorf("query %d leaves = %d", i, q.NumLeaves())
+		}
+	}
+}
+
+func TestCollectionsAreConcentrated(t *testing.T) {
+	// MSC collections must have concentrated bipartition frequencies: far
+	// fewer unique bipartitions than r·(n−3). This is the property that
+	// bounds BFHRF memory (paper §VI.C) and the reason the simulation is a
+	// valid stand-in for the real datasets.
+	spec := VariableTrees(200)
+	trees, ts, err := spec.Prefix(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tr := range trees {
+		for _, k := range extractKeys(t, tr, ts) {
+			seen[k] = true
+		}
+	}
+	unique := len(seen)
+	total := 200 * (ts.Len() - 3)
+	if unique*3 > total {
+		t.Errorf("unique bipartitions %d of %d total — too dispersed for an MSC collection", unique, total)
+	}
+}

@@ -1,0 +1,24 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/bipart"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// extractKeys returns canonical bipartition keys of a tree over ts.
+func extractKeys(t *testing.T, tr *tree.Tree, ts *taxa.Set) []string {
+	t.Helper()
+	ex := bipart.NewExtractor(ts)
+	bs, err := ex.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(bs))
+	for i, b := range bs {
+		keys[i] = b.Key()
+	}
+	return keys
+}

@@ -1,0 +1,210 @@
+// Package day implements Day's algorithm (Day 1985, cited by the paper as
+// the O(n) method for pairwise RF). It computes the exact Robinson-Foulds
+// distance between two unrooted trees on the same leaf set in linear time,
+// and serves throughout this repository as the independent verification
+// oracle against which the bitmask-based engines are checked.
+//
+// Method: orient both trees away from a shared anchor leaf. Number the
+// leaves of T1 in discovery (postorder) order; every cluster of the oriented
+// T1 is then a contiguous interval [min,max] of those numbers. A cluster of
+// T2 equals a cluster of T1 iff its leaf numbers form an interval present in
+// T1's interval table and its size matches the interval width. RF is
+// i1 + i2 − 2·shared over the non-trivial clusters.
+package day
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// RF returns the Robinson-Foulds distance between t1 and t2 (the symmetric
+// difference of their non-trivial bipartition sets, paper Eq. 1). The trees
+// must have identical leaf name sets with at least 2 leaves.
+func RF(t1, t2 *tree.Tree) (int, error) {
+	g1, err := newGraph(t1)
+	if err != nil {
+		return 0, fmt.Errorf("day: first tree: %w", err)
+	}
+	g2, err := newGraph(t2)
+	if err != nil {
+		return 0, fmt.Errorf("day: second tree: %w", err)
+	}
+	if len(g1.leafOf) != len(g2.leafOf) {
+		return 0, fmt.Errorf("day: leaf count mismatch: %d vs %d", len(g1.leafOf), len(g2.leafOf))
+	}
+	anchor := ""
+	for name := range g1.leafOf {
+		if _, ok := g2.leafOf[name]; !ok {
+			return 0, fmt.Errorf("day: leaf %q present only in first tree", name)
+		}
+		if anchor == "" || name < anchor {
+			anchor = name
+		}
+	}
+	n := len(g1.leafOf)
+	if n < 4 {
+		return 0, nil // no non-trivial splits possible
+	}
+
+	// Pass 1: number T1's leaves in discovery order from the anchor and
+	// collect its cluster intervals.
+	num := make(map[string]int, n-1)
+	intervals := make(map[[2]int]bool)
+	i1 := 0
+	next := 0
+	g1.clusters(anchor, func(name string) int {
+		num[name] = next
+		next++
+		return num[name]
+	}, func(lo, hi, size int) {
+		if size >= 2 && size <= n-2 {
+			// Clusters of the oriented T1 are always exact intervals.
+			intervals[[2]int{lo, hi}] = true
+			i1++
+		}
+	})
+
+	// Pass 2: walk T2 with T1's numbering; count matches.
+	i2, shared := 0, 0
+	var missing error
+	g2.clusters(anchor, func(name string) int {
+		v, ok := num[name]
+		if !ok && missing == nil {
+			missing = fmt.Errorf("day: leaf %q present only in second tree", name)
+		}
+		return v
+	}, func(lo, hi, size int) {
+		if size < 2 || size > n-2 {
+			return
+		}
+		i2++
+		if hi-lo+1 == size && intervals[[2]int{lo, hi}] {
+			shared++
+		}
+	})
+	if missing != nil {
+		return 0, missing
+	}
+	return i1 + i2 - 2*shared, nil
+}
+
+// MustRF is RF but panics on error. For tests.
+func MustRF(t1, t2 *tree.Tree) int {
+	d, err := RF(t1, t2)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// graph is an undirected adjacency view of a tree, so clusters can be
+// computed relative to any anchor leaf without mutating the tree.
+type graph struct {
+	adj    map[*tree.Node][]*tree.Node
+	leafOf map[string]*tree.Node
+}
+
+func newGraph(t *tree.Tree) (*graph, error) {
+	if t == nil || t.Root == nil {
+		return nil, fmt.Errorf("nil tree")
+	}
+	g := &graph{
+		adj:    make(map[*tree.Node][]*tree.Node),
+		leafOf: make(map[string]*tree.Node),
+	}
+	var err error
+	t.Postorder(func(n *tree.Node) {
+		if err != nil {
+			return
+		}
+		if n.Parent != nil {
+			g.adj[n] = append(g.adj[n], n.Parent)
+			g.adj[n.Parent] = append(g.adj[n.Parent], n)
+		}
+		if n.IsLeaf() {
+			if n.Name == "" {
+				err = fmt.Errorf("unnamed leaf")
+				return
+			}
+			if _, dup := g.leafOf[n.Name]; dup {
+				err = fmt.Errorf("duplicate leaf %q", n.Name)
+				return
+			}
+			g.leafOf[n.Name] = n
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(g.leafOf) < 2 {
+		return nil, fmt.Errorf("tree has %d leaves; need at least 2", len(g.leafOf))
+	}
+	return g, nil
+}
+
+// clusters orients the graph away from the anchor leaf and, for every
+// internal vertex of the oriented tree, reports the (min, max, size) of the
+// leaf numbers in its subtree. numberLeaf is called once per non-anchor leaf
+// in discovery order and must return that leaf's number. The traversal is
+// iterative post-order over the undirected adjacency.
+func (g *graph) clusters(anchor string, numberLeaf func(name string) int, report func(lo, hi, size int)) {
+	anchorNode := g.leafOf[anchor]
+	start := g.adj[anchorNode][0] // a leaf has exactly one neighbor
+
+	type result struct{ lo, hi, size int }
+	type frame struct {
+		node, parent *tree.Node
+		next         int
+		kids         int
+		acc          result
+	}
+	results := make(map[*tree.Node]result)
+	stack := []frame{{node: start, parent: anchorNode, acc: result{lo: 1 << 62, hi: -1}}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		nbrs := g.adj[f.node]
+		if f.next < len(nbrs) {
+			nb := nbrs[f.next]
+			f.next++
+			if nb == f.parent {
+				continue
+			}
+			f.kids++
+			if len(g.adj[nb]) == 1 { // leaf
+				v := numberLeaf(nb.Name)
+				if v < f.acc.lo {
+					f.acc.lo = v
+				}
+				if v > f.acc.hi {
+					f.acc.hi = v
+				}
+				f.acc.size++
+				continue
+			}
+			stack = append(stack, frame{node: nb, parent: f.node, acc: result{lo: 1 << 62, hi: -1}})
+			continue
+		}
+		// All children done: fold any completed child results, then pop.
+		for _, nb := range nbrs {
+			if r, ok := results[nb]; ok && nb != f.parent {
+				if r.lo < f.acc.lo {
+					f.acc.lo = r.lo
+				}
+				if r.hi > f.acc.hi {
+					f.acc.hi = r.hi
+				}
+				f.acc.size += r.size
+				delete(results, nb)
+			}
+		}
+		results[f.node] = f.acc
+		// Degree-2 vertices of the oriented tree (e.g. the serialization
+		// root seen from the far side) have a single child and duplicate
+		// that child's cluster; reporting them would double-count splits.
+		if f.kids >= 2 {
+			report(f.acc.lo, f.acc.hi, f.acc.size)
+		}
+		stack = stack[:len(stack)-1]
+	}
+}

@@ -1,0 +1,197 @@
+package day
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bipart"
+	"repro/internal/newick"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+func TestPaperExample(t *testing.T) {
+	// RF(((A,B),(C,D)), ((D,B),(C,A))) = 2 per the paper's Eq. 1 example.
+	t1 := newick.MustParse("((A,B),(C,D));")
+	t2 := newick.MustParse("((D,B),(C,A));")
+	if d := MustRF(t1, t2); d != 2 {
+		t.Errorf("RF = %d, want 2", d)
+	}
+}
+
+func TestIdenticalTrees(t *testing.T) {
+	t1 := newick.MustParse("((A,B),((C,D),(E,F)));")
+	if d := MustRF(t1, t1.Clone()); d != 0 {
+		t.Errorf("RF(T,T) = %d, want 0", d)
+	}
+}
+
+func TestDifferentRootingsSameTopology(t *testing.T) {
+	// The same unrooted topology with different root placements.
+	t1 := newick.MustParse("((A,B),((C,D),(E,F)));")
+	t2 := newick.MustParse("(((A,B),(C,D)),(E,F));")
+	t3 := newick.MustParse("(C,D,((E,F),(A,B)));")
+	if d := MustRF(t1, t2); d != 0 {
+		t.Errorf("RF across rootings = %d, want 0", d)
+	}
+	if d := MustRF(t1, t3); d != 0 {
+		t.Errorf("RF across rootings (deg-3) = %d, want 0", d)
+	}
+}
+
+func TestMaximallyDifferent(t *testing.T) {
+	// Two 5-taxon caterpillars sharing no non-trivial splits: RF = 2(n−3).
+	t1 := newick.MustParse("((((A,B),C),D),E);")
+	t2 := newick.MustParse("((((A,E),C),B),D);")
+	d := MustRF(t1, t2)
+	sets := setRF(t, t1, t2)
+	if d != sets {
+		t.Errorf("Day = %d, set-based = %d", d, sets)
+	}
+}
+
+func TestSmallTrees(t *testing.T) {
+	// n < 4: no non-trivial splits, RF must be 0.
+	t1 := newick.MustParse("(A,B,C);")
+	t2 := newick.MustParse("(A,(B,C));")
+	if d := MustRF(t1, t2); d != 0 {
+		t.Errorf("3-taxon RF = %d, want 0", d)
+	}
+	t3 := newick.MustParse("(A,B);")
+	t4 := newick.MustParse("(B,A);")
+	if d := MustRF(t3, t4); d != 0 {
+		t.Errorf("2-taxon RF = %d, want 0", d)
+	}
+}
+
+func TestMultifurcatingTrees(t *testing.T) {
+	// Star vs resolved tree: star has no splits, so RF = n−3 of the
+	// resolved one.
+	star := newick.MustParse("(A,B,C,D,E,F);")
+	resolved := newick.MustParse("((A,B),((C,D),(E,F)));")
+	if d := MustRF(star, resolved); d != 3 {
+		t.Errorf("star vs binary RF = %d, want 3", d)
+	}
+	// Partially resolved.
+	part := newick.MustParse("((A,B),C,D,E,F);")
+	if d := MustRF(part, resolved); d != 2 {
+		t.Errorf("partial vs binary RF = %d, want 2", d)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	t1 := newick.MustParse("((A,B),(C,D));")
+	if _, err := RF(t1, newick.MustParse("((A,B),(C,E));")); err == nil {
+		t.Error("different leaf sets should fail")
+	}
+	if _, err := RF(t1, newick.MustParse("(A,B,C);")); err == nil {
+		t.Error("different leaf counts should fail")
+	}
+	if _, err := RF(t1, &tree.Tree{}); err == nil {
+		t.Error("nil root should fail")
+	}
+	dup := newick.MustParse("((A,A),(C,D));")
+	if _, err := RF(dup, t1); err == nil {
+		t.Error("duplicate leaves should fail")
+	}
+}
+
+// setRF computes RF by explicit bipartition sets, the independent method.
+func setRF(t *testing.T, t1, t2 *tree.Tree) int {
+	t.Helper()
+	names := t1.LeafNames()
+	ts, err := taxa.NewSet(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := bipart.NewExtractor(ts)
+	b1, err := ex.Extract(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ex.Extract(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bipart.SetOf(b1).SymmetricDifferenceSize(bipart.SetOf(b2))
+}
+
+// TestQuickAgreesWithSetBased cross-checks Day's algorithm against the
+// explicit set-difference computation on random tree pairs — the central
+// correctness property.
+func TestQuickAgreesWithSetBased(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%60 + 4
+		ts := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(seed))
+		t1 := simphy.RandomBinary(ts, rng)
+		t2 := simphy.RandomBinary(ts, rng)
+		d1, err := RF(t1, t2)
+		if err != nil {
+			return false
+		}
+		return d1 == setRF(t, t1, t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMetricProperties: symmetry, identity, triangle inequality, and
+// the binary upper bound 2(n−3).
+func TestQuickMetricProperties(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%30 + 4
+		ts := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(seed))
+		a := simphy.RandomBinary(ts, rng)
+		b := simphy.RandomBinary(ts, rng)
+		c := simphy.RandomBinary(ts, rng)
+		dab, dba := MustRF(a, b), MustRF(b, a)
+		if dab != dba {
+			return false
+		}
+		if MustRF(a, a.Clone()) != 0 {
+			return false
+		}
+		if dab > 2*(n-3) {
+			return false
+		}
+		return dab <= MustRF(a, c)+MustRF(c, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNNIDistance: a single NNI changes exactly one split, so
+// 0 ≤ RF(T, NNI(T)) ≤ 2.
+func TestQuickNNIDistance(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%30 + 5
+		ts := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(seed))
+		a := simphy.RandomBinary(ts, rng)
+		b := simphy.NNI(a, rng)
+		d := MustRF(a, b)
+		return d >= 0 && d <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDayRF(b *testing.B) {
+	ts := taxa.Generate(500)
+	rng := rand.New(rand.NewSource(1))
+	t1 := simphy.RandomBinary(ts, rng)
+	t2 := simphy.RandomBinary(ts, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RF(t1, t2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

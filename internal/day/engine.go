@@ -1,0 +1,95 @@
+package day
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/collection"
+	"repro/internal/tree"
+)
+
+// AverageRF is the "optimal pairwise" baseline engine: each query tree is
+// compared against every reference tree with Day's O(n) algorithm, the
+// best possible tree-versus-tree method. It still performs q·r
+// comparisons, so BFHRF's advantage over it isolates exactly the paper's
+// algorithmic contribution (tree-vs-hash replacing tree-vs-tree) rather
+// than any constant-factor win. Workers parallelize over query trees.
+func AverageRF(q, r collection.Source, workers int) ([]float64, error) {
+	refs, err := collection.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("day: reference collection is empty")
+	}
+	if err := q.Reset(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type job struct {
+		idx int
+		t   *tree.Tree
+	}
+	jobs := make(chan job, workers*2)
+	outs := make([]map[int]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make(map[int]float64)
+			for j := range jobs {
+				sum := 0
+				for _, ref := range refs {
+					d, err := RF(j.t, ref)
+					if err != nil {
+						if errs[w] == nil {
+							errs[w] = fmt.Errorf("day: query tree %d: %w", j.idx, err)
+						}
+						break
+					}
+					sum += d
+				}
+				local[j.idx] = float64(sum) / float64(len(refs))
+			}
+			outs[w] = local
+		}(w)
+	}
+
+	idx := 0
+	var feedErr error
+	for {
+		t, err := q.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			feedErr = err
+			break
+		}
+		jobs <- job{idx: idx, t: t}
+		idx++
+	}
+	close(jobs)
+	wg.Wait()
+	if feedErr != nil {
+		return nil, feedErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	results := make([]float64, idx)
+	for _, local := range outs {
+		for i, v := range local {
+			results[i] = v
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,77 @@
+package day
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+func TestEngineMatchesDirectMean(t *testing.T) {
+	ts := taxa.Generate(14)
+	rng := rand.New(rand.NewSource(42))
+	refs := make([]*tree.Tree, 15)
+	for i := range refs {
+		refs[i] = simphy.RandomBinary(ts, rng)
+	}
+	queries := make([]*tree.Tree, 6)
+	for i := range queries {
+		queries[i] = simphy.RandomBinary(ts, rng)
+	}
+	got, err := AverageRF(collection.FromTrees(queries), collection.FromTrees(refs), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		sum := 0
+		for _, r := range refs {
+			sum += MustRF(q, r)
+		}
+		want := float64(sum) / float64(len(refs))
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Errorf("query %d: engine %v vs direct %v", i, got[i], want)
+		}
+	}
+}
+
+func TestEngineWorkerCountsAgree(t *testing.T) {
+	ts := taxa.Generate(10)
+	rng := rand.New(rand.NewSource(3))
+	trees := make([]*tree.Tree, 20)
+	for i := range trees {
+		trees[i] = simphy.RandomBinary(ts, rng)
+	}
+	src := collection.FromTrees(trees)
+	a, err := AverageRF(src, src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AverageRF(src, src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("query %d: workers=1 %v vs workers=8 %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	ts := taxa.Generate(8)
+	rng := rand.New(rand.NewSource(1))
+	good := simphy.RandomBinary(ts, rng)
+	other := simphy.RandomBinary(taxa.Generate(9), rng)
+	if _, err := AverageRF(collection.FromTrees([]*tree.Tree{good}), collection.FromTrees(nil), 2); err == nil {
+		t.Error("empty reference should fail")
+	}
+	if _, err := AverageRF(
+		collection.FromTrees([]*tree.Tree{other}),
+		collection.FromTrees([]*tree.Tree{good}), 2); err == nil {
+		t.Error("mismatched taxa should fail")
+	}
+}

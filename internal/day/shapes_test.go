@@ -1,0 +1,72 @@
+package day
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bipart"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// Extreme-shape cross-checks: the caterpillar maximizes depth (stressing
+// the interval bookkeeping), the balanced tree maximizes bushiness.
+
+func shapeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%03d", i)
+	}
+	return out
+}
+
+func TestCaterpillarVsBalanced(t *testing.T) {
+	for _, n := range []int{8, 16, 33, 64} {
+		names := shapeNames(n)
+		cat := tree.Caterpillar(names)
+		bal := tree.Balanced(names)
+		got := MustRF(cat, bal)
+		// Cross-check with the set-based oracle.
+		ts, err := taxa.NewSet(names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := bipart.NewExtractor(ts)
+		want := bipart.SetOf(ex.MustExtract(cat)).SymmetricDifferenceSize(
+			bipart.SetOf(ex.MustExtract(bal)))
+		if got != want {
+			t.Errorf("n=%d: Day %d vs sets %d", n, got, want)
+		}
+		if MustRF(cat, cat.Clone()) != 0 || MustRF(bal, bal.Clone()) != 0 {
+			t.Errorf("n=%d: self distance nonzero", n)
+		}
+	}
+}
+
+func TestCaterpillarReversal(t *testing.T) {
+	// A caterpillar and its reversal share many splits for small n; the
+	// distance must still be symmetric and bounded.
+	n := 12
+	names := shapeNames(n)
+	rev := make([]string, n)
+	for i := range rev {
+		rev[i] = names[n-1-i]
+	}
+	a := tree.Caterpillar(names)
+	b := tree.Caterpillar(rev)
+	// The same ladder built from either end is the same unrooted topology.
+	if d := MustRF(a, b); d != 0 {
+		t.Errorf("caterpillar vs reversed caterpillar RF = %d, want 0", d)
+	}
+}
+
+func TestLargeTreePerformanceSanity(t *testing.T) {
+	// O(n) pairwise RF must handle thousands of taxa instantly.
+	names := shapeNames(5000)
+	a := tree.Caterpillar(names)
+	b := tree.Balanced(names)
+	d := MustRF(a, b)
+	if d <= 0 || d > 2*(5000-3) {
+		t.Errorf("RF = %d out of range", d)
+	}
+}

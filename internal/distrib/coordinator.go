@@ -1,0 +1,248 @@
+package distrib
+
+import (
+	"fmt"
+	"io"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/newick"
+	"repro/internal/taxa"
+)
+
+// Coordinator shards a reference collection across workers and answers
+// average-RF queries by scatter-gather.
+type Coordinator struct {
+	clients []*rpc.Client
+	taxa    *taxa.Set
+	// sum and r are the folded global totals, fixed after Load.
+	sum uint64
+	r   int
+	// ChunkSize is the number of reference trees per Load RPC (default 512).
+	ChunkSize int
+	// BatchSize is the number of query trees per Query RPC (default 256).
+	BatchSize int
+}
+
+// Dial connects to worker addresses ("host:port").
+func Dial(addrs []string) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("distrib: no worker addresses")
+	}
+	c := &Coordinator{ChunkSize: 512, BatchSize: 256}
+	for _, addr := range addrs {
+		cl, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("distrib: dialing %s: %w", addr, err)
+		}
+		c.clients = append(c.clients, cl)
+	}
+	return c, nil
+}
+
+// Close releases every worker connection.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, cl := range c.clients {
+		if cl != nil {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	c.clients = nil
+	return first
+}
+
+// NumWorkers returns the number of connected shards.
+func (c *Coordinator) NumWorkers() int { return len(c.clients) }
+
+// Load initializes every worker with the catalogue and distributes the
+// reference collection round-robin in chunks. It must be called once
+// before Query.
+func (c *Coordinator) Load(refs collection.Source, ts *taxa.Set, compress bool) error {
+	if len(c.clients) == 0 {
+		return fmt.Errorf("distrib: no workers")
+	}
+	c.taxa = ts
+	init := InitArgs{TaxaNames: ts.Names(), CompressKeys: compress}
+	for i, cl := range c.clients {
+		var reply LoadReply
+		if err := cl.Call("BFHRF.Init", init, &reply); err != nil {
+			return fmt.Errorf("distrib: init worker %d: %w", i, err)
+		}
+	}
+	if err := refs.Reset(); err != nil {
+		return err
+	}
+	chunk := make([]string, 0, c.chunkSize())
+	target := 0
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		var reply LoadReply
+		err := c.clients[target].Call("BFHRF.Load", LoadArgs{Newicks: chunk}, &reply)
+		if err != nil {
+			return fmt.Errorf("distrib: load worker %d: %w", target, err)
+		}
+		target = (target + 1) % len(c.clients)
+		chunk = chunk[:0]
+		return nil
+	}
+	total := 0
+	for {
+		t, err := refs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		chunk = append(chunk, newick.String(t, newick.WriteOptions{BranchLengths: true}))
+		total++
+		if len(chunk) >= c.chunkSize() {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if total == 0 {
+		return fmt.Errorf("distrib: reference collection is empty")
+	}
+	// Fold global totals with an empty probe query.
+	c.sum, c.r = 0, 0
+	for i, cl := range c.clients {
+		var reply QueryReply
+		if err := cl.Call("BFHRF.Query", QueryArgs{}, &reply); err != nil {
+			return fmt.Errorf("distrib: probing worker %d: %w", i, err)
+		}
+		c.sum += reply.ShardSum
+		c.r += reply.ShardTrees
+	}
+	if c.r != total {
+		return fmt.Errorf("distrib: workers report %d trees, loaded %d", c.r, total)
+	}
+	return nil
+}
+
+func (c *Coordinator) chunkSize() int {
+	if c.ChunkSize <= 0 {
+		return 512
+	}
+	return c.ChunkSize
+}
+
+func (c *Coordinator) batchSize() int {
+	if c.BatchSize <= 0 {
+		return 256
+	}
+	return c.BatchSize
+}
+
+// AverageRF streams the query collection, fanning each batch out to every
+// worker and folding the partial sums. Results are in query order.
+func (c *Coordinator) AverageRF(queries collection.Source) ([]core.Result, error) {
+	if c.r == 0 {
+		return nil, fmt.Errorf("distrib: Load before Query")
+	}
+	if err := queries.Reset(); err != nil {
+		return nil, err
+	}
+	var results []core.Result
+	batch := make([]string, 0, c.batchSize())
+	idx := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		avgs, err := c.queryBatch(batch)
+		if err != nil {
+			return err
+		}
+		for _, a := range avgs {
+			results = append(results, core.Result{Index: idx, AvgRF: a})
+			idx++
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		t, err := queries.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		batch = append(batch, newick.String(t, newick.WriteOptions{BranchLengths: true}))
+		if len(batch) >= c.batchSize() {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// queryBatch scatter-gathers one batch across all workers concurrently.
+func (c *Coordinator) queryBatch(newicks []string) ([]float64, error) {
+	type partial struct {
+		reply QueryReply
+		err   error
+	}
+	parts := make([]partial, len(c.clients))
+	var wg sync.WaitGroup
+	args := QueryArgs{Newicks: newicks}
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *rpc.Client) {
+			defer wg.Done()
+			parts[i].err = cl.Call("BFHRF.Query", args, &parts[i].reply)
+		}(i, cl)
+	}
+	wg.Wait()
+
+	hits := make([]int64, len(newicks))
+	splits := make([]int64, len(newicks))
+	haveSplits := false
+	for i := range parts {
+		if parts[i].err != nil {
+			return nil, fmt.Errorf("distrib: worker %d: %w", i, parts[i].err)
+		}
+		rep := parts[i].reply
+		if len(rep.Hits) != len(newicks) {
+			return nil, fmt.Errorf("distrib: worker %d returned %d hits for %d queries", i, len(rep.Hits), len(newicks))
+		}
+		for j := range hits {
+			hits[j] += rep.Hits[j]
+		}
+		if !haveSplits {
+			copy(splits, rep.Splits)
+			haveSplits = true
+		} else {
+			for j := range splits {
+				if splits[j] != rep.Splits[j] {
+					return nil, fmt.Errorf("distrib: workers disagree on |B(query %d)|: %d vs %d", j, splits[j], rep.Splits[j])
+				}
+			}
+		}
+	}
+	out := make([]float64, len(newicks))
+	rf := float64(c.r)
+	for j := range out {
+		left := int64(c.sum) - hits[j]
+		right := splits[j]*int64(c.r) - hits[j]
+		out[j] = float64(left+right) / rf
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+// Package distrib extends BFHRF to multi-node operation — the paper's
+// §VII.B future-work direction ("it is possible to extend this to a multi
+// node configuration"). The reference collection is sharded across worker
+// nodes, each holding a partial bipartition frequency hash; queries fan out
+// and partial sums fold back exactly:
+//
+// With shards s, freq[b] = Σ_s freq_s[b] and sum = Σ_s sum_s, so for a
+// query tree T' with |B(T')| non-trivial splits,
+//
+//	hits   = Σ_s Σ_{b'∈B(T')} freq_s[b']
+//	RFleft  = sum − hits
+//	RFright = |B(T')|·r − hits
+//	avgRF(T') = (RFleft + RFright) / r
+//
+// Only O(1) scalars per (query, worker) cross the wire — the communication
+// pattern that makes the approach scale. Transport is net/rpc over TCP
+// (or any net.Listener), standard library only.
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/bipart"
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/newick"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// ---- wire types ------------------------------------------------------------
+
+// InitArgs announce the shared taxon catalogue to a worker.
+type InitArgs struct {
+	// TaxaNames in catalogue order (workers must agree on bit positions).
+	TaxaNames []string
+	// CompressKeys selects the §IX compact key encoding on the shard.
+	CompressKeys bool
+}
+
+// LoadArgs carry a chunk of reference trees to a worker's shard.
+type LoadArgs struct {
+	// Newicks are serialized reference trees.
+	Newicks []string
+}
+
+// LoadReply reports shard statistics after a chunk is folded in.
+type LoadReply struct {
+	// ShardTrees and ShardUnique describe the worker's partial hash.
+	ShardTrees  int
+	ShardUnique int
+}
+
+// QueryArgs carry a batch of query trees.
+type QueryArgs struct {
+	Newicks []string
+}
+
+// QueryReply carries per-query partial sums.
+type QueryReply struct {
+	// Hits[i] = Σ_{b'∈B(query_i)} freq_shard[b'].
+	Hits []int64
+	// Splits[i] = |B(query_i)| (identical across workers; used for the
+	// RFright term and cross-checked by the coordinator).
+	Splits []int64
+	// ShardSum and ShardTrees fold into the global sum and r.
+	ShardSum   uint64
+	ShardTrees int
+}
+
+// ---- worker ----------------------------------------------------------------
+
+// Worker is the RPC service holding one shard of the reference collection.
+type Worker struct {
+	mu       sync.Mutex
+	taxa     *taxa.Set
+	hash     *core.FreqHash
+	compress bool
+}
+
+// Init installs the catalogue and resets the shard.
+func (w *Worker) Init(args InitArgs, reply *LoadReply) error {
+	ts, err := taxa.NewOrderedSet(args.TaxaNames)
+	if err != nil {
+		return fmt.Errorf("distrib: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.taxa = ts
+	w.hash = nil
+	w.compress = args.CompressKeys
+	*reply = LoadReply{}
+	return nil
+}
+
+// Load folds a chunk of reference trees into the shard's hash.
+func (w *Worker) Load(args LoadArgs, reply *LoadReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.taxa == nil {
+		return fmt.Errorf("distrib: worker not initialized")
+	}
+	trees, err := parseChunk(args.Newicks)
+	if err != nil {
+		return err
+	}
+	if w.hash == nil {
+		h, err := core.Build(collection.FromTrees(trees), w.taxa, core.BuildOptions{
+			RequireComplete: true,
+			CompressKeys:    w.compress,
+		})
+		if err != nil {
+			return err
+		}
+		w.hash = h
+	} else {
+		for _, t := range trees {
+			if err := w.hash.AddTree(t, nil, true); err != nil {
+				return err
+			}
+		}
+	}
+	reply.ShardTrees = w.hash.NumTrees()
+	reply.ShardUnique = w.hash.UniqueBipartitions()
+	return nil
+}
+
+// Query computes partial hit sums for a batch of query trees. A worker
+// that was initialized but received no reference chunk answers as an empty
+// shard (zero hits, zero trees) so that uneven sharding is harmless.
+func (w *Worker) Query(args QueryArgs, reply *QueryReply) error {
+	w.mu.Lock()
+	h := w.hash
+	ts := w.taxa
+	w.mu.Unlock()
+	if ts == nil {
+		return fmt.Errorf("distrib: worker not initialized")
+	}
+	ex := bipart.NewExtractor(ts)
+	reply.Hits = make([]int64, len(args.Newicks))
+	reply.Splits = make([]int64, len(args.Newicks))
+	for i, nwk := range args.Newicks {
+		t, err := newick.Parse(nwk)
+		if err != nil {
+			return fmt.Errorf("distrib: query %d: %w", i, err)
+		}
+		bs, err := ex.Extract(t)
+		if err != nil {
+			return fmt.Errorf("distrib: query %d: %w", i, err)
+		}
+		var hits int64
+		if h != nil {
+			for _, b := range bs {
+				hits += int64(h.Frequency(b))
+			}
+		}
+		reply.Hits[i] = hits
+		reply.Splits[i] = int64(len(bs))
+	}
+	if h != nil {
+		reply.ShardSum = h.TotalBipartitions()
+		reply.ShardTrees = h.NumTrees()
+	}
+	return nil
+}
+
+// parseChunk parses serialized trees, failing fast on the first error.
+func parseChunk(newicks []string) ([]*tree.Tree, error) {
+	out := make([]*tree.Tree, len(newicks))
+	for i, nwk := range newicks {
+		t, err := newick.Parse(nwk)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: reference tree %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// ---- serving ---------------------------------------------------------------
+
+// Serve registers a fresh Worker on a net/rpc server and serves l until it
+// is closed. Each call runs in its own goroutine (net/rpc behaviour).
+func Serve(l net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("BFHRF", &Worker{}); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Listen starts a worker on addr (e.g. "127.0.0.1:0") and returns the
+// listener; callers close it to stop the worker.
+func Listen(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go Serve(l) //nolint:errcheck — terminates when l closes
+	return l, nil
+}

@@ -1,0 +1,126 @@
+// Package draw renders phylogenetic trees as ASCII art for terminal
+// output — consensus trees and supertrees are much easier to sanity-check
+// drawn than as raw Newick.
+//
+// Layout: one row per leaf, internal nodes centred over their children,
+// fixed column step per tree depth. Internal labels (e.g. support
+// percentages from core.AnnotateSupport) are drawn on the branch.
+package draw
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Options control rendering.
+type Options struct {
+	// Unit is the horizontal width of one depth step (default 4, min 2).
+	Unit int
+	// ShowLengths appends ":length" to node labels.
+	ShowLengths bool
+}
+
+// Write renders t to w.
+func Write(w io.Writer, t *tree.Tree, opts Options) error {
+	s, err := String(t, opts)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, s)
+	return err
+}
+
+// String renders t as a multi-line string.
+func String(t *tree.Tree, opts Options) (string, error) {
+	if t == nil || t.Root == nil {
+		return "", fmt.Errorf("draw: nil tree")
+	}
+	unit := opts.Unit
+	if unit < 2 {
+		unit = 4
+	}
+
+	// Assign rows: leaves get consecutive rows in postorder; internal
+	// nodes the midpoint of their children's rows.
+	rows := map[*tree.Node]int{}
+	depth := map[*tree.Node]int{}
+	nextRow := 0
+	maxDepth := 0
+	var assign func(n *tree.Node, d int)
+	assign = func(n *tree.Node, d int) {
+		depth[n] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+		if n.IsLeaf() {
+			rows[n] = nextRow
+			nextRow++
+			return
+		}
+		for _, c := range n.Children {
+			assign(c, d+1)
+		}
+		rows[n] = (rows[n.Children[0]] + rows[n.Children[len(n.Children)-1]]) / 2
+	}
+	assign(t.Root, 0)
+
+	width := (maxDepth+1)*unit + 40
+	grid := make([][]byte, nextRow)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(row, col int, s string) {
+		for i := 0; i < len(s) && col+i < width; i++ {
+			grid[row][col+i] = s[i]
+		}
+	}
+
+	// Draw edges parent→child: horizontal run at the child's row from the
+	// parent's column to the child's column, vertical connector at the
+	// parent's column spanning the children's rows.
+	var drawNode func(n *tree.Node)
+	drawNode = func(n *tree.Node) {
+		col := depth[n] * unit
+		if !n.IsLeaf() {
+			first, last := n.Children[0], n.Children[len(n.Children)-1]
+			for r := rows[first]; r <= rows[last]; r++ {
+				grid[r][col] = '|'
+			}
+			put(rows[n], col, "+")
+			for _, c := range n.Children {
+				r := rows[c]
+				for x := col + 1; x < depth[c]*unit; x++ {
+					grid[r][x] = '-'
+				}
+				corner := byte('+')
+				grid[r][col] = corner
+				drawNode(c)
+			}
+		}
+		label := nodeLabel(n, opts)
+		if n.IsLeaf() {
+			put(rows[n], col, "- "+label)
+		} else if label != "" {
+			put(rows[n], col+1, label)
+		}
+	}
+	drawNode(t.Root)
+
+	var sb strings.Builder
+	for _, line := range grid {
+		sb.WriteString(strings.TrimRight(string(line), " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+func nodeLabel(n *tree.Node, opts Options) string {
+	label := n.Name
+	if opts.ShowLengths && n.HasLength {
+		label += fmt.Sprintf(":%.3g", n.Length)
+	}
+	return label
+}

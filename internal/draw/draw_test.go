@@ -1,0 +1,108 @@
+package draw
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/newick"
+	"repro/internal/tree"
+)
+
+func TestStringContainsAllLeaves(t *testing.T) {
+	tr := newick.MustParse("((A,B),((C,D),(E,F)));")
+	out, err := String(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range []string{"A", "B", "C", "D", "E", "F"} {
+		if !strings.Contains(out, leaf) {
+			t.Errorf("rendering missing leaf %s:\n%s", leaf, out)
+		}
+	}
+	// One row per leaf.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Errorf("lines = %d, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestStringShowsInternalLabels(t *testing.T) {
+	tr := newick.MustParse("((A,B)75,((C,D)50,(E,F)90)100);")
+	out, err := String(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, support := range []string{"75", "50", "90"} {
+		if !strings.Contains(out, support) {
+			t.Errorf("support label %s not drawn:\n%s", support, out)
+		}
+	}
+}
+
+func TestStringShowsLengths(t *testing.T) {
+	tr := newick.MustParse("((A:1.5,B:2):0.5,C:3);")
+	out, err := String(tr, Options{ShowLengths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ":1.5") || !strings.Contains(out, ":3") {
+		t.Errorf("lengths not drawn:\n%s", out)
+	}
+	plain, err := String(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain, ":1.5") {
+		t.Error("lengths drawn despite ShowLengths=false")
+	}
+}
+
+func TestStringMultifurcation(t *testing.T) {
+	tr := newick.MustParse("(A,B,C,D,E);")
+	out, err := String(tr, Options{Unit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("star tree lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestStringErrors(t *testing.T) {
+	if _, err := String(nil, Options{}); err == nil {
+		t.Error("nil tree should fail")
+	}
+	if _, err := String(&tree.Tree{}, Options{}); err == nil {
+		t.Error("nil root should fail")
+	}
+}
+
+func TestWriteDelegates(t *testing.T) {
+	tr := newick.MustParse("((A,B),C);")
+	var sb strings.Builder
+	if err := Write(&sb, tr, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() == 0 {
+		t.Error("empty rendering")
+	}
+}
+
+func TestDeepTree(t *testing.T) {
+	// Caterpillar: depth grows linearly; rendering must still hold every
+	// leaf on its own row.
+	names := make([]string, 20)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	tr := tree.Caterpillar(names)
+	out, err := String(tr, Options{Unit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 20 {
+		t.Errorf("lines = %d, want 20", len(lines))
+	}
+}

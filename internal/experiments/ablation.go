@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/memprof"
+	"repro/internal/tabfmt"
+)
+
+// Ablation measures the design choices DESIGN.md calls out:
+//
+//   - §IX key compression: hash build time and memory with raw vs
+//     compressed keys, at growing n (compression wins more as bitmasks
+//     get wider);
+//   - worker scaling: BFHRF build+query wall time at 1/2/4/8/16 workers,
+//     quantifying the paper's observed diminishing 8→16 returns;
+//   - streaming vs materialized input: the cost of the collection.Source
+//     abstraction.
+func (c *Config) Ablation() *Report {
+	rep := &Report{ID: "Ablation_Design"}
+
+	// --- key compression ---------------------------------------------------
+	comp := tabfmt.New("§IX ablation — raw vs compressed hash keys",
+		"n", "R", "Keys", "Build(m)", "PeakMem(MB)", "KeyBytes")
+	rep.Tables = append(rep.Tables, comp)
+	for _, n := range []int{100, 500, 1000} {
+		spec := dataset.VariableTaxa(n)
+		r := c.ScaleTrees(spec.NumTrees)
+		path, ts, err := c.materialize(spec, r)
+		if err != nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("ablation n=%d: %v", n, err))
+			continue
+		}
+		for _, compress := range []bool{false, true} {
+			src, err := collection.OpenFile(path)
+			if err != nil {
+				rep.Notes = append(rep.Notes, err.Error())
+				continue
+			}
+			var h *core.FreqHash
+			m := memprof.Measure(func() error {
+				var err error
+				h, err = core.Build(src, ts, core.BuildOptions{
+					RequireComplete: true,
+					CompressKeys:    compress,
+				})
+				return err
+			})
+			src.Close()
+			if m.Err != nil {
+				rep.Notes = append(rep.Notes, m.Err.Error())
+				continue
+			}
+			label := "raw"
+			if compress {
+				label = "compressed"
+			}
+			comp.AddRow(n, r, label, fmt.Sprintf("%.4f", m.Minutes()),
+				fmt.Sprintf("%.1f", m.PeakHeapMB()), keyBytesOf(h))
+		}
+	}
+
+	// --- worker scaling ------------------------------------------------------
+	scal := tabfmt.New("Worker scaling — BFHRF build+query wall time",
+		"Workers", "n", "R", "Time(m)", "Speedup vs 1")
+	rep.Tables = append(rep.Tables, scal)
+	spec := dataset.VariableTrees(100000)
+	r := c.ScaleTrees(50000)
+	var base float64
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		path, ts, err := c.materialize(spec, r)
+		if err != nil {
+			rep.Notes = append(rep.Notes, err.Error())
+			break
+		}
+		src, err := collection.OpenFile(path)
+		if err != nil {
+			rep.Notes = append(rep.Notes, err.Error())
+			break
+		}
+		qsrc, err := collection.OpenFile(path)
+		if err != nil {
+			src.Close()
+			rep.Notes = append(rep.Notes, err.Error())
+			break
+		}
+		m := memprof.Measure(func() error {
+			h, err := core.Build(src, ts, core.BuildOptions{Workers: w, RequireComplete: true})
+			if err != nil {
+				return err
+			}
+			_, err = h.AverageRF(qsrc, core.QueryOptions{Workers: w, RequireComplete: true})
+			return err
+		})
+		src.Close()
+		qsrc.Close()
+		if m.Err != nil {
+			rep.Notes = append(rep.Notes, m.Err.Error())
+			break
+		}
+		if w == 1 {
+			base = m.Minutes()
+		}
+		speed := "-"
+		if m.Minutes() > 0 {
+			speed = fmt.Sprintf("%.2f", base/m.Minutes())
+		}
+		scal.AddRow(w, spec.NumTaxa, r, fmt.Sprintf("%.4f", m.Minutes()), speed)
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("compression shrinks key storage most at large n; worker rows are meaningful only when GOMAXPROCS > 1 (this host: %d) — on a single hardware thread they measure goroutine overhead, not the paper's §VII.A scaling", runtime.GOMAXPROCS(0)))
+	return rep
+}
+
+func keyBytesOf(h *core.FreqHash) int {
+	total := 0
+	for _, e := range h.KeySizes() {
+		total += e
+	}
+	return total
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hashrf"
+	"repro/internal/seqrf"
+)
+
+// agreement computes the maximum absolute difference in per-tree average RF
+// between BFHRF and each other engine on the first r trees of spec (Q = R).
+func (c *Config) agreement(spec dataset.Spec, r int) (dDS, dDSMP, dHRF float64, err error) {
+	path, ts, err := c.materialize(spec, r)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	src, err := collection.OpenFile(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer src.Close()
+	qsrc, err := collection.OpenFile(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer qsrc.Close()
+
+	h, err := core.Build(src, ts, core.BuildOptions{RequireComplete: true})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	bf, err := h.AverageRF(qsrc, core.QueryOptions{RequireComplete: true})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	bfv := make([]float64, len(bf))
+	for _, x := range bf {
+		bfv[x.Index] = x.AvgRF
+	}
+
+	ds, err := seqrf.AverageRF(qsrc, src, seqrf.Options{Taxa: ts, Workers: 1})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dsmp, err := seqrf.AverageRF(qsrc, src, seqrf.Options{Taxa: ts, Workers: 8})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	hrf, err := hashrf.AverageRF(src, hashrf.Options{Taxa: ts, AcceptUnweighted: true})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return maxDelta(bfv, ds), maxDelta(bfv, dsmp), maxDelta(bfv, hrf), nil
+}
+
+func maxDelta(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if i >= len(b) {
+			break
+		}
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

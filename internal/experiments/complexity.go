@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/tabfmt"
+)
+
+// Complexity empirically verifies Table I and regenerates the §VI.C
+// statistics: it fits growth exponents of runtime against r (trees) and n
+// (taxa) per engine, and reports R² and Pearson coefficients for BFHRF's
+// runtime-vs-n linearity, the two numbers the paper quotes (0.988/0.994
+// for 8 cores, 0.997/0.999 for 16).
+func (c *Config) Complexity() *Report {
+	rep := &Report{ID: "TableI_Complexity"}
+
+	growth := tabfmt.New(
+		"Table I (empirical) — growth exponents k in time ≈ c·xᵏ (log-log fit)",
+		"Algorithm", "k vs trees r", "k vs taxa n", "theory (r)", "theory (n, bits)")
+	theoryR := map[Engine]string{
+		DS: "2 (q=r)", DSMP8: "2 (q=r)", DSMP16: "2 (q=r)",
+		HashRF: "2", BFHRF8: "1", BFHRF16: "1",
+	}
+
+	// Sweep vs r at n=100 (Table V sizes, scaled).
+	var rPoints []SweepPoint
+	for _, r := range []int{1000, 25000, 50000, 75000, 100000} {
+		rPoints = append(rPoints, SweepPoint{dataset.VariableTrees(r), c.ScaleTrees(r)})
+	}
+	// Sweep vs n at r=1000 (Table IV sizes, scaled).
+	var nPoints []SweepPoint
+	for _, n := range []int{100, 250, 500, 750, 1000} {
+		spec := dataset.VariableTaxa(n)
+		nPoints = append(nPoints, SweepPoint{spec, c.ScaleTrees(spec.NumTrees)})
+	}
+
+	statsTab := tabfmt.New(
+		"§VI.C — BFHRF runtime linearity vs taxa n (paper: R²=0.988/0.997, Pearson=0.994/0.999)",
+		"Algorithm", "R-Squared", "Pearson")
+	rep.Tables = append(rep.Tables, growth, statsTab)
+
+	for _, engine := range c.engines() {
+		var rx, ry []float64
+		for _, p := range rPoints {
+			res := c.RunPoint(engine, p.Spec, p.R)
+			if res.Err == nil && res.Minutes > 0 {
+				rx = append(rx, float64(res.R))
+				ry = append(ry, res.Minutes)
+			}
+		}
+		var nx, ny []float64
+		for _, p := range nPoints {
+			res := c.RunPoint(engine, p.Spec, p.R)
+			if res.Err == nil && res.Minutes > 0 {
+				nx = append(nx, float64(res.N))
+				ny = append(ny, res.Minutes)
+			}
+		}
+		kr := fitCell(rx, ry)
+		kn := fitCell(nx, ny)
+		growth.AddRow(string(engine), kr, kn, theoryR[engine], "2 (linear in practice)")
+
+		if engine == BFHRF8 || engine == BFHRF16 {
+			fit, errF := stats.FitLinear(nx, ny)
+			pear, errP := stats.Pearson(nx, ny)
+			if errF == nil && errP == nil {
+				statsTab.AddRow(string(engine), fmt.Sprintf("%.3f", fit.R2), fmt.Sprintf("%.3f", pear))
+			} else {
+				statsTab.AddRow(string(engine), "-", "-")
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"exponents near 1 indicate linear scaling, near 2 quadratic; BFHRF should be ~1 vs r while HashRF and DS/DSMP trend ≥ ~2 (Table I)",
+		"runtimes vs n are linear in practice for all engines despite the O(n²)-bits bound, matching §VI.C")
+	return rep
+}
+
+func fitCell(xs, ys []float64) string {
+	k, err := stats.GrowthExponent(xs, ys)
+	if err != nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", k)
+}
+
+// Accuracy regenerates the §III.C claim as a table: the maximum absolute
+// disagreement in average RF between BFHRF and the DS/DSMP/HashRF/Day
+// engines across a simulated collection. All cells must be 0.
+func (c *Config) Accuracy() *Report {
+	rep := &Report{ID: "AccuracyIIIC"}
+	tab := tabfmt.New("§III.C — cross-engine agreement (max |Δ avg RF|)",
+		"Dataset", "n", "R", "max|BFHRF−DS|", "max|BFHRF−DSMP|", "max|BFHRF−HashRF|")
+	rep.Tables = append(rep.Tables, tab)
+	for _, spec := range []dataset.Spec{dataset.Avian(), dataset.VariableTrees(1000)} {
+		r := c.ScaleTrees(1000)
+		dDS, dDSMP, dHRF, err := c.agreement(spec, r)
+		if err != nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%s: %v", spec.Name, err))
+			tab.AddRow(spec.Name, spec.NumTaxa, r, "-", "-", "-")
+			continue
+		}
+		tab.AddRow(spec.Name, spec.NumTaxa, r,
+			fmt.Sprintf("%.2g", dDS), fmt.Sprintf("%.2g", dDSMP), fmt.Sprintf("%.2g", dHRF))
+	}
+	rep.Notes = append(rep.Notes, "all deltas must be 0: the BFH is collision-free, so no accuracy is traded for speed")
+	return rep
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func tinyConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Scale:       0.002, // r points become tens to a couple hundred trees
+		QueryCap:    16,
+		MemBudgetMB: 512,
+		WorkDir:     t.TempDir(),
+	}
+}
+
+func TestRunPointAllEngines(t *testing.T) {
+	c := tinyConfig(t)
+	spec := dataset.VariableTrees(1000)
+	for _, e := range AllEngines() {
+		res := c.RunPoint(e, spec, 20)
+		if res.Err != nil {
+			t.Errorf("%s failed: %v", e, res.Err)
+			continue
+		}
+		if res.Minutes < 0 || res.MemoryMB < 0 {
+			t.Errorf("%s: nonsensical measurement %+v", e, res)
+		}
+		if res.N != 100 || res.R != 20 {
+			t.Errorf("%s: wrong point recorded: %+v", e, res)
+		}
+	}
+}
+
+func TestRunPointUnknownEngine(t *testing.T) {
+	c := tinyConfig(t)
+	res := c.RunPoint(Engine("Bogus"), dataset.VariableTrees(1000), 10)
+	if res.Err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+func TestDSExtrapolationFlag(t *testing.T) {
+	c := tinyConfig(t)
+	c.QueryCap = 5
+	res := c.RunPoint(DS, dataset.VariableTrees(1000), 20)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Estimated {
+		t.Error("runtime should be flagged as extrapolated when q > QueryCap")
+	}
+	if !strings.HasSuffix(res.TimeCell(), "*") {
+		t.Errorf("TimeCell should carry '*': %q", res.TimeCell())
+	}
+}
+
+func TestHashRFRefusesInsect(t *testing.T) {
+	// Insect is unweighted; HashRF must refuse it, rendering "-" like the
+	// paper's Table III.
+	c := tinyConfig(t)
+	res := c.RunPoint(HashRF, dataset.Insect(), 12)
+	if res.Err == nil {
+		t.Fatal("HashRF must refuse unweighted input")
+	}
+	if res.TimeCell() != "-" || res.MemCell() != "-" {
+		t.Errorf("failure cells = %q/%q, want -/-", res.TimeCell(), res.MemCell())
+	}
+}
+
+func TestHashRFMatrixBudget(t *testing.T) {
+	c := tinyConfig(t)
+	c.MemBudgetMB = 0 // force the default
+	cSmall := c
+	cSmall.MemBudgetMB = 1 // 1 MiB: ~500k cells → r=1500 overflows
+	res := cSmall.RunPoint(HashRF, dataset.VariableTrees(100000), 1500)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "simulated OOM") {
+		t.Errorf("expected simulated OOM, got %v", res.Err)
+	}
+}
+
+func TestMaterializeCaches(t *testing.T) {
+	c := tinyConfig(t)
+	spec := dataset.VariableTrees(1000)
+	p1, _, err := c.materialize(spec, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := c.materialize(spec, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("materialize should cache")
+	}
+}
+
+func TestDatasetsReport(t *testing.T) {
+	c := tinyConfig(t)
+	rep := c.Datasets()
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Avian", "Insect", "14446", "149278"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestAccuracyReportAllZero(t *testing.T) {
+	c := tinyConfig(t)
+	rep := c.Accuracy()
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "0") {
+		t.Errorf("accuracy report malformed:\n%s", out)
+	}
+	// No failure notes beyond the standard ones.
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "error") {
+			t.Errorf("unexpected failure note: %s", n)
+		}
+	}
+}
+
+func TestSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep smoke test in -short mode")
+	}
+	c := tinyConfig(t)
+	c.Engines = []Engine{DS, HashRF, BFHRF8}
+	rep := c.Avian()
+	if len(rep.Tables) != 1 {
+		t.Fatalf("tables = %d", len(rep.Tables))
+	}
+	if rep.Tables[0].NumRows() != 3*4 {
+		t.Errorf("rows = %d, want 12", rep.Tables[0].NumRows())
+	}
+	if err := rep.SaveCSV(t.TempDir()); err != nil {
+		t.Errorf("SaveCSV: %v", err)
+	}
+}
+
+func TestScaleTreesFloor(t *testing.T) {
+	c := Config{Scale: 0.0001}
+	if got := c.ScaleTrees(1000); got != 8 {
+		t.Errorf("ScaleTrees floor = %d, want 8", got)
+	}
+	c = Config{Scale: 1}
+	if got := c.ScaleTrees(14446); got != 14446 {
+		t.Errorf("ScaleTrees identity = %d", got)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/tabfmt"
+)
+
+// Headline regenerates the abstract's headline comparisons: the speedup
+// and memory reduction of BFHRF over the sequential baseline and over
+// HashRF at the largest data point each can reach. The paper reports
+// 8884× / 39× speedups and 26× / 22× memory reductions "for large data
+// sets"; at reduced scale the ratios are smaller but must point the same
+// way and grow with r.
+func (c *Config) Headline() *Report {
+	rep := &Report{ID: "Headline_Abstract"}
+	tab := tabfmt.New(
+		"Abstract headline — BFHRF vs baselines at the largest sweep point",
+		"Comparison", "n", "R", "Speedup(×)", "Memory reduction(×)")
+	rep.Tables = append(rep.Tables, tab)
+
+	// The paper's headline point is the variable-trees sweep's top (DS) and
+	// the largest HashRF-survivable point.
+	rTop := c.ScaleTrees(100000)
+	spec := dataset.VariableTrees(100000)
+
+	bf := c.RunPoint(BFHRF8, spec, rTop)
+	if bf.Err != nil {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("BFHRF8 failed: %v", bf.Err))
+		return rep
+	}
+	ds := c.RunPoint(DS, spec, rTop)
+	addRatio(tab, rep, "BFHRF8 vs DS (sequential)", bf, ds)
+	dsmp := c.RunPoint(DSMP8, spec, rTop)
+	addRatio(tab, rep, "BFHRF8 vs DSMP8", bf, dsmp)
+	hrf := c.RunPoint(HashRF, spec, rTop)
+	if hrf.Err != nil {
+		// HashRF died at the top point (as at the paper's full scale);
+		// fall back to the largest point it survives.
+		rep.Notes = append(rep.Notes, fmt.Sprintf("HashRF at R=%d: %v", rTop, hrf.Err))
+		for _, r := range []int{75000, 50000, 25000, 1000} {
+			rs := c.ScaleTrees(r)
+			hrf = c.RunPoint(HashRF, dataset.VariableTrees(r), rs)
+			if hrf.Err == nil {
+				bfAt := c.RunPoint(BFHRF8, dataset.VariableTrees(r), rs)
+				addRatio(tab, rep, fmt.Sprintf("BFHRF8 vs HashRF (R=%d)", rs), bfAt, hrf)
+				break
+			}
+		}
+	} else {
+		addRatio(tab, rep, "BFHRF8 vs HashRF", bf, hrf)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper headline (full scale, Python/C++): 8884× vs sequential, 39× vs HashRF; 26× and 22× memory",
+		"ratios grow with scale — rerun with -scale 1 for the paper's sizes")
+	return rep
+}
+
+func addRatio(tab *tabfmt.Table, rep *Report, label string, fast, slow RunResult) {
+	if slow.Err != nil {
+		tab.AddRow(label, fast.N, fast.R, "-", "-")
+		rep.Notes = append(rep.Notes, fmt.Sprintf("%s: baseline failed: %v", label, slow.Err))
+		return
+	}
+	speed := "-"
+	if fast.Minutes > 0 {
+		s := slow.Minutes / fast.Minutes
+		speed = fmt.Sprintf("%.1f", s)
+		if slow.Estimated {
+			speed += "*"
+		}
+	}
+	mem := "-"
+	if fast.MemoryMB > 0 {
+		mem = fmt.Sprintf("%.1f", slow.MemoryMB/fast.MemoryMB)
+	}
+	tab.AddRow(label, fast.N, fast.R, speed, mem)
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/tabfmt"
+)
+
+// Report is one regenerated paper artifact: its tables plus commentary.
+type Report struct {
+	ID     string // e.g. "Fig1_Avian", "TableV_Fig2_VarTrees"
+	Tables []*tabfmt.Table
+	Notes  []string
+}
+
+// WriteText renders the report (tables and notes) to w.
+func (rep *Report) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "== %s ==\n", rep.ID)
+	for _, t := range rep.Tables {
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range rep.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// SaveCSV writes every table of the report as CSV files under dir.
+func (rep *Report) SaveCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range rep.Tables {
+		name := fmt.Sprintf("%s_%d.csv", rep.ID, i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepPoint is one data point of a sweep: the first R trees of Spec.
+type SweepPoint struct {
+	Spec dataset.Spec
+	R    int
+}
+
+// sweep measures every engine at every point and fills a runtime+memory
+// table in the paper's layout (engine-major, like Tables III–V).
+func (c *Config) sweep(id, title string, points []SweepPoint) *Report {
+	tab := tabfmt.New(title, "Algorithm", "n", "R", "Time(m)", "Memory(MB)")
+	rep := &Report{ID: id, Tables: []*tabfmt.Table{tab}}
+	for _, engine := range c.engines() {
+		for _, p := range points {
+			res := c.RunPoint(engine, p.Spec, p.R)
+			tab.AddRow(string(engine), res.N, res.R, res.TimeCell(), res.MemCell())
+			if res.Err != nil {
+				rep.Notes = append(rep.Notes, fmt.Sprintf("%s n=%d R=%d: %v", engine, res.N, p.R, res.Err))
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("scale=%.3g of the paper's sizes; '*' marks runtimes extrapolated from the first %d queries (the paper's estimation protocol); '-' marks refused/aborted runs",
+			c.scale(), c.QueryCap))
+	return rep
+}
+
+// Avian regenerates Fig. 1: runtime and memory on the Avian dataset at
+// r ∈ {1000, 5000, 10000, 14446} (scaled), each point being the first r
+// trees of the collection.
+func (c *Config) Avian() *Report {
+	spec := dataset.Avian()
+	var points []SweepPoint
+	for _, r := range []int{1000, 5000, 10000, 14446} {
+		points = append(points, SweepPoint{spec, c.ScaleTrees(r)})
+	}
+	return c.sweep("Fig1_Avian",
+		"Fig. 1 — Avian data set (n=48): runtime and memory vs number of trees", points)
+}
+
+// Insect regenerates Table III: the Insect dataset at
+// r ∈ {1000, 50000, 100000, 149278} (scaled). HashRF rows come out "-"
+// because the data is unweighted, as in the paper (§VI.B).
+func (c *Config) Insect() *Report {
+	spec := dataset.Insect()
+	var points []SweepPoint
+	for _, r := range []int{1000, 50000, 100000, 149278} {
+		points = append(points, SweepPoint{spec, c.ScaleTrees(r)})
+	}
+	return c.sweep("TableIII_Insect", "Table III — Insect data set (n=144)", points)
+}
+
+// VarTaxa regenerates Table IV: n ∈ {100, 250, 500, 750, 1000} at r = 1000
+// (scaled).
+func (c *Config) VarTaxa() *Report {
+	var points []SweepPoint
+	for _, n := range []int{100, 250, 500, 750, 1000} {
+		spec := dataset.VariableTaxa(n)
+		points = append(points, SweepPoint{spec, c.ScaleTrees(spec.NumTrees)})
+	}
+	return c.sweep("TableIV_VarTaxa", "Table IV — variable number of taxa (R=1000)", points)
+}
+
+// VarTrees regenerates Table V / Fig. 2: n=100 at
+// r ∈ {1000, 25000, 50000, 75000, 100000} (scaled). At full scale HashRF's
+// matrix exceeds the memory budget at the top point, reproducing the
+// paper's kernel kill.
+func (c *Config) VarTrees() *Report {
+	var points []SweepPoint
+	for _, r := range []int{1000, 25000, 50000, 75000, 100000} {
+		points = append(points, SweepPoint{dataset.VariableTrees(r), c.ScaleTrees(r)})
+	}
+	return c.sweep("TableV_Fig2_VarTrees", "Table V / Fig. 2 — variable number of trees (n=100)", points)
+}
+
+// Datasets regenerates Table II, the dataset inventory.
+func (c *Config) Datasets() *Report {
+	tab := tabfmt.New("Table II — data sets", "Name", "Taxa n", "Trees R", "Type", "Source")
+	tab.AddRow("Avian", 48, 14446, "Real→Sim", "MSC substitute for Jarvis et al. 2014")
+	tab.AddRow("Insect", 144, 149278, "Real→Sim (unweighted)", "MSC substitute for Sayyari et al. 2017")
+	tab.AddRow("Variable Trees, R", 100, "1000:100000", "Sim", "Yule + MSC (SimPhy-style)")
+	tab.AddRow("Variable Species, n", "100:1000", 1000, "Sim", "Yule + MSC (SimPhy-style)")
+	return &Report{ID: "TableII_Datasets", Tables: []*tabfmt.Table{tab}, Notes: []string{
+		"real collections are substituted by multispecies-coalescent simulations with matching n and r (see DESIGN.md)",
+	}}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func microConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Scale:       0.0005, // every sweep point floors to 8 trees
+		QueryCap:    8,
+		MemBudgetMB: 256,
+		WorkDir:     t.TempDir(),
+		Engines:     []Engine{DS, HashRF, BFHRF8},
+	}
+}
+
+func render(t *testing.T, rep *Report) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestAvianReport(t *testing.T) {
+	c := microConfig(t)
+	rep := c.Avian()
+	out := render(t, rep)
+	for _, want := range []string{"Fig. 1", "DS", "HashRF", "BFHRF8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Avian report missing %q", want)
+		}
+	}
+	if rep.Tables[0].NumRows() != 3*4 {
+		t.Errorf("rows = %d", rep.Tables[0].NumRows())
+	}
+}
+
+func TestInsectReportHashRFDashes(t *testing.T) {
+	c := microConfig(t)
+	rep := c.Insect()
+	out := render(t, rep)
+	if !strings.Contains(out, "-") {
+		t.Error("Insect report should contain '-' cells for HashRF")
+	}
+	foundNote := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "branch lengths") {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Error("expected an unweighted-refusal note")
+	}
+}
+
+func TestVarTaxaAndVarTreesReports(t *testing.T) {
+	c := microConfig(t)
+	for _, rep := range []*Report{c.VarTaxa(), c.VarTrees()} {
+		out := render(t, rep)
+		if !strings.Contains(out, "BFHRF8") {
+			t.Errorf("%s report missing engine rows", rep.ID)
+		}
+		if rep.Tables[0].NumRows() == 0 {
+			t.Errorf("%s report empty", rep.ID)
+		}
+	}
+}
+
+func TestComplexityReport(t *testing.T) {
+	c := microConfig(t)
+	c.Engines = []Engine{DS, BFHRF8} // keep it fast
+	rep := c.Complexity()
+	out := render(t, rep)
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "R-Squared") {
+		t.Errorf("complexity report malformed:\n%s", out)
+	}
+	if len(rep.Tables) != 2 {
+		t.Errorf("tables = %d, want 2", len(rep.Tables))
+	}
+}
+
+func TestHeadlineReport(t *testing.T) {
+	c := microConfig(t)
+	rep := c.Headline()
+	out := render(t, rep)
+	if !strings.Contains(out, "BFHRF8 vs DS") {
+		t.Errorf("headline report missing the DS comparison:\n%s", out)
+	}
+}
+
+func TestAblationReport(t *testing.T) {
+	c := microConfig(t)
+	rep := c.Ablation()
+	out := render(t, rep)
+	for _, want := range []string{"compressed", "raw", "Worker scaling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}
+
+func TestDistribReport(t *testing.T) {
+	c := microConfig(t)
+	rep := c.Distrib()
+	out := render(t, rep)
+	if !strings.Contains(out, "MaxDelta") {
+		t.Errorf("distrib report malformed:\n%s", out)
+	}
+	// Every delta cell must be 0.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 5 && (fields[0] == "1" || fields[0] == "2" || fields[0] == "4" || fields[0] == "local") {
+			if fields[4] != "0" {
+				t.Errorf("nonzero delta in distrib row: %s", line)
+			}
+		}
+	}
+}

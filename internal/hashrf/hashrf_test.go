@@ -1,0 +1,166 @@
+package hashrf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/day"
+	"repro/internal/newick"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+var abcd = taxa.MustNewSet([]string{"A", "B", "C", "D"})
+
+func weighted(nwk string) *tree.Tree {
+	t := newick.MustParse(nwk)
+	t.Postorder(func(n *tree.Node) {
+		if n.Parent != nil {
+			n.Length, n.HasLength = 1, true
+		}
+	})
+	return t
+}
+
+func TestMatrixAgainstDay(t *testing.T) {
+	n, rN := 14, 20
+	ts := taxa.Generate(n)
+	rng := rand.New(rand.NewSource(5))
+	var trees []*tree.Tree
+	for i := 0; i < rN; i++ {
+		trees = append(trees, simphy.RandomBinary(ts, rng))
+	}
+	m, err := AllVsAll(collection.FromTrees(trees), Options{Taxa: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rN; i++ {
+		for j := 0; j < rN; j++ {
+			want := day.MustRF(trees[i], trees[j])
+			if got := m.At(i, j); got != want {
+				t.Fatalf("RF(%d,%d) = %d, Day = %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestRowAverages(t *testing.T) {
+	trees := []*tree.Tree{
+		weighted("((A,B),(C,D));"),
+		weighted("((A,C),(B,D));"),
+		weighted("((A,B),(C,D));"),
+	}
+	m, err := AllVsAll(collection.FromTrees(trees), Options{Taxa: abcd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgs := m.RowAverages()
+	// Tree 0: distances 0, 2, 0 → 2/3. Tree 1: 2, 0, 2 → 4/3.
+	if !close(avgs[0], 2.0/3.0) || !close(avgs[1], 4.0/3.0) || !close(avgs[2], 2.0/3.0) {
+		t.Errorf("averages = %v", avgs)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestRejectsUnweighted(t *testing.T) {
+	trees := []*tree.Tree{newick.MustParse("((A,B),(C,D));"), newick.MustParse("((A,C),(B,D));")}
+	_, err := AllVsAll(collection.FromTrees(trees), Options{Taxa: abcd})
+	if err == nil {
+		t.Fatal("unweighted input should be rejected by default (paper §VI.B)")
+	}
+	if !strings.Contains(err.Error(), "branch length") {
+		t.Errorf("error should mention branch lengths: %v", err)
+	}
+	// With AcceptUnweighted it must work.
+	m, err := AllVsAll(collection.FromTrees(trees), Options{Taxa: abcd, AcceptUnweighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 {
+		t.Errorf("RF = %d, want 2", m.At(0, 1))
+	}
+}
+
+func TestMatrixBound(t *testing.T) {
+	ts := taxa.Generate(8)
+	rng := rand.New(rand.NewSource(2))
+	var trees []*tree.Tree
+	for i := 0; i < 50; i++ {
+		trees = append(trees, simphy.RandomBinary(ts, rng))
+	}
+	_, err := AllVsAll(collection.FromTrees(trees), Options{Taxa: ts, AcceptUnweighted: true, MaxMatrixCells: 100})
+	if err == nil || !strings.Contains(err.Error(), "simulated OOM") {
+		t.Errorf("expected simulated OOM, got %v", err)
+	}
+}
+
+func TestEmptyCollection(t *testing.T) {
+	if _, err := AllVsAll(collection.FromTrees(nil), Options{Taxa: abcd}); err == nil {
+		t.Error("empty collection should fail")
+	}
+	if _, err := AllVsAll(collection.FromTrees(nil), Options{}); err == nil {
+		t.Error("missing taxa should fail")
+	}
+}
+
+func TestTriangleIndexing(t *testing.T) {
+	m := newMatrix(5)
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			idx := m.triIndex(i, j)
+			if idx < 0 || idx >= len(m.tri) {
+				t.Fatalf("triIndex(%d,%d) = %d out of range", i, j, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("triIndex(%d,%d) = %d collides", i, j, idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != len(m.tri) {
+		t.Errorf("triangle not fully covered: %d of %d", len(seen), len(m.tri))
+	}
+	// Symmetric access.
+	m.set(1, 3, 7)
+	if m.At(3, 1) != 7 || m.At(1, 3) != 7 {
+		t.Error("At not symmetric")
+	}
+	if m.At(2, 2) != 0 {
+		t.Error("diagonal must be 0")
+	}
+}
+
+func TestAverageRFMatchesMatrix(t *testing.T) {
+	ts := taxa.Generate(10)
+	rng := rand.New(rand.NewSource(11))
+	var trees []*tree.Tree
+	for i := 0; i < 12; i++ {
+		trees = append(trees, simphy.RandomBinary(ts, rng))
+	}
+	src := collection.FromTrees(trees)
+	avgs, err := AverageRF(src, Options{Taxa: ts, AcceptUnweighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := AllVsAll(src, Options{Taxa: ts, AcceptUnweighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.RowAverages()
+	for i := range avgs {
+		if !close(avgs[i], want[i]) {
+			t.Errorf("avg[%d] = %v, want %v", i, avgs[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package hashrf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PHYLIP square distance-matrix interchange, the format R's ape and the
+// PHYLIP tools consume — so all-vs-all RF matrices computed here feed
+// directly into downstream neighbour-joining, MDS, or plotting pipelines.
+
+// WritePhylip serializes the matrix in PHYLIP square format. Names label
+// the rows; if nil, T0, T1, … are used. Names are padded to the classic
+// 10-character field (longer names are kept whole followed by two spaces,
+// the "relaxed PHYLIP" convention).
+func (m *Matrix) WritePhylip(w io.Writer, names []string) error {
+	if names != nil && len(names) != m.R {
+		return fmt.Errorf("hashrf: %d names for %d trees", len(names), m.R)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%5d\n", m.R)
+	for i := 0; i < m.R; i++ {
+		name := fmt.Sprintf("T%d", i)
+		if names != nil {
+			name = names[i]
+		}
+		if strings.ContainsAny(name, " \t\n\r") {
+			return fmt.Errorf("hashrf: name %q contains whitespace", name)
+		}
+		if len(name) < 10 {
+			fmt.Fprintf(bw, "%-10s", name)
+		} else {
+			bw.WriteString(name)
+			bw.WriteString("  ")
+		}
+		for j := 0; j < m.R; j++ {
+			if j > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.Itoa(m.At(i, j)))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadPhylip parses a PHYLIP square distance matrix (as written by
+// WritePhylip or by other tools using integer distances). It returns the
+// matrix and the row names.
+func ReadPhylip(r io.Reader) (*Matrix, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("hashrf: empty PHYLIP input")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
+	if err != nil || n < 1 {
+		return nil, nil, fmt.Errorf("hashrf: bad PHYLIP header %q", sc.Text())
+	}
+	m := newMatrix(n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			return nil, nil, fmt.Errorf("hashrf: PHYLIP input ends at row %d of %d", i, n)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != n+1 {
+			return nil, nil, fmt.Errorf("hashrf: row %d has %d fields, want %d", i, len(fields), n+1)
+		}
+		names[i] = fields[0]
+		for j := 0; j < n; j++ {
+			v, err := strconv.Atoi(fields[j+1])
+			if err != nil {
+				return nil, nil, fmt.Errorf("hashrf: row %d col %d: %w", i, j, err)
+			}
+			switch {
+			case i == j:
+				if v != 0 {
+					return nil, nil, fmt.Errorf("hashrf: nonzero diagonal at %d: %d", i, v)
+				}
+			case j > i:
+				m.set(i, j, v)
+			default: // symmetric check
+				if m.At(i, j) != v {
+					return nil, nil, fmt.Errorf("hashrf: matrix not symmetric at (%d,%d): %d vs %d",
+						i, j, v, m.At(i, j))
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return m, names, nil
+}

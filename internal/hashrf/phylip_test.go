@@ -1,0 +1,98 @@
+package hashrf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+func smallMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	ts := taxa.Generate(10)
+	rng := rand.New(rand.NewSource(6))
+	trees := make([]*tree.Tree, 5)
+	for i := range trees {
+		trees[i] = simphy.RandomBinary(ts, rng)
+	}
+	m, err := AllVsAll(collection.FromTrees(trees), Options{Taxa: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPhylipRoundTrip(t *testing.T) {
+	m := smallMatrix(t)
+	var sb strings.Builder
+	if err := m.WritePhylip(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, names, err := ReadPhylip(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if got.R != m.R {
+		t.Fatalf("R = %d, want %d", got.R, m.R)
+	}
+	for i := 0; i < m.R; i++ {
+		if names[i] != "T"+string(rune('0'+i)) {
+			t.Errorf("names[%d] = %q", i, names[i])
+		}
+		for j := 0; j < m.R; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Errorf("(%d,%d): %d vs %d", i, j, got.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPhylipCustomAndLongNames(t *testing.T) {
+	m := smallMatrix(t)
+	names := []string{"alpha", "averyveryverylongname", "c", "d", "e"}
+	var sb strings.Builder
+	if err := m.WritePhylip(&sb, names); err != nil {
+		t.Fatal(err)
+	}
+	_, gotNames, err := ReadPhylip(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range names {
+		if gotNames[i] != names[i] {
+			t.Errorf("names[%d] = %q, want %q", i, gotNames[i], names[i])
+		}
+	}
+}
+
+func TestPhylipWriteErrors(t *testing.T) {
+	m := smallMatrix(t)
+	var sb strings.Builder
+	if err := m.WritePhylip(&sb, []string{"too", "few"}); err == nil {
+		t.Error("wrong name count should fail")
+	}
+	if err := m.WritePhylip(&sb, []string{"has space", "b", "c", "d", "e"}); err == nil {
+		t.Error("whitespace in a name should fail")
+	}
+}
+
+func TestPhylipReadErrors(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"abc\n",               // bad header
+		"2\nT0 0 1\n",         // missing row
+		"2\nT0 0\nT1 0 0\n",   // short row
+		"2\nT0 0 x\nT1 x 0\n", // non-integer
+		"2\nT0 1 2\nT1 2 1\n", // nonzero diagonal
+		"2\nT0 0 2\nT1 3 0\n", // asymmetric
+	}
+	for i, c := range cases {
+		if _, _, err := ReadPhylip(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail:\n%s", i, c)
+		}
+	}
+}

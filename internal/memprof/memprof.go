@@ -1,0 +1,92 @@
+// Package memprof measures the two quantities the paper reports per run:
+// wall-clock time and maximum resident memory. Peak memory is approximated
+// by sampling the Go heap during the run (after forcing a GC to establish a
+// baseline), which tracks the same shape as the paper's max-resident
+// profiler at a fraction of the absolute value.
+package memprof
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Measurement is the outcome of one measured run.
+type Measurement struct {
+	// Wall is the elapsed wall-clock time.
+	Wall time.Duration
+	// PeakHeapBytes is the maximum sampled live-heap size above the
+	// pre-run baseline.
+	PeakHeapBytes uint64
+	// BaselineBytes is the live heap before the run started.
+	BaselineBytes uint64
+	// TotalAllocBytes is the cumulative allocation during the run.
+	TotalAllocBytes uint64
+	// Err is the error returned by the measured function, if any.
+	Err error
+}
+
+// PeakHeapMB returns the peak in mebibytes.
+func (m Measurement) PeakHeapMB() float64 { return float64(m.PeakHeapBytes) / (1 << 20) }
+
+// Minutes returns the wall time in minutes, the unit of the paper's
+// tables.
+func (m Measurement) Minutes() float64 { return m.Wall.Minutes() }
+
+// SampleInterval is the heap-sampling period. Coarser sampling underreads
+// sharp peaks; finer sampling perturbs short runs.
+var SampleInterval = 2 * time.Millisecond
+
+// Measure runs f while sampling heap usage, returning the measurement.
+// The measured function's error is recorded, not swallowed.
+func Measure(f func() error) Measurement {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseline := ms.HeapAlloc
+	startAlloc := ms.TotalAlloc
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(SampleInterval)
+		defer ticker.Stop()
+		var s runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&s)
+				if s.HeapAlloc > peak.Load() {
+					peak.Store(s.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	err := f()
+	wall := time.Since(start)
+	close(stop)
+	<-done
+
+	// Final sample: short runs can finish between ticks.
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak.Load() {
+		peak.Store(ms.HeapAlloc)
+	}
+	p := peak.Load()
+	if p < baseline {
+		p = baseline
+	}
+	return Measurement{
+		Wall:            wall,
+		PeakHeapBytes:   p - baseline,
+		BaselineBytes:   baseline,
+		TotalAllocBytes: ms.TotalAlloc - startAlloc,
+		Err:             err,
+	}
+}

@@ -1,0 +1,65 @@
+package memprof
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMeasureWallTime(t *testing.T) {
+	m := Measure(func() error {
+		time.Sleep(30 * time.Millisecond)
+		return nil
+	})
+	if m.Err != nil {
+		t.Fatal(m.Err)
+	}
+	if m.Wall < 25*time.Millisecond {
+		t.Errorf("Wall = %v, expected >= 25ms", m.Wall)
+	}
+	if m.Minutes() <= 0 {
+		t.Error("Minutes should be positive")
+	}
+}
+
+func TestMeasureCapturesError(t *testing.T) {
+	want := errors.New("boom")
+	m := Measure(func() error { return want })
+	if m.Err != want {
+		t.Errorf("Err = %v", m.Err)
+	}
+}
+
+func TestMeasurePeakHeap(t *testing.T) {
+	var sink [][]byte
+	m := Measure(func() error {
+		for i := 0; i < 64; i++ {
+			sink = append(sink, make([]byte, 1<<20))
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	})
+	if m.Err != nil {
+		t.Fatal(m.Err)
+	}
+	// 64 MiB allocated and retained; expect a peak of at least half that.
+	if m.PeakHeapMB() < 32 {
+		t.Errorf("PeakHeapMB = %v, expected >= 32", m.PeakHeapMB())
+	}
+	if m.TotalAllocBytes < 32<<20 {
+		t.Errorf("TotalAllocBytes = %d", m.TotalAllocBytes)
+	}
+	sink = nil
+	_ = sink
+}
+
+func TestMeasureQuickFunction(t *testing.T) {
+	// A run shorter than the sample interval must still be measured.
+	m := Measure(func() error { return nil })
+	if m.Err != nil {
+		t.Fatal(m.Err)
+	}
+	if m.Wall < 0 {
+		t.Error("negative wall time")
+	}
+}

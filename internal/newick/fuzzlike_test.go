@@ -1,0 +1,111 @@
+package newick
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParserNeverPanics feeds the parser random byte soup, random
+// structural-character soup, and mutated valid trees: it must always return
+// (tree, nil) or (nil, error), never panic or hang. This is the robustness
+// contract for a tool whose inputs are multi-gigabyte files assembled by
+// heterogeneous pipelines.
+func TestQuickParserNeverPanics(t *testing.T) {
+	structural := []byte("(),:;[]'_ \t\nAB019.e-")
+	f := func(seed int64, mode uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("parser panicked: %v", r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var input string
+		switch mode % 3 {
+		case 0: // raw random bytes
+			b := make([]byte, rng.Intn(200))
+			rng.Read(b)
+			input = string(b)
+		case 1: // structural soup
+			n := rng.Intn(200)
+			var sb strings.Builder
+			for i := 0; i < n; i++ {
+				sb.WriteByte(structural[rng.Intn(len(structural))])
+			}
+			input = sb.String()
+		default: // mutated valid tree
+			valid := randomTreeNewick(rng, rng.Intn(20)+3)
+			b := []byte(valid)
+			for m := 0; m < rng.Intn(5); m++ {
+				if len(b) == 0 {
+					break
+				}
+				b[rng.Intn(len(b))] = structural[rng.Intn(len(structural))]
+			}
+			input = string(b)
+		}
+		_, _ = Parse(input) // outcome irrelevant; absence of panic is the property
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReaderNeverPanicsOnStreams does the same for the multi-tree
+// streaming reader.
+func TestQuickReaderNeverPanicsOnStreams(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("reader panicked: %v", r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < rng.Intn(5); i++ {
+			if rng.Intn(3) == 0 {
+				b := make([]byte, rng.Intn(50))
+				rng.Read(b)
+				sb.Write(b)
+			} else {
+				sb.WriteString(randomTreeNewick(rng, rng.Intn(10)+3))
+			}
+			sb.WriteByte('\n')
+		}
+		r := NewReader(strings.NewReader(sb.String()))
+		for i := 0; i < 20; i++ {
+			if _, err := r.Read(); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserDepthBound: deeply nested input must parse (or fail) without
+// blowing the stack.
+func TestParserDepthBound(t *testing.T) {
+	depth := 100000
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		sb.WriteByte('(')
+	}
+	sb.WriteString("A,B")
+	for i := 0; i < depth; i++ {
+		sb.WriteByte(')')
+	}
+	sb.WriteByte(';')
+	// Either outcome is fine; no panic allowed. (Current parser is
+	// recursive; Go grows goroutine stacks, so this passes.)
+	tr, err := Parse(sb.String())
+	if err == nil && tr.NumLeaves() != 2 {
+		t.Errorf("deep parse lost leaves: %d", tr.NumLeaves())
+	}
+}

@@ -1,0 +1,238 @@
+package newick
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// tokenKind enumerates the lexical token classes of the Newick grammar.
+type tokenKind int
+
+const (
+	tokEOF    tokenKind = iota
+	tokOpen             // (
+	tokClose            // )
+	tokComma            // ,
+	tokColon            // :
+	tokSemi             // ;
+	tokLabel            // bare or quoted label
+	tokNumber           // branch length (lexed as a label-like run; parsed later)
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokOpen:
+		return "'('"
+	case tokClose:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokSemi:
+		return "';'"
+	case tokLabel:
+		return "label"
+	case tokNumber:
+		return "number"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source position (byte offset within the
+// current tree's text) for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a single Newick tree description. It handles:
+//   - bare labels (underscores decoded as spaces, per the Newick convention)
+//   - single-quoted labels with doubled-quote escapes ('it”s')
+//   - bracketed comments [...] which are skipped (including NHX-style)
+//   - arbitrary whitespace between tokens
+type lexer struct {
+	r      *bufio.Reader
+	pos    int
+	peeked *token
+}
+
+func newLexer(r io.Reader) *lexer {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &lexer{r: br}
+}
+
+func (l *lexer) readByte() (byte, error) {
+	b, err := l.r.ReadByte()
+	if err == nil {
+		l.pos++
+	}
+	return b, err
+}
+
+func (l *lexer) unreadByte() {
+	if err := l.r.UnreadByte(); err == nil {
+		l.pos--
+	}
+}
+
+// peek returns the next token without consuming it.
+func (l *lexer) peek() (token, error) {
+	if l.peeked == nil {
+		t, err := l.lex()
+		if err != nil {
+			return token{}, err
+		}
+		l.peeked = &t
+	}
+	return *l.peeked, nil
+}
+
+// next consumes and returns the next token.
+func (l *lexer) next() (token, error) {
+	if l.peeked != nil {
+		t := *l.peeked
+		l.peeked = nil
+		return t, nil
+	}
+	return l.lex()
+}
+
+func (l *lexer) lex() (token, error) {
+	for {
+		b, err := l.readByte()
+		if err == io.EOF {
+			return token{kind: tokEOF, pos: l.pos}, nil
+		}
+		if err != nil {
+			return token{}, err
+		}
+		switch {
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			continue
+		case b == '[':
+			if err := l.skipComment(); err != nil {
+				return token{}, err
+			}
+			continue
+		case b == '(':
+			return token{kind: tokOpen, text: "(", pos: l.pos - 1}, nil
+		case b == ')':
+			return token{kind: tokClose, text: ")", pos: l.pos - 1}, nil
+		case b == ',':
+			return token{kind: tokComma, text: ",", pos: l.pos - 1}, nil
+		case b == ':':
+			return token{kind: tokColon, text: ":", pos: l.pos - 1}, nil
+		case b == ';':
+			return token{kind: tokSemi, text: ";", pos: l.pos - 1}, nil
+		case b == '\'':
+			return l.lexQuoted()
+		default:
+			l.unreadByte()
+			return l.lexBare()
+		}
+	}
+}
+
+// skipComment consumes a bracketed comment. Newick comments may nest.
+func (l *lexer) skipComment() error {
+	depth := 1
+	start := l.pos
+	for depth > 0 {
+		b, err := l.readByte()
+		if err == io.EOF {
+			return &ParseError{Pos: start, Msg: "unterminated comment"}
+		}
+		if err != nil {
+			return err
+		}
+		switch b {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		}
+	}
+	return nil
+}
+
+// lexQuoted consumes a single-quoted label; the opening quote has already
+// been read. A doubled quote inside the label denotes a literal quote.
+func (l *lexer) lexQuoted() (token, error) {
+	start := l.pos - 1
+	var sb strings.Builder
+	for {
+		b, err := l.readByte()
+		if err == io.EOF {
+			return token{}, &ParseError{Pos: start, Msg: "unterminated quoted label"}
+		}
+		if err != nil {
+			return token{}, err
+		}
+		if b != '\'' {
+			sb.WriteByte(b)
+			continue
+		}
+		nb, err := l.readByte()
+		if err == io.EOF {
+			return token{kind: tokLabel, text: sb.String(), pos: start}, nil
+		}
+		if err != nil {
+			return token{}, err
+		}
+		if nb == '\'' {
+			sb.WriteByte('\'')
+			continue
+		}
+		l.unreadByte()
+		return token{kind: tokLabel, text: sb.String(), pos: start}, nil
+	}
+}
+
+// lexBare consumes an unquoted label or number: a maximal run of bytes that
+// are not structural characters, whitespace, or comment/quote openers.
+// Underscores are decoded to spaces per the Newick convention.
+func (l *lexer) lexBare() (token, error) {
+	start := l.pos
+	var sb strings.Builder
+	for {
+		b, err := l.readByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return token{}, err
+		}
+		if isStructural(b) {
+			l.unreadByte()
+			break
+		}
+		if b == '_' {
+			sb.WriteByte(' ')
+		} else {
+			sb.WriteByte(b)
+		}
+	}
+	text := sb.String()
+	if text == "" {
+		return token{}, &ParseError{Pos: start, Msg: "empty label"}
+	}
+	return token{kind: tokLabel, text: text, pos: start}, nil
+}
+
+func isStructural(b byte) bool {
+	switch b {
+	case '(', ')', ',', ':', ';', '[', ']', '\'', ' ', '\t', '\n', '\r':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,341 @@
+package newick
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tree"
+)
+
+func TestParseSimple(t *testing.T) {
+	tr, err := Parse("((A,B),(C,D));")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.NumLeaves(); got != 4 {
+		t.Errorf("NumLeaves = %d, want 4", got)
+	}
+	names := tr.LeafNames()
+	sort.Strings(names)
+	if strings.Join(names, ",") != "A,B,C,D" {
+		t.Errorf("leaves = %v", names)
+	}
+}
+
+func TestParseBranchLengths(t *testing.T) {
+	tr, err := Parse("((A:0.1,B:0.2):0.3,C:1e-2);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab *tree.Node
+	tr.Postorder(func(n *tree.Node) {
+		if !n.IsLeaf() && n.Parent != nil {
+			ab = n
+		}
+	})
+	if ab == nil || !ab.HasLength || ab.Length != 0.3 {
+		t.Errorf("internal branch length not parsed: %+v", ab)
+	}
+	for _, l := range tr.Leaves() {
+		if !l.HasLength {
+			t.Errorf("leaf %s has no length", l.Name)
+		}
+		if l.Name == "C" && l.Length != 0.01 {
+			t.Errorf("C length = %v, want 0.01", l.Length)
+		}
+	}
+}
+
+func TestParseInternalLabels(t *testing.T) {
+	tr, err := Parse("((A,B)95:0.1,(C,D)87);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	tr.Postorder(func(n *tree.Node) {
+		if !n.IsLeaf() && n.Name != "" {
+			labels = append(labels, n.Name)
+		}
+	})
+	sort.Strings(labels)
+	if strings.Join(labels, ",") != "87,95" {
+		t.Errorf("internal labels = %v", labels)
+	}
+}
+
+func TestParseQuotedLabels(t *testing.T) {
+	tr, err := Parse("('Homo sapiens','it''s here',(C,D));")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := tr.LeafNames()
+	sort.Strings(names)
+	want := []string{"C", "D", "Homo sapiens", "it's here"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], w)
+		}
+	}
+}
+
+func TestParseUnderscoreDecoding(t *testing.T) {
+	tr, err := Parse("(Homo_sapiens,Pan_troglodytes,X);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := tr.LeafNames()
+	sort.Strings(names)
+	if names[0] != "Homo sapiens" {
+		t.Errorf("underscore not decoded: %v", names)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	tr, err := Parse("((A[&support=1],B)[comment [nested]],C);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 3 {
+		t.Errorf("NumLeaves = %d, want 3", tr.NumLeaves())
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	tr, err := Parse("( (A , B) ,\n\t(C, D) ) ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 4 {
+		t.Errorf("NumLeaves = %d, want 4", tr.NumLeaves())
+	}
+}
+
+func TestParseMultifurcation(t *testing.T) {
+	tr, err := Parse("(A,B,C,D,E);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root.Children) != 5 {
+		t.Errorf("root children = %d, want 5", len(tr.Root.Children))
+	}
+}
+
+func TestParseSingleLeaf(t *testing.T) {
+	tr, err := Parse("A;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() || tr.Root.Name != "A" {
+		t.Errorf("single leaf tree wrong: %+v", tr.Root)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                   // empty is EOF, checked separately
+		"((A,B);",            // unbalanced
+		"(A,B)",              // missing semicolon
+		"(A,,B);",            // empty label
+		"(A,B));",            // extra close
+		"(A,B);(",            // trailing garbage
+		"(A:xyz,B);",         // bad branch length
+		"('unterminated,B);", // unterminated quote
+		"(A,B)[unclosed;",    // unterminated comment
+		"(,);",               // empty leaves
+	}
+	for _, s := range cases[1:] {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+	// Empty input: the Reader reports EOF, Parse converts to error.
+	if _, err := Parse(""); err == nil {
+		t.Error("Parse of empty string should fail")
+	}
+}
+
+func TestReaderMultipleTrees(t *testing.T) {
+	input := "(A,B,(C,D));\n(A,C,(B,D));\n(A,D,(B,C));\n"
+	r := NewReader(strings.NewReader(input))
+	n := 0
+	for {
+		tr, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.NumLeaves() != 4 {
+			t.Errorf("tree %d has %d leaves", n, tr.NumLeaves())
+		}
+		n++
+	}
+	if n != 3 || r.TreesRead() != 3 {
+		t.Errorf("read %d trees (counter %d), want 3", n, r.TreesRead())
+	}
+}
+
+func TestReaderReadAll(t *testing.T) {
+	trees, err := NewReader(strings.NewReader("(A,B,C);(A,B,C);")).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 {
+		t.Errorf("ReadAll = %d trees, want 2", len(trees))
+	}
+}
+
+func TestReaderErrorPropagatesPosition(t *testing.T) {
+	_, err := NewReader(strings.NewReader("(A,B,(C,D));\n(A,;\n")).ReadAll()
+	if err == nil {
+		t.Fatal("expected error on malformed second tree")
+	}
+	var pe *ParseError
+	if !strings.Contains(err.Error(), "parse error") {
+		t.Errorf("error should mention parse error: %v", err)
+	}
+	_ = pe
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	cases := []string{
+		"((A,B),(C,D));",
+		"((A:0.1,B:0.2):0.5,(C:1,D:2):0.25,E:3);",
+		"(A,B,C,D,E);",
+		"((A,B)label,(C,D));",
+	}
+	for _, s := range cases {
+		tr := MustParse(s)
+		out := String(tr, DefaultWriteOptions())
+		tr2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", out, err)
+		}
+		out2 := String(tr2, DefaultWriteOptions())
+		if out != out2 {
+			t.Errorf("round trip unstable: %q -> %q", out, out2)
+		}
+	}
+}
+
+func TestWriteQuoting(t *testing.T) {
+	tr := tree.New(&tree.Node{})
+	tr.Root.AddChild(&tree.Node{Name: "has space"})
+	tr.Root.AddChild(&tree.Node{Name: "has'quote"})
+	tr.Root.AddChild(&tree.Node{Name: "has(paren"})
+	s := String(tr, DefaultWriteOptions())
+	tr2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s, err)
+	}
+	names := tr2.LeafNames()
+	sort.Strings(names)
+	want := []string{"has space", "has'quote", "has(paren"}
+	sort.Strings(want)
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	trees := []*tree.Tree{MustParse("(A,B,C);"), MustParse("((A,B),C);")}
+	var sb strings.Builder
+	if err := WriteAll(&sb, trees, DefaultWriteOptions()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("WriteAll round trip = %d trees", len(got))
+	}
+}
+
+func TestWriteOptionsToggle(t *testing.T) {
+	tr := MustParse("((A:1,B:2)90:3,C:4);")
+	bare := String(tr, WriteOptions{})
+	if strings.ContainsAny(bare, ":") || strings.Contains(bare, "90") {
+		t.Errorf("options off but output has annotations: %q", bare)
+	}
+	full := String(tr, DefaultWriteOptions())
+	if !strings.Contains(full, ":3") || !strings.Contains(full, "90") {
+		t.Errorf("full output missing annotations: %q", full)
+	}
+}
+
+// randomTreeNewick builds a random binary Newick string over n leaves.
+func randomTreeNewick(rng *rand.Rand, n int) string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = "L" + string(rune('a'+i%26)) + "x" + itoa(i)
+	}
+	for len(nodes) > 1 {
+		i := rng.Intn(len(nodes))
+		j := rng.Intn(len(nodes) - 1)
+		if j >= i {
+			j++
+		}
+		merged := "(" + nodes[i] + "," + nodes[j] + ")"
+		hi, lo := i, j
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		nodes[hi] = nodes[len(nodes)-1]
+		nodes = nodes[:len(nodes)-1]
+		nodes[lo] = nodes[len(nodes)-1]
+		nodes = nodes[:len(nodes)-1]
+		nodes = append(nodes, merged)
+	}
+	return nodes[0] + ";"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestQuickParseWriteRoundTrip(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%30 + 2
+		rng := rand.New(rand.NewSource(seed))
+		s := randomTreeNewick(rng, n)
+		tr, err := Parse(s)
+		if err != nil {
+			return false
+		}
+		out := String(tr, DefaultWriteOptions())
+		tr2, err := Parse(out)
+		if err != nil {
+			return false
+		}
+		// Same leaves, same shape (stable re-serialization).
+		a, b := tr.LeafNames(), tr2.LeafNames()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return String(tr2, DefaultWriteOptions()) == out
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

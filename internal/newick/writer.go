@@ -1,0 +1,122 @@
+package newick
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// WriteOptions control Newick serialization.
+type WriteOptions struct {
+	// BranchLengths emits ":length" annotations for nodes with HasLength.
+	BranchLengths bool
+	// InternalLabels emits names on internal nodes (e.g. support values).
+	InternalLabels bool
+	// Precision is the number of significant digits for branch lengths;
+	// <= 0 means the shortest exact representation.
+	Precision int
+}
+
+// DefaultWriteOptions emit branch lengths (when present) and internal
+// labels, with shortest-form numbers.
+func DefaultWriteOptions() WriteOptions {
+	return WriteOptions{BranchLengths: true, InternalLabels: true}
+}
+
+// Write serializes t (followed by ";\n") to w.
+func Write(w io.Writer, t *tree.Tree, opts WriteOptions) error {
+	bw := bufio.NewWriter(w)
+	if err := writeNode(bw, t.Root, opts); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(";\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// String serializes t to a Newick string (with trailing ";").
+func String(t *tree.Tree, opts WriteOptions) string {
+	var sb strings.Builder
+	bw := bufio.NewWriter(&sb)
+	// strings.Builder writes cannot fail.
+	_ = writeNode(bw, t.Root, opts)
+	_, _ = bw.WriteString(";")
+	_ = bw.Flush()
+	return sb.String()
+}
+
+func writeNode(bw *bufio.Writer, n *tree.Node, opts WriteOptions) error {
+	if n == nil {
+		return nil
+	}
+	if !n.IsLeaf() {
+		if err := bw.WriteByte('('); err != nil {
+			return err
+		}
+		for i, c := range n.Children {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if err := writeNode(bw, c, opts); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte(')'); err != nil {
+			return err
+		}
+	}
+	if n.Name != "" && (n.IsLeaf() || opts.InternalLabels) {
+		if _, err := bw.WriteString(quoteLabel(n.Name)); err != nil {
+			return err
+		}
+	}
+	if opts.BranchLengths && n.HasLength {
+		if err := bw.WriteByte(':'); err != nil {
+			return err
+		}
+		prec := opts.Precision
+		if prec <= 0 {
+			prec = -1
+		}
+		if _, err := bw.WriteString(strconv.FormatFloat(n.Length, 'g', prec, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// quoteLabel renders a label safely: bare if it contains no structural
+// characters (spaces become underscores), single-quoted otherwise.
+func quoteLabel(s string) string {
+	needsQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', ')', ',', ':', ';', '[', ']', '\'', '\t', '\n', '\r', '_':
+			needsQuote = true
+		}
+	}
+	if !needsQuote {
+		return strings.ReplaceAll(s, " ", "_")
+	}
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// WriteAll serializes a sequence of trees, one per line.
+func WriteAll(w io.Writer, trees []*tree.Tree, opts WriteOptions) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range trees {
+		if err := writeNode(bw, t.Root, opts); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(";\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,330 @@
+// Package nexus reads tree collections from NEXUS files — the format
+// emitted by MrBayes and PAUP*, the Bayesian/parsimony tools the paper
+// cites as the standard producers of large tree collections ([10], [11]).
+//
+// The reader handles the constructs those tools actually emit:
+//
+//   - the "#NEXUS" magic header (case-insensitive);
+//   - bracketed comments [...] anywhere, including nested;
+//   - BEGIN TREES; ... END; blocks (other blocks are skipped);
+//   - an optional TRANSLATE table mapping tokens to taxon labels;
+//   - "TREE name = [&U] (...);" statements, with rooting annotations
+//     ([&U]/[&R]) tolerated and ignored (RF treats trees as unrooted);
+//   - quoted labels and underscore decoding, via the newick sub-parser.
+//
+// Trees are streamed one at a time, like newick.Reader, so collections of
+// hundreds of thousands of posterior samples never need to be resident.
+package nexus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/newick"
+	"repro/internal/tree"
+)
+
+// Reader streams trees from a NEXUS source.
+type Reader struct {
+	br        *bufio.Reader
+	translate map[string]string
+	inTrees   bool
+	started   bool
+	count     int
+}
+
+// NewReader wraps r. The NEXUS header is validated on the first Read.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// TreesRead returns the number of trees returned so far.
+func (r *Reader) TreesRead() int { return r.count }
+
+// Read returns the next tree, or io.EOF after the last TREE statement.
+func (r *Reader) Read() (*tree.Tree, error) {
+	if !r.started {
+		if err := r.readHeader(); err != nil {
+			return nil, err
+		}
+		r.started = true
+	}
+	for {
+		if !r.inTrees {
+			ok, err := r.seekTreesBlock()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, io.EOF
+			}
+			r.inTrees = true
+		}
+		stmt, err := r.readStatement()
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		kw := keywordOf(stmt)
+		switch kw {
+		case "END", "ENDBLOCK":
+			r.inTrees = false
+			continue
+		case "TRANSLATE":
+			if err := r.parseTranslate(stmt); err != nil {
+				return nil, err
+			}
+			continue
+		case "TREE", "UTREE":
+			t, err := r.parseTree(stmt)
+			if err != nil {
+				return nil, err
+			}
+			r.count++
+			return t, nil
+		default:
+			continue // TITLE, LINK, etc.
+		}
+	}
+}
+
+// ReadAll reads every remaining tree.
+func (r *Reader) ReadAll() ([]*tree.Tree, error) {
+	var out []*tree.Tree
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+func (r *Reader) readHeader() error {
+	line, err := r.readMeaningfulLine()
+	if err != nil {
+		return fmt.Errorf("nexus: missing #NEXUS header: %w", err)
+	}
+	if !strings.EqualFold(strings.TrimSpace(line), "#NEXUS") {
+		return fmt.Errorf("nexus: first line is %q, want #NEXUS", strings.TrimSpace(line))
+	}
+	return nil
+}
+
+// readMeaningfulLine returns the next line that is not blank after comment
+// stripping... except comments can span lines, so it reads byte-wise.
+func (r *Reader) readMeaningfulLine() (string, error) {
+	for {
+		line, err := r.br.ReadString('\n')
+		if line == "" && err != nil {
+			return "", err
+		}
+		stripped := strings.TrimSpace(line)
+		if stripped != "" {
+			return stripped, nil
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+}
+
+// seekTreesBlock scans statements until "BEGIN TREES" is found.
+func (r *Reader) seekTreesBlock() (bool, error) {
+	for {
+		stmt, err := r.readStatement()
+		if err == io.EOF {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		fields := strings.Fields(stmt)
+		if len(fields) >= 2 && strings.EqualFold(fields[0], "BEGIN") &&
+			strings.EqualFold(strings.TrimSuffix(fields[1], ";"), "TREES") {
+			return true, nil
+		}
+	}
+}
+
+// readStatement reads up to the next top-level ';', skipping comments and
+// respecting single-quoted strings. The ';' is consumed but not returned.
+func (r *Reader) readStatement() (string, error) {
+	var sb strings.Builder
+	inQuote := false
+	depth := 0
+	for {
+		b, err := r.br.ReadByte()
+		if err == io.EOF {
+			if strings.TrimSpace(sb.String()) == "" {
+				return "", io.EOF
+			}
+			return "", fmt.Errorf("nexus: unterminated statement %q", truncate(sb.String()))
+		}
+		if err != nil {
+			return "", err
+		}
+		switch {
+		case inQuote:
+			sb.WriteByte(b)
+			if b == '\'' {
+				// Doubled quote = escaped; peek.
+				nb, err := r.br.ReadByte()
+				if err == nil {
+					if nb == '\'' {
+						sb.WriteByte(nb)
+					} else {
+						r.br.UnreadByte()
+						inQuote = false
+					}
+				} else {
+					inQuote = false
+				}
+			}
+		case depth > 0:
+			switch b {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			}
+		case b == '[':
+			depth++
+		case b == '\'':
+			inQuote = true
+			sb.WriteByte(b)
+		case b == ';':
+			return strings.TrimSpace(sb.String()), nil
+		default:
+			sb.WriteByte(b)
+		}
+	}
+}
+
+func truncate(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 40 {
+		return s[:40] + "…"
+	}
+	return s
+}
+
+func keywordOf(stmt string) string {
+	fields := strings.Fields(stmt)
+	if len(fields) == 0 {
+		return ""
+	}
+	return strings.ToUpper(fields[0])
+}
+
+// parseTranslate fills the token→label map from a TRANSLATE statement:
+// "TRANSLATE 1 Homo_sapiens, 2 'Pan troglodytes', ...".
+func (r *Reader) parseTranslate(stmt string) error {
+	body := strings.TrimSpace(stmt[len("TRANSLATE"):])
+	r.translate = make(map[string]string)
+	for _, pair := range splitTopLevel(body, ',') {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		tok, label, err := splitPair(pair)
+		if err != nil {
+			return err
+		}
+		if _, dup := r.translate[tok]; dup {
+			return fmt.Errorf("nexus: duplicate translate token %q", tok)
+		}
+		r.translate[tok] = label
+	}
+	return nil
+}
+
+// splitPair separates "token label" respecting quoted labels.
+func splitPair(s string) (string, string, error) {
+	i := strings.IndexAny(s, " \t\n\r")
+	if i < 0 {
+		return "", "", fmt.Errorf("nexus: malformed translate entry %q", s)
+	}
+	tok := s[:i]
+	label := strings.TrimSpace(s[i:])
+	if label == "" {
+		return "", "", fmt.Errorf("nexus: translate entry %q has no label", s)
+	}
+	if label[0] == '\'' {
+		unq, err := unquote(label)
+		if err != nil {
+			return "", "", err
+		}
+		return tok, unq, nil
+	}
+	return tok, strings.ReplaceAll(label, "_", " "), nil
+}
+
+func unquote(s string) (string, error) {
+	if len(s) < 2 || s[0] != '\'' || s[len(s)-1] != '\'' {
+		return "", fmt.Errorf("nexus: malformed quoted label %q", s)
+	}
+	return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+}
+
+// splitTopLevel splits on sep outside quotes.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch {
+		case b == '\'':
+			inQuote = !inQuote
+			cur.WriteByte(b)
+		case b == sep && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(b)
+		}
+	}
+	out = append(out, cur.String())
+	return out
+}
+
+// parseTree handles "TREE name = [&U] (...)" (the ';' was consumed by the
+// statement reader).
+func (r *Reader) parseTree(stmt string) (*tree.Tree, error) {
+	eq := strings.Index(stmt, "=")
+	if eq < 0 {
+		return nil, fmt.Errorf("nexus: TREE statement without '=': %q", truncate(stmt))
+	}
+	body := strings.TrimSpace(stmt[eq+1:])
+	// Comments (incl. [&U]/[&R]) were already stripped by readStatement.
+	t, err := newick.Parse(body + ";")
+	if err != nil {
+		return nil, fmt.Errorf("nexus: %w", err)
+	}
+	if len(r.translate) > 0 {
+		var terr error
+		t.Postorder(func(n *tree.Node) {
+			if terr != nil || !n.IsLeaf() {
+				return
+			}
+			if label, ok := r.translate[n.Name]; ok {
+				n.Name = label
+				return
+			}
+			// Tokens in translate files are usually numeric; a leaf not in
+			// the table keeps its literal name (PAUP allows mixing).
+		})
+		if terr != nil {
+			return nil, terr
+		}
+	}
+	return t, nil
+}

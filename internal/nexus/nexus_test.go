@@ -1,0 +1,184 @@
+package nexus_test
+
+import (
+	"io"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/day"
+	"repro/internal/newick"
+	"repro/internal/nexus"
+)
+
+const sample = `#NEXUS
+[ comment at the top [nested] ]
+BEGIN TAXA;
+    DIMENSIONS NTAX=4;
+    TAXLABELS A B C D;
+END;
+
+BEGIN TREES;
+    TRANSLATE
+        1 A,
+        2 B,
+        3 'C c',
+        4 D_d;
+    TREE tree1 = [&U] ((1,2),(3,4));
+    TREE tree2 = ((1,3),(2,4));
+END;
+`
+
+func TestReadSample(t *testing.T) {
+	r := nexus.NewReader(strings.NewReader(sample))
+	trees, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("trees = %d, want 2", len(trees))
+	}
+	names := trees[0].LeafNames()
+	sort.Strings(names)
+	want := []string{"A", "B", "C c", "D d"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("leaf %d = %q, want %q (translate applied)", i, names[i], want[i])
+		}
+	}
+	if r.TreesRead() != 2 {
+		t.Errorf("TreesRead = %d", r.TreesRead())
+	}
+	// RF between the two trees: distinct quartets → 2.
+	d, err := day.RF(trees[0], trees[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Errorf("RF = %d, want 2", d)
+	}
+}
+
+func TestMissingHeader(t *testing.T) {
+	r := nexus.NewReader(strings.NewReader("BEGIN TREES; TREE x = (A,B,C); END;"))
+	if _, err := r.Read(); err == nil {
+		t.Error("missing #NEXUS header should fail")
+	}
+}
+
+func TestNoTreesBlock(t *testing.T) {
+	r := nexus.NewReader(strings.NewReader("#NEXUS\nBEGIN TAXA;\nEND;\n"))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("want io.EOF, got %v", err)
+	}
+}
+
+func TestWithoutTranslate(t *testing.T) {
+	src := "#NEXUS\nBEGIN TREES;\nTREE a = ((A,B),(C,D));\nEND;\n"
+	trees, err := nexus.NewReader(strings.NewReader(src)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 1 || trees[0].NumLeaves() != 4 {
+		t.Fatalf("unexpected parse: %d trees", len(trees))
+	}
+}
+
+func TestMultipleTreesBlocks(t *testing.T) {
+	src := `#NEXUS
+BEGIN TREES;
+TREE a = (A,B,(C,D));
+END;
+BEGIN CHARACTERS;
+MATRIX x y z;
+END;
+BEGIN TREES;
+TREE b = (A,C,(B,D));
+TREE c = (A,D,(B,C));
+END;
+`
+	trees, err := nexus.NewReader(strings.NewReader(src)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 3 {
+		t.Errorf("trees = %d, want 3 across two blocks", len(trees))
+	}
+}
+
+func TestRootingAnnotationsIgnored(t *testing.T) {
+	src := "#NEXUS\nBEGIN TREES;\nTREE a = [&R] ((A,B),(C,D));\nUTREE b = [&U] ((A,B),(C,D));\nEND;\n"
+	trees, err := nexus.NewReader(strings.NewReader(src)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("trees = %d, want 2 (TREE and UTREE)", len(trees))
+	}
+	if d := day.MustRF(trees[0], trees[1]); d != 0 {
+		t.Errorf("RF = %d between identical topologies", d)
+	}
+}
+
+func TestQuotedSemicolonInLabel(t *testing.T) {
+	src := "#NEXUS\nBEGIN TREES;\nTREE a = (('we;ird',B),(C,D));\nEND;\n"
+	trees, err := nexus.NewReader(strings.NewReader(src)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := trees[0].LeafNames()
+	sort.Strings(names)
+	if names[len(names)-1] != "we;ird" {
+		t.Errorf("quoted semicolon mangled: %v", names)
+	}
+}
+
+func TestBranchLengthsSurvive(t *testing.T) {
+	src := "#NEXUS\nBEGIN TREES;\nTREE a = ((A:1.5,B:2):0.5,(C:1,D:1):0.5);\nEND;\n"
+	trees, err := nexus.NewReader(strings.NewReader(src)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := newick.String(trees[0], newick.DefaultWriteOptions())
+	if !strings.Contains(out, ":1.5") {
+		t.Errorf("lengths lost: %s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"#NEXUS\nBEGIN TREES;\nTREE a = ((A,B);\nEND;\n",                             // bad newick
+		"#NEXUS\nBEGIN TREES;\nTREE a ((A,B),(C,D));\nEND;\n",                        // no '='
+		"#NEXUS\nBEGIN TREES;\nTRANSLATE 1 A, 1 B;\nTREE a = ((1,1),(A,B));\nEND;\n", // dup token
+		"#NEXUS\nBEGIN TREES;\nTREE a = (A,B,(C,D))\n",                               // unterminated
+	}
+	for i, src := range cases {
+		if _, err := nexus.NewReader(strings.NewReader(src)).ReadAll(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestMrBayesStyle(t *testing.T) {
+	// The shape MrBayes .t files take: numeric translate, many samples,
+	// trailing "end;" in lowercase.
+	var sb strings.Builder
+	sb.WriteString("#NEXUS\n[ID: 0123456789]\nbegin trees;\n   translate\n")
+	sb.WriteString("      1 t0000,\n      2 t0001,\n      3 t0002,\n      4 t0003;\n")
+	for i := 0; i < 50; i++ {
+		sb.WriteString("   tree gen.")
+		sb.WriteString(strings.Repeat("0", 3))
+		sb.WriteString(" = [&U] ((1:0.1,2:0.1):0.05,(3:0.1,4:0.1):0.05);\n")
+	}
+	sb.WriteString("end;\n")
+	trees, err := nexus.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 50 {
+		t.Errorf("trees = %d, want 50", len(trees))
+	}
+	if trees[0].LeafNames()[0] == "1" {
+		t.Error("translate table not applied")
+	}
+}

@@ -1,0 +1,207 @@
+// Package seqrf implements the paper's baseline engines: the generic
+// sequential average-RF algorithm (Algorithm 1, "DendropySingle"/DS) and
+// its tree-level parallelization ("DendropySingleMP"/DSMP).
+//
+// Both load the reference collection R — every tree's bipartition set —
+// into memory, then dynamically stream the query collection Q, computing
+// the q×r pairwise symmetric differences. Time O(n²qr), space O(n²r),
+// exactly the trade-off the paper ascribes to these baselines (Table I).
+package seqrf
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/bipart"
+	"repro/internal/collection"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// Options configure the baseline engines.
+type Options struct {
+	// Taxa is the shared taxon catalogue (required).
+	Taxa *taxa.Set
+	// Workers is the number of parallel workers over query trees.
+	// 1 (or 0) selects the sequential DS behaviour; >1 selects DSMP.
+	Workers int
+	// Filter optionally drops bipartitions before comparison.
+	Filter bipart.Filter
+}
+
+func (o *Options) workers() int {
+	if o.Workers <= 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// AverageRF computes, for each query tree in q, the average RF distance to
+// every reference tree in r (paper Algorithm 1). Results are returned in
+// query order.
+func AverageRF(q, r collection.Source, opts Options) ([]float64, error) {
+	if opts.Taxa == nil {
+		return nil, fmt.Errorf("seqrf: Options.Taxa is required")
+	}
+	ex := bipart.NewExtractor(opts.Taxa)
+	ex.Filter = opts.Filter
+
+	// Load the reference collection: all bipartition sets resident,
+	// matching the paper's DS/DSMP implementation.
+	refSets, err := loadReference(r, ex)
+	if err != nil {
+		return nil, err
+	}
+	if len(refSets) == 0 {
+		return nil, fmt.Errorf("seqrf: reference collection is empty")
+	}
+
+	if err := q.Reset(); err != nil {
+		return nil, err
+	}
+	if opts.workers() == 1 {
+		return sequential(q, refSets, ex)
+	}
+	return parallel(q, refSets, ex, opts.workers())
+}
+
+func loadReference(r collection.Source, ex *bipart.Extractor) ([]*bipart.Set, error) {
+	if err := r.Reset(); err != nil {
+		return nil, err
+	}
+	var sets []*bipart.Set
+	for {
+		t, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		bs, err := ex.Extract(t)
+		if err != nil {
+			return nil, fmt.Errorf("seqrf: reference tree %d: %w", len(sets), err)
+		}
+		sets = append(sets, bipart.SetOf(bs))
+	}
+	return sets, nil
+}
+
+// sequential is the double loop of Algorithm 1.
+func sequential(q collection.Source, refSets []*bipart.Set, ex *bipart.Extractor) ([]float64, error) {
+	var out []float64
+	for {
+		t, err := q.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		qs, err := ex.Extract(t)
+		if err != nil {
+			return nil, fmt.Errorf("seqrf: query tree %d: %w", len(out), err)
+		}
+		out = append(out, averageAgainst(bipart.SetOf(qs), refSets))
+	}
+}
+
+func averageAgainst(qset *bipart.Set, refSets []*bipart.Set) float64 {
+	sum := 0
+	for _, rs := range refSets {
+		sum += qset.SymmetricDifferenceSize(rs)
+	}
+	return float64(sum) / float64(len(refSets))
+}
+
+// parallel distributes query trees over a worker pool, the tree-level
+// parallelization the paper applies in DSMP. Each worker owns its
+// extractor and result buffer; nothing is shared on the hot path.
+func parallel(q collection.Source, refSets []*bipart.Set, ex *bipart.Extractor, workers int) ([]float64, error) {
+	if workers > runtime.GOMAXPROCS(0)*4 {
+		workers = runtime.GOMAXPROCS(0) * 4
+	}
+	type job struct {
+		idx int
+		t   *tree.Tree
+	}
+	type scored struct {
+		idx int
+		avg float64
+	}
+	jobs := make(chan job, workers*2)
+	outs := make([][]scored, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wex := &bipart.Extractor{
+				Taxa:            ex.Taxa,
+				IncludeTrivial:  ex.IncludeTrivial,
+				RequireComplete: ex.RequireComplete,
+				Filter:          ex.Filter,
+			}
+			for j := range jobs {
+				qs, err := wex.Extract(j.t)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = fmt.Errorf("seqrf: query tree %d: %w", j.idx, err)
+					}
+					continue
+				}
+				outs[w] = append(outs[w], scored{j.idx, averageAgainst(bipart.SetOf(qs), refSets)})
+			}
+		}(w)
+	}
+	idx := 0
+	var feedErr error
+	for {
+		t, err := q.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			feedErr = err
+			break
+		}
+		jobs <- job{idx: idx, t: t}
+		idx++
+	}
+	close(jobs)
+	wg.Wait()
+	if feedErr != nil {
+		return nil, feedErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	results := make([]float64, idx)
+	for _, part := range outs {
+		for _, s := range part {
+			results[s.idx] = s.avg
+		}
+	}
+	return results, nil
+}
+
+// PairwiseRF computes the plain RF distance between two trees by explicit
+// bipartition-set symmetric difference — the textbook O(n²) method the
+// baselines are built on. Exposed for tests and the public API.
+func PairwiseRF(t1, t2 *tree.Tree, ts *taxa.Set) (int, error) {
+	ex := bipart.NewExtractor(ts)
+	b1, err := ex.Extract(t1)
+	if err != nil {
+		return 0, err
+	}
+	b2, err := ex.Extract(t2)
+	if err != nil {
+		return 0, err
+	}
+	return bipart.SetOf(b1).SymmetricDifferenceSize(bipart.SetOf(b2)), nil
+}

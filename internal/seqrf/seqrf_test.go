@@ -1,0 +1,185 @@
+package seqrf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bipart"
+	"repro/internal/collection"
+	"repro/internal/day"
+	"repro/internal/newick"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+var abcd = taxa.MustNewSet([]string{"A", "B", "C", "D"})
+
+func TestPaperExample(t *testing.T) {
+	q := collection.FromTrees([]*tree.Tree{newick.MustParse("((A,B),(C,D));")})
+	r := collection.FromTrees([]*tree.Tree{newick.MustParse("((D,B),(C,A));")})
+	got, err := AverageRF(q, r, Options{Taxa: abcd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("avg RF = %v, want [2]", got)
+	}
+}
+
+func TestAverageOverCollection(t *testing.T) {
+	// Reference: two copies of T and one of T' → avg RF of T = (0+0+2)/3.
+	tT := "((A,B),(C,D));"
+	tP := "((D,B),(C,A));"
+	q := collection.FromTrees([]*tree.Tree{newick.MustParse(tT)})
+	r := collection.FromTrees([]*tree.Tree{
+		newick.MustParse(tT), newick.MustParse(tT), newick.MustParse(tP),
+	})
+	got, err := AverageRF(q, r, Options{Taxa: abcd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / 3.0
+	if len(got) != 1 || !approxEq(got[0], want) {
+		t.Errorf("avg RF = %v, want %v", got, want)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestSelfCollection(t *testing.T) {
+	// Q = R: the average must include the zero self-distance.
+	trees := []*tree.Tree{
+		newick.MustParse("((A,B),(C,D));"),
+		newick.MustParse("((A,C),(B,D));"),
+		newick.MustParse("((A,D),(B,C));"),
+	}
+	got, err := AverageRF(collection.FromTrees(trees), collection.FromTrees(trees), Options{Taxa: abcd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each pair of distinct quartet topologies has RF 2; avg = 4/3.
+	for i, g := range got {
+		if !approxEq(g, 4.0/3.0) {
+			t.Errorf("avg[%d] = %v, want 4/3", i, g)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	n, rN, qN := 16, 30, 12
+	ts := taxa.Generate(n)
+	rng := rand.New(rand.NewSource(99))
+	var refs, queries []*tree.Tree
+	for i := 0; i < rN; i++ {
+		refs = append(refs, simphy.RandomBinary(ts, rng))
+	}
+	for i := 0; i < qN; i++ {
+		queries = append(queries, simphy.RandomBinary(ts, rng))
+	}
+	seq, err := AverageRF(collection.FromTrees(queries), collection.FromTrees(refs), Options{Taxa: ts, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AverageRF(collection.FromTrees(queries), collection.FromTrees(refs), Options{Taxa: ts, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("result lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !approxEq(seq[i], par[i]) {
+			t.Errorf("query %d: sequential %v vs parallel %v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestAgreesWithDayOracle(t *testing.T) {
+	n, rN := 20, 15
+	ts := taxa.Generate(n)
+	rng := rand.New(rand.NewSource(7))
+	var refs []*tree.Tree
+	for i := 0; i < rN; i++ {
+		refs = append(refs, simphy.RandomBinary(ts, rng))
+	}
+	query := simphy.RandomBinary(ts, rng)
+	got, err := AverageRF(
+		collection.FromTrees([]*tree.Tree{query}),
+		collection.FromTrees(refs),
+		Options{Taxa: ts},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, ref := range refs {
+		sum += day.MustRF(query, ref)
+	}
+	want := float64(sum) / float64(rN)
+	if !approxEq(got[0], want) {
+		t.Errorf("seqrf = %v, Day oracle = %v", got[0], want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	q := collection.FromTrees([]*tree.Tree{newick.MustParse("((A,B),(C,D));")})
+	empty := collection.FromTrees(nil)
+	if _, err := AverageRF(q, empty, Options{Taxa: abcd}); err == nil {
+		t.Error("empty reference collection should fail")
+	}
+	if _, err := AverageRF(q, q, Options{}); err == nil {
+		t.Error("missing taxa should fail")
+	}
+	bad := collection.FromTrees([]*tree.Tree{newick.MustParse("((A,B),(C,X));")})
+	if _, err := AverageRF(q, bad, Options{Taxa: abcd}); err == nil {
+		t.Error("reference tree with unknown taxon should fail")
+	}
+	if _, err := AverageRF(bad, q, Options{Taxa: abcd}); err == nil {
+		t.Error("query tree with unknown taxon should fail")
+	}
+	if _, err := AverageRF(bad, q, Options{Taxa: abcd, Workers: 4}); err == nil {
+		t.Error("parallel query tree with unknown taxon should fail")
+	}
+}
+
+func TestFilterChangesDistances(t *testing.T) {
+	six := taxa.Generate(6)
+	rng := rand.New(rand.NewSource(3))
+	var trees []*tree.Tree
+	for i := 0; i < 8; i++ {
+		trees = append(trees, simphy.RandomBinary(six, rng))
+	}
+	src := collection.FromTrees(trees)
+	plain, err := AverageRF(src, src, Options{Taxa: six})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filter everything out: all distances become 0.
+	all, err := AverageRF(src, src, Options{Taxa: six, Filter: func(bipart.Bipartition) bool { return false }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range all {
+		if all[i] != 0 {
+			t.Errorf("filtered-out avg[%d] = %v, want 0", i, all[i])
+		}
+	}
+	_ = plain
+}
+
+func TestPairwiseRF(t *testing.T) {
+	d, err := PairwiseRF(newick.MustParse("((A,B),(C,D));"), newick.MustParse("((D,B),(C,A));"), abcd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Errorf("PairwiseRF = %d, want 2", d)
+	}
+}

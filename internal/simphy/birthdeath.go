@@ -1,0 +1,125 @@
+package simphy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// BirthDeathOptions control the birth-death species-tree simulator — the
+// fuller generative model SimPhy uses (speciation plus extinction),
+// complementing the pure-birth Yule process.
+type BirthDeathOptions struct {
+	// BirthRate λ and DeathRate μ, events per coalescent time unit.
+	// μ must be strictly less than λ; defaults are λ=1, μ=0.5.
+	BirthRate, DeathRate float64
+	// MaxAttempts bounds the number of simulation restarts when all
+	// lineages die out before reaching n tips. Default 1000.
+	MaxAttempts int
+}
+
+// BirthDeath simulates a species tree under a birth-death process,
+// conditioned on exactly n surviving tips (simulation restarts on
+// extinction, the standard rejection scheme). Extinct lineages are pruned,
+// so internal branch lengths reflect the reconstructed ("molecular")
+// process, which differs from Yule in having relatively longer terminal
+// branches.
+func BirthDeath(ts *taxa.Set, rng *rand.Rand, opts BirthDeathOptions) (*tree.Tree, error) {
+	n := ts.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("simphy: need at least 2 taxa, have %d", n)
+	}
+	lambda := opts.BirthRate
+	if lambda <= 0 {
+		lambda = 1
+	}
+	mu := opts.DeathRate
+	if mu < 0 {
+		mu = 0
+	}
+	if opts.DeathRate == 0 && opts.BirthRate == 0 {
+		mu = 0.5
+	}
+	if mu >= lambda {
+		return nil, fmt.Errorf("simphy: death rate %v must be below birth rate %v", mu, lambda)
+	}
+	attempts := opts.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1000
+	}
+	for a := 0; a < attempts; a++ {
+		t := tryBirthDeath(n, lambda, mu, rng)
+		if t == nil {
+			continue
+		}
+		// Label surviving tips with catalogue names in random order.
+		perm := rng.Perm(n)
+		for i, leaf := range t.Leaves() {
+			leaf.Name = ts.Name(perm[i])
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("simphy: birth-death extinct in all %d attempts (λ=%v, μ=%v)", attempts, lambda, mu)
+}
+
+// tryBirthDeath runs one forward simulation until n live tips or global
+// extinction. Returns nil on extinction or overshoot bookkeeping failure.
+func tryBirthDeath(n int, lambda, mu float64, rng *rand.Rand) *tree.Tree {
+	type tip struct {
+		node  *tree.Node
+		birth float64
+	}
+	root := &tree.Node{}
+	now := 0.0
+	live := []tip{{node: root, birth: 0}}
+	for len(live) < n {
+		if len(live) == 0 {
+			return nil // extinct
+		}
+		k := float64(len(live))
+		now += expRand(rng, k*(lambda+mu))
+		i := rng.Intn(len(live))
+		if rng.Float64() < lambda/(lambda+mu) {
+			// Speciation: tip i splits.
+			parent := live[i]
+			parent.node.Length = now - parent.birth
+			parent.node.HasLength = parent.node.Parent != nil
+			left := &tree.Node{}
+			right := &tree.Node{}
+			parent.node.AddChild(left)
+			parent.node.AddChild(right)
+			live[i] = tip{node: left, birth: now}
+			live = append(live, tip{node: right, birth: now})
+		} else {
+			// Extinction: tip i dies; mark it for pruning.
+			dead := live[i]
+			dead.node.Length = now - dead.birth
+			dead.node.HasLength = dead.node.Parent != nil
+			dead.node.Name = extinctMarker
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	// Extend survivors to the present.
+	end := now + expRand(rng, float64(n)*(lambda+mu))
+	for _, tp := range live {
+		tp.node.Length = end - tp.birth
+		tp.node.HasLength = tp.node.Parent != nil
+	}
+	t := tree.New(root)
+	// Prune extinct lineages and dissolve the unary chains they leave.
+	pruned, err := tree.Restrict(t, func(name string) bool { return name != extinctMarker })
+	if err != nil {
+		return nil
+	}
+	if pruned.NumLeaves() != n {
+		return nil
+	}
+	return pruned
+}
+
+// extinctMarker labels extinct tips before pruning. Any non-empty string
+// outside the catalogue works; Restrict validates names afterwards.
+const extinctMarker = "\x00extinct"

@@ -1,0 +1,115 @@
+package simphy
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+func TestBirthDeathShape(t *testing.T) {
+	for _, n := range []int{2, 5, 20, 60} {
+		ts := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(int64(n) * 13))
+		sp, err := BirthDeath(ts, rng, BirthDeathOptions{BirthRate: 1, DeathRate: 0.4})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("n=%d: invalid: %v", n, err)
+		}
+		if sp.NumLeaves() != n {
+			t.Fatalf("n=%d: leaves = %d", n, sp.NumLeaves())
+		}
+		names := sp.LeafNames()
+		sort.Strings(names)
+		for i, name := range names {
+			if name != ts.Name(i) {
+				t.Fatalf("n=%d: taxa mismatch", n)
+			}
+		}
+		// All branches positive.
+		sp.Postorder(func(nd *tree.Node) {
+			if nd.Parent != nil && (!nd.HasLength || nd.Length <= 0) {
+				t.Errorf("n=%d: non-positive branch %v", n, nd.Length)
+			}
+		})
+	}
+}
+
+func TestBirthDeathUltrametric(t *testing.T) {
+	ts := taxa.Generate(20)
+	rng := rand.New(rand.NewSource(7))
+	sp, err := BirthDeath(ts, rng, BirthDeathOptions{BirthRate: 1, DeathRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var depths []float64
+	var walk func(n *tree.Node, d float64)
+	walk = func(n *tree.Node, d float64) {
+		if n.HasLength {
+			d += n.Length
+		}
+		if n.IsLeaf() {
+			depths = append(depths, d)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, d)
+		}
+	}
+	walk(sp.Root, 0)
+	for _, d := range depths[1:] {
+		if math.Abs(d-depths[0]) > 1e-9 {
+			t.Fatalf("not ultrametric after pruning: %v vs %v", d, depths[0])
+		}
+	}
+}
+
+func TestBirthDeathRejectsBadRates(t *testing.T) {
+	ts := taxa.Generate(5)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BirthDeath(ts, rng, BirthDeathOptions{BirthRate: 1, DeathRate: 1.5}); err == nil {
+		t.Error("μ ≥ λ should fail")
+	}
+	if _, err := BirthDeath(taxa.Generate(1), rng, BirthDeathOptions{}); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestBirthDeathFeedsGeneTrees(t *testing.T) {
+	// The pruned birth-death tree must be a valid MSC substrate.
+	ts := taxa.Generate(15)
+	rng := rand.New(rand.NewSource(3))
+	sp, err := BirthDeath(ts, rng, BirthDeathOptions{BirthRate: 1, DeathRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ScaleMeanInternal(sp, 1.0)
+	for i := 0; i < 5; i++ {
+		g, err := GeneTree(sp, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumLeaves() != 15 {
+			t.Fatalf("gene tree leaves = %d", g.NumLeaves())
+		}
+	}
+}
+
+func TestBirthDeathZeroDeathMatchesYuleStatistics(t *testing.T) {
+	// With μ=0 the process is Yule; check tip count and validity only
+	// (distributional equivalence would need many replicates).
+	ts := taxa.Generate(12)
+	rng := rand.New(rand.NewSource(5))
+	sp, err := BirthDeath(ts, rng, BirthDeathOptions{BirthRate: 2, DeathRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumLeaves() != 12 {
+		t.Errorf("leaves = %d", sp.NumLeaves())
+	}
+}

@@ -1,0 +1,173 @@
+package simphy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tree"
+)
+
+// NNI applies one random nearest-neighbour interchange to a copy of t and
+// returns it. An NNI picks an internal edge (u, v) and swaps one subtree
+// hanging off u with one hanging off v — the smallest topological move, so
+// k-NNI neighbourhoods give query collections at controlled RF distance
+// from a source tree.
+//
+// t must have at least one internal edge (n ≥ 4 for binary trees);
+// otherwise the copy is returned unchanged.
+func NNI(t *tree.Tree, rng *rand.Rand) *tree.Tree {
+	c := t.Clone()
+	// Internal edges: (v.Parent, v) where v is internal and not the root.
+	var candidates []*tree.Node
+	c.Postorder(func(n *tree.Node) {
+		if n.Parent != nil && !n.IsLeaf() {
+			candidates = append(candidates, n)
+		}
+	})
+	if len(candidates) == 0 {
+		return c
+	}
+	v := candidates[rng.Intn(len(candidates))]
+	u := v.Parent
+	// Pick a sibling subtree s (a child of u other than v) and a child
+	// subtree x of v; swap them across the edge.
+	var sibs []*tree.Node
+	for _, ch := range u.Children {
+		if ch != v {
+			sibs = append(sibs, ch)
+		}
+	}
+	if len(sibs) == 0 || len(v.Children) == 0 {
+		return c
+	}
+	s := sibs[rng.Intn(len(sibs))]
+	x := v.Children[rng.Intn(len(v.Children))]
+	swapChild(u, s, x)
+	swapChild(v, x, s)
+	s.Parent = v
+	x.Parent = u
+	return c
+}
+
+func swapChild(parent, old, repl *tree.Node) {
+	for i, ch := range parent.Children {
+		if ch == old {
+			parent.Children[i] = repl
+			return
+		}
+	}
+	panic(fmt.Sprintf("simphy: node %p is not a child of %p", old, parent))
+}
+
+// PerturbNNI applies k successive random NNIs to a copy of t.
+func PerturbNNI(t *tree.Tree, k int, rng *rand.Rand) *tree.Tree {
+	c := t
+	for i := 0; i < k; i++ {
+		c = NNI(c, rng)
+	}
+	if c == t {
+		c = t.Clone()
+	}
+	return c
+}
+
+// SPR applies one random subtree-prune-and-regraft move to a copy of t: a
+// non-root subtree is detached and re-attached along a random remaining
+// edge. SPR moves explore tree space faster than NNI and are used to build
+// more dispersed query collections.
+func SPR(t *tree.Tree, rng *rand.Rand) *tree.Tree {
+	c := t.Clone()
+	var nodes []*tree.Node
+	c.Postorder(func(n *tree.Node) {
+		// Prunable: any non-root node whose removal leaves ≥ 3 leaves.
+		if n.Parent != nil {
+			nodes = append(nodes, n)
+		}
+	})
+	if len(nodes) < 4 {
+		return c
+	}
+	for attempt := 0; attempt < 32; attempt++ {
+		p := nodes[rng.Intn(len(nodes))]
+		if !detachable(c, p) {
+			continue
+		}
+		parent := p.Parent
+		// Detach p.
+		removeChild(parent, p)
+		// Parent may become unary; dissolve it.
+		c.SuppressUnifurcations()
+		// Regraft targets: any node with a parent (an edge), not inside p.
+		var targets []*tree.Node
+		inP := map[*tree.Node]bool{}
+		markSubtree(p, inP)
+		c.Postorder(func(n *tree.Node) {
+			if n.Parent != nil && !inP[n] {
+				targets = append(targets, n)
+			}
+		})
+		if len(targets) == 0 {
+			// Could not regraft; rebuild from scratch.
+			c = t.Clone()
+			continue
+		}
+		tgt := targets[rng.Intn(len(targets))]
+		// Split tgt's parent edge with a new node and hang p there.
+		mid := &tree.Node{}
+		if tgt.HasLength {
+			mid.Length, mid.HasLength = tgt.Length/2, true
+			tgt.Length /= 2
+		}
+		gp := tgt.Parent
+		replaceChild(gp, tgt, mid)
+		mid.Parent = gp
+		mid.AddChild(tgt)
+		mid.AddChild(p)
+		return c
+	}
+	return c
+}
+
+// detachable reports whether pruning p leaves a tree with at least 3 leaves
+// and an intact root.
+func detachable(t *tree.Tree, p *tree.Node) bool {
+	sub := 0
+	tree.New(p).Postorder(func(n *tree.Node) {
+		if n.IsLeaf() {
+			sub++
+		}
+	})
+	total := t.NumLeaves()
+	return total-sub >= 3 && sub >= 1
+}
+
+func removeChild(parent, child *tree.Node) {
+	for i, ch := range parent.Children {
+		if ch == child {
+			parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+			child.Parent = nil
+			return
+		}
+	}
+	panic("simphy: removeChild: not a child")
+}
+
+func replaceChild(parent, old, repl *tree.Node) {
+	for i, ch := range parent.Children {
+		if ch == old {
+			parent.Children[i] = repl
+			return
+		}
+	}
+	panic("simphy: replaceChild: not a child")
+}
+
+func markSubtree(root *tree.Node, set map[*tree.Node]bool) {
+	stack := []*tree.Node{root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		set[n] = true
+		stack = append(stack, n.Children...)
+	}
+}

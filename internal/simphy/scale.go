@@ -1,0 +1,51 @@
+package simphy
+
+import "repro/internal/tree"
+
+// MeanInternalBranch returns the mean length of internal (non-pendant)
+// branches, or 0 if there are none.
+func MeanInternalBranch(t *tree.Tree) float64 {
+	sum, n := 0.0, 0
+	t.Postorder(func(nd *tree.Node) {
+		if nd.Parent != nil && !nd.IsLeaf() && nd.HasLength {
+			sum += nd.Length
+			n++
+		}
+	})
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ScaleBranches multiplies every branch length in place by factor.
+func ScaleBranches(t *tree.Tree, factor float64) {
+	t.Postorder(func(nd *tree.Node) {
+		if nd.HasLength {
+			nd.Length *= factor
+		}
+	})
+}
+
+// ScaleMeanInternal rescales the tree in place so that the mean internal
+// branch length equals target coalescent units. Species trees scaled this
+// way control the amount of incomplete lineage sorting their gene trees
+// exhibit: ≳ 1 unit gives concordant collections with concentrated
+// bipartition frequencies (like the paper's empirical data); ≪ 1 gives
+// discordant, high-entropy collections.
+func ScaleMeanInternal(t *tree.Tree, target float64) {
+	mean := MeanInternalBranch(t)
+	if mean <= 0 || target <= 0 {
+		return
+	}
+	ScaleBranches(t, target/mean)
+}
+
+// StripLengths removes every branch length in place, producing
+// structure-only trees like the paper's unweighted Insect data.
+func StripLengths(t *tree.Tree) {
+	t.Postorder(func(nd *tree.Node) {
+		nd.Length = 0
+		nd.HasLength = false
+	})
+}

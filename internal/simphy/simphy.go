@@ -1,0 +1,252 @@
+// Package simphy generates simulated tree collections, standing in for the
+// SimPhy-generated ASTRAL-II S100 data the paper uses (Table II) and for
+// its real gene-tree collections (Avian, Insect), which are not
+// redistributable here.
+//
+// The generative model is the same family the originals come from: a Yule
+// (pure-birth) species tree with branch lengths in coalescent units, and
+// gene trees drawn from the multispecies coalescent (MSC) within it. Short
+// species-tree branches produce incomplete lineage sorting and hence
+// topological discordance among gene trees; long branches produce
+// concentrated bipartition frequencies. That frequency concentration is
+// exactly the property the paper's memory discussion depends on ("the
+// probability of seeing unique bipartitions decreases as n and r
+// increase", §VI.C), so the substitution preserves the measured behaviour.
+//
+// All generators are deterministic in their *rand.Rand, so collections can
+// be streamed repeatedly (collection.Generator) without being stored.
+package simphy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// RandomBinary returns a uniformly random unrooted binary tree over the
+// catalogue (random sequential coalescent joins), with unit branch lengths.
+// Random trees share almost no bipartitions — the adversarial case for
+// frequency-hash memory.
+func RandomBinary(ts *taxa.Set, rng *rand.Rand) *tree.Tree {
+	n := ts.Len()
+	if n < 2 {
+		panic(fmt.Sprintf("simphy: need at least 2 taxa, have %d", n))
+	}
+	lineages := make([]*tree.Node, n)
+	for i := 0; i < n; i++ {
+		lineages[i] = &tree.Node{Name: ts.Name(i), Length: 1, HasLength: true}
+	}
+	for len(lineages) > 1 {
+		i := rng.Intn(len(lineages))
+		j := rng.Intn(len(lineages) - 1)
+		if j >= i {
+			j++
+		}
+		parent := &tree.Node{Length: 1, HasLength: true}
+		parent.AddChild(lineages[i])
+		parent.AddChild(lineages[j])
+		// Remove i and j, append parent.
+		hi, lo := i, j
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		lineages[hi] = lineages[len(lineages)-1]
+		lineages = lineages[:len(lineages)-1]
+		lineages[lo] = lineages[len(lineages)-1]
+		lineages = lineages[:len(lineages)-1]
+		lineages = append(lineages, parent)
+	}
+	t := tree.New(lineages[0])
+	t.Root.HasLength = false
+	t.Deroot()
+	return t
+}
+
+// YuleOptions control species-tree simulation.
+type YuleOptions struct {
+	// BirthRate is the speciation rate λ (events per coalescent time unit).
+	// Higher rates give shorter internal branches and therefore more gene
+	// tree discordance downstream. Default 1.
+	BirthRate float64
+}
+
+// Yule simulates a pure-birth species tree over the catalogue with branch
+// lengths in coalescent units. Taxa are assigned to tips in random order.
+func Yule(ts *taxa.Set, rng *rand.Rand, opts YuleOptions) *tree.Tree {
+	n := ts.Len()
+	if n < 2 {
+		panic(fmt.Sprintf("simphy: need at least 2 taxa, have %d", n))
+	}
+	rate := opts.BirthRate
+	if rate <= 0 {
+		rate = 1
+	}
+	perm := rng.Perm(n)
+	type tip struct {
+		node  *tree.Node
+		birth float64
+	}
+	root := &tree.Node{}
+	now := 0.0
+	tips := []tip{{node: root, birth: 0}}
+	for len(tips) < n {
+		k := float64(len(tips))
+		now += expRand(rng, k*rate)
+		i := rng.Intn(len(tips))
+		parent := tips[i]
+		parent.node.Length = now - parent.birth
+		parent.node.HasLength = parent.node.Parent != nil
+		left := &tree.Node{}
+		right := &tree.Node{}
+		parent.node.AddChild(left)
+		parent.node.AddChild(right)
+		tips[i] = tip{node: left, birth: now}
+		tips = append(tips, tip{node: right, birth: now})
+	}
+	// Extend every surviving tip to the present and label it.
+	end := now + expRand(rng, float64(n)*rate)
+	for i, tp := range tips {
+		tp.node.Name = ts.Name(perm[i])
+		tp.node.Length = end - tp.birth
+		tp.node.HasLength = true
+	}
+	return tree.New(root)
+}
+
+// expRand draws an exponential variate with the given rate.
+func expRand(rng *rand.Rand, rate float64) float64 {
+	return rng.ExpFloat64() / rate
+}
+
+// GeneTree simulates one gene tree under the multispecies coalescent within
+// the given species tree (one sampled individual per species). Branch
+// lengths of the species tree are interpreted in coalescent units; the
+// returned gene tree is unrooted (root degree 3) with coalescent branch
+// lengths.
+func GeneTree(species *tree.Tree, rng *rand.Rand) (*tree.Tree, error) {
+	if species == nil || species.Root == nil {
+		return nil, fmt.Errorf("simphy: nil species tree")
+	}
+	type lineage struct {
+		node *tree.Node
+		// depth is the time (before the present... measured from this
+		// species-tree point) at which the lineage's node was created.
+		depth float64
+	}
+	// Postorder over the species tree: each node yields the set of gene
+	// lineages surviving to the top of its branch.
+	surviving := make(map[*tree.Node][]lineage)
+	var fail error
+	species.Postorder(func(sn *tree.Node) {
+		if fail != nil {
+			return
+		}
+		var pool []lineage
+		if sn.IsLeaf() {
+			if sn.Name == "" {
+				fail = fmt.Errorf("simphy: species tree has unnamed leaf")
+				return
+			}
+			pool = []lineage{{node: &tree.Node{Name: sn.Name}, depth: 0}}
+		} else {
+			for _, c := range sn.Children {
+				pool = append(pool, surviving[c]...)
+				delete(surviving, c)
+			}
+		}
+		// Coalesce within this branch for its duration (root: until one
+		// lineage remains).
+		duration := math.Inf(1)
+		if sn.Parent != nil {
+			if !sn.HasLength {
+				fail = fmt.Errorf("simphy: species tree branch without length (coalescent units required)")
+				return
+			}
+			duration = sn.Length
+		}
+		t := 0.0
+		for len(pool) > 1 {
+			k := float64(len(pool))
+			wait := expRand(rng, k*(k-1)/2)
+			if t+wait > duration {
+				break
+			}
+			t += wait
+			i := rng.Intn(len(pool))
+			j := rng.Intn(len(pool) - 1)
+			if j >= i {
+				j++
+			}
+			a, b := pool[i], pool[j]
+			parent := &tree.Node{}
+			a.node.Length = t - a.depth
+			a.node.HasLength = true
+			b.node.Length = t - b.depth
+			b.node.HasLength = true
+			parent.AddChild(a.node)
+			parent.AddChild(b.node)
+			merged := lineage{node: parent, depth: t}
+			hi, lo := i, j
+			if lo > hi {
+				hi, lo = lo, hi
+			}
+			pool[hi] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			pool[lo] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			pool = append(pool, merged)
+		}
+		// Lineages that did not coalesce ride up to the parent branch;
+		// their pending depth is re-based to the top of this branch.
+		if sn.Parent != nil {
+			for i := range pool {
+				pool[i].depth -= duration // depth becomes negative offset below the branch top
+			}
+		}
+		surviving[sn] = pool
+	})
+	if fail != nil {
+		return nil, fail
+	}
+	top := surviving[species.Root]
+	if len(top) != 1 {
+		return nil, fmt.Errorf("simphy: coalescent left %d lineages at the root", len(top))
+	}
+	g := tree.New(top[0].node)
+	g.Root.Length, g.Root.HasLength = 0, false
+	g.Deroot()
+	return g, nil
+}
+
+// MSCCollection deterministically generates r gene trees from one species
+// tree grown from the given seed. Make(i) draws the i-th gene tree with an
+// independent per-index seed, so the collection can be regenerated
+// stream-wise in any order.
+type MSCCollection struct {
+	Taxa    *taxa.Set
+	Species *tree.Tree
+	Seed    int64
+}
+
+// NewMSCCollection grows a Yule species tree (rate so that expected branch
+// lengths produce moderate discordance) and returns the collection handle.
+func NewMSCCollection(ts *taxa.Set, seed int64, birthRate float64) *MSCCollection {
+	rng := rand.New(rand.NewSource(seed))
+	sp := Yule(ts, rng, YuleOptions{BirthRate: birthRate})
+	return &MSCCollection{Taxa: ts, Species: sp, Seed: seed}
+}
+
+// Make returns the i-th gene tree of the collection.
+func (c *MSCCollection) Make(i int) *tree.Tree {
+	rng := rand.New(rand.NewSource(c.Seed ^ (0x5851F42D4C957F2D * int64(i+1))))
+	g, err := GeneTree(c.Species, rng)
+	if err != nil {
+		// The species tree is constructed with lengths by Yule; failure is
+		// a programming error, not an input error.
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,310 @@
+package simphy
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+func TestRandomBinaryShape(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 10, 50, 200} {
+		ts := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		tr := RandomBinary(ts, rng)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: invalid tree: %v", n, err)
+		}
+		if tr.NumLeaves() != n {
+			t.Fatalf("n=%d: leaves = %d", n, tr.NumLeaves())
+		}
+		if n >= 3 && !tr.IsBinaryUnrooted() {
+			t.Errorf("n=%d: not binary", n)
+		}
+		names := tr.LeafNames()
+		sort.Strings(names)
+		for i, name := range names {
+			if name != ts.Name(i) {
+				t.Fatalf("n=%d: taxa mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestRandomBinaryDeterministic(t *testing.T) {
+	ts := taxa.Generate(20)
+	a := RandomBinary(ts, rand.New(rand.NewSource(7)))
+	b := RandomBinary(ts, rand.New(rand.NewSource(7)))
+	// Compare shapes via leaf order of postorder traversal.
+	an, bn := a.LeafNames(), b.LeafNames()
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatal("same seed should give identical trees")
+		}
+	}
+}
+
+func TestYuleShape(t *testing.T) {
+	ts := taxa.Generate(30)
+	rng := rand.New(rand.NewSource(3))
+	sp := Yule(ts, rng, YuleOptions{BirthRate: 1})
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("invalid Yule tree: %v", err)
+	}
+	if sp.NumLeaves() != 30 {
+		t.Fatalf("leaves = %d", sp.NumLeaves())
+	}
+	// Every non-root node must carry a positive branch length.
+	sp.Postorder(func(n *tree.Node) {
+		if n.Parent != nil {
+			if !n.HasLength || n.Length <= 0 {
+				t.Errorf("node without positive length: %+v", n.Length)
+			}
+		}
+	})
+	// Rooted binary: root has 2 children, internals 2.
+	if len(sp.Root.Children) != 2 {
+		t.Errorf("Yule root children = %d, want 2", len(sp.Root.Children))
+	}
+}
+
+func TestYuleUltrametric(t *testing.T) {
+	// All root-to-leaf path lengths must be equal (the tips are extended to
+	// the same present).
+	ts := taxa.Generate(15)
+	sp := Yule(ts, rand.New(rand.NewSource(8)), YuleOptions{})
+	var depths []float64
+	var walk func(n *tree.Node, d float64)
+	walk = func(n *tree.Node, d float64) {
+		if n.HasLength {
+			d += n.Length
+		}
+		if n.IsLeaf() {
+			depths = append(depths, d)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, d)
+		}
+	}
+	walk(sp.Root, 0)
+	for _, d := range depths[1:] {
+		if math.Abs(d-depths[0]) > 1e-9 {
+			t.Fatalf("not ultrametric: %v vs %v", d, depths[0])
+		}
+	}
+}
+
+func TestGeneTreeShape(t *testing.T) {
+	ts := taxa.Generate(25)
+	rng := rand.New(rand.NewSource(44))
+	sp := Yule(ts, rng, YuleOptions{BirthRate: 1})
+	for i := 0; i < 5; i++ {
+		g, err := GeneTree(sp, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("invalid gene tree: %v", err)
+		}
+		if g.NumLeaves() != 25 {
+			t.Fatalf("gene tree leaves = %d", g.NumLeaves())
+		}
+		if !g.IsBinaryUnrooted() {
+			t.Error("gene tree should be binary (unrooted serialization)")
+		}
+	}
+}
+
+func TestGeneTreeConcordanceRegimes(t *testing.T) {
+	// Long species-tree branches → gene trees match the species tree more
+	// often than under short branches. Compare distinct-topology counts.
+	ts := taxa.Generate(12)
+	distinct := func(scale float64, seed int64) int {
+		rng := rand.New(rand.NewSource(seed))
+		sp := Yule(ts, rng, YuleOptions{BirthRate: 1})
+		ScaleMeanInternal(sp, scale)
+		seen := map[string]bool{}
+		for i := 0; i < 40; i++ {
+			g, err := GeneTree(sp, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[topologyKey(g)] = true
+		}
+		return len(seen)
+	}
+	concordant := distinct(5.0, 9)
+	discordant := distinct(0.05, 9)
+	if concordant >= discordant {
+		t.Errorf("long branches gave %d topologies, short gave %d; want fewer under long",
+			concordant, discordant)
+	}
+}
+
+// topologyKey gives a canonical string for an unrooted topology: sorted
+// leaf-name sets of all clusters. Adequate for small-n testing.
+func topologyKey(t *tree.Tree) string {
+	var clusters []string
+	var walk func(n *tree.Node) []string
+	walk = func(n *tree.Node) []string {
+		if n.IsLeaf() {
+			return []string{n.Name}
+		}
+		var all []string
+		for _, c := range n.Children {
+			all = append(all, walk(c)...)
+		}
+		sort.Strings(all)
+		key := ""
+		for _, s := range all {
+			key += s + ","
+		}
+		clusters = append(clusters, key)
+		return all
+	}
+	walk(t.Root)
+	sort.Strings(clusters)
+	out := ""
+	for _, c := range clusters {
+		out += c + ";"
+	}
+	return out
+}
+
+func TestGeneTreeErrors(t *testing.T) {
+	if _, err := GeneTree(nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("nil species tree should fail")
+	}
+	// Species tree without branch lengths.
+	root := &tree.Node{}
+	a := &tree.Node{Name: "A"}
+	b := &tree.Node{Name: "B"}
+	inner := &tree.Node{}
+	inner.AddChild(a)
+	inner.AddChild(b)
+	root.AddChild(inner)
+	root.AddChild(&tree.Node{Name: "C"})
+	if _, err := GeneTree(tree.New(root), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("species tree without lengths should fail")
+	}
+}
+
+func TestMSCCollectionDeterministic(t *testing.T) {
+	ts := taxa.Generate(10)
+	c := NewMSCCollection(ts, 123, 1.0)
+	a := topologyKey(c.Make(5))
+	b := topologyKey(c.Make(5))
+	if a != b {
+		t.Error("Make(i) must be deterministic in i")
+	}
+	if topologyKey(c.Make(0)) == "" {
+		t.Error("empty key")
+	}
+}
+
+func TestNNIChangesAtMostOneSplit(t *testing.T) {
+	// Structural check: NNI output stays a valid binary tree on the same
+	// taxa. (Distance bound is property-tested in the day package.)
+	ts := taxa.Generate(15)
+	rng := rand.New(rand.NewSource(17))
+	tr := RandomBinary(ts, rng)
+	for i := 0; i < 20; i++ {
+		moved := NNI(tr, rng)
+		if err := moved.Validate(); err != nil {
+			t.Fatalf("NNI output invalid: %v", err)
+		}
+		if moved.NumLeaves() != 15 {
+			t.Fatalf("NNI changed leaf count: %d", moved.NumLeaves())
+		}
+		if !moved.IsBinaryUnrooted() {
+			t.Error("NNI broke binarity")
+		}
+		tr = moved
+	}
+}
+
+func TestNNITinyTree(t *testing.T) {
+	ts := taxa.Generate(3)
+	rng := rand.New(rand.NewSource(1))
+	tr := RandomBinary(ts, rng)
+	moved := NNI(tr, rng) // no internal edges: must return unchanged copy
+	if moved.NumLeaves() != 3 {
+		t.Error("tiny tree corrupted")
+	}
+}
+
+func TestPerturbNNIAlwaysCopies(t *testing.T) {
+	ts := taxa.Generate(8)
+	rng := rand.New(rand.NewSource(2))
+	tr := RandomBinary(ts, rng)
+	p := PerturbNNI(tr, 0, rng)
+	if p == tr {
+		t.Error("PerturbNNI(t, 0) must return a copy")
+	}
+}
+
+func TestSPRValid(t *testing.T) {
+	ts := taxa.Generate(12)
+	rng := rand.New(rand.NewSource(19))
+	tr := RandomBinary(ts, rng)
+	for i := 0; i < 20; i++ {
+		moved := SPR(tr, rng)
+		if err := moved.Validate(); err != nil {
+			t.Fatalf("SPR output invalid: %v", err)
+		}
+		if moved.NumLeaves() != 12 {
+			t.Fatalf("SPR changed leaf count: %d", moved.NumLeaves())
+		}
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	ts := taxa.Generate(10)
+	sp := Yule(ts, rand.New(rand.NewSource(4)), YuleOptions{})
+	ScaleMeanInternal(sp, 2.5)
+	if got := MeanInternalBranch(sp); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("mean internal = %v, want 2.5", got)
+	}
+	ScaleBranches(sp, 2)
+	if got := MeanInternalBranch(sp); math.Abs(got-5.0) > 1e-9 {
+		t.Errorf("after doubling, mean = %v, want 5", got)
+	}
+	StripLengths(sp)
+	if MeanInternalBranch(sp) != 0 {
+		t.Error("StripLengths left lengths behind")
+	}
+	sp.Postorder(func(n *tree.Node) {
+		if n.HasLength {
+			t.Error("HasLength survived StripLengths")
+		}
+	})
+}
+
+func TestQuickGeneratorsProduceValidTrees(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%30 + 4
+		ts := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(seed))
+		rb := RandomBinary(ts, rng)
+		if rb.Validate() != nil || rb.NumLeaves() != n {
+			return false
+		}
+		sp := Yule(ts, rng, YuleOptions{BirthRate: 0.5})
+		if sp.Validate() != nil || sp.NumLeaves() != n {
+			return false
+		}
+		g, err := GeneTree(sp, rng)
+		if err != nil || g.Validate() != nil || g.NumLeaves() != n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package supertree implements RF supertree search — the analysis the
+// paper's introduction says bipartition-restricted tools are "generally
+// not applicable to" (§I, citing Bansal et al. [14]): given source trees
+// over *different* (overlapping) taxon sets, find a supertree over the
+// union of all taxa minimizing the total RF distance to the sources, where
+// each comparison restricts the supertree to that source's taxa.
+//
+// The search is the standard greedy hill-climb over NNI (optionally SPR)
+// neighbourhoods, scored with Day's linear-time RF after restriction.
+// Because BFHRF-style machinery keeps bipartitions untransformed, the
+// restriction+score path reuses the same substrates as everything else.
+package supertree
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/day"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// Options tune the search.
+type Options struct {
+	// Restarts is the number of independent hill-climbs (best kept).
+	// Default 3.
+	Restarts int
+	// MaxSteps bounds accepted moves per climb. Default 200.
+	MaxSteps int
+	// Patience is the number of consecutive rejected proposals that ends a
+	// climb. Default 4 × number of internal edges.
+	Patience int
+	// UseSPR also proposes subtree-prune-regraft moves (bolder steps).
+	UseSPR bool
+	// Seed makes the search deterministic.
+	Seed int64
+}
+
+// Result is the search outcome.
+type Result struct {
+	// Tree is the best supertree found, over the union catalogue.
+	Tree *tree.Tree
+	// Score is Σ_t RF(Tree|L(t), t), the quantity minimized.
+	Score int
+	// Taxa is the union catalogue.
+	Taxa *taxa.Set
+	// Steps counts accepted moves across all restarts.
+	Steps int
+}
+
+// Search runs the RF supertree heuristic over the source trees. Sources
+// must each have ≥ 4 taxa; their union forms the supertree's leaf set.
+func Search(sources []*tree.Tree, opts Options) (*Result, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("supertree: no source trees")
+	}
+	union, leafSets, err := unionTaxa(sources)
+	if err != nil {
+		return nil, err
+	}
+	if union.Len() < 4 {
+		return nil, fmt.Errorf("supertree: union has %d taxa; need at least 4", union.Len())
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 3
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 200
+	}
+	rng := rand.New(rand.NewSource(opts.Seed*2654435761 + 1))
+
+	best := &Result{Score: -1, Taxa: union}
+	for restart := 0; restart < restarts; restart++ {
+		cur := simphy.RandomBinary(union, rng)
+		curScore, err := Score(cur, sources, leafSets)
+		if err != nil {
+			return nil, err
+		}
+		patience := opts.Patience
+		if patience <= 0 {
+			patience = 4 * (union.Len() - 3)
+		}
+		rejected := 0
+		steps := 0
+		for steps < maxSteps && rejected < patience && curScore > 0 {
+			var cand *tree.Tree
+			if opts.UseSPR && rng.Intn(4) == 0 {
+				cand = simphy.SPR(cur, rng)
+			} else {
+				cand = simphy.NNI(cur, rng)
+			}
+			candScore, err := Score(cand, sources, leafSets)
+			if err != nil {
+				return nil, err
+			}
+			if candScore < curScore {
+				cur, curScore = cand, candScore
+				steps++
+				rejected = 0
+			} else {
+				rejected++
+			}
+		}
+		best.Steps += steps
+		if best.Score < 0 || curScore < best.Score {
+			best.Tree = cur
+			best.Score = curScore
+		}
+	}
+	return best, nil
+}
+
+// Score computes Σ_t RF(S restricted to L(t), t). leafSets may be nil, in
+// which case they are recomputed from the sources.
+func Score(s *tree.Tree, sources []*tree.Tree, leafSets []map[string]bool) (int, error) {
+	if leafSets == nil {
+		leafSets = make([]map[string]bool, len(sources))
+		for i, src := range sources {
+			set := map[string]bool{}
+			for _, n := range src.LeafNames() {
+				set[n] = true
+			}
+			leafSets[i] = set
+		}
+	}
+	total := 0
+	for i, src := range sources {
+		keep := leafSets[i]
+		restricted, err := tree.Restrict(s, func(name string) bool { return keep[name] })
+		if err != nil {
+			return 0, fmt.Errorf("supertree: restricting to source %d: %w", i, err)
+		}
+		d, err := day.RF(restricted, src)
+		if err != nil {
+			return 0, fmt.Errorf("supertree: scoring source %d: %w", i, err)
+		}
+		total += d
+	}
+	return total, nil
+}
+
+// unionTaxa validates the sources and returns the union catalogue plus
+// per-source leaf sets.
+func unionTaxa(sources []*tree.Tree) (*taxa.Set, []map[string]bool, error) {
+	seen := map[string]bool{}
+	var names []string
+	leafSets := make([]map[string]bool, len(sources))
+	for i, src := range sources {
+		if src == nil || src.Root == nil {
+			return nil, nil, fmt.Errorf("supertree: source %d is nil", i)
+		}
+		if err := src.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("supertree: source %d: %w", i, err)
+		}
+		ln := src.LeafNames()
+		if len(ln) < 4 {
+			return nil, nil, fmt.Errorf("supertree: source %d has %d taxa; need at least 4", i, len(ln))
+		}
+		set := make(map[string]bool, len(ln))
+		for _, n := range ln {
+			set[n] = true
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+		leafSets[i] = set
+	}
+	union, err := taxa.NewSet(names)
+	if err != nil {
+		return nil, nil, err
+	}
+	return union, leafSets, nil
+}

@@ -1,0 +1,141 @@
+package supertree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/day"
+	"repro/internal/newick"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// makeSources restricts a true tree to k random overlapping taxon subsets.
+func makeSources(t *testing.T, truth *tree.Tree, ts *taxa.Set, k, keep int, seed int64) []*tree.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := ts.Len()
+	out := make([]*tree.Tree, k)
+	for i := range out {
+		perm := rng.Perm(n)
+		set := map[string]bool{}
+		for _, j := range perm[:keep] {
+			set[ts.Name(j)] = true
+		}
+		src, err := tree.Restrict(truth, func(name string) bool { return set[name] })
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = src
+	}
+	return out
+}
+
+func TestScoreZeroForConsistentSources(t *testing.T) {
+	// Restrictions of one true tree score 0 against it.
+	ts := taxa.Generate(12)
+	rng := rand.New(rand.NewSource(3))
+	truth := simphy.RandomBinary(ts, rng)
+	sources := makeSources(t, truth, ts, 5, 8, 7)
+	score, err := Score(truth, sources, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 0 {
+		t.Errorf("true tree score = %d, want 0", score)
+	}
+}
+
+func TestSearchRecoversTrueTree(t *testing.T) {
+	// Sources consistent with one tree: search should reach score 0 (or
+	// very near) and hence a supertree displaying every source.
+	ts := taxa.Generate(10)
+	rng := rand.New(rand.NewSource(9))
+	truth := simphy.RandomBinary(ts, rng)
+	sources := makeSources(t, truth, ts, 8, 7, 21)
+
+	res, err := Search(sources, Options{Restarts: 6, MaxSteps: 400, UseSPR: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Taxa.Len() != 10 {
+		t.Fatalf("union taxa = %d", res.Taxa.Len())
+	}
+	if res.Tree.NumLeaves() != 10 {
+		t.Fatalf("supertree leaves = %d", res.Tree.NumLeaves())
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Fatalf("supertree invalid: %v", err)
+	}
+	if res.Score > 2 {
+		t.Errorf("search score = %d; consistent sources should reach ~0", res.Score)
+	}
+	if res.Score == 0 {
+		// A perfect supertree restricted to full taxa equals the truth up
+		// to RF 0 only if sources jointly resolve it; allow any tree with
+		// score 0.
+		s, err := Score(res.Tree, sources, nil)
+		if err != nil || s != 0 {
+			t.Errorf("reported score 0 but rescored %d (%v)", s, err)
+		}
+	}
+}
+
+func TestSearchImprovesOverRandom(t *testing.T) {
+	ts := taxa.Generate(14)
+	rng := rand.New(rand.NewSource(31))
+	truth := simphy.RandomBinary(ts, rng)
+	sources := makeSources(t, truth, ts, 6, 9, 17)
+	res, err := Search(sources, Options{Restarts: 2, MaxSteps: 150, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomScore, err := Score(simphy.RandomBinary(ts, rng), sources, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score >= randomScore {
+		t.Errorf("search score %d not better than a random tree's %d", res.Score, randomScore)
+	}
+}
+
+func TestConflictingSources(t *testing.T) {
+	// Two sources over the SAME taxa with different topologies: no
+	// supertree scores 0; the search must still return a valid tree.
+	a := mustParse(t, "((A,B),((C,D),(E,F)));")
+	b := mustParse(t, "((A,F),((C,E),(B,D)));")
+	res, err := Search([]*tree.Tree{a, b}, Options{Restarts: 3, MaxSteps: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= 0 {
+		t.Errorf("conflicting sources cannot reach score %d", res.Score)
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal is one of the two sources themselves (score = RF(a,b)).
+	d := day.MustRF(a, b)
+	if res.Score > d {
+		t.Errorf("score %d worse than picking one source outright (%d)", res.Score, d)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	if _, err := Search(nil, Options{}); err == nil {
+		t.Error("no sources should fail")
+	}
+	tiny := mustParse(t, "(A,B,C);")
+	if _, err := Search([]*tree.Tree{tiny}, Options{}); err == nil {
+		t.Error("3-taxon source should fail")
+	}
+	if _, err := Search([]*tree.Tree{nil}, Options{}); err == nil {
+		t.Error("nil source should fail")
+	}
+}
+
+func mustParse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	return newick.MustParse(s)
+}

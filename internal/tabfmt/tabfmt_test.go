@@ -1,0 +1,74 @@
+package tabfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	tab := New("Demo", "Algorithm", "n", "Time(m)")
+	tab.AddRow("BFHRF8", 100, 0.04)
+	tab.AddRow("DS", 100, 3.72)
+	var sb strings.Builder
+	if err := tab.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "Algorithm", "BFHRF8", "3.72", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.AddRow("plain", 1)
+	tab.AddRow(`with,comma`, `with"quote`)
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.0001234, "0.0001234"},
+		{3.14159, "3.14"},
+		{1234.5678, "1234.6"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	tab := New("x", "c")
+	if tab.NumRows() != 0 {
+		t.Error("fresh table should have 0 rows")
+	}
+	tab.AddRow(1)
+	if tab.NumRows() != 1 {
+		t.Error("NumRows != 1")
+	}
+}

@@ -1,0 +1,168 @@
+package taxa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSetSortsNames(t *testing.T) {
+	s, err := NewSet([]string{"charlie", "alpha", "bravo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "bravo", "charlie"}
+	got := s.Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewOrderedSetPreservesOrder(t *testing.T) {
+	s, err := NewOrderedSet([]string{"z", "a", "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name(0) != "z" || s.Name(1) != "a" || s.Name(2) != "m" {
+		t.Errorf("order not preserved: %v", s.Names())
+	}
+}
+
+func TestNewSetRejectsDuplicates(t *testing.T) {
+	if _, err := NewSet([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("expected error for duplicate names")
+	}
+}
+
+func TestNewSetRejectsEmptyName(t *testing.T) {
+	if _, err := NewSet([]string{"a", ""}); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	s := MustNewSet([]string{"d", "a", "c", "b"})
+	for i := 0; i < s.Len(); i++ {
+		name := s.Name(i)
+		j, ok := s.Index(name)
+		if !ok || j != i {
+			t.Errorf("Index(%q) = (%d, %v), want (%d, true)", name, j, ok, i)
+		}
+	}
+}
+
+func TestIndexAbsent(t *testing.T) {
+	s := MustNewSet([]string{"a", "b"})
+	if i, ok := s.Index("zzz"); ok || i != -1 {
+		t.Errorf("Index(zzz) = (%d, %v), want (-1, false)", i, ok)
+	}
+}
+
+func TestNilAndEmptySet(t *testing.T) {
+	var nilSet *Set
+	if nilSet.Len() != 0 {
+		t.Error("nil set Len != 0")
+	}
+	if _, ok := nilSet.Index("a"); ok {
+		t.Error("nil set should not contain anything")
+	}
+	empty := MustNewSet(nil)
+	if empty.Len() != 0 {
+		t.Error("empty set Len != 0")
+	}
+}
+
+func TestEqualAndSameNames(t *testing.T) {
+	a := MustNewSet([]string{"x", "y", "z"})
+	b := MustNewSet([]string{"z", "y", "x"}) // sorted identically
+	if !a.Equal(b) {
+		t.Error("sorted sets with same names should be Equal")
+	}
+	c, _ := NewOrderedSet([]string{"z", "y", "x"})
+	if a.Equal(c) {
+		t.Error("different order should not be Equal")
+	}
+	if !a.SameNames(c) {
+		t.Error("same names should be SameNames regardless of order")
+	}
+	d := MustNewSet([]string{"x", "y"})
+	if a.Equal(d) || a.SameNames(d) {
+		t.Error("different sizes should not match")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := MustNewSet([]string{"a", "b", "c", "d"})
+	b := MustNewSet([]string{"b", "d", "e"})
+	got := a.Intersect(b)
+	if got.Len() != 2 || !got.Contains("b") || !got.Contains("d") {
+		t.Errorf("Intersect = %v, want {b, d}", got.Names())
+	}
+}
+
+func TestIntersectDisjoint(t *testing.T) {
+	a := MustNewSet([]string{"a"})
+	b := MustNewSet([]string{"b"})
+	if got := a.Intersect(b); got.Len() != 0 {
+		t.Errorf("disjoint Intersect = %v, want empty", got.Names())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := MustNewSet([]string{"a", "c"})
+	b := MustNewSet([]string{"b", "c"})
+	got := a.Union(b)
+	if got.Len() != 3 {
+		t.Fatalf("Union size = %d, want 3", got.Len())
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if !got.Contains(n) {
+			t.Errorf("Union missing %q", n)
+		}
+	}
+}
+
+func TestMapping(t *testing.T) {
+	a := MustNewSet([]string{"a", "b", "c"})
+	b := MustNewSet([]string{"b", "c", "d"})
+	m := a.Mapping(b)
+	// a:0 -> absent; b:1 -> 0; c:2 -> 1 in b's sorted order {b,c,d}.
+	if m[0] != -1 {
+		t.Errorf("Mapping[a] = %d, want -1", m[0])
+	}
+	ib, _ := b.Index("b")
+	ic, _ := b.Index("c")
+	if m[1] != ib || m[2] != ic {
+		t.Errorf("Mapping = %v", m)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	s := Generate(12)
+	if s.Len() != 12 {
+		t.Fatalf("Generate(12).Len() = %d", s.Len())
+	}
+	if s.Name(0) != "t0000" || s.Name(11) != "t0011" {
+		t.Errorf("unexpected names: %q, %q", s.Name(0), s.Name(11))
+	}
+	// Names must already be in sorted order for consistent bit assignment.
+	names := s.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names out of order at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	s := Generate(50)
+	str := s.String()
+	if !strings.Contains(str, "more") {
+		t.Errorf("large set String should truncate, got %q", str)
+	}
+	small := MustNewSet([]string{"a", "b"})
+	if small.String() != "taxa.Set{a, b}" {
+		t.Errorf("small set String = %q", small.String())
+	}
+}

@@ -1,0 +1,50 @@
+package tree
+
+import "fmt"
+
+// Deterministic tree constructors for tests, benchmarks and worked
+// examples: the two extreme binary shapes.
+
+// Caterpillar builds the maximally unbalanced (pectinate) unrooted binary
+// tree over the names, in order: (((n0,n1),n2),n3)… derooted to the
+// conventional 3-child root. It panics on fewer than 2 names.
+func Caterpillar(names []string) *Tree {
+	if len(names) < 2 {
+		panic(fmt.Sprintf("tree: Caterpillar needs at least 2 names, have %d", len(names)))
+	}
+	cur := &Node{}
+	cur.AddChild(&Node{Name: names[0]})
+	cur.AddChild(&Node{Name: names[1]})
+	for _, name := range names[2:] {
+		parent := &Node{}
+		parent.AddChild(cur)
+		parent.AddChild(&Node{Name: name})
+		cur = parent
+	}
+	t := New(cur)
+	t.Deroot()
+	return t
+}
+
+// Balanced builds the maximally balanced unrooted binary tree over the
+// names by recursive halving, derooted to the conventional 3-child root.
+// It panics on fewer than 2 names.
+func Balanced(names []string) *Tree {
+	if len(names) < 2 {
+		panic(fmt.Sprintf("tree: Balanced needs at least 2 names, have %d", len(names)))
+	}
+	t := New(balancedNode(names))
+	t.Deroot()
+	return t
+}
+
+func balancedNode(names []string) *Node {
+	if len(names) == 1 {
+		return &Node{Name: names[0]}
+	}
+	mid := len(names) / 2
+	n := &Node{}
+	n.AddChild(balancedNode(names[:mid]))
+	n.AddChild(balancedNode(names[mid:]))
+	return n
+}

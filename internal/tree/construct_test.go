@@ -1,0 +1,100 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("x%03d", i)
+	}
+	return out
+}
+
+func TestCaterpillarShape(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8, 40} {
+		tr := Caterpillar(names(n))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.NumLeaves() != n {
+			t.Fatalf("n=%d: leaves = %d", n, tr.NumLeaves())
+		}
+		if n >= 3 && !tr.IsBinaryUnrooted() {
+			t.Errorf("n=%d: not binary", n)
+		}
+		if n >= 4 && tr.NumInternalEdges() != n-3 {
+			t.Errorf("n=%d: internal edges = %d, want %d", n, tr.NumInternalEdges(), n-3)
+		}
+	}
+}
+
+func TestBalancedShape(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 16, 33} {
+		tr := Balanced(names(n))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.NumLeaves() != n {
+			t.Fatalf("n=%d: leaves = %d", n, tr.NumLeaves())
+		}
+		if n >= 3 && !tr.IsBinaryUnrooted() {
+			t.Errorf("n=%d: not binary", n)
+		}
+	}
+}
+
+func TestBalancedIsShallowerThanCaterpillar(t *testing.T) {
+	n := 64
+	depth := func(tr *Tree) int {
+		max := 0
+		var walk func(nd *Node, d int)
+		walk = func(nd *Node, d int) {
+			if d > max {
+				max = d
+			}
+			for _, c := range nd.Children {
+				walk(c, d+1)
+			}
+		}
+		walk(tr.Root, 0)
+		return max
+	}
+	cat := depth(Caterpillar(names(n)))
+	bal := depth(Balanced(names(n)))
+	if bal >= cat {
+		t.Errorf("balanced depth %d should be < caterpillar depth %d", bal, cat)
+	}
+}
+
+func TestConstructorsPreserveNames(t *testing.T) {
+	want := names(10)
+	for _, tr := range []*Tree{Caterpillar(names(10)), Balanced(names(10))} {
+		got := tr.LeafNames()
+		sort.Strings(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("leaf names differ at %d: %s vs %s", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConstructorsPanicOnTiny(t *testing.T) {
+	for _, f := range []func(){
+		func() { Caterpillar(names(1)) },
+		func() { Balanced(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

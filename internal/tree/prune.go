@@ -1,0 +1,61 @@
+package tree
+
+import "fmt"
+
+// Restrict returns a deep copy of t containing only the leaves for which
+// keep returns true, with resulting unary internal nodes suppressed (branch
+// lengths merged additively). This is the "intersection reduction" used for
+// variable-taxa RF (paper §VII.E): restrict every tree to the common taxa,
+// then compare as usual.
+//
+// It returns an error if fewer than 2 leaves survive.
+func Restrict(t *Tree, keep func(name string) bool) (*Tree, error) {
+	c := t.Clone()
+	root := pruneNode(c.Root, keep)
+	if root == nil {
+		return nil, fmt.Errorf("tree: restriction removed every leaf")
+	}
+	c.Root = root
+	c.Root.Parent = nil
+	c.SuppressUnifurcations()
+	if c.NumLeaves() < 2 {
+		return nil, fmt.Errorf("tree: restriction left %d leaves; need at least 2", c.NumLeaves())
+	}
+	return c, nil
+}
+
+// pruneNode removes pruned leaves bottom-up, returning the (possibly
+// replaced) node or nil if the whole subtree is pruned.
+func pruneNode(n *Node, keep func(string) bool) *Node {
+	if n.IsLeaf() {
+		if keep(n.Name) {
+			return n
+		}
+		return nil
+	}
+	kept := n.Children[:0]
+	for _, c := range n.Children {
+		if pc := pruneNode(c, keep); pc != nil {
+			pc.Parent = n
+			kept = append(kept, pc)
+		}
+	}
+	n.Children = kept
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		// Merge this unary node into its single child.
+		child := kept[0]
+		if n.HasLength && child.HasLength {
+			child.Length += n.Length
+		} else if n.HasLength {
+			child.Length = n.Length
+			child.HasLength = true
+		}
+		child.Parent = n.Parent
+		return child
+	default:
+		return n
+	}
+}

@@ -1,0 +1,312 @@
+// Package tree implements the phylogenetic tree model shared by every
+// engine in this repository.
+//
+// Trees are stored rooted (every node except the root has a parent) but the
+// Robinson-Foulds machinery treats them with unrooted semantics: an unrooted
+// binary tree on n taxa is stored as a rooted tree whose root has three
+// children (the conventional "unrooted" serialization used by Dendropy and
+// most Newick producers), and bipartitions are derived from edges, which is
+// invariant under the choice of root.
+package tree
+
+import (
+	"fmt"
+)
+
+// Node is one vertex of a tree. Leaves carry taxon names; internal nodes may
+// carry support labels. Branch lengths annotate the edge to the parent.
+type Node struct {
+	// Name is the taxon name for leaves, or an optional internal label.
+	Name string
+	// Length is the length of the edge to the parent; meaningful only when
+	// HasLength is true. Trees without branch lengths (structure-only, like
+	// the paper's Insect data) have HasLength false on every node.
+	Length    float64
+	HasLength bool
+
+	Parent   *Node
+	Children []*Node
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// AddChild appends c to n's children and sets c's parent.
+func (n *Node) AddChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Degree returns the number of edges incident to n (children plus the
+// parent edge if present).
+func (n *Node) Degree() int {
+	d := len(n.Children)
+	if n.Parent != nil {
+		d++
+	}
+	return d
+}
+
+// Tree is a rooted tree structure. The zero value is not useful; construct
+// trees via New or the newick parser.
+type Tree struct {
+	Root *Node
+}
+
+// New returns a tree with the given root.
+func New(root *Node) *Tree { return &Tree{Root: root} }
+
+// Postorder visits every node in postorder (children before parents).
+// The traversal is iterative, so arbitrarily deep (caterpillar) trees do not
+// overflow the goroutine stack.
+func (t *Tree) Postorder(visit func(*Node)) {
+	if t.Root == nil {
+		return
+	}
+	type frame struct {
+		n     *Node
+		child int
+	}
+	stack := []frame{{t.Root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.child < len(f.n.Children) {
+			c := f.n.Children[f.child]
+			f.child++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		visit(f.n)
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// Preorder visits every node in preorder (parents before children),
+// iteratively.
+func (t *Tree) Preorder(visit func(*Node)) {
+	if t.Root == nil {
+		return
+	}
+	stack := []*Node{t.Root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit(n)
+		for i := len(n.Children) - 1; i >= 0; i-- {
+			stack = append(stack, n.Children[i])
+		}
+	}
+}
+
+// Leaves returns all leaf nodes in postorder (left-to-right) order.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	t.Postorder(func(n *Node) {
+		if n.IsLeaf() {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// LeafNames returns the taxon names of all leaves in traversal order.
+func (t *Tree) LeafNames() []string {
+	leaves := t.Leaves()
+	out := make([]string, len(leaves))
+	for i, l := range leaves {
+		out[i] = l.Name
+	}
+	return out
+}
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int {
+	c := 0
+	t.Postorder(func(n *Node) {
+		if n.IsLeaf() {
+			c++
+		}
+	})
+	return c
+}
+
+// NumNodes returns the total number of nodes.
+func (t *Tree) NumNodes() int {
+	c := 0
+	t.Postorder(func(*Node) { c++ })
+	return c
+}
+
+// NumInternalEdges returns the number of internal (non-pendant, non-root)
+// edges — the edges that induce non-trivial bipartitions.
+func (t *Tree) NumInternalEdges() int {
+	c := 0
+	t.Postorder(func(n *Node) {
+		if n.Parent != nil && !n.IsLeaf() {
+			c++
+		}
+	})
+	return c
+}
+
+// IsBinaryUnrooted reports whether the tree is a binary unrooted tree in the
+// conventional rooted serialization: the root has exactly 3 children (or 2
+// for the degenerate rooted-binary form) and every other internal node has
+// exactly 2 children. Trees with fewer than 3 leaves are trivially binary.
+func (t *Tree) IsBinaryUnrooted() bool {
+	if t.Root == nil {
+		return false
+	}
+	if t.NumLeaves() < 3 {
+		return true
+	}
+	ok := true
+	t.Postorder(func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		if n == t.Root {
+			if len(n.Children) != 3 && len(n.Children) != 2 {
+				ok = false
+			}
+			return
+		}
+		if len(n.Children) != 2 {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	if t.Root == nil {
+		return &Tree{}
+	}
+	return &Tree{Root: cloneNode(t.Root, nil)}
+}
+
+func cloneNode(n *Node, parent *Node) *Node {
+	c := &Node{
+		Name:      n.Name,
+		Length:    n.Length,
+		HasLength: n.HasLength,
+		Parent:    parent,
+	}
+	c.Children = make([]*Node, len(n.Children))
+	for i, ch := range n.Children {
+		c.Children[i] = cloneNode(ch, c)
+	}
+	return c
+}
+
+// Validate checks structural invariants: parent pointers are consistent,
+// every leaf is named, and leaf names are unique. It returns the first
+// violation found.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("tree: nil root")
+	}
+	if t.Root.Parent != nil {
+		return fmt.Errorf("tree: root has a parent")
+	}
+	seen := make(map[string]bool)
+	var err error
+	t.Postorder(func(n *Node) {
+		if err != nil {
+			return
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				err = fmt.Errorf("tree: child %q has inconsistent parent pointer", c.Name)
+				return
+			}
+		}
+		if n.IsLeaf() {
+			if n.Name == "" {
+				err = fmt.Errorf("tree: unnamed leaf")
+				return
+			}
+			if seen[n.Name] {
+				err = fmt.Errorf("tree: duplicate leaf name %q", n.Name)
+				return
+			}
+			seen[n.Name] = true
+		}
+	})
+	return err
+}
+
+// SuppressUnifurcations collapses nodes with exactly one child (which can
+// arise from rerooting or pruning), merging branch lengths additively.
+// The root itself is replaced by its single child if unary.
+func (t *Tree) SuppressUnifurcations() {
+	for t.Root != nil && !t.Root.IsLeaf() && len(t.Root.Children) == 1 {
+		child := t.Root.Children[0]
+		child.Parent = nil
+		// Root edges carry no meaningful length in unrooted semantics.
+		t.Root = child
+	}
+	if t.Root == nil {
+		return
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for i := 0; i < len(n.Children); i++ {
+			c := n.Children[i]
+			for !c.IsLeaf() && len(c.Children) == 1 {
+				g := c.Children[0]
+				if c.HasLength && g.HasLength {
+					g.Length += c.Length
+				} else if c.HasLength {
+					g.Length = c.Length
+					g.HasLength = true
+				}
+				g.Parent = n
+				n.Children[i] = g
+				c = g
+			}
+			walk(c)
+		}
+	}
+	walk(t.Root)
+}
+
+// Deroot converts a rooted-binary serialization (root with 2 children) into
+// the unrooted convention (root with 3 children) by merging the root's two
+// edges. No-op if the root already has 3+ children or the tree is tiny.
+// This makes bipartition sets from rooted and unrooted serializations of the
+// same topology identical.
+func (t *Tree) Deroot() {
+	r := t.Root
+	if r == nil || len(r.Children) != 2 {
+		return
+	}
+	a, b := r.Children[0], r.Children[1]
+	// Pick a non-leaf child to dissolve into the root; if both are leaves the
+	// tree has 2 taxa and there is nothing to do.
+	target := a
+	keep := b
+	if target.IsLeaf() {
+		target, keep = b, a
+	}
+	if target.IsLeaf() {
+		return
+	}
+	// The merged edge length is the sum of the two root edges.
+	if target.HasLength && keep.HasLength {
+		keep.Length += target.Length
+	} else if target.HasLength {
+		keep.Length = target.Length
+		keep.HasLength = true
+	}
+	newChildren := make([]*Node, 0, len(target.Children)+1)
+	newChildren = append(newChildren, keep)
+	newChildren = append(newChildren, target.Children...)
+	for _, c := range newChildren {
+		c.Parent = r
+	}
+	r.Children = newChildren
+	target.Children = nil
+	target.Parent = nil
+}

@@ -1,0 +1,327 @@
+package tree
+
+import (
+	"testing"
+)
+
+// build constructs ((A,B),(C,D)) rooted at a degree-2 root.
+func buildQuartet() *Tree {
+	root := &Node{}
+	ab := &Node{}
+	cd := &Node{}
+	a := &Node{Name: "A"}
+	b := &Node{Name: "B"}
+	c := &Node{Name: "C"}
+	d := &Node{Name: "D"}
+	ab.AddChild(a)
+	ab.AddChild(b)
+	cd.AddChild(c)
+	cd.AddChild(d)
+	root.AddChild(ab)
+	root.AddChild(cd)
+	return New(root)
+}
+
+func TestPostorderVisitsChildrenFirst(t *testing.T) {
+	tr := buildQuartet()
+	var order []string
+	pos := map[*Node]int{}
+	i := 0
+	tr.Postorder(func(n *Node) {
+		pos[n] = i
+		i++
+		if n.IsLeaf() {
+			order = append(order, n.Name)
+		}
+	})
+	tr.Postorder(func(n *Node) {
+		for _, c := range n.Children {
+			if pos[c] >= pos[n] {
+				t.Errorf("child visited after parent")
+			}
+		}
+	})
+	if len(order) != 4 {
+		t.Errorf("leaves visited = %v", order)
+	}
+}
+
+func TestPreorderVisitsParentsFirst(t *testing.T) {
+	tr := buildQuartet()
+	pos := map[*Node]int{}
+	i := 0
+	tr.Preorder(func(n *Node) {
+		pos[n] = i
+		i++
+	})
+	tr.Postorder(func(n *Node) {
+		for _, c := range n.Children {
+			if pos[c] <= pos[n] {
+				t.Errorf("child visited before parent in preorder")
+			}
+		}
+	})
+}
+
+func TestCounts(t *testing.T) {
+	tr := buildQuartet()
+	if tr.NumLeaves() != 4 {
+		t.Errorf("NumLeaves = %d", tr.NumLeaves())
+	}
+	if tr.NumNodes() != 7 {
+		t.Errorf("NumNodes = %d", tr.NumNodes())
+	}
+	if tr.NumInternalEdges() != 2 {
+		t.Errorf("NumInternalEdges = %d", tr.NumInternalEdges())
+	}
+}
+
+func TestIsBinaryUnrooted(t *testing.T) {
+	tr := buildQuartet()
+	if !tr.IsBinaryUnrooted() {
+		t.Error("quartet should count as binary")
+	}
+	// Add a fifth child to an internal node: no longer binary.
+	tr.Root.Children[0].AddChild(&Node{Name: "E"})
+	if tr.IsBinaryUnrooted() {
+		t.Error("trifurcating internal node should not be binary")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := buildQuartet()
+	c := tr.Clone()
+	c.Root.Children[0].Children[0].Name = "MUTATED"
+	if tr.Root.Children[0].Children[0].Name == "MUTATED" {
+		t.Error("Clone shares nodes with original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := buildQuartet()
+	if err := tr.Validate(); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+	// Duplicate leaf names.
+	dup := buildQuartet()
+	dup.Leaves()[0].Name = "D"
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate leaf name not detected")
+	}
+	// Unnamed leaf.
+	anon := buildQuartet()
+	anon.Leaves()[0].Name = ""
+	if err := anon.Validate(); err == nil {
+		t.Error("unnamed leaf not detected")
+	}
+	// Broken parent pointer.
+	broken := buildQuartet()
+	broken.Root.Children[0].Children[0].Parent = broken.Root
+	if err := broken.Validate(); err == nil {
+		t.Error("inconsistent parent pointer not detected")
+	}
+	// Nil root.
+	if err := (&Tree{}).Validate(); err == nil {
+		t.Error("nil root not detected")
+	}
+}
+
+func TestDeroot(t *testing.T) {
+	tr := buildQuartet()
+	tr.Deroot()
+	if len(tr.Root.Children) != 3 {
+		t.Fatalf("after Deroot root has %d children, want 3", len(tr.Root.Children))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("derooted tree invalid: %v", err)
+	}
+	if tr.NumLeaves() != 4 {
+		t.Errorf("leaves lost in Deroot: %d", tr.NumLeaves())
+	}
+}
+
+func TestDerootMergesLengths(t *testing.T) {
+	root := &Node{}
+	ab := &Node{Length: 0.5, HasLength: true}
+	ab.AddChild(&Node{Name: "A"})
+	ab.AddChild(&Node{Name: "B"})
+	c := &Node{Name: "C", Length: 0.25, HasLength: true}
+	root.AddChild(ab)
+	root.AddChild(c)
+	tr := New(root)
+	tr.Deroot()
+	// After dissolving ab into the root, C's edge should carry 0.75.
+	found := false
+	for _, ch := range tr.Root.Children {
+		if ch.Name == "C" {
+			found = true
+			if !ch.HasLength || ch.Length != 0.75 {
+				t.Errorf("C edge = %v (has=%v), want 0.75", ch.Length, ch.HasLength)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("C not a root child after Deroot")
+	}
+}
+
+func TestDerootNoopOnTrifurcation(t *testing.T) {
+	root := &Node{}
+	for _, n := range []string{"A", "B", "C"} {
+		root.AddChild(&Node{Name: n})
+	}
+	tr := New(root)
+	tr.Deroot()
+	if len(tr.Root.Children) != 3 {
+		t.Error("Deroot should be a no-op on a trifurcating root")
+	}
+}
+
+func TestDerootTwoLeaves(t *testing.T) {
+	root := &Node{}
+	root.AddChild(&Node{Name: "A"})
+	root.AddChild(&Node{Name: "B"})
+	tr := New(root)
+	tr.Deroot() // must not panic or corrupt
+	if tr.NumLeaves() != 2 {
+		t.Errorf("two-leaf tree corrupted: %d leaves", tr.NumLeaves())
+	}
+}
+
+func TestSuppressUnifurcations(t *testing.T) {
+	// root -> u -> v -> (A, B); u and v are unary.
+	root := &Node{}
+	u := &Node{Length: 1, HasLength: true}
+	v := &Node{Length: 2, HasLength: true}
+	ab := &Node{Length: 3, HasLength: true}
+	ab.AddChild(&Node{Name: "A"})
+	ab.AddChild(&Node{Name: "B"})
+	v.AddChild(ab)
+	u.AddChild(v)
+	root.AddChild(u)
+	root.AddChild(&Node{Name: "C"})
+	tr := New(root)
+	tr.SuppressUnifurcations()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid after suppression: %v", err)
+	}
+	// The chain u->v->ab should collapse into a single child with summed
+	// length 1+2+3 = 6.
+	var merged *Node
+	for _, ch := range tr.Root.Children {
+		if !ch.IsLeaf() {
+			merged = ch
+		}
+	}
+	if merged == nil || merged.Length != 6 {
+		t.Errorf("merged length = %+v, want 6", merged)
+	}
+}
+
+func TestSuppressUnifurcationsUnaryRoot(t *testing.T) {
+	root := &Node{}
+	inner := &Node{}
+	inner.AddChild(&Node{Name: "A"})
+	inner.AddChild(&Node{Name: "B"})
+	root.AddChild(inner)
+	tr := New(root)
+	tr.SuppressUnifurcations()
+	if tr.Root != inner {
+		t.Error("unary root should be replaced by its child")
+	}
+	if tr.Root.Parent != nil {
+		t.Error("new root must have nil parent")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	tr := buildQuartet()
+	keep := map[string]bool{"A": true, "C": true, "D": true}
+	got, err := Restrict(tr, func(n string) bool { return keep[n] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumLeaves() != 3 {
+		t.Errorf("restricted leaves = %d, want 3", got.NumLeaves())
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("restricted tree invalid: %v", err)
+	}
+	// Original untouched.
+	if tr.NumLeaves() != 4 {
+		t.Error("Restrict mutated its input")
+	}
+}
+
+func TestRestrictMergesLengths(t *testing.T) {
+	// ((A:1,B:2):4,(C:8,D:16):32) restricted to {A,C,D}: A's path keeps the
+	// unary-merged 1+4 pendant edge.
+	root := &Node{}
+	ab := &Node{Length: 4, HasLength: true}
+	ab.AddChild(&Node{Name: "A", Length: 1, HasLength: true})
+	ab.AddChild(&Node{Name: "B", Length: 2, HasLength: true})
+	cd := &Node{Length: 32, HasLength: true}
+	cd.AddChild(&Node{Name: "C", Length: 8, HasLength: true})
+	cd.AddChild(&Node{Name: "D", Length: 16, HasLength: true})
+	root.AddChild(ab)
+	root.AddChild(cd)
+	keep := map[string]bool{"A": true, "C": true, "D": true}
+	got, err := Restrict(New(root), func(n string) bool { return keep[n] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range got.Leaves() {
+		if l.Name == "A" && l.Length != 5 {
+			t.Errorf("A pendant edge = %v, want 5 (1+4 merged)", l.Length)
+		}
+	}
+}
+
+func TestRestrictErrors(t *testing.T) {
+	tr := buildQuartet()
+	if _, err := Restrict(tr, func(string) bool { return false }); err == nil {
+		t.Error("restriction to nothing should fail")
+	}
+	if _, err := Restrict(tr, func(n string) bool { return n == "A" }); err == nil {
+		t.Error("restriction to one leaf should fail")
+	}
+}
+
+func TestDegree(t *testing.T) {
+	tr := buildQuartet()
+	if tr.Root.Degree() != 2 {
+		t.Errorf("root degree = %d, want 2", tr.Root.Degree())
+	}
+	if tr.Root.Children[0].Degree() != 3 {
+		t.Errorf("internal degree = %d, want 3", tr.Root.Children[0].Degree())
+	}
+	if tr.Leaves()[0].Degree() != 1 {
+		t.Errorf("leaf degree = %d, want 1", tr.Leaves()[0].Degree())
+	}
+}
+
+func TestDeepTreeDoesNotOverflow(t *testing.T) {
+	// A caterpillar of depth 200k exercises the iterative traversals.
+	root := &Node{}
+	cur := root
+	for i := 0; i < 200000; i++ {
+		leaf := &Node{Name: "leaf"} // names duplicated; traversal only
+		next := &Node{}
+		cur.AddChild(leaf)
+		cur.AddChild(next)
+		cur = next
+	}
+	cur.Name = "tip"
+	tr := New(root)
+	if n := tr.NumNodes(); n != 400001 {
+		t.Errorf("NumNodes = %d", n)
+	}
+	count := 0
+	tr.Preorder(func(*Node) { count++ })
+	if count != 400001 {
+		t.Errorf("Preorder visited %d", count)
+	}
+}

@@ -1,0 +1,308 @@
+// Package repro is the public API of the BFHRF reproduction: scalable and
+// extensible Robinson-Foulds distances between collections of phylogenetic
+// trees, after Chon et al., "Scalable and Extensible Robinson-Foulds for
+// Comparative Phylogenetics" (IPDPSW 2022).
+//
+// The central operation is computing, for each query tree in a collection
+// Q, its average RF distance to a reference collection R — via a
+// bipartition frequency hash (BFH) built once over R. Entry points accept
+// Newick files or strings; the returned values are per-query averages in
+// query order.
+//
+// # Quick start
+//
+//	results, err := repro.AverageRFFiles("queries.nwk", "references.nwk", repro.Config{})
+//	best, _ := repro.BestResult(results)
+//
+// For repeated queries against one reference collection, build the hash
+// once with BuildHashFile and query it many times.
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bipart"
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/day"
+	"repro/internal/newick"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// Variant names an RF flavour for Config.
+const (
+	// VariantPlain is the traditional symmetric-difference count.
+	VariantPlain = "plain"
+	// VariantNormalized divides by the maximum RF 2(n−3), giving [0,1].
+	VariantNormalized = "normalized"
+	// VariantWeighted sums branch lengths of unshared bipartitions.
+	VariantWeighted = "weighted"
+	// VariantInfo weights each unshared bipartition by its phylogenetic
+	// information content (the information-theoretic generalized RF).
+	VariantInfo = "info"
+)
+
+// Config controls average-RF computations.
+type Config struct {
+	// Workers is the parallelism degree; 0 uses all CPUs.
+	Workers int
+	// Variant is one of VariantPlain (default), VariantNormalized,
+	// VariantWeighted.
+	Variant string
+	// MinSplitSize / MaxSplitSize filter bipartitions by the size of the
+	// smaller side (0 = no bound) — the paper's demonstrated extensibility
+	// hook.
+	MinSplitSize int
+	MaxSplitSize int
+	// IntersectTaxa enables variable-taxa mode: trees are restricted to
+	// the taxa common to every tree before comparison (intersection
+	// reduction). Without it, all trees must share an identical taxon set.
+	IntersectTaxa bool
+	// CompressKeys stores losslessly compressed bipartition keys in the
+	// frequency hash, trading a little CPU for memory (paper §IX).
+	CompressKeys bool
+}
+
+func (c Config) variant() (core.Variant, bool, error) {
+	switch c.Variant {
+	case "", VariantPlain:
+		return core.Plain, false, nil
+	case VariantNormalized:
+		return core.Normalized, false, nil
+	case VariantWeighted:
+		return core.Weighted, false, nil
+	case VariantInfo:
+		return core.Plain, true, nil
+	default:
+		return 0, false, fmt.Errorf("repro: unknown variant %q", c.Variant)
+	}
+}
+
+func (c Config) filter(n int) bipart.Filter {
+	if c.MinSplitSize <= 0 && c.MaxSplitSize <= 0 {
+		return nil
+	}
+	min := c.MinSplitSize
+	if min < 0 {
+		min = 0
+	}
+	return bipart.SizeFilter(min, c.MaxSplitSize, n)
+}
+
+// Result is the average RF of one query tree against the reference
+// collection.
+type Result struct {
+	// Index is the query's position (0-based) in the query collection.
+	Index int
+	// AvgRF is the average distance in the configured variant's units.
+	AvgRF float64
+}
+
+// BestResult returns the result with the lowest average RF — the
+// most-parsimonious candidate under the RF criterion.
+func BestResult(results []Result) (Result, error) {
+	if len(results) == 0 {
+		return Result{}, fmt.Errorf("repro: no results")
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.AvgRF < best.AvgRF {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// AverageRFFiles computes average RF of every tree in the query Newick
+// file against the collection in the reference Newick file.
+func AverageRFFiles(queryPath, refPath string, cfg Config) ([]Result, error) {
+	q, err := collection.OpenFile(queryPath)
+	if err != nil {
+		return nil, err
+	}
+	defer q.Close()
+	r, err := collection.OpenFile(refPath)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return averageRF(q, r, cfg)
+}
+
+// AverageRFNewick computes average RF of every query Newick string against
+// the reference Newick strings.
+func AverageRFNewick(queries, refs []string, cfg Config) ([]Result, error) {
+	q, err := parseAll(queries)
+	if err != nil {
+		return nil, fmt.Errorf("repro: query: %w", err)
+	}
+	r, err := parseAll(refs)
+	if err != nil {
+		return nil, fmt.Errorf("repro: reference: %w", err)
+	}
+	return averageRF(q, r, cfg)
+}
+
+func parseAll(newicks []string) (collection.Source, error) {
+	r := newick.NewReader(strings.NewReader(strings.Join(newicks, "\n")))
+	trees, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return collection.FromTrees(trees), nil
+}
+
+func averageRF(q, r collection.Source, cfg Config) ([]Result, error) {
+	h, qsrc, err := prepare(q, r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return query(h, qsrc, cfg)
+}
+
+func prepare(q, r collection.Source, cfg Config) (*core.FreqHash, collection.Source, error) {
+	var ts *taxa.Set
+	var err error
+	if cfg.IntersectTaxa {
+		ts, err = collection.ScanCommonTaxa(q, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ts.Len() < 4 {
+			return nil, nil, fmt.Errorf("repro: only %d taxa common to every tree; need at least 4", ts.Len())
+		}
+		q = collection.Restricted(q, ts)
+		r = collection.Restricted(r, ts)
+	} else {
+		ts, err = collection.ScanTaxa(r)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	h, err := core.Build(r, ts, core.BuildOptions{
+		Workers:         cfg.Workers,
+		Filter:          cfg.filter(ts.Len()),
+		RequireComplete: true,
+		CompressKeys:    cfg.CompressKeys,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, q, nil
+}
+
+func query(h *core.FreqHash, q collection.Source, cfg Config) ([]Result, error) {
+	v, info, err := cfg.variant()
+	if err != nil {
+		return nil, err
+	}
+	opts := core.QueryOptions{
+		Workers:         cfg.Workers,
+		Filter:          cfg.filter(h.Taxa().Len()),
+		Variant:         v,
+		RequireComplete: true,
+	}
+	var res []core.Result
+	if info {
+		res, err = h.AverageInfoRF(q, opts)
+	} else {
+		res, err = h.AverageRF(q, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{Index: r.Index, AvgRF: r.AvgRF}
+	}
+	return out, nil
+}
+
+// PairwiseRF returns the exact RF distance between two Newick trees on the
+// same taxa, computed with Day's O(n) algorithm.
+func PairwiseRF(newick1, newick2 string) (int, error) {
+	t1, err := newick.Parse(newick1)
+	if err != nil {
+		return 0, fmt.Errorf("repro: first tree: %w", err)
+	}
+	t2, err := newick.Parse(newick2)
+	if err != nil {
+		return 0, fmt.Errorf("repro: second tree: %w", err)
+	}
+	return day.RF(t1, t2)
+}
+
+// ConsensusFile builds the threshold consensus tree of the collection in
+// the Newick file directly from its bipartition frequency hash and returns
+// it as a Newick string. threshold 0.5 is majority rule.
+func ConsensusFile(refPath string, threshold float64, cfg Config) (string, error) {
+	r, err := collection.OpenFile(refPath)
+	if err != nil {
+		return "", err
+	}
+	defer r.Close()
+	return consensus(r, threshold, cfg)
+}
+
+// ConsensusNewick is ConsensusFile over in-memory Newick strings.
+func ConsensusNewick(refs []string, threshold float64, cfg Config) (string, error) {
+	r, err := parseAll(refs)
+	if err != nil {
+		return "", fmt.Errorf("repro: reference: %w", err)
+	}
+	return consensus(r, threshold, cfg)
+}
+
+func consensus(r collection.Source, threshold float64, cfg Config) (string, error) {
+	return consensusWith(r, cfg, func(h *core.FreqHash) (*tree.Tree, error) {
+		return h.Consensus(threshold)
+	})
+}
+
+// GreedyConsensusFile builds the greedy (extended majority-rule) consensus
+// of the collection: splits are added in decreasing support order while
+// compatible. minSupport prunes the candidate list.
+func GreedyConsensusFile(refPath string, minSupport float64, cfg Config) (string, error) {
+	r, err := collection.OpenFile(refPath)
+	if err != nil {
+		return "", err
+	}
+	defer r.Close()
+	return consensusWith(r, cfg, func(h *core.FreqHash) (*tree.Tree, error) {
+		return h.GreedyConsensus(minSupport)
+	})
+}
+
+// GreedyConsensusNewick is GreedyConsensusFile over in-memory strings.
+func GreedyConsensusNewick(refs []string, minSupport float64, cfg Config) (string, error) {
+	r, err := parseAll(refs)
+	if err != nil {
+		return "", fmt.Errorf("repro: reference: %w", err)
+	}
+	return consensusWith(r, cfg, func(h *core.FreqHash) (*tree.Tree, error) {
+		return h.GreedyConsensus(minSupport)
+	})
+}
+
+func consensusWith(r collection.Source, cfg Config, build func(*core.FreqHash) (*tree.Tree, error)) (string, error) {
+	ts, err := collection.ScanTaxa(r)
+	if err != nil {
+		return "", err
+	}
+	h, err := core.Build(r, ts, core.BuildOptions{
+		Workers:         cfg.Workers,
+		Filter:          cfg.filter(ts.Len()),
+		RequireComplete: true,
+		CompressKeys:    cfg.CompressKeys,
+	})
+	if err != nil {
+		return "", err
+	}
+	t, err := build(h)
+	if err != nil {
+		return "", err
+	}
+	return newick.String(t, newick.DefaultWriteOptions()), nil
+}
