@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# ci.sh — one-command tier-1 verification.
+#
+#   ./ci.sh            vet + build + tests + race (fast subset) + fuzz smoke
+#   CI_PERF=1 ./ci.sh  additionally gate the perf sweep against BENCH_0001.json
+#
+# The perf gate is opt-in because wall-clock measurements on a loaded CI
+# machine can exceed the noise threshold without any code change; run it
+# on quiet hardware (see "Tracking performance" in README.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (fast subset) =="
+go test -race -short \
+  ./internal/bipart ./internal/bitset ./internal/collection \
+  ./internal/memprof ./internal/newick ./internal/nexus \
+  ./internal/perfjson ./internal/profhook ./internal/stats \
+  ./internal/tabfmt ./internal/taxa ./internal/tree
+
+echo "== fuzz smoke (10s per parser) =="
+go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/newick
+go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/nexus
+
+if [[ "${CI_PERF:-0}" == "1" ]]; then
+  echo "== perf gate (rfbench -compare BENCH_0001.json) =="
+  go run ./cmd/rfbench -compare BENCH_0001.json -threshold 0.10 -reps 5
+fi
+
+echo "ci.sh: all checks passed"

@@ -1,0 +1,188 @@
+package repro
+
+// End-to-end tests of the perf-observability surface: rfbench's
+// -compare gate (file vs file, no measuring) and the profiling hooks on
+// bfhrf. The committed BENCH_0001.json is validated here too, so a
+// malformed baseline cannot land.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/perfjson"
+)
+
+func perfSuiteFixture() *perfjson.Suite {
+	return &perfjson.Suite{
+		Schema: perfjson.SchemaVersion,
+		Tool:   "test",
+		Scale:  0.02,
+		Records: []perfjson.Record{
+			{Workload: "vartrees-n100-r10000", Engine: "DS", N: 100, R: 200, Workers: 1,
+				Reps: 5, NsOpMedian: 300e6, NsOpMin: 280e6, PeakHeapMB: 12, PeakHeapMBMin: 11},
+			{Workload: "vartrees-n100-r10000", Engine: "BFHRF8", N: 100, R: 200, Workers: 8,
+				Reps: 5, NsOpMedian: 60e6, NsOpMin: 55e6, PeakHeapMB: 4, PeakHeapMBMin: 3.5},
+		},
+	}
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !strings.Contains(err.Error(), "exit status") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+	if e, ok := err.(*exec.ExitError); ok {
+		ee = e
+	} else {
+		t.Fatalf("not an ExitError: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+func TestCLIRfbenchCompareGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests in -short mode")
+	}
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	if err := perfjson.WriteFile(basePath, perfSuiteFixture()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical suites: exit 0, PASS.
+	stdout, _, err := run(t, "rfbench", "-compare", basePath, "-with", basePath)
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("identical compare exited %d:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "PASS") {
+		t.Errorf("expected PASS verdict:\n%s", stdout)
+	}
+
+	// ≤10% jitter on both statistics: still exit 0 at the default
+	// threshold.
+	jit := perfSuiteFixture()
+	for i := range jit.Records {
+		jit.Records[i].NsOpMedian = jit.Records[i].NsOpMedian * 109 / 100
+		jit.Records[i].NsOpMin = jit.Records[i].NsOpMin * 109 / 100
+	}
+	jitPath := filepath.Join(dir, "jitter.json")
+	if err := perfjson.WriteFile(jitPath, jit); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err = run(t, "rfbench", "-compare", basePath, "-with", jitPath)
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("9%% jitter should pass, exited %d:\n%s", code, stdout)
+	}
+
+	// Injected 2x slowdown: exit 3, named culprit.
+	slow := perfSuiteFixture()
+	for i := range slow.Records {
+		slow.Records[i].NsOpMedian *= 2
+		slow.Records[i].NsOpMin *= 2
+	}
+	slowPath := filepath.Join(dir, "slow.json")
+	if err := perfjson.WriteFile(slowPath, slow); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err = run(t, "rfbench", "-compare", basePath, "-with", slowPath)
+	if code := exitCode(t, err); code != 3 {
+		t.Fatalf("2x slowdown should exit 3, got %d:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "REGRESSED") || !strings.Contains(stdout, "vartrees-n100-r10000/DS") {
+		t.Errorf("regression report should name the culprit:\n%s", stdout)
+	}
+
+	// A vanished benchmark also fails the gate.
+	short := perfSuiteFixture()
+	short.Records = short.Records[:1]
+	shortPath := filepath.Join(dir, "short.json")
+	if err := perfjson.WriteFile(shortPath, short); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err = run(t, "rfbench", "-compare", basePath, "-with", shortPath)
+	if code := exitCode(t, err); code != 3 {
+		t.Fatalf("missing workload should exit 3, got %d:\n%s", code, stdout)
+	}
+
+	// Malformed baseline: exit 1 with a decode error, not a panic.
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"schema":99,"records":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, err := run(t, "rfbench", "-compare", badPath, "-with", basePath)
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("bad baseline should exit 1, got %d", code)
+	}
+	if !strings.Contains(stderr, "schema") {
+		t.Errorf("error should mention the schema: %s", stderr)
+	}
+
+	// -with without -compare is a usage error.
+	_, _, err = run(t, "rfbench", "-with", basePath)
+	if code := exitCode(t, err); code != 2 {
+		t.Errorf("-with alone should exit 2, got %d", code)
+	}
+}
+
+func TestCLICommittedBaselineIsValid(t *testing.T) {
+	// BENCH_0001.json is the repo's perf trajectory anchor; it must
+	// always decode, validate, and gate cleanly against itself.
+	suite, err := perfjson.ReadFile("BENCH_0001.json")
+	if err != nil {
+		t.Fatalf("committed baseline invalid: %v", err)
+	}
+	if len(suite.Records) == 0 {
+		t.Fatal("committed baseline has no records")
+	}
+	cmp, err := perfjson.Compare(suite, suite, perfjson.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Errorf("baseline does not gate cleanly against itself: %+v", cmp)
+	}
+}
+
+func TestCLIBfhrfProfilingHooks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests in -short mode")
+	}
+	dir := t.TempDir()
+	refs := filepath.Join(dir, "refs.nwk")
+	if _, stderr, err := run(t, "treegen", "-n", "16", "-r", "30", "-seed", "7", "-out", refs); err != nil {
+		t.Fatalf("treegen: %v\n%s", err, stderr)
+	}
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "heap.pprof")
+	trc := filepath.Join(dir, "trace.out")
+	if _, stderr, err := run(t, "bfhrf", "-ref", refs,
+		"-cpuprofile", cpu, "-memprofile", mem, "-trace", trc); err != nil {
+		t.Fatalf("bfhrf with profiling: %v\n%s", err, stderr)
+	}
+	for _, p := range []string{cpu, mem, trc} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s not written: %v", p, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	// A failing run still flushes profiles before exiting non-zero.
+	cpu2 := filepath.Join(dir, "cpu2.pprof")
+	_, _, err := run(t, "bfhrf", "-ref", filepath.Join(dir, "missing.nwk"), "-cpuprofile", cpu2)
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("missing ref should exit 1, got %d", code)
+	}
+	if fi, err := os.Stat(cpu2); err != nil || fi.Size() == 0 {
+		t.Errorf("CPU profile should be flushed on the error path too (err=%v)", err)
+	}
+}

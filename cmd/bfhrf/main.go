@@ -13,6 +13,10 @@
 //
 // Output: one line per query tree, "index<TAB>avgRF", plus a summary of
 // the best (lowest average) query on stderr.
+//
+// The profiling flags (-cpuprofile, -memprofile, -trace) capture the run
+// for `go tool pprof` / `go tool trace`, so hot paths can be inspected on
+// real workloads.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/profhook"
 )
 
 func main() {
@@ -36,45 +41,63 @@ func main() {
 		best      = flag.Bool("best", false, "print only the query with the lowest average RF")
 		annotate  = flag.String("annotate", "", "instead of distances, print this Newick tree annotated with reference support percentages")
 	)
+	profs := profhook.RegisterFlags(nil)
 	flag.Parse()
-	if *refPath == "" {
-		fmt.Fprintln(os.Stderr, "bfhrf: -ref is required")
-		flag.Usage()
-		os.Exit(2)
-	}
-	q := *queryPath
-	if q == "" {
-		q = *refPath
-	}
-	cfg := repro.Config{
-		Workers:       *cpus,
-		Variant:       *variant,
-		MinSplitSize:  *minSize,
-		MaxSplitSize:  *maxSize,
-		IntersectTaxa: *intersect,
-		CompressKeys:  *compress,
-	}
-	if *annotate != "" {
-		annotateMode(*annotate, *refPath, cfg)
-		return
-	}
-	results, err := repro.AverageRFFiles(q, *refPath, cfg)
+
+	stop, err := profs.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
 		os.Exit(1)
 	}
+	code := run(*refPath, *queryPath, *cpus, *variant, *minSize, *maxSize, *intersect, *compress, *best, *annotate)
+	if err := stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrf: stopping profiles: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func run(refPath, queryPath string, cpus int, variant string, minSize, maxSize int,
+	intersect, compress, best bool, annotate string) int {
+	if refPath == "" {
+		fmt.Fprintln(os.Stderr, "bfhrf: -ref is required")
+		flag.Usage()
+		return 2
+	}
+	q := queryPath
+	if q == "" {
+		q = refPath
+	}
+	cfg := repro.Config{
+		Workers:       cpus,
+		Variant:       variant,
+		MinSplitSize:  minSize,
+		MaxSplitSize:  maxSize,
+		IntersectTaxa: intersect,
+		CompressKeys:  compress,
+	}
+	if annotate != "" {
+		return annotateMode(annotate, refPath, cfg)
+	}
+	results, err := repro.AverageRFFiles(q, refPath, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
+		return 1
+	}
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "bfhrf: no query trees")
-		os.Exit(1)
+		return 1
 	}
-	if *best {
+	if best {
 		b, err := repro.BestResult(results)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%d\t%g\n", b.Index, b.AvgRF)
-		return
+		return 0
 	}
 	for _, r := range results {
 		fmt.Printf("%d\t%g\n", r.Index, r.AvgRF)
@@ -82,24 +105,26 @@ func main() {
 	b, _ := repro.BestResult(results)
 	fmt.Fprintf(os.Stderr, "bfhrf: %d queries; best is tree %d with average RF %g\n",
 		len(results), b.Index, b.AvgRF)
+	return 0
 }
 
 // annotateMode prints the target tree with BFH support percentages.
-func annotateMode(targetPath, refPath string, cfg repro.Config) {
+func annotateMode(targetPath, refPath string, cfg repro.Config) int {
 	data, err := os.ReadFile(targetPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	h, err := repro.BuildHashFile(refPath, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	out, err := h.AnnotateSupport(string(data), 0)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println(out)
+	return 0
 }

@@ -12,16 +12,24 @@
 //	bfhrfd -workers host1:7001,host2:7001 -ref refs.nwk -query queries.nwk
 //
 // Output matches cmd/bfhrf: one "index<TAB>avgRF" line per query.
+//
+// The profiling flags (-cpuprofile, -memprofile, -trace) capture the run
+// for `go tool pprof` / `go tool trace`. A worker profiles until it is
+// terminated (SIGINT/SIGTERM), at which point the profiles are flushed
+// before exit.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/collection"
 	"repro/internal/distrib"
+	"repro/internal/profhook"
 )
 
 func main() {
@@ -34,37 +42,59 @@ func main() {
 		chunk     = flag.Int("chunk", 512, "reference trees per load RPC")
 		batch     = flag.Int("batch", 256, "query trees per query RPC")
 	)
+	profs := profhook.RegisterFlags(nil)
 	flag.Parse()
 
+	stop, err := profs.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrfd: %v\n", err)
+		os.Exit(1)
+	}
+
+	var code int
 	switch {
 	case *serve != "":
-		runWorker(*serve)
+		code = runWorker(*serve)
 	case *workers != "":
-		runCoordinator(*workers, *refPath, *queryPath, *compress, *chunk, *batch)
+		code = runCoordinator(*workers, *refPath, *queryPath, *compress, *chunk, *batch)
 	default:
 		fmt.Fprintln(os.Stderr, "bfhrfd: need -serve (worker) or -workers (coordinator)")
 		flag.Usage()
-		os.Exit(2)
+		code = 2
 	}
+	if err := stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrfd: stopping profiles: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintf(os.Stderr, "bfhrfd: %v\n", err)
-	os.Exit(1)
+	return 1
 }
 
-func runWorker(addr string) {
+// runWorker serves until SIGINT/SIGTERM so that profiles started in main
+// are flushed on the way out (os.Exit inside a signal-less select would
+// discard them).
+func runWorker(addr string) int {
 	l, err := distrib.Listen(addr)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "bfhrfd: worker serving on %s\n", l.Addr())
-	select {} // serve until killed
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "bfhrfd: %s, shutting down\n", s)
+	return 0
 }
 
-func runCoordinator(workerList, refPath, queryPath string, compress bool, chunk, batch int) {
+func runCoordinator(workerList, refPath, queryPath string, compress bool, chunk, batch int) int {
 	if refPath == "" {
-		fatal(fmt.Errorf("-ref is required in coordinator mode"))
+		return fail(fmt.Errorf("-ref is required in coordinator mode"))
 	}
 	if queryPath == "" {
 		queryPath = refPath
@@ -77,7 +107,7 @@ func runCoordinator(workerList, refPath, queryPath string, compress bool, chunk,
 	}
 	coord, err := distrib.Dial(addrs)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer coord.Close()
 	coord.ChunkSize = chunk
@@ -85,28 +115,29 @@ func runCoordinator(workerList, refPath, queryPath string, compress bool, chunk,
 
 	refs, err := collection.OpenFile(refPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer refs.Close()
 	ts, err := collection.ScanTaxa(refs)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if err := coord.Load(refs, ts, compress); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "bfhrfd: loaded references across %d workers\n", coord.NumWorkers())
 
 	queries, err := collection.OpenFile(queryPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer queries.Close()
 	results, err := coord.AverageRF(queries)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	for _, r := range results {
 		fmt.Printf("%d\t%g\n", r.Index, r.AvgRF)
 	}
+	return 0
 }

@@ -204,33 +204,48 @@ func (c *Config) materialize(spec dataset.Spec, r int) (string, *taxa.Set, error
 // every experiment of the paper).
 func (c *Config) RunPoint(engine Engine, spec dataset.Spec, r int) RunResult {
 	res := RunResult{Engine: engine, N: spec.NumTaxa, R: r}
-	path, ts, err := c.materialize(spec, r)
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	src, err := collection.OpenFile(path)
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	defer src.Close()
-
 	c.logf("  %-8s n=%-5d r=%-7d ...", engine, spec.NumTaxa, r)
 	start := time.Now()
-	switch engine {
-	case DS, DSMP8, DSMP16:
-		res = c.runSeq(engine, src, path, ts, r, res)
-	case HashRF:
-		res = c.runHashRF(src, ts, res)
-	case BFHRF8, BFHRF16:
-		res = c.runBFHRF(engine, src, path, ts, res)
-	default:
-		res.Err = fmt.Errorf("experiments: unknown engine %q", engine)
+	m, factor, err := c.MeasurePoint(engine, spec, r)
+	if err != nil {
+		res.Err = err
+	} else {
+		res.Minutes = m.Minutes() * factor
+		res.Estimated = factor != 1
+		res.MemoryMB = m.PeakHeapMB()
 	}
 	c.logf("  %-8s n=%-5d r=%-7d time=%s mem=%sMB (%.1fs elapsed)",
 		engine, spec.NumTaxa, r, res.TimeCell(), res.MemCell(), time.Since(start).Seconds())
 	return res
+}
+
+// MeasurePoint runs one engine on the first r trees of spec and returns
+// the raw memprof measurement plus the extrapolation factor its wall time
+// must be multiplied by to estimate the full run (1 when the run was
+// exact, r/QueryCap when the quadratic baselines were subsampled). The
+// perf sweep repeats this call and feeds the measurements into perfjson
+// records; RunPoint wraps it into the paper's table cells.
+func (c *Config) MeasurePoint(engine Engine, spec dataset.Spec, r int) (memprof.Measurement, float64, error) {
+	path, ts, err := c.materialize(spec, r)
+	if err != nil {
+		return memprof.Measurement{}, 1, err
+	}
+	src, err := collection.OpenFile(path)
+	if err != nil {
+		return memprof.Measurement{}, 1, err
+	}
+	defer src.Close()
+
+	switch engine {
+	case DS, DSMP8, DSMP16:
+		return c.runSeq(engine, src, path, ts, r)
+	case HashRF:
+		return c.runHashRF(src, ts)
+	case BFHRF8, BFHRF16:
+		return c.runBFHRF(engine, src, path, ts)
+	default:
+		return memprof.Measurement{}, 1, fmt.Errorf("experiments: unknown engine %q", engine)
+	}
 }
 
 func workersOf(e Engine) int {
@@ -247,18 +262,17 @@ func workersOf(e Engine) int {
 }
 
 // runSeq measures DS/DSMP. When r (= q) exceeds QueryCap, only the first
-// QueryCap query trees are executed and the runtime is extrapolated
-// (memory is not extrapolated: the reference structures are fully loaded
-// either way, which is what dominates).
-func (c *Config) runSeq(engine Engine, src *collection.File, path string, ts *taxa.Set, r int, res RunResult) RunResult {
+// QueryCap query trees are executed and the returned factor extrapolates
+// the runtime (memory is not extrapolated: the reference structures are
+// fully loaded either way, which is what dominates).
+func (c *Config) runSeq(engine Engine, src *collection.File, path string, ts *taxa.Set, r int) (memprof.Measurement, float64, error) {
 	qCap := c.QueryCap
 	if qCap <= 0 || qCap > r {
 		qCap = r
 	}
 	qsrc, err := collection.OpenFile(path)
 	if err != nil {
-		res.Err = err
-		return res
+		return memprof.Measurement{}, 1, err
 	}
 	defer qsrc.Close()
 	q := &collection.Head{Src: qsrc, N: qCap}
@@ -268,19 +282,16 @@ func (c *Config) runSeq(engine Engine, src *collection.File, path string, ts *ta
 		return err
 	})
 	if m.Err != nil {
-		res.Err = m.Err
-		return res
+		return m, 1, m.Err
 	}
-	res.Minutes = m.Minutes()
-	res.MemoryMB = m.PeakHeapMB()
+	factor := 1.0
 	if qCap < r {
-		res.Minutes *= float64(r) / float64(qCap)
-		res.Estimated = true
+		factor = float64(r) / float64(qCap)
 	}
-	return res
+	return m, factor, nil
 }
 
-func (c *Config) runHashRF(src *collection.File, ts *taxa.Set, res RunResult) RunResult {
+func (c *Config) runHashRF(src *collection.File, ts *taxa.Set) (memprof.Measurement, float64, error) {
 	budget := c.MemBudgetMB
 	if budget <= 0 {
 		budget = 2048
@@ -294,20 +305,13 @@ func (c *Config) runHashRF(src *collection.File, ts *taxa.Set, res RunResult) Ru
 		})
 		return err
 	})
-	if m.Err != nil {
-		res.Err = m.Err
-		return res
-	}
-	res.Minutes = m.Minutes()
-	res.MemoryMB = m.PeakHeapMB()
-	return res
+	return m, 1, m.Err
 }
 
-func (c *Config) runBFHRF(engine Engine, src *collection.File, path string, ts *taxa.Set, res RunResult) RunResult {
+func (c *Config) runBFHRF(engine Engine, src *collection.File, path string, ts *taxa.Set) (memprof.Measurement, float64, error) {
 	qsrc, err := collection.OpenFile(path)
 	if err != nil {
-		res.Err = err
-		return res
+		return memprof.Measurement{}, 1, err
 	}
 	defer qsrc.Close()
 	m := memprof.Measure(func() error {
@@ -324,11 +328,5 @@ func (c *Config) runBFHRF(engine Engine, src *collection.File, path string, ts *
 		})
 		return err
 	})
-	if m.Err != nil {
-		res.Err = m.Err
-		return res
-	}
-	res.Minutes = m.Minutes()
-	res.MemoryMB = m.PeakHeapMB()
-	return res
+	return m, 1, m.Err
 }

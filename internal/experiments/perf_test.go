@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/perfjson"
+)
+
+func TestPerfIndexStableIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range PerfIndex() {
+		if w.ID == "" || len(w.Engines) == 0 || w.R <= 0 {
+			t.Errorf("malformed workload: %+v", w)
+		}
+		if seen[w.ID] {
+			t.Errorf("duplicate workload ID %s", w.ID)
+		}
+		seen[w.ID] = true
+		for _, e := range w.Engines {
+			if w.Spec.Unweighted && e == HashRF {
+				t.Errorf("%s: HashRF cannot measure unweighted input", w.ID)
+			}
+		}
+	}
+}
+
+func TestPerfSweepProducesValidSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep in -short mode")
+	}
+	c := tinyConfig(t)
+	suite, err := c.PerfSweep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var want int
+	for _, w := range PerfIndex() {
+		want += len(w.Engines)
+	}
+	if len(suite.Records) != want {
+		t.Errorf("records = %d, want %d", len(suite.Records), want)
+	}
+	for _, r := range suite.Records {
+		if r.Reps != 2 {
+			t.Errorf("%s: reps = %d, want 2", r.Key(), r.Reps)
+		}
+		if r.NsOpMin <= 0 || r.NsOpMedian < r.NsOpMin {
+			t.Errorf("%s: nonsensical timings %d/%d", r.Key(), r.NsOpMedian, r.NsOpMin)
+		}
+	}
+	// A suite must round-trip and compare clean against itself.
+	var buf bytes.Buffer
+	if err := perfjson.Encode(&buf, suite); err != nil {
+		t.Fatal(err)
+	}
+	back, err := perfjson.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := perfjson.Compare(suite, back, perfjson.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() || cmp.Compared != want {
+		t.Errorf("self-comparison should pass all %d records: %+v", want, cmp)
+	}
+}
+
+func TestPerfSweepRespectsEngineSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep in -short mode")
+	}
+	c := tinyConfig(t)
+	c.Engines = []Engine{BFHRF8}
+	suite, err := c.PerfSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Records) != len(PerfIndex()) {
+		t.Errorf("records = %d, want one BFHRF8 per workload", len(suite.Records))
+	}
+	for _, r := range suite.Records {
+		if r.Engine != string(BFHRF8) {
+			t.Errorf("unexpected engine %s", r.Engine)
+		}
+		if r.Workers != 8 {
+			t.Errorf("%s: workers = %d, want 8", r.Key(), r.Workers)
+		}
+	}
+}

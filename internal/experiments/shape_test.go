@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/memprof"
+)
+
+// TestPaperOrderingShape asserts the paper's §VI ordering as a test, not
+// only as a bench: at a vartrees point, BFHRF finishes no later than the
+// sequential baseline and peaks no higher than HashRF. The point (r=3000,
+// n=100) is the smallest where both margins are comfortable — BFHRF's
+// wall is ~50× under DS's estimate, and HashRF's O(r²) matrix (~9 MB)
+// clears BFHRF's hash (~5 MB) — so scheduler noise cannot flip either
+// inequality. Medians of three runs absorb the rest.
+func TestPaperOrderingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape measurement in -short mode")
+	}
+	c := Config{
+		Scale:       1, // r is given directly; no further shrinking
+		QueryCap:    64,
+		MemBudgetMB: 512,
+		WorkDir:     t.TempDir(),
+	}
+	spec := dataset.VariableTrees(5000)
+	const r = 3000
+
+	medianHeap := func(e Engine) float64 {
+		t.Helper()
+		heaps := make([]float64, 0, 3)
+		for i := 0; i < 3; i++ {
+			m, _, err := c.MeasurePoint(e, spec, r)
+			if err != nil {
+				t.Fatalf("%s: %v", e, err)
+			}
+			heaps = append(heaps, m.PeakHeapMB())
+		}
+		sort.Float64s(heaps)
+		return heaps[1]
+	}
+
+	// Wall time: BFHRF8 actual vs DS (extrapolated from QueryCap queries,
+	// the paper's own estimation protocol).
+	bfTime, _, err := c.MeasurePoint(BFHRF8, spec, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsRes := c.RunPoint(DS, spec, r)
+	if dsRes.Err != nil {
+		t.Fatal(dsRes.Err)
+	}
+	if bf, ds := bfTime.Minutes(), dsRes.Minutes; bf > ds {
+		t.Errorf("BFHRF8 wall %.4f min exceeds DS wall %.4f min — the paper's §VI time ordering is violated", bf, ds)
+	}
+
+	// Peak heap: BFHRF8 vs HashRF, median of three.
+	bfHeap := medianHeap(BFHRF8)
+	hrfHeap := medianHeap(HashRF)
+	if bfHeap > hrfHeap {
+		t.Errorf("BFHRF8 peak heap %.2f MB exceeds HashRF %.2f MB — the paper's §VI memory ordering is violated", bfHeap, hrfHeap)
+	}
+}
+
+// TestShapeUsesRealMeasurements guards the shape test's foundation: the
+// raw measurement path must report positive wall time and a factor of 1
+// for the hash engines (their runs are never extrapolated).
+func TestShapeUsesRealMeasurements(t *testing.T) {
+	c := tinyConfig(t)
+	m, factor, err := c.MeasurePoint(BFHRF8, dataset.VariableTrees(1000), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factor != 1 {
+		t.Errorf("BFHRF factor = %v, want 1", factor)
+	}
+	if m.Wall <= 0 {
+		t.Errorf("Wall = %v", m.Wall)
+	}
+	var ms []memprof.Measurement
+	for i := 0; i < 2; i++ {
+		m, _, err := c.MeasurePoint(BFHRF8, dataset.VariableTrees(1000), 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	if err := memprof.Err(ms); err != nil {
+		t.Fatal(err)
+	}
+}

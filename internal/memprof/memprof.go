@@ -37,6 +37,39 @@ func (m Measurement) Minutes() float64 { return m.Wall.Minutes() }
 // sharp peaks; finer sampling perturbs short runs.
 var SampleInterval = 2 * time.Millisecond
 
+// MeasureN runs f k times, measuring each run independently (each with
+// its own GC-settled baseline), and returns the k measurements in run
+// order. It stops early after the first failing run — later repetitions
+// of a broken workload measure nothing. k < 1 is treated as 1.
+//
+// Repetition is the noise model of the perfjson benchmark records: the
+// comparator gates on the median and min of these runs, so one
+// descheduled repetition cannot fake a regression.
+func MeasureN(k int, f func() error) []Measurement {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]Measurement, 0, k)
+	for i := 0; i < k; i++ {
+		m := Measure(f)
+		out = append(out, m)
+		if m.Err != nil {
+			break
+		}
+	}
+	return out
+}
+
+// Err returns the error of the first failed measurement in ms, if any.
+func Err(ms []Measurement) error {
+	for _, m := range ms {
+		if m.Err != nil {
+			return m.Err
+		}
+	}
+	return nil
+}
+
 // Measure runs f while sampling heap usage, returning the measurement.
 // The measured function's error is recorded, not swallowed.
 func Measure(f func() error) Measurement {

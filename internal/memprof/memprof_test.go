@@ -2,6 +2,8 @@ package memprof
 
 import (
 	"errors"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -61,5 +63,102 @@ func TestMeasureQuickFunction(t *testing.T) {
 	}
 	if m.Wall < 0 {
 		t.Error("negative wall time")
+	}
+}
+
+func TestMeasureConcurrentAllocation(t *testing.T) {
+	// Deterministic concurrent workload: 8 goroutines each retain 8 MiB,
+	// all held simultaneously long enough for several sampler ticks. The
+	// sampled peak must agree with the runtime.MemStats truth read while
+	// everything is retained — the property the paper-table memory
+	// columns and the perfjson heap records both rest on.
+	const (
+		workers   = 8
+		perWorker = 8 << 20
+		total     = workers * perWorker
+	)
+	var truthAlloc uint64
+	m := Measure(func() error {
+		retained := make([][]byte, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				buf := make([]byte, perWorker)
+				for i := 0; i < len(buf); i += 4096 {
+					buf[i] = byte(w) // touch every page so it is really resident
+				}
+				retained[w] = buf
+			}(w)
+		}
+		wg.Wait()
+		// Truth: the live heap while all workers' memory is retained.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		truthAlloc = ms.HeapAlloc
+		time.Sleep(4 * SampleInterval) // let the sampler observe the plateau
+		runtime.KeepAlive(retained)
+		return nil
+	})
+	if m.Err != nil {
+		t.Fatal(m.Err)
+	}
+	if truthAlloc < m.BaselineBytes {
+		t.Fatalf("truth %d below baseline %d", truthAlloc, m.BaselineBytes)
+	}
+	truthAbove := truthAlloc - m.BaselineBytes
+	if truthAbove < total {
+		t.Fatalf("truth above baseline = %d, expected at least the %d retained", truthAbove, total)
+	}
+	// The sampled peak must be within 25% of the truth on the low side
+	// (a missed plateau underreads) and may exceed it only by transient
+	// garbage, bounded here at 50% + the truth itself.
+	if m.PeakHeapBytes < truthAbove*3/4 {
+		t.Errorf("sampled peak %d under 75%% of truth %d", m.PeakHeapBytes, truthAbove)
+	}
+	if m.PeakHeapBytes > truthAbove*3/2 {
+		t.Errorf("sampled peak %d over 150%% of truth %d", m.PeakHeapBytes, truthAbove)
+	}
+}
+
+func TestMeasureN(t *testing.T) {
+	calls := 0
+	ms := MeasureN(3, func() error {
+		calls++
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if len(ms) != 3 || calls != 3 {
+		t.Fatalf("len = %d, calls = %d, want 3", len(ms), calls)
+	}
+	for _, m := range ms {
+		if m.Err != nil || m.Wall <= 0 {
+			t.Errorf("bad measurement: %+v", m)
+		}
+	}
+	if err := Err(ms); err != nil {
+		t.Errorf("Err = %v", err)
+	}
+	if ms := MeasureN(0, func() error { return nil }); len(ms) != 1 {
+		t.Errorf("k<1 should clamp to one run, got %d", len(ms))
+	}
+}
+
+func TestMeasureNStopsOnFailure(t *testing.T) {
+	want := errors.New("boom")
+	calls := 0
+	ms := MeasureN(5, func() error {
+		calls++
+		if calls == 2 {
+			return want
+		}
+		return nil
+	})
+	if calls != 2 || len(ms) != 2 {
+		t.Errorf("calls = %d, len = %d; a failing workload must not be re-run", calls, len(ms))
+	}
+	if err := Err(ms); err != want {
+		t.Errorf("Err = %v, want boom", err)
 	}
 }

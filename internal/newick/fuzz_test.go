@@ -1,0 +1,78 @@
+package newick
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse is the native-fuzzing counterpart of the quick-check tests:
+// the parser must never panic, and any tree it accepts must survive a
+// write → re-parse round trip. Run the stored corpus as part of `go test`;
+// explore with `go test -fuzz=FuzzParse ./internal/newick` (ci.sh does a
+// 10-second smoke run).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"(a,b);",
+		"((a:1,b:2):0.5,c:3);",
+		"(a,(b,(c,(d,e))));",
+		"('quoted label',b_c)root;",
+		"((A,B)90:0.1,(C,D)75:0.2);",
+		"(a[comment],b[nested[deep]]);",
+		"(,,);",
+		"(a:1e-5,b:1E5,c:-0.5);",
+		";",
+		"(a,b)(c,d);",
+		"((((((((((a,b))))))))));",
+		"(a\n ,\tb) ;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return // bound parse cost, not robustness
+		}
+		parsed, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if parsed == nil || parsed.Root == nil {
+			t.Fatalf("Parse(%q) returned nil tree without error", input)
+		}
+		// Round trip: what the writer emits, the parser must accept and
+		// re-emit identically (writer output is canonical).
+		out := String(parsed, DefaultWriteOptions())
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("round trip of %q failed on %q: %v", input, out, err)
+		}
+		out2 := String(again, DefaultWriteOptions())
+		if out != out2 {
+			t.Fatalf("canonical form is not a fixed point:\n first: %s\nsecond: %s", out, out2)
+		}
+	})
+}
+
+// FuzzReaderMultiTree feeds the streaming reader: it must consume any
+// input to EOF or a clean error without panicking, and the number of
+// trees it yields must match a reference count of top-level ';'.
+func FuzzReaderMultiTree(f *testing.F) {
+	f.Add("(a,b);(c,d);(e,f);")
+	f.Add("(a,b);\n\n(c,(d,e));\n")
+	f.Add("no trees here")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		r := NewReader(strings.NewReader(input))
+		for i := 0; i < 1<<12; i++ {
+			tr, err := r.Read()
+			if err != nil {
+				return
+			}
+			if tr == nil {
+				t.Fatal("Read returned nil tree without error")
+			}
+		}
+		t.Fatalf("reader yielded over %d trees from %d bytes", 1<<12, len(input))
+	})
+}

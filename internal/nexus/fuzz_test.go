@@ -1,0 +1,50 @@
+package nexus
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds the NEXUS reader arbitrary input: it must reach EOF or
+// a clean error without panicking or yielding nil trees, whatever the
+// block structure, translate table, or comment nesting looks like. Run
+// the corpus with `go test`; explore with `go test -fuzz=FuzzParse
+// ./internal/nexus` (ci.sh does a 10-second smoke run).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"#NEXUS\nBEGIN TREES;\nTREE t1 = (a,b);\nEND;\n",
+		"#NEXUS\nbegin trees;\n tree a = [&U] ((1,2),3);\nend;\n",
+		"#NEXUS\nBEGIN TREES;\nTRANSLATE 1 Homo_sapiens, 2 Pan, 3 'Gorilla gorilla';\nTREE t = ((1,2),3);\nEND;",
+		"#NEXUS\n[comment [nested]]\nBEGIN TAXA;\nEND;\nBEGIN TREES;\nTREE x = (a:0.1,b:0.2);\nEND;\n",
+		"#NEXUS\nBEGIN TREES;\nTREE bad = ((a,b);\nEND;\n",
+		"#NEXUS\nBEGIN TREES;\nEND;\n",
+		"not nexus at all",
+		"#NEXUS",
+		"#NEXUS\nBEGIN TREES;\nTREE t1 = (a,b);\nTREE t2 = (c,d);\nTREE t3 = ((a,c),(b,d));\nEND;\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		r := NewReader(strings.NewReader(input))
+		count := 0
+		for count < 1<<12 {
+			tr, err := r.Read()
+			if err != nil {
+				if tr != nil {
+					t.Fatalf("Read returned both tree and error: %v", err)
+				}
+				break
+			}
+			if tr == nil || tr.Root == nil {
+				t.Fatal("Read returned nil tree without error")
+			}
+			count++
+		}
+		if got := r.TreesRead(); got != count && count < 1<<12 {
+			t.Fatalf("TreesRead = %d, yielded %d", got, count)
+		}
+	})
+}

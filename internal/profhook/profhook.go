@@ -1,0 +1,114 @@
+// Package profhook wires Go's execution profilers into the CLIs as three
+// standard flags (-cpuprofile, -memprofile, -trace), so hot paths can be
+// inspected with `go tool pprof` / `go tool trace` on production-like
+// runs instead of micro-benchmarks.
+package profhook
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiles holds the destinations selected on the command line; empty
+// strings disable the corresponding profiler.
+type Profiles struct {
+	CPU   string
+	Mem   string
+	Trace string
+}
+
+// RegisterFlags adds the three profiling flags to fs (the default flag
+// set when fs is nil) and returns the struct they populate.
+func RegisterFlags(fs *flag.FlagSet) *Profiles {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	p := &Profiles{}
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	fs.StringVar(&p.Mem, "memprofile", "", "write an allocation profile to this file on exit (go tool pprof)")
+	fs.StringVar(&p.Trace, "trace", "", "write an execution trace to this file (go tool trace)")
+	return p
+}
+
+// Enabled reports whether any profiler was requested.
+func (p *Profiles) Enabled() bool { return p.CPU != "" || p.Mem != "" || p.Trace != "" }
+
+// Start begins the requested profilers and returns the function that
+// stops them and writes the heap profile. The returned stop is never nil
+// and is idempotent, so it is safe both to defer and to call explicitly
+// before os.Exit (which skips deferred calls). On error every profiler
+// already started is stopped.
+func (p *Profiles) Start() (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() error {
+		var first error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil && first == nil {
+				first = err
+			}
+			cpuF = nil
+		}
+		if traceF != nil {
+			trace.Stop()
+			if err := traceF.Close(); err != nil && first == nil {
+				first = err
+			}
+			traceF = nil
+		}
+		if p.Mem != "" {
+			if err := writeHeapProfile(p.Mem); err != nil && first == nil {
+				first = err
+			}
+			p.Mem = "" // idempotence: write the heap profile once
+		}
+		return first
+	}
+
+	if p.CPU != "" {
+		cpuF, err = os.Create(p.CPU)
+		if err != nil {
+			return noop, fmt.Errorf("profhook: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			cpuF = nil
+			return noop, fmt.Errorf("profhook: starting CPU profile: %w", err)
+		}
+	}
+	if p.Trace != "" {
+		traceF, err = os.Create(p.Trace)
+		if err != nil {
+			cleanup()
+			return noop, fmt.Errorf("profhook: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return noop, fmt.Errorf("profhook: starting trace: %w", err)
+		}
+	}
+	return cleanup, nil
+}
+
+func noop() error { return nil }
+
+// writeHeapProfile snapshots live allocations after a GC, the profile
+// that explains peak-memory findings from the benchmark records.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profhook: %w", err)
+	}
+	runtime.GC() // material allocations only, not garbage awaiting collection
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("profhook: writing heap profile: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,86 @@
+package profhook
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "c.out", "-memprofile", "m.out", "-trace", "t.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPU != "c.out" || p.Mem != "m.out" || p.Trace != "t.out" {
+		t.Errorf("parsed = %+v", p)
+	}
+	if !p.Enabled() {
+		t.Error("Enabled should be true")
+	}
+	if (&Profiles{}).Enabled() {
+		t.Error("zero Profiles should be disabled")
+	}
+}
+
+func TestStartDisabledIsNoop(t *testing.T) {
+	stop, err := (&Profiles{}).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("noop stop: %v", err)
+	}
+}
+
+func TestStartWritesAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	p := &Profiles{
+		CPU:   filepath.Join(dir, "cpu.pprof"),
+		Mem:   filepath.Join(dir, "heap.pprof"),
+		Trace: filepath.Join(dir, "trace.out"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have content.
+	sink := 0
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		sink += int(buf[i]) + i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil { // idempotent
+		t.Errorf("second stop: %v", err)
+	}
+	for _, path := range []string{filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "heap.pprof"), filepath.Join(dir, "trace.out")} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestStartBadPathFails(t *testing.T) {
+	p := &Profiles{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}
+	stop, err := p.Start()
+	if err == nil {
+		stop()
+		t.Fatal("unwritable CPU profile path should fail")
+	}
+	if stop == nil {
+		t.Fatal("stop must never be nil")
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop after failed start: %v", err)
+	}
+}

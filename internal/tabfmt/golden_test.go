@@ -1,0 +1,64 @@
+package tabfmt
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenTable exercises every rendering edge in one table: alignment
+// against a wide header and a wide cell, float formatting across the
+// magnitude breakpoints, the paper's "-" and "*" cells, unicode widths,
+// and CSV-hostile cells (commas, quotes, newlines).
+func goldenTable() *Table {
+	t := New("Table X — rendering fixture (n=100)",
+		"Algorithm", "n", "R", "Time(m)", "Memory(MB)", "Note")
+	t.AddRow("DS", 100, 1000, "12.345*", "512.0", "estimated, \"quoted\"")
+	t.AddRow("DSMP8", 100, 1000, 0.001234, 128.25, "floats: small")
+	t.AddRow("HashRF", 100, 1000, "-", "-", "refused, unweighted")
+	t.AddRow("BFHRF8", 100, 1000, 123456.789, 0.0, "floats: large,comma")
+	t.AddRow("BFHRF16-über", 100, 100000, 3.14159, 42.5, "unicode label")
+	t.AddRow("X", 1, 1, "a\nb", "", "embedded newline")
+	return t
+}
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/tabfmt -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenTable().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fixture.txt.golden", sb.String())
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenTable().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fixture.csv.golden", sb.String())
+}
