@@ -22,13 +22,40 @@ go test ./...
 echo "== go test -race (fast subset) =="
 go test -race -short \
   ./internal/bipart ./internal/bitset ./internal/collection \
-  ./internal/memprof ./internal/newick ./internal/nexus \
-  ./internal/perfjson ./internal/profhook ./internal/stats \
-  ./internal/tabfmt ./internal/taxa ./internal/tree
+  ./internal/distrib ./internal/memprof ./internal/newick \
+  ./internal/nexus ./internal/obs ./internal/perfjson \
+  ./internal/profhook ./internal/stats ./internal/tabfmt \
+  ./internal/taxa ./internal/tree
 
 echo "== fuzz smoke (10s per parser) =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/newick
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/nexus
+
+echo "== bfhrfd admin endpoint smoke =="
+# Start a worker on ephemeral RPC+admin ports, scrape /healthz and
+# /metrics, check the operator-facing metric families exist, shut down.
+tmpdir="$(mktemp -d)"
+worker_pid=""
+trap 'if [[ -n "$worker_pid" ]]; then kill "$worker_pid" 2>/dev/null || true; fi; rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/bfhrfd" ./cmd/bfhrfd
+"$tmpdir/bfhrfd" -serve 127.0.0.1:0 -admin 127.0.0.1:0 2>"$tmpdir/worker.log" &
+worker_pid=$!
+admin_addr=""
+for _ in $(seq 1 100); do
+  admin_addr="$(sed -n 's/^bfhrfd: admin serving on //p' "$tmpdir/worker.log")"
+  [[ -n "$admin_addr" ]] && break
+  sleep 0.1
+done
+[[ -n "$admin_addr" ]] || { echo "ci.sh: bfhrfd never announced its admin address" >&2; cat "$tmpdir/worker.log" >&2; exit 1; }
+health="$(curl -s -o /dev/null -w '%{http_code}' "http://$admin_addr/healthz")"
+[[ "$health" == "503" ]] || { echo "ci.sh: pre-load /healthz = $health, want 503" >&2; exit 1; }
+metrics="$(curl -fsS "http://$admin_addr/metrics")"
+for family in bfhrf_rpc_latency_seconds bfhrf_bipartitions_hashed_total bfhrf_queries_total bfhrf_build_info; do
+  grep -q "^# TYPE $family " <<<"$metrics" || { echo "ci.sh: /metrics missing family $family" >&2; exit 1; }
+done
+kill "$worker_pid"
+wait "$worker_pid" 2>/dev/null || true
+echo "admin smoke: /healthz and /metrics OK on $admin_addr"
 
 if [[ "${CI_PERF:-0}" == "1" ]]; then
   echo "== perf gate (rfbench -compare BENCH_0001.json) =="

@@ -1,7 +1,11 @@
 package repro
 
 import (
+	"bufio"
+	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -91,5 +95,181 @@ func TestCLIBfhrfdErrors(t *testing.T) {
 	}
 	if _, _, err := run(t, "bfhrfd", "-workers", "127.0.0.1:1"); err == nil {
 		t.Error("missing -ref should exit non-zero")
+	}
+	// Mode flags are mutually exclusive, and coordinator-only flags are
+	// rejected — not silently ignored — in worker mode.
+	if _, stderr, err := run(t, "bfhrfd", "-serve", ":0", "-workers", "127.0.0.1:1"); err == nil {
+		t.Error("-serve with -workers should exit non-zero")
+	} else if !strings.Contains(stderr, "mutually exclusive") || !strings.Contains(stderr, "Usage") {
+		t.Errorf("expected mutual-exclusion message with usage, got:\n%s", stderr)
+	}
+	if _, stderr, err := run(t, "bfhrfd", "-serve", ":0", "-ref", "x.nwk"); err == nil {
+		t.Error("-serve with -ref should exit non-zero")
+	} else if !strings.Contains(stderr, "coordinator flags") {
+		t.Errorf("expected coordinator-flag rejection, got:\n%s", stderr)
+	}
+	if _, _, err := run(t, "bfhrfd", "-serve", ":0", "-query", "x.nwk"); err == nil {
+		t.Error("-serve with -query should exit non-zero")
+	}
+}
+
+func TestCLIVersionFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests in -short mode")
+	}
+	for _, bin := range []string{"bfhrf", "bfhrfd", "rfbench", "rfdist"} {
+		stdout, stderr, err := run(t, bin, "-version")
+		if err != nil {
+			t.Errorf("%s -version: %v\n%s", bin, err, stderr)
+			continue
+		}
+		if !strings.HasPrefix(stdout, bin+" ") || !strings.Contains(stdout, "revision") {
+			t.Errorf("%s -version output = %q", bin, stdout)
+		}
+	}
+}
+
+// startWorkerProcess launches a bfhrfd worker with ephemeral RPC and admin
+// ports, parses both bound addresses off its stderr, and returns them.
+func startWorkerProcess(t *testing.T) (workerAddr, adminAddr string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildCLIs(t), "bfhrfd"), "-serve", "127.0.0.1:0", "-admin", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for workerAddr == "" || adminAddr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("worker exited before announcing addresses (worker=%q admin=%q)", workerAddr, adminAddr)
+			}
+			if rest, found := strings.CutPrefix(line, "bfhrfd: worker serving on "); found {
+				workerAddr = strings.TrimSpace(rest)
+			}
+			if rest, found := strings.CutPrefix(line, "bfhrfd: admin serving on "); found {
+				adminAddr = strings.TrimSpace(rest)
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for worker to announce its addresses")
+		}
+	}
+	// Drain the rest so the worker never blocks on a full stderr pipe.
+	go func() {
+		for range lines {
+		}
+	}()
+	return workerAddr, adminAddr
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestCLIBfhrfdAdmin is the acceptance end-to-end: a worker started with
+// `-serve :0 -admin :0` serves Prometheus metrics and a health endpoint
+// that flips from not-ready to ready once its shard is loaded.
+func TestCLIBfhrfdAdmin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests in -short mode")
+	}
+	dir := buildCLIs(t)
+	data := t.TempDir()
+	refs := filepath.Join(data, "refs.nwk")
+	if _, stderr, err := run(t, "treegen", "-n", "10", "-r", "20", "-seed", "9", "-out", refs); err != nil {
+		t.Fatalf("treegen: %v\n%s", err, stderr)
+	}
+
+	workerAddr, adminAddr := startWorkerProcess(t)
+
+	// Before any references arrive the worker must report not-ready.
+	status, body := httpGet(t, fmt.Sprintf("http://%s/healthz", adminAddr))
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("pre-load healthz status = %d, want 503 (body %q)", status, body)
+	}
+	if !strings.Contains(body, "not ready") {
+		t.Errorf("pre-load healthz body = %q", body)
+	}
+
+	// The metric families must exist (at zero) before any traffic.
+	status, metrics := httpGet(t, fmt.Sprintf("http://%s/metrics", adminAddr))
+	if status != http.StatusOK {
+		t.Fatalf("metrics status = %d", status)
+	}
+	for _, want := range []string{
+		"# TYPE bfhrf_rpc_latency_seconds histogram",
+		"# TYPE bfhrf_bipartitions_hashed_total counter",
+		"# TYPE bfhrf_queries_total counter",
+		"# TYPE bfhrf_build_info gauge",
+		"bfhrf_build_info{revision=",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("pre-load /metrics missing %q", want)
+		}
+	}
+
+	// Run a real coordinator against the worker.
+	out, stderr, err := run(t, "bfhrfd", "-workers", workerAddr, "-ref", refs, "-chunk", "6")
+	if err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, stderr)
+	}
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != 20 {
+		t.Errorf("coordinator output lines = %d, want 20", n)
+	}
+	_ = dir
+
+	// Health must have flipped to ready with the tree count.
+	status, body = httpGet(t, fmt.Sprintf("http://%s/healthz", adminAddr))
+	if status != http.StatusOK {
+		t.Errorf("post-load healthz status = %d, want 200 (body %q)", status, body)
+	}
+	if !strings.Contains(body, `"trees":20`) {
+		t.Errorf("post-load healthz body = %q, want 20 trees", body)
+	}
+
+	// And the traffic must show up in the worker's metrics.
+	_, metrics = httpGet(t, fmt.Sprintf("http://%s/metrics", adminAddr))
+	for _, want := range []string{
+		`bfhrf_rpc_latency_seconds_count{method="Load",side="worker"}`,
+		`bfhrf_rpc_latency_seconds_count{method="Query",side="worker"}`,
+		"bfhrf_ref_trees_total 20",
+		"bfhrf_queries_total 20",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("post-run /metrics missing %q\n%s", want, metrics)
+		}
+	}
+	if strings.Contains(metrics, "bfhrf_bipartitions_hashed_total 0\n") {
+		t.Error("bipartitions-hashed counter never moved")
+	}
+
+	// pprof rides on the same listener.
+	status, _ = httpGet(t, fmt.Sprintf("http://%s/debug/pprof/cmdline", adminAddr))
+	if status != http.StatusOK {
+		t.Errorf("pprof cmdline status = %d", status)
 	}
 }

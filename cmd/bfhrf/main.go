@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/profhook"
 )
 
@@ -40,9 +41,20 @@ func main() {
 		compress  = flag.Bool("compress", false, "store losslessly compressed bipartition keys (lower memory)")
 		best      = flag.Bool("best", false, "print only the query with the lowest average RF")
 		annotate  = flag.String("annotate", "", "instead of distances, print this Newick tree annotated with reference support percentages")
+		version   = flag.Bool("version", false, "print version and VCS revision, then exit")
 	)
 	profs := profhook.RegisterFlags(nil)
+	logc := obs.RegisterLogFlags(nil)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("bfhrf"))
+		return
+	}
+	if _, err := logc.Setup(nil); err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
+		os.Exit(2)
+	}
 
 	stop, err := profs.Start()
 	if err != nil {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/distrib"
+	"repro/internal/obs"
+)
+
+// The admin listener is the operational surface of a bfhrfd process:
+//
+//	/metrics       obs registry, Prometheus text format
+//	/healthz       readiness — worker: shard loaded + tree count;
+//	               coordinator: reachable workers
+//	/debug/pprof/  live CPU/heap/goroutine profiling (net/http/pprof)
+//
+// It is deliberately separate from the RPC port so operators can firewall
+// the data plane and the admin plane independently.
+
+// adminServer is the admin HTTP listener with graceful shutdown.
+type adminServer struct {
+	srv *http.Server
+	l   net.Listener
+}
+
+// startAdmin serves the admin mux on addr. healthz is mode-specific.
+func startAdmin(addr string, healthz http.HandlerFunc) (*adminServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Default.Handler())
+	mux.HandleFunc("/healthz", healthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a := &adminServer{srv: &http.Server{Handler: mux}, l: l}
+	go a.srv.Serve(l) //nolint:errcheck — returns ErrServerClosed on Shutdown
+	return a, nil
+}
+
+// Addr returns the bound admin address (useful with -admin :0).
+func (a *adminServer) Addr() string { return a.l.Addr().String() }
+
+// Shutdown drains in-flight admin requests for up to five seconds.
+func (a *adminServer) Shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return a.srv.Shutdown(ctx)
+}
+
+// workerHealthz reports readiness of a worker shard: 503 until the first
+// reference chunk is folded in, then 200 with the shard statistics.
+func workerHealthz(w *distrib.Worker) http.HandlerFunc {
+	return func(rw http.ResponseWriter, _ *http.Request) {
+		st := w.Status()
+		rw.Header().Set("Content-Type", "application/json")
+		if !st.Loaded {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(rw, `{"status":"not ready","initialized":%t,"trees":0}`+"\n", st.Initialized)
+			return
+		}
+		fmt.Fprintf(rw, `{"status":"ok","trees":%d,"unique_bipartitions":%d}`+"\n", st.Trees, st.Unique)
+	}
+}
+
+// coordinatorHealthz reports how many workers the coordinator reached.
+func coordinatorHealthz(coord *distrib.Coordinator) http.HandlerFunc {
+	return func(rw http.ResponseWriter, _ *http.Request) {
+		n := coord.NumWorkers()
+		rw.Header().Set("Content-Type", "application/json")
+		if n == 0 {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(rw, `{"status":"not ready","workers":0}`)
+			return
+		}
+		fmt.Fprintf(rw, `{"status":"ok","workers":%d}`+"\n", n)
+	}
+}

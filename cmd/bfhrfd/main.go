@@ -5,13 +5,19 @@
 //
 // Worker (one per node):
 //
-//	bfhrfd -serve :7001
+//	bfhrfd -serve :7001 -admin :9090
 //
 // Coordinator:
 //
 //	bfhrfd -workers host1:7001,host2:7001 -ref refs.nwk -query queries.nwk
 //
 // Output matches cmd/bfhrf: one "index<TAB>avgRF" line per query.
+//
+// The -admin listener serves the runtime telemetry: /metrics (Prometheus
+// text format), /healthz (worker: shard loaded + tree count; coordinator:
+// reachable workers), and /debug/pprof. Structured logs go to stderr
+// (-log-format text|json, -v for debug detail, -v=2 for trace). See
+// "Operating bfhrfd" in README.md for the metric catalog.
 //
 // The profiling flags (-cpuprofile, -memprofile, -trace) capture the run
 // for `go tool pprof` / `go tool trace`. A worker profiles until it is
@@ -22,6 +28,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +37,7 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/distrib"
+	"repro/internal/obs"
 	"repro/internal/profhook"
 )
 
@@ -41,9 +50,28 @@ func main() {
 		compress  = flag.Bool("compress", false, "store compressed bipartition keys on the shards")
 		chunk     = flag.Int("chunk", 512, "reference trees per load RPC")
 		batch     = flag.Int("batch", 256, "query trees per query RPC")
+		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9090)")
+		version   = flag.Bool("version", false, "print version and VCS revision, then exit")
 	)
 	profs := profhook.RegisterFlags(nil)
+	logc := obs.RegisterLogFlags(nil)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("bfhrfd"))
+		return
+	}
+	if _, err := logc.Setup(nil); err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrfd: %v\n", err)
+		os.Exit(2)
+	}
+	obs.RegisterBuildInfo(nil)
+
+	if code, msg := validateFlags(*serve, *workers, *refPath, *queryPath); code != 0 {
+		fmt.Fprintf(os.Stderr, "bfhrfd: %s\n", msg)
+		flag.Usage()
+		os.Exit(code)
+	}
 
 	stop, err := profs.Start()
 	if err != nil {
@@ -52,15 +80,10 @@ func main() {
 	}
 
 	var code int
-	switch {
-	case *serve != "":
-		code = runWorker(*serve)
-	case *workers != "":
-		code = runCoordinator(*workers, *refPath, *queryPath, *compress, *chunk, *batch)
-	default:
-		fmt.Fprintln(os.Stderr, "bfhrfd: need -serve (worker) or -workers (coordinator)")
-		flag.Usage()
-		code = 2
+	if *serve != "" {
+		code = runWorker(*serve, *admin)
+	} else {
+		code = runCoordinator(*workers, *refPath, *queryPath, *admin, *compress, *chunk, *batch)
 	}
 	if err := stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "bfhrfd: stopping profiles: %v\n", err)
@@ -71,30 +94,73 @@ func main() {
 	os.Exit(code)
 }
 
+// validateFlags enforces the mode split: -serve selects worker mode and
+// -workers coordinator mode; they are mutually exclusive, and the
+// coordinator-only flags are errors in worker mode rather than silently
+// ignored.
+func validateFlags(serve, workers, refPath, queryPath string) (int, string) {
+	switch {
+	case serve == "" && workers == "":
+		return 2, "need -serve (worker) or -workers (coordinator)"
+	case serve != "" && workers != "":
+		return 2, "-serve (worker mode) and -workers (coordinator mode) are mutually exclusive"
+	case serve != "" && (refPath != "" || queryPath != ""):
+		return 2, "-ref/-query are coordinator flags; a worker receives its shard over RPC"
+	}
+	return 0, ""
+}
+
 func fail(err error) int {
+	slog.Error(err.Error())
 	fmt.Fprintf(os.Stderr, "bfhrfd: %v\n", err)
 	return 1
 }
 
 // runWorker serves until SIGINT/SIGTERM so that profiles started in main
 // are flushed on the way out (os.Exit inside a signal-less select would
-// discard them).
-func runWorker(addr string) int {
-	l, err := distrib.Listen(addr)
+// discard them). The RPC listener and the admin server are shut down
+// before returning.
+func runWorker(addr, adminAddr string) int {
+	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fail(err)
 	}
+	w := &distrib.Worker{}
+	go distrib.ServeWorker(l, w) //nolint:errcheck — terminates when l closes
 	fmt.Fprintf(os.Stderr, "bfhrfd: worker serving on %s\n", l.Addr())
+	slog.Info("worker serving", "addr", l.Addr().String())
+
+	var adm *adminServer
+	if adminAddr != "" {
+		adm, err = startAdmin(adminAddr, workerHealthz(w))
+		if err != nil {
+			l.Close()
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "bfhrfd: admin serving on %s\n", adm.Addr())
+		slog.Info("admin serving", "addr", adm.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	fmt.Fprintf(os.Stderr, "bfhrfd: %s, shutting down\n", s)
-	return 0
+	slog.Info("shutting down", "signal", s.String())
+	l.Close()
+	code := 0
+	if adm != nil {
+		if err := adm.Shutdown(); err != nil {
+			code = fail(fmt.Errorf("admin shutdown: %w", err))
+		}
+	}
+	return code
 }
 
-func runCoordinator(workerList, refPath, queryPath string, compress bool, chunk, batch int) int {
+func runCoordinator(workerList, refPath, queryPath, adminAddr string, compress bool, chunk, batch int) int {
 	if refPath == "" {
-		return fail(fmt.Errorf("-ref is required in coordinator mode"))
+		fmt.Fprintln(os.Stderr, "bfhrfd: -ref is required in coordinator mode")
+		flag.Usage()
+		return 2
 	}
 	if queryPath == "" {
 		queryPath = refPath
@@ -113,12 +179,25 @@ func runCoordinator(workerList, refPath, queryPath string, compress bool, chunk,
 	coord.ChunkSize = chunk
 	coord.BatchSize = batch
 
+	var adm *adminServer
+	if adminAddr != "" {
+		adm, err = startAdmin(adminAddr, coordinatorHealthz(coord))
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "bfhrfd: admin serving on %s\n", adm.Addr())
+		slog.Info("admin serving", "addr", adm.Addr())
+		defer adm.Shutdown() //nolint:errcheck — best-effort drain on exit
+	}
+
 	refs, err := collection.OpenFile(refPath)
 	if err != nil {
 		return fail(err)
 	}
 	defer refs.Close()
+	_, span := obs.StartSpan(nil, "coord.scan_taxa")
 	ts, err := collection.ScanTaxa(refs)
+	span.End()
 	if err != nil {
 		return fail(err)
 	}
@@ -139,5 +218,6 @@ func runCoordinator(workerList, refPath, queryPath string, compress bool, chunk,
 	for _, r := range results {
 		fmt.Printf("%d\t%g\n", r.Index, r.AvgRF)
 	}
+	slog.Info("run complete", "queries", len(results), "workers", coord.NumWorkers())
 	return 0
 }

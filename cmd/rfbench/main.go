@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/perfjson"
 	"repro/internal/profhook"
 )
@@ -47,22 +48,34 @@ func main() {
 		membw     = flag.Int("mem-budget", 2048, "HashRF matrix budget in MB (simulates the paper's OOM kills)")
 		csvDir    = flag.String("csv", "", "directory to save per-table CSV files")
 		workDir   = flag.String("work", "", "directory for materialized dataset files (default: temp)")
-		verbose   = flag.Bool("v", false, "per-run progress on stderr")
 		jsonOut   = flag.String("json", "", "perf mode: run the benchmark sweep and write perfjson records to this file")
 		compare   = flag.String("compare", "", "perf mode: gate against this baseline perfjson file (exit 3 on regression)")
 		with      = flag.String("with", "", "with -compare: gate this already-recorded perfjson file instead of measuring")
 		threshold = flag.Float64("threshold", perfjson.DefaultThreshold, "relative slowdown that counts as a regression")
 		reps      = flag.Int("reps", 5, "perf mode: repetitions per workload/engine (median and min are recorded)")
+		version   = flag.Bool("version", false, "print version and VCS revision, then exit")
 	)
 	profs := profhook.RegisterFlags(nil)
+	// -v doubles as the historical "verbose progress" switch (bare -v) and
+	// the shared log verbosity (-v=2 for trace).
+	logc := obs.RegisterLogFlags(nil)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("rfbench"))
+		return
+	}
+	if _, err := logc.Setup(nil); err != nil {
+		fmt.Fprintf(os.Stderr, "rfbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	stop, err := profs.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rfbench: %v\n", err)
 		os.Exit(1)
 	}
-	code := run(*exp, *scale, *engines, *qcap, *membw, *csvDir, *workDir, *verbose,
+	code := run(*exp, *scale, *engines, *qcap, *membw, *csvDir, *workDir, logc.V >= 1,
 		*jsonOut, *compare, *with, *threshold, *reps)
 	if err := stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "rfbench: stopping profiles: %v\n", err)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/draw"
 	"repro/internal/hashrf"
 	"repro/internal/newick"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -43,8 +44,19 @@ func main() {
 		threshold = flag.Float64("t", 0.5, "consensus support threshold in [0.5, 1] (or min support with -greedy)")
 		greedy    = flag.Bool("greedy", false, "greedy extended-majority consensus instead of strict threshold")
 		drawTree  = flag.Bool("draw", false, "with -consensus: render the tree as ASCII art instead of Newick")
+		version   = flag.Bool("version", false, "print version and VCS revision, then exit")
 	)
+	logc := obs.RegisterLogFlags(nil)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("rfdist"))
+		return
+	}
+	if _, err := logc.Setup(nil); err != nil {
+		fmt.Fprintf(os.Stderr, "rfdist: %v\n", err)
+		os.Exit(2)
+	}
 
 	switch {
 	case *aPath != "" && *bPath != "":

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bipart"
 	"repro/internal/collection"
+	"repro/internal/obs"
 	"repro/internal/taxa"
 	"repro/internal/tree"
 )
@@ -47,6 +48,8 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 	if ts == nil {
 		return nil, fmt.Errorf("core: taxon catalogue is required")
 	}
+	_, span := obs.StartSpan(nil, SpanBuild)
+	defer span.End()
 	h := &FreqHash{
 		taxa:       ts,
 		m:          make(map[string]entry),
@@ -74,6 +77,7 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 	weightedFlags := make([]bool, workers)
 	errs := make([]error, workers)
 	treeCounts := make([]int, workers)
+	bipCounts := make([]int, workers)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -96,6 +100,7 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 					continue
 				}
 				treeCounts[w]++
+				bipCounts[w] += len(bs)
 				for _, b := range bs {
 					k := h.keyOf(b)
 					e := local[k]
@@ -137,9 +142,11 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 			return nil, fmt.Errorf("core: reference tree: %w", err)
 		}
 	}
+	bips := 0
 	for w := 0; w < workers; w++ {
 		h.merge(locals[w])
 		h.numTrees += treeCounts[w]
+		bips += bipCounts[w]
 		if !weightedFlags[w] {
 			h.weighted = false
 		}
@@ -147,6 +154,7 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 	if h.numTrees == 0 {
 		return nil, fmt.Errorf("core: reference collection is empty")
 	}
+	recordBuild(h.numTrees, bips, len(h.m))
 	return h, nil
 }
 

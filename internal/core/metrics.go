@@ -1,0 +1,58 @@
+package core
+
+import "repro/internal/obs"
+
+// Runtime metrics of the BFHRF core, published into the obs Default
+// registry (served by cmd/bfhrfd's admin /metrics endpoint). The hot
+// paths never touch these per bipartition: build workers and queryOne
+// accumulate plain local integers and fold them in with one atomic add
+// per tree, so the instrumentation stays invisible to the perf gate
+// (rfbench -compare BENCH_*.json).
+//
+// Stage timings land in obs.StageMetric (bfhrf_stage_duration_seconds)
+// via the spans opened in Build and AverageRF; the stage names there
+// ("bfh.build", "bfh.query") match the workload names of the offline
+// benchmark records — see EXPERIMENTS.md, "Runtime metric naming".
+var (
+	mRefTrees = obs.Counter("bfhrf_ref_trees_total",
+		"Reference trees folded into the bipartition frequency hash.")
+	mBipartitionsHashed = obs.Counter("bfhrf_bipartitions_hashed_total",
+		"Bipartition instances extracted and folded in during BFH builds.")
+	mUniqueBipartitions = obs.Gauge("bfhrf_unique_bipartitions",
+		"Distinct bipartitions stored by the most recent BFH build.")
+	mQueries = obs.Counter("bfhrf_queries_total",
+		"Query trees answered by tree-vs-hash comparison.")
+	mHashLookups = obs.Counter("bfhrf_hash_lookups_total",
+		"Bipartition frequency lookups performed by queries.")
+	mHashMisses = obs.Counter("bfhrf_hash_misses_total",
+		"Query bipartition lookups that found no reference entry.")
+)
+
+// SpanBuild and SpanQuery are the core's stage names in obs.StageMetric.
+const (
+	SpanBuild = "bfh.build"
+	SpanQuery = "bfh.query"
+)
+
+// recordBuild publishes one completed build's tallies.
+func recordBuild(trees, bipartitions, unique int) {
+	mRefTrees.Add(uint64(trees))
+	mBipartitionsHashed.Add(uint64(bipartitions))
+	mUniqueBipartitions.Set(float64(unique))
+}
+
+// RecordQueries publishes query-side tallies: queries answered, frequency
+// lookups performed, and lookups that missed. Exported so the distributed
+// worker (internal/distrib), which answers queries against the same hash
+// outside AverageRF, feeds the same counters.
+func RecordQueries(queries, lookups, misses int) {
+	if queries > 0 {
+		mQueries.Add(uint64(queries))
+	}
+	if lookups > 0 {
+		mHashLookups.Add(uint64(lookups))
+	}
+	if misses > 0 {
+		mHashMisses.Add(uint64(misses))
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/newick"
+	"repro/internal/obs"
+	"repro/internal/tree"
+)
+
+// The core metrics live in the shared obs.Default registry, so tests
+// assert deltas rather than absolute values.
+
+func mustParse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := newick.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildAndQueryMetrics(t *testing.T) {
+	trees := []*tree.Tree{
+		mustParse(t, "((A,B),(C,D));"),
+		mustParse(t, "((A,C),(B,D));"),
+		mustParse(t, "((A,B),(C,D));"),
+	}
+	refsBefore := mRefTrees.Value()
+	bipsBefore := mBipartitionsHashed.Value()
+	queriesBefore := mQueries.Value()
+	lookupsBefore := mHashLookups.Value()
+	missesBefore := mHashMisses.Value()
+	buildsBefore := obs.Histogram(obs.StageMetric, "", nil, obs.L("stage", SpanBuild)).Count()
+	queriesSpanBefore := obs.Histogram(obs.StageMetric, "", nil, obs.L("stage", SpanQuery)).Count()
+
+	h := buildHash(t, trees, abcd)
+
+	if got := mRefTrees.Value() - refsBefore; got != 3 {
+		t.Errorf("ref trees delta = %d, want 3", got)
+	}
+	// Each 4-taxon binary tree has one non-trivial bipartition.
+	if got := mBipartitionsHashed.Value() - bipsBefore; got != 3 {
+		t.Errorf("bipartitions hashed delta = %d, want 3", got)
+	}
+	if got := obs.Histogram(obs.StageMetric, "", nil, obs.L("stage", SpanBuild)).Count() - buildsBefore; got != 1 {
+		t.Errorf("build span count delta = %d, want 1", got)
+	}
+
+	// One query sharing AB|CD (a hit) and one all-miss topology would need
+	// >4 taxa; on 4 taxa both topologies are in the hash, so query with one
+	// of them and verify lookup accounting.
+	queries := []*tree.Tree{mustParse(t, "((A,B),(C,D));"), mustParse(t, "((A,D),(B,C));")}
+	if _, err := h.AverageRF(collection.FromTrees(queries), QueryOptions{RequireComplete: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mQueries.Value() - queriesBefore; got != 2 {
+		t.Errorf("queries delta = %d, want 2", got)
+	}
+	if got := mHashLookups.Value() - lookupsBefore; got != 2 {
+		t.Errorf("lookups delta = %d, want 2", got)
+	}
+	// AD|BC never appears in the reference trees: exactly one miss.
+	if got := mHashMisses.Value() - missesBefore; got != 1 {
+		t.Errorf("misses delta = %d, want 1", got)
+	}
+	if got := obs.Histogram(obs.StageMetric, "", nil, obs.L("stage", SpanQuery)).Count() - queriesSpanBefore; got != 1 {
+		t.Errorf("query span count delta = %d, want 1", got)
+	}
+}
+
+func TestAddTreeMetrics(t *testing.T) {
+	trees := []*tree.Tree{mustParse(t, "((A,B),(C,D));")}
+	h := buildHash(t, trees, abcd)
+	refsBefore := mRefTrees.Value()
+	bipsBefore := mBipartitionsHashed.Value()
+	if err := h.AddTree(mustParse(t, "((A,C),(B,D));"), nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := mRefTrees.Value() - refsBefore; got != 1 {
+		t.Errorf("ref trees delta = %d, want 1", got)
+	}
+	if got := mBipartitionsHashed.Value() - bipsBefore; got != 1 {
+		t.Errorf("bipartitions delta = %d, want 1", got)
+	}
+	if got := mUniqueBipartitions.Value(); got != 2 {
+		t.Errorf("unique gauge = %g, want 2", got)
+	}
+}

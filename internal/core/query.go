@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bipart"
 	"repro/internal/collection"
+	"repro/internal/obs"
 	"repro/internal/tree"
 )
 
@@ -80,6 +81,8 @@ func (h *FreqHash) AverageRF(q collection.Source, opts QueryOptions) ([]Result, 
 	if opts.Variant == Weighted && !h.weighted {
 		return nil, fmt.Errorf("core: weighted variant requires branch lengths on every reference bipartition")
 	}
+	_, span := obs.StartSpan(nil, SpanQuery)
+	defer span.End()
 	// Parallel-parse fast path (see rawbuild.go).
 	if rs, ok := rawCapable(q); ok {
 		return h.averageRFRaw(rs, opts)
@@ -182,6 +185,7 @@ func (h *FreqHash) queryOne(t *tree.Tree, ex *bipart.Extractor, v Variant) (floa
 		return 0, err
 	}
 	r := float64(h.numTrees)
+	misses := 0
 	switch v {
 	case Plain, Normalized:
 		// RFleft starts at sumBFHR; each query bipartition subtracts its
@@ -190,9 +194,13 @@ func (h *FreqHash) queryOne(t *tree.Tree, ex *bipart.Extractor, v Variant) (floa
 		rfRight := int64(0)
 		for _, b := range bs {
 			f := int64(h.m[h.keyOf(b)].Freq)
+			if f == 0 {
+				misses++
+			}
 			rfLeft -= f
 			rfRight += int64(h.numTrees) - f
 		}
+		RecordQueries(1, len(bs), misses)
 		avg := float64(rfLeft+rfRight) / r
 		if v == Normalized {
 			n := h.taxa.Len()
@@ -214,9 +222,13 @@ func (h *FreqHash) queryOne(t *tree.Tree, ex *bipart.Extractor, v Variant) (floa
 				return 0, fmt.Errorf("query bipartition without branch length in weighted variant")
 			}
 			e := h.m[h.keyOf(b)]
+			if e.Freq == 0 {
+				misses++
+			}
 			left -= e.LengthSum
 			right += b.Length * (r - float64(e.Freq))
 		}
+		RecordQueries(1, len(bs), misses)
 		return (left + right) / r, nil
 	default:
 		return 0, fmt.Errorf("unknown variant %v", v)

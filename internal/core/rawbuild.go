@@ -51,6 +51,7 @@ func buildRaw(rs collection.RawSource, ts *taxa.Set, opts BuildOptions, h *FreqH
 	weightedFlags := make([]bool, workers)
 	errs := make([]error, workers)
 	treeCounts := make([]int, workers)
+	bipCounts := make([]int, workers)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -80,6 +81,7 @@ func buildRaw(rs collection.RawSource, ts *taxa.Set, opts BuildOptions, h *FreqH
 					continue
 				}
 				treeCounts[w]++
+				bipCounts[w] += len(bs)
 				for _, b := range bs {
 					k := h.keyOf(b)
 					e := local[k]
@@ -121,13 +123,16 @@ func buildRaw(rs collection.RawSource, ts *taxa.Set, opts BuildOptions, h *FreqH
 			return fmt.Errorf("core: reference tree: %w", err)
 		}
 	}
+	bips := 0
 	for w := 0; w < workers; w++ {
 		h.merge(locals[w])
 		h.numTrees += treeCounts[w]
+		bips += bipCounts[w]
 		if !weightedFlags[w] {
 			h.weighted = false
 		}
 	}
+	recordBuild(h.numTrees, bips, len(h.m))
 	return nil
 }
 

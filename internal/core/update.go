@@ -39,6 +39,9 @@ func (h *FreqHash) AddTree(t *tree.Tree, filter bipart.Filter, requireComplete b
 	}
 	h.numTrees++
 	h.icTable, h.icSum = nil, 0
+	mRefTrees.Inc()
+	mBipartitionsHashed.Add(uint64(len(bs)))
+	mUniqueBipartitions.Set(float64(len(h.m)))
 	return nil
 }
 

@@ -3,12 +3,16 @@ package distrib
 import (
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/newick"
+	"repro/internal/obs"
 	"repro/internal/taxa"
 )
 
@@ -16,7 +20,10 @@ import (
 // average-RF queries by scatter-gather.
 type Coordinator struct {
 	clients []*rpc.Client
-	taxa    *taxa.Set
+	// addrs[i] is the dialed address of clients[i] — the `worker` label on
+	// every coordinator-side metric series.
+	addrs []string
+	taxa  *taxa.Set
 	// sum and r are the folded global totals, fixed after Load.
 	sum uint64
 	r   int
@@ -33,13 +40,16 @@ func Dial(addrs []string) (*Coordinator, error) {
 	}
 	c := &Coordinator{ChunkSize: 512, BatchSize: 256}
 	for _, addr := range addrs {
-		cl, err := rpc.Dial("tcp", addr)
+		conn, err := net.Dial("tcp", addr)
 		if err != nil {
+			rpcErrors(obs.L("side", sideCoordinator), obs.L("method", "Dial"), obs.L("worker", addr)).Inc()
 			c.Close()
 			return nil, fmt.Errorf("distrib: dialing %s: %w", addr, err)
 		}
-		c.clients = append(c.clients, cl)
+		c.clients = append(c.clients, rpc.NewClient(meterConn(conn, sideCoordinator)))
+		c.addrs = append(c.addrs, addr)
 	}
+	slog.Debug("coordinator connected", "workers", len(c.clients))
 	return c, nil
 }
 
@@ -54,11 +64,31 @@ func (c *Coordinator) Close() error {
 		}
 	}
 	c.clients = nil
+	c.addrs = nil
 	return first
 }
 
 // NumWorkers returns the number of connected shards.
 func (c *Coordinator) NumWorkers() int { return len(c.clients) }
+
+// Addrs returns the dialed worker addresses.
+func (c *Coordinator) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// call executes one RPC against worker i with full instrumentation:
+// per-worker latency histogram, error counter, in-flight gauge.
+func (c *Coordinator) call(i int, method string, args, reply any) error {
+	inflight := rpcInflight(sideCoordinator)
+	inflight.Inc()
+	start := time.Now()
+	err := c.clients[i].Call("BFHRF."+method, args, reply)
+	rpcLatency(obs.L("side", sideCoordinator), obs.L("method", method), obs.L("worker", c.addrs[i])).
+		Observe(time.Since(start).Seconds())
+	if err != nil {
+		rpcErrors(obs.L("side", sideCoordinator), obs.L("method", method), obs.L("worker", c.addrs[i])).Inc()
+	}
+	inflight.Dec()
+	return err
+}
 
 // Load initializes every worker with the catalogue and distributes the
 // reference collection round-robin in chunks. It must be called once
@@ -67,11 +97,13 @@ func (c *Coordinator) Load(refs collection.Source, ts *taxa.Set, compress bool) 
 	if len(c.clients) == 0 {
 		return fmt.Errorf("distrib: no workers")
 	}
+	_, span := obs.StartSpan(nil, "coord.load")
+	defer span.End()
 	c.taxa = ts
 	init := InitArgs{TaxaNames: ts.Names(), CompressKeys: compress}
-	for i, cl := range c.clients {
+	for i := range c.clients {
 		var reply LoadReply
-		if err := cl.Call("BFHRF.Init", init, &reply); err != nil {
+		if err := c.call(i, "Init", init, &reply); err != nil {
 			return fmt.Errorf("distrib: init worker %d: %w", i, err)
 		}
 	}
@@ -85,10 +117,12 @@ func (c *Coordinator) Load(refs collection.Source, ts *taxa.Set, compress bool) 
 			return nil
 		}
 		var reply LoadReply
-		err := c.clients[target].Call("BFHRF.Load", LoadArgs{Newicks: chunk}, &reply)
+		err := c.call(target, "Load", LoadArgs{Newicks: chunk}, &reply)
 		if err != nil {
 			return fmt.Errorf("distrib: load worker %d: %w", target, err)
 		}
+		slog.Debug("chunk distributed", "worker", c.addrs[target],
+			"chunk", len(chunk), "shard_trees", reply.ShardTrees, "shard_unique", reply.ShardUnique)
 		target = (target + 1) % len(c.clients)
 		chunk = chunk[:0]
 		return nil
@@ -118,9 +152,9 @@ func (c *Coordinator) Load(refs collection.Source, ts *taxa.Set, compress bool) 
 	}
 	// Fold global totals with an empty probe query.
 	c.sum, c.r = 0, 0
-	for i, cl := range c.clients {
+	for i := range c.clients {
 		var reply QueryReply
-		if err := cl.Call("BFHRF.Query", QueryArgs{}, &reply); err != nil {
+		if err := c.call(i, "Query", QueryArgs{}, &reply); err != nil {
 			return fmt.Errorf("distrib: probing worker %d: %w", i, err)
 		}
 		c.sum += reply.ShardSum
@@ -129,6 +163,7 @@ func (c *Coordinator) Load(refs collection.Source, ts *taxa.Set, compress bool) 
 	if c.r != total {
 		return fmt.Errorf("distrib: workers report %d trees, loaded %d", c.r, total)
 	}
+	slog.Info("references loaded", "trees", total, "workers", len(c.clients), "sum", c.sum)
 	return nil
 }
 
@@ -152,6 +187,8 @@ func (c *Coordinator) AverageRF(queries collection.Source) ([]core.Result, error
 	if c.r == 0 {
 		return nil, fmt.Errorf("distrib: Load before Query")
 	}
+	ctx, span := obs.StartSpan(nil, "coord.query")
+	defer span.End()
 	if err := queries.Reset(); err != nil {
 		return nil, err
 	}
@@ -162,7 +199,9 @@ func (c *Coordinator) AverageRF(queries collection.Source) ([]core.Result, error
 		if len(batch) == 0 {
 			return nil
 		}
+		_, bspan := obs.StartSpan(ctx, "coord.query.batch")
 		avgs, err := c.queryBatch(batch)
+		bspan.End()
 		if err != nil {
 			return err
 		}
@@ -203,12 +242,12 @@ func (c *Coordinator) queryBatch(newicks []string) ([]float64, error) {
 	parts := make([]partial, len(c.clients))
 	var wg sync.WaitGroup
 	args := QueryArgs{Newicks: newicks}
-	for i, cl := range c.clients {
+	for i := range c.clients {
 		wg.Add(1)
-		go func(i int, cl *rpc.Client) {
+		go func(i int) {
 			defer wg.Done()
-			parts[i].err = cl.Call("BFHRF.Query", args, &parts[i].reply)
-		}(i, cl)
+			parts[i].err = c.call(i, "Query", args, &parts[i].reply)
+		}(i)
 	}
 	wg.Wait()
 
@@ -221,7 +260,12 @@ func (c *Coordinator) queryBatch(newicks []string) ([]float64, error) {
 		}
 		rep := parts[i].reply
 		if len(rep.Hits) != len(newicks) {
+			protocolErrors(c.addrs[i]).Inc()
 			return nil, fmt.Errorf("distrib: worker %d returned %d hits for %d queries", i, len(rep.Hits), len(newicks))
+		}
+		if len(rep.Splits) != len(newicks) {
+			protocolErrors(c.addrs[i]).Inc()
+			return nil, fmt.Errorf("distrib: worker %d returned %d split counts for %d queries", i, len(rep.Splits), len(newicks))
 		}
 		for j := range hits {
 			hits[j] += rep.Hits[j]
@@ -232,6 +276,7 @@ func (c *Coordinator) queryBatch(newicks []string) ([]float64, error) {
 		} else {
 			for j := range splits {
 				if splits[j] != rep.Splits[j] {
+					protocolErrors(c.addrs[i]).Inc()
 					return nil, fmt.Errorf("distrib: workers disagree on |B(query %d)|: %d vs %d", j, splits[j], rep.Splits[j])
 				}
 			}

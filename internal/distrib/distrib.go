@@ -20,6 +20,7 @@ package distrib
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/rpc"
 	"sync"
@@ -82,8 +83,36 @@ type Worker struct {
 	compress bool
 }
 
+// WorkerStatus is a consistent snapshot of a worker's shard, exposed for
+// health endpoints (cmd/bfhrfd's /healthz).
+type WorkerStatus struct {
+	// Initialized reports whether Init installed a taxon catalogue.
+	Initialized bool
+	// Loaded reports whether at least one reference chunk was folded in.
+	Loaded bool
+	// Trees and Unique describe the shard's partial hash.
+	Trees  int
+	Unique int
+}
+
+// Status returns the worker's current shard state.
+func (w *Worker) Status() WorkerStatus {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WorkerStatus{Initialized: w.taxa != nil, Loaded: w.hash != nil}
+	if w.hash != nil {
+		st.Trees = w.hash.NumTrees()
+		st.Unique = w.hash.UniqueBipartitions()
+	}
+	return st
+}
+
 // Init installs the catalogue and resets the shard.
 func (w *Worker) Init(args InitArgs, reply *LoadReply) error {
+	return observeRPC(sideWorker, "Init", func() error { return w.init(args, reply) })
+}
+
+func (w *Worker) init(args InitArgs, reply *LoadReply) error {
 	ts, err := taxa.NewOrderedSet(args.TaxaNames)
 	if err != nil {
 		return fmt.Errorf("distrib: %w", err)
@@ -94,11 +123,16 @@ func (w *Worker) Init(args InitArgs, reply *LoadReply) error {
 	w.hash = nil
 	w.compress = args.CompressKeys
 	*reply = LoadReply{}
+	slog.Debug("worker initialized", "taxa", len(args.TaxaNames), "compress", args.CompressKeys)
 	return nil
 }
 
 // Load folds a chunk of reference trees into the shard's hash.
 func (w *Worker) Load(args LoadArgs, reply *LoadReply) error {
+	return observeRPC(sideWorker, "Load", func() error { return w.load(args, reply) })
+}
+
+func (w *Worker) load(args LoadArgs, reply *LoadReply) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.taxa == nil {
@@ -126,6 +160,8 @@ func (w *Worker) Load(args LoadArgs, reply *LoadReply) error {
 	}
 	reply.ShardTrees = w.hash.NumTrees()
 	reply.ShardUnique = w.hash.UniqueBipartitions()
+	slog.Debug("shard chunk loaded",
+		"chunk", len(args.Newicks), "shard_trees", reply.ShardTrees, "shard_unique", reply.ShardUnique)
 	return nil
 }
 
@@ -133,6 +169,10 @@ func (w *Worker) Load(args LoadArgs, reply *LoadReply) error {
 // that was initialized but received no reference chunk answers as an empty
 // shard (zero hits, zero trees) so that uneven sharding is harmless.
 func (w *Worker) Query(args QueryArgs, reply *QueryReply) error {
+	return observeRPC(sideWorker, "Query", func() error { return w.query(args, reply) })
+}
+
+func (w *Worker) query(args QueryArgs, reply *QueryReply) error {
 	w.mu.Lock()
 	h := w.hash
 	ts := w.taxa
@@ -143,6 +183,7 @@ func (w *Worker) Query(args QueryArgs, reply *QueryReply) error {
 	ex := bipart.NewExtractor(ts)
 	reply.Hits = make([]int64, len(args.Newicks))
 	reply.Splits = make([]int64, len(args.Newicks))
+	lookups, misses := 0, 0
 	for i, nwk := range args.Newicks {
 		t, err := newick.Parse(nwk)
 		if err != nil {
@@ -154,8 +195,13 @@ func (w *Worker) Query(args QueryArgs, reply *QueryReply) error {
 		}
 		var hits int64
 		if h != nil {
+			lookups += len(bs)
 			for _, b := range bs {
-				hits += int64(h.Frequency(b))
+				f := int64(h.Frequency(b))
+				if f == 0 {
+					misses++
+				}
+				hits += f
 			}
 		}
 		reply.Hits[i] = hits
@@ -165,6 +211,9 @@ func (w *Worker) Query(args QueryArgs, reply *QueryReply) error {
 		reply.ShardSum = h.TotalBipartitions()
 		reply.ShardTrees = h.NumTrees()
 	}
+	// The shard answers queries outside core.AverageRF, so it feeds the
+	// same core counters (bfhrf_queries_total et al.) itself.
+	core.RecordQueries(len(args.Newicks), lookups, misses)
 	return nil
 }
 
@@ -186,8 +235,16 @@ func parseChunk(newicks []string) ([]*tree.Tree, error) {
 // Serve registers a fresh Worker on a net/rpc server and serves l until it
 // is closed. Each call runs in its own goroutine (net/rpc behaviour).
 func Serve(l net.Listener) error {
+	return ServeWorker(l, &Worker{})
+}
+
+// ServeWorker serves an explicit Worker on l, so the caller keeps a handle
+// on the shard state (cmd/bfhrfd's health endpoint reads w.Status while
+// the RPC server runs). Connections are metered into the worker-side byte
+// counters.
+func ServeWorker(l net.Listener, w *Worker) error {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("BFHRF", &Worker{}); err != nil {
+	if err := srv.RegisterName("BFHRF", w); err != nil {
 		return err
 	}
 	for {
@@ -198,7 +255,7 @@ func Serve(l net.Listener) error {
 			}
 			return err
 		}
-		go srv.ServeConn(conn)
+		go srv.ServeConn(meterConn(conn, sideWorker))
 	}
 }
 

@@ -1,0 +1,117 @@
+package distrib
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RPC instrumentation for both sides of the wire, published into the obs
+// Default registry. Coordinator-side series carry a `worker` label (the
+// dialed address) so a straggling or failing shard is visible per worker;
+// worker-side series only carry `side` and `method` (a worker does not
+// know who its coordinator is). Byte counters are measured at the
+// connection level, so they include net/rpc framing — what actually
+// crossed the wire, matching the paper's O(1)-scalars-per-query argument.
+
+const (
+	sideWorker      = "worker"
+	sideCoordinator = "coordinator"
+
+	latencyHelp  = "RPC latency by side and method (coordinator side adds a worker label)."
+	errorsHelp   = "RPC failures by side and method (coordinator side adds a worker label)."
+	inflightHelp = "RPCs currently executing, by side."
+	bytesHelp    = "Bytes moved over RPC connections, by side and direction."
+)
+
+// rpcLatency resolves the latency histogram for one (side, method) series.
+func rpcLatency(labels ...obs.Label) *obs.HistogramMetric {
+	return obs.Histogram("bfhrf_rpc_latency_seconds", latencyHelp, obs.DefLatencyBuckets, labels...)
+}
+
+// rpcErrors resolves the error counter for one (side, method) series.
+func rpcErrors(labels ...obs.Label) *obs.CounterMetric {
+	return obs.Counter("bfhrf_rpc_errors_total", errorsHelp, labels...)
+}
+
+// rpcInflight resolves the in-flight gauge for one side.
+func rpcInflight(side string) *obs.GaugeMetric {
+	return obs.Gauge("bfhrf_rpc_inflight", inflightHelp, obs.L("side", side))
+}
+
+// protocolErrors counts structurally invalid replies detected by the
+// coordinator (hit-vector length mismatch, split-count disagreement) —
+// failures the RPC layer itself cannot see.
+func protocolErrors(worker string) *obs.CounterMetric {
+	return obs.Counter("bfhrf_protocol_errors_total",
+		"Malformed or inconsistent RPC replies detected by the coordinator, by worker.",
+		obs.L("worker", worker))
+}
+
+// rpcBytes resolves one (side, direction) byte counter.
+func rpcBytes(side, direction string) *obs.CounterMetric {
+	return obs.Counter("bfhrf_rpc_bytes_total", bytesHelp,
+		obs.L("side", side), obs.L("direction", direction))
+}
+
+// init pre-registers the families a fresh process should already expose,
+// so an admin /metrics scrape is meaningful before the first RPC arrives.
+func init() {
+	for _, method := range []string{"Init", "Load", "Query"} {
+		rpcLatency(obs.L("side", sideWorker), obs.L("method", method))
+		rpcErrors(obs.L("side", sideWorker), obs.L("method", method))
+	}
+	rpcInflight(sideWorker)
+	rpcInflight(sideCoordinator)
+	rpcBytes(sideWorker, "read")
+	rpcBytes(sideWorker, "written")
+	rpcBytes(sideCoordinator, "read")
+	rpcBytes(sideCoordinator, "written")
+}
+
+// observeRPC wraps one server-side RPC execution: in-flight gauge,
+// latency histogram, error counter.
+func observeRPC(side, method string, fn func() error) error {
+	inflight := rpcInflight(side)
+	inflight.Inc()
+	start := time.Now()
+	err := fn()
+	rpcLatency(obs.L("side", side), obs.L("method", method)).Observe(time.Since(start).Seconds())
+	if err != nil {
+		rpcErrors(obs.L("side", side), obs.L("method", method)).Inc()
+	}
+	inflight.Dec()
+	return err
+}
+
+// countingConn meters a net.Conn into the byte counters for one side.
+type countingConn struct {
+	net.Conn
+	read, written *obs.CounterMetric
+}
+
+// meterConn wraps conn so its traffic lands in bfhrf_rpc_bytes_total.
+func meterConn(conn net.Conn, side string) net.Conn {
+	return &countingConn{
+		Conn:    conn,
+		read:    rpcBytes(side, "read"),
+		written: rpcBytes(side, "written"),
+	}
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.read.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.written.Add(uint64(n))
+	}
+	return n, err
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Build identity: the module version and VCS revision stamped by the Go
+// toolchain, surfaced in three places that must agree — the -version flag
+// of every binary, the bfhrf_build_info gauge on /metrics, and (via
+// perfjson.GitCommit) the offline BENCH_*.json records. Agreement is what
+// lets a runtime latency regression be matched to the exact commit whose
+// benchmark record first showed it.
+
+// BuildInfo returns the module version and VCS revision, with "unknown"
+// for anything the build did not stamp (e.g. test binaries).
+func BuildInfo() (version, revision string) {
+	version, revision = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, revision
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	modified := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if modified && revision != "unknown" {
+		revision += "-dirty"
+	}
+	return version, revision
+}
+
+// VersionLine formats the -version output for a binary.
+func VersionLine(tool string) string {
+	version, revision := BuildInfo()
+	return fmt.Sprintf("%s %s (revision %s)", tool, version, revision)
+}
+
+// RegisterBuildInfo publishes the constant-1 build-info gauge, carrying
+// version and revision as labels, into r (Default when nil).
+func RegisterBuildInfo(r *Registry) *GaugeMetric {
+	if r == nil {
+		r = Default
+	}
+	version, revision := BuildInfo()
+	g := r.Gauge("bfhrf_build_info",
+		"Build identity: constant 1, labeled with module version and VCS revision.",
+		L("version", version), L("revision", revision))
+	g.Set(1)
+	return g
+}

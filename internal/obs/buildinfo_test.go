@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildInfoNeverEmpty(t *testing.T) {
+	version, revision := BuildInfo()
+	if version == "" || revision == "" {
+		t.Errorf("BuildInfo = %q, %q; want non-empty fallbacks", version, revision)
+	}
+}
+
+func TestVersionLine(t *testing.T) {
+	line := VersionLine("bfhrfd")
+	if !strings.HasPrefix(line, "bfhrfd ") || !strings.Contains(line, "revision") {
+		t.Errorf("VersionLine = %q", line)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	g := RegisterBuildInfo(r)
+	if g.Value() != 1 {
+		t.Errorf("build info gauge = %g, want 1", g.Value())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "bfhrf_build_info{") ||
+		!strings.Contains(out, `revision="`) || !strings.Contains(out, `version="`) {
+		t.Errorf("exposition missing build info labels:\n%s", out)
+	}
+}

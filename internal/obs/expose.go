@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the registry in the Prometheus text exposition format
+// (version 0.0.4): `# HELP` / `# TYPE` headers per family, one line per
+// labeled sample, histograms as cumulative `_bucket{le=...}` series plus
+// `_sum` and `_count`. Families are sorted by name and samples by label
+// signature, so the output is byte-stable for a given registry state —
+// the property the golden test locks in.
+
+// escapeLabelValue escapes backslash, double quote and newline, the three
+// characters the exposition format requires escaping in label values.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders a sorted label set as {k="v",...}; extra appends
+// one more pair (used for histogram le labels). Empty sets render as "".
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf(`%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteText writes the whole registry in the text exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := r.families[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		sigs := make([]string, 0, len(f.metrics))
+		for sig := range f.metrics {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			in := f.metrics[sig]
+			switch m := in.metric.(type) {
+			case *CounterMetric:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(in.labels), m.Value())
+			case *GaugeMetric:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelString(in.labels), formatFloat(m.Value()))
+			case *HistogramMetric:
+				var cum uint64
+				for i, bound := range m.bounds {
+					cum += m.counts[i].Load()
+					fmt.Fprintf(bw, "%s_bucket%s %d\n",
+						f.name, labelString(in.labels, L("le", formatFloat(bound))), cum)
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(in.labels, L("le", "+Inf")), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelString(in.labels), formatFloat(m.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labelString(in.labels), cum)
+			}
+		}
+	}
+	r.mu.RUnlock()
+
+	return bw.Flush()
+}
+
+// Handler serves the registry at an HTTP endpoint (the /metrics handler of
+// the admin listener).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w) //nolint:errcheck — client gone mid-write is not actionable
+	})
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWriteTextGolden locks in the exposition format: family ordering,
+// label ordering, HELP/TYPE lines, cumulative histogram buckets, and
+// value formatting. Any change to this output can break scrapers, so it
+// must be deliberate.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bfhrf_queries_total", "Query trees answered.").Add(7)
+	r.Counter("bfhrf_rpc_errors_total", "RPC errors.", L("side", "coordinator"), L("method", "Query")).Add(2)
+	r.Counter("bfhrf_rpc_errors_total", "RPC errors.", L("side", "worker"), L("method", "Load")).Inc()
+	g := r.Gauge("bfhrf_build_info", "Build identity.", L("version", "v1.2.3"), L("revision", "abc123"))
+	g.Set(1)
+	r.Gauge("bfhrf_rpc_inflight", "In-flight RPCs.", L("side", "worker")).Set(3)
+	h := r.Histogram("bfhrf_rpc_latency_seconds", "RPC latency.", []float64{0.01, 0.1, 1}, L("method", "Query"))
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+
+	const want = `# HELP bfhrf_build_info Build identity.
+# TYPE bfhrf_build_info gauge
+bfhrf_build_info{revision="abc123",version="v1.2.3"} 1
+# HELP bfhrf_queries_total Query trees answered.
+# TYPE bfhrf_queries_total counter
+bfhrf_queries_total 7
+# HELP bfhrf_rpc_errors_total RPC errors.
+# TYPE bfhrf_rpc_errors_total counter
+bfhrf_rpc_errors_total{method="Load",side="worker"} 1
+bfhrf_rpc_errors_total{method="Query",side="coordinator"} 2
+# HELP bfhrf_rpc_inflight In-flight RPCs.
+# TYPE bfhrf_rpc_inflight gauge
+bfhrf_rpc_inflight{side="worker"} 3
+# HELP bfhrf_rpc_latency_seconds RPC latency.
+# TYPE bfhrf_rpc_latency_seconds histogram
+bfhrf_rpc_latency_seconds_bucket{method="Query",le="0.01"} 1
+bfhrf_rpc_latency_seconds_bucket{method="Query",le="0.1"} 3
+bfhrf_rpc_latency_seconds_bucket{method="Query",le="1"} 4
+bfhrf_rpc_latency_seconds_bucket{method="Query",le="+Inf"} 5
+bfhrf_rpc_latency_seconds_sum{method="Query"} 2.605
+bfhrf_rpc_latency_seconds_count{method="Query"} 5
+`
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The output must be byte-stable across repeated scrapes.
+	var sb2 strings.Builder
+	if err := r.WriteText(&sb2); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("exposition output is not stable across scrapes")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", L("path", `a\b"c`+"\n")).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\\b\"c\n"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped line %q not found in:\n%s", want, sb.String())
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("multi_total", "line one\nline two").Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `# HELP multi_total line one\nline two`) {
+		t.Errorf("HELP newline not escaped:\n%s", sb.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "h").Add(9)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "served_total 9") {
+		t.Errorf("body missing sample:\n%s", buf[:n])
+	}
+}

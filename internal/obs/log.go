@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strconv"
+)
+
+// Structured logging setup shared by every binary. Two flags:
+//
+//	-log-format text|json   handler selection (text for humans, json for
+//	                        log pipelines)
+//	-v, -v=N                verbosity: 0 info (default), 1 debug,
+//	                        2 trace (span-level detail)
+//
+// -v is bool-compatible: a bare `-v` means level 1, so existing muscle
+// memory (and rfbench's historical boolean -v) keeps working.
+
+// LevelTrace is one step below slog.LevelDebug, used for span completion
+// events and other per-request detail.
+const LevelTrace = slog.LevelDebug - 4
+
+// VLevel is the -v verbosity as a flag.Value that also accepts bare -v.
+type VLevel int
+
+// String implements flag.Value.
+func (v *VLevel) String() string {
+	if v == nil {
+		return "0"
+	}
+	return strconv.Itoa(int(*v))
+}
+
+// Set implements flag.Value, accepting "", "true", "false" (bool-style
+// bare -v) as well as integer levels.
+func (v *VLevel) Set(s string) error {
+	switch s {
+	case "", "true":
+		*v = 1
+		return nil
+	case "false":
+		*v = 0
+		return nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return fmt.Errorf("invalid verbosity %q (want 0, 1 or 2)", s)
+	}
+	*v = VLevel(n)
+	return nil
+}
+
+// IsBoolFlag lets the flag package accept a bare -v.
+func (v *VLevel) IsBoolFlag() bool { return true }
+
+// Level maps the verbosity to a slog level.
+func (v VLevel) Level() slog.Level {
+	switch {
+	case v <= 0:
+		return slog.LevelInfo
+	case v == 1:
+		return slog.LevelDebug
+	default:
+		return LevelTrace
+	}
+}
+
+// LogConfig holds the logging flags' values.
+type LogConfig struct {
+	// Format is "text" or "json".
+	Format string
+	// V is the -v verbosity.
+	V VLevel
+}
+
+// RegisterLogFlags adds -log-format and -v to fs (the default flag set
+// when fs is nil) and returns the struct they populate.
+func RegisterLogFlags(fs *flag.FlagSet) *LogConfig {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	c := &LogConfig{Format: "text"}
+	fs.StringVar(&c.Format, "log-format", "text", "log output format: text | json")
+	fs.Var(&c.V, "v", "verbosity: 0 info, 1 (or bare -v) debug, 2 trace")
+	return c
+}
+
+// Setup builds the logger described by the config, writing to w (stderr
+// when nil), installs it as the slog default, and returns it.
+func (c *LogConfig) Setup(w io.Writer) (*slog.Logger, error) {
+	if w == nil {
+		w = os.Stderr
+	}
+	opts := &slog.HandlerOptions{Level: c.V.Level()}
+	var h slog.Handler
+	switch c.Format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown -log-format %q (want text or json)", c.Format)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l, nil
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestVLevelFlag(t *testing.T) {
+	cases := []struct {
+		args []string
+		want VLevel
+	}{
+		{nil, 0},
+		{[]string{"-v"}, 1},
+		{[]string{"-v=2"}, 2},
+		{[]string{"-v=0"}, 0},
+		{[]string{"-v=false"}, 0},
+	}
+	for _, c := range cases {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		lc := RegisterLogFlags(fs)
+		if err := fs.Parse(c.args); err != nil {
+			t.Errorf("Parse(%v): %v", c.args, err)
+			continue
+		}
+		if lc.V != c.want {
+			t.Errorf("Parse(%v): V = %d, want %d", c.args, lc.V, c.want)
+		}
+	}
+
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(&bytes.Buffer{})
+	RegisterLogFlags(fs)
+	if err := fs.Parse([]string{"-v=-1"}); err == nil {
+		t.Error("negative verbosity should fail")
+	}
+}
+
+func TestVLevelLevels(t *testing.T) {
+	if VLevel(0).Level() != slog.LevelInfo {
+		t.Error("v0 should be info")
+	}
+	if VLevel(1).Level() != slog.LevelDebug {
+		t.Error("v1 should be debug")
+	}
+	if VLevel(2).Level() != LevelTrace {
+		t.Error("v2 should be trace")
+	}
+}
+
+func TestSetupFormats(t *testing.T) {
+	prev := slog.Default()
+	defer slog.SetDefault(prev)
+
+	var buf bytes.Buffer
+	lc := &LogConfig{Format: "json", V: 0}
+	logger, err := lc.Setup(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("hello", "k", "v")
+	if out := buf.String(); !strings.Contains(out, `"msg":"hello"`) || !strings.Contains(out, `"k":"v"`) {
+		t.Errorf("json output = %s", out)
+	}
+
+	buf.Reset()
+	lc = &LogConfig{Format: "text", V: 1}
+	logger, err = lc.Setup(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("dbg")
+	if !strings.Contains(buf.String(), "msg=dbg") {
+		t.Errorf("text debug output = %s", buf.String())
+	}
+	if slog.Default() != logger {
+		t.Error("Setup should install the slog default")
+	}
+
+	if _, err := (&LogConfig{Format: "xml"}).Setup(&buf); err == nil {
+		t.Error("unknown format should error")
+	}
+}

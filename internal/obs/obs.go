@@ -1,0 +1,38 @@
+// Package obs is the runtime telemetry subsystem: a concurrent metrics
+// registry with Prometheus text-format exposition, a shared structured-
+// logging setup on log/slog, and lightweight request-scoped spans. It is
+// the runtime counterpart of the offline perf-observability layer
+// (internal/perfjson): BENCH_*.json records answer "did this commit get
+// slower", the obs registry answers "where is this *running* process
+// spending its time right now".
+//
+// Everything is standard library only. Metrics follow Prometheus naming
+// conventions (`bfhrf_` prefix, `_total` counters, `_seconds` histograms)
+// so the /metrics endpoint of cmd/bfhrfd can be scraped by any Prometheus-
+// compatible collector without adapters.
+//
+// The package-level Default registry is what the instrumented packages
+// (internal/core, internal/distrib) and the admin endpoint share; unit
+// tests that need isolation construct their own via NewRegistry.
+package obs
+
+// Default is the process-wide registry served by admin /metrics endpoints.
+var Default = NewRegistry()
+
+// Counter returns the named counter from the Default registry, creating it
+// on first use.
+func Counter(name, help string, labels ...Label) *CounterMetric {
+	return Default.Counter(name, help, labels...)
+}
+
+// Gauge returns the named gauge from the Default registry.
+func Gauge(name, help string, labels ...Label) *GaugeMetric {
+	return Default.Gauge(name, help, labels...)
+}
+
+// Histogram returns the named histogram from the Default registry. Buckets
+// are fixed at first registration; later calls for the same family may pass
+// nil.
+func Histogram(name, help string, buckets []float64, labels ...Label) *HistogramMetric {
+	return Default.Histogram(name, help, buckets, labels...)
+}

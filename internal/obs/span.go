@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// Spans are the per-stage tracing layer: a span wraps one pipeline stage
+// (parse, BFH build, tree-vs-hash compare, an RPC fan-out) and, when
+// ended, records its duration into the registry's stage histogram and —
+// at debug verbosity — into the structured log with its parent and child
+// ordinal, reconstructing the per-request stage tree. Much lighter than a
+// tracing dependency: spans cost two time.Now calls and one histogram
+// observation, so they can stay on in production.
+
+// StageMetric is the histogram family every span records into.
+const StageMetric = "bfhrf_stage_duration_seconds"
+
+const stageHelp = "Duration of pipeline stages (spans), by stage name."
+
+// spanKey carries the active span through a context.
+type spanKey struct{}
+
+// Span is one timed pipeline stage.
+type Span struct {
+	name   string
+	start  time.Time
+	parent *Span
+	// seq is this span's 1-based ordinal among its parent's children.
+	seq      int
+	children atomic.Int64
+	reg      *Registry
+	ended    atomic.Bool
+}
+
+// StartSpan begins a stage named name, child of the span in ctx if any.
+// The returned context carries the new span; pass it to nested stages.
+// A nil ctx is treated as context.Background().
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return startSpanIn(Default, ctx, name)
+}
+
+// startSpanIn is StartSpan against an explicit registry (tests).
+func startSpanIn(reg *Registry, ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	s := &Span{name: name, start: time.Now(), parent: parent, reg: reg}
+	if parent != nil {
+		s.seq = int(parent.children.Add(1))
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SpanFromContext returns the active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Name returns the stage name.
+func (s *Span) Name() string { return s.name }
+
+// End stops the span, records its duration into the stage histogram, logs
+// it at debug level, and returns the duration. End is idempotent; only
+// the first call records.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.ended.Swap(true) {
+		return d
+	}
+	s.reg.Histogram(StageMetric, stageHelp, DefLatencyBuckets, L("stage", s.name)).Observe(d.Seconds())
+	if slog.Default().Enabled(context.Background(), slog.LevelDebug) {
+		attrs := []any{
+			slog.String("stage", s.name),
+			slog.Duration("duration", d),
+		}
+		if s.parent != nil {
+			attrs = append(attrs,
+				slog.String("parent", s.parent.name),
+				slog.Int("child_seq", s.seq),
+			)
+		}
+		slog.Debug("span", attrs...)
+	}
+	return d
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestSpanRecordsDuration(t *testing.T) {
+	r := NewRegistry()
+	ctx, s := startSpanIn(r, context.Background(), "bfh.build")
+	if SpanFromContext(ctx) != s {
+		t.Error("context should carry the span")
+	}
+	d := s.End()
+	if d < 0 {
+		t.Errorf("duration = %v", d)
+	}
+	h := r.Histogram(StageMetric, "", nil, L("stage", "bfh.build"))
+	if got := h.Count(); got != 1 {
+		t.Errorf("stage histogram count = %d, want 1", got)
+	}
+	// End is idempotent: a second call must not double-record.
+	s.End()
+	if got := h.Count(); got != 1 {
+		t.Errorf("after double End, count = %d, want 1", got)
+	}
+}
+
+func TestSpanChildOrdering(t *testing.T) {
+	r := NewRegistry()
+	ctx, parent := startSpanIn(r, nil, "coord.query")
+	_, c1 := startSpanIn(r, ctx, "rpc")
+	_, c2 := startSpanIn(r, ctx, "rpc")
+	if c1.seq != 1 || c2.seq != 2 {
+		t.Errorf("child seqs = %d, %d, want 1, 2", c1.seq, c2.seq)
+	}
+	if c1.parent != parent || c2.parent != parent {
+		t.Error("children should point at the parent span")
+	}
+	c1.End()
+	c2.End()
+	parent.End()
+	h := r.Histogram(StageMetric, "", nil, L("stage", "rpc"))
+	if got := h.Count(); got != 2 {
+		t.Errorf("rpc stage count = %d, want 2", got)
+	}
+}
+
+func TestSpanDebugLogging(t *testing.T) {
+	prev := slog.Default()
+	defer slog.SetDefault(prev)
+	var buf bytes.Buffer
+	slog.SetDefault(slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug})))
+
+	r := NewRegistry()
+	ctx, parent := startSpanIn(r, nil, "outer")
+	_, child := startSpanIn(r, ctx, "inner")
+	child.End()
+	parent.End()
+
+	out := buf.String()
+	for _, want := range []string{"stage=inner", "parent=outer", "child_seq=1", "stage=outer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("debug log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanSilentAtInfo(t *testing.T) {
+	prev := slog.Default()
+	defer slog.SetDefault(prev)
+	var buf bytes.Buffer
+	slog.SetDefault(slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo})))
+
+	r := NewRegistry()
+	_, s := startSpanIn(r, nil, "quiet")
+	s.End()
+	if buf.Len() != 0 {
+		t.Errorf("span logged at info level:\n%s", buf.String())
+	}
+}
