@@ -2,7 +2,7 @@
 # ci.sh — one-command tier-1 verification.
 #
 #   ./ci.sh            vet + build + tests + race (fast subset) + fuzz smoke
-#   CI_PERF=1 ./ci.sh  additionally gate the perf sweep against BENCH_0001.json
+#   CI_PERF=1 ./ci.sh  additionally gate the perf sweep against BENCH_0002.json
 #
 # The perf gate is opt-in because wall-clock measurements on a loaded CI
 # machine can exceed the noise threshold without any code change; run it
@@ -21,15 +21,17 @@ go test ./...
 
 echo "== go test -race (fast subset) =="
 go test -race -short \
-  ./internal/bipart ./internal/bitset ./internal/collection \
-  ./internal/distrib ./internal/memprof ./internal/newick \
-  ./internal/nexus ./internal/obs ./internal/perfjson \
-  ./internal/profhook ./internal/stats ./internal/tabfmt \
+  ./internal/bfhtable ./internal/bipart ./internal/bitset \
+  ./internal/collection ./internal/core ./internal/distrib \
+  ./internal/memprof ./internal/newick ./internal/nexus \
+  ./internal/obs ./internal/perfjson ./internal/profhook \
+  ./internal/seqrf ./internal/stats ./internal/tabfmt \
   ./internal/taxa ./internal/tree
 
-echo "== fuzz smoke (10s per parser) =="
+echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/newick
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/nexus
+go test -run='^$' -fuzz=FuzzTable -fuzztime=10s ./internal/bfhtable
 
 echo "== bfhrfd admin endpoint smoke =="
 # Start a worker on ephemeral RPC+admin ports, scrape /healthz and
@@ -58,8 +60,8 @@ wait "$worker_pid" 2>/dev/null || true
 echo "admin smoke: /healthz and /metrics OK on $admin_addr"
 
 if [[ "${CI_PERF:-0}" == "1" ]]; then
-  echo "== perf gate (rfbench -compare BENCH_0001.json) =="
-  go run ./cmd/rfbench -compare BENCH_0001.json -threshold 0.10 -reps 5
+  echo "== perf gate (rfbench -compare BENCH_0002.json) =="
+  go run ./cmd/rfbench -compare BENCH_0002.json -threshold 0.10 -reps 5
 fi
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,117 @@
+package bfhtable
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTable drives insert/probe/decrement over arbitrary word patterns and
+// cross-checks every observable against a reference map. The corpus seeds
+// duplicate-heavy streams and adversarial patterns (shared low words,
+// shared high words, all-ones) — the cases where a weak mix or a probing
+// bug would cluster or lose keys.
+func FuzzTable(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 0, 1, 0, 1, 1, 1, 0, 3})
+	// Duplicate-heavy: one key inserted many times.
+	f.Add(func() []byte {
+		var b []byte
+		for i := 0; i < 40; i++ {
+			b = append(b, 0, 7)
+		}
+		return b
+	}())
+	// Adversarial: keys identical except the last byte (same high words).
+	f.Add(func() []byte {
+		var b []byte
+		for i := 0; i < 64; i++ {
+			b = append(b, 0, 0xff, 0xee, byte(i))
+		}
+		return b
+	}())
+	// All-ones words and interleaved decrements.
+	f.Add([]byte{0, 0xff, 0xff, 0xff, 1, 0xff, 0xff, 0xff, 0, 0xff, 0xff, 0xff, 1, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nw = 2
+		tb := New(nw, 4)
+		ref := map[[nw]uint64]Entry{}
+
+		// Each op: 1 opcode byte + up to 8 key bytes (zero-padded, spread
+		// across both words so high- and low-word collisions both occur).
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			var kb [8]byte
+			n := copy(kb[:], data)
+			data = data[n:]
+			k := binary.LittleEndian.Uint64(kb[:])
+			words := []uint64{k & 0xffffffff, k >> 32}
+			var key [nw]uint64
+			copy(key[:], words)
+
+			switch op % 2 {
+			case 0: // insert
+				size := uint32(op) % 17
+				length := float64(op%5) * 0.5
+				tb.Add(words, size, length)
+				e := ref[key]
+				e.Freq++
+				e.Size = size
+				e.LengthSum += length
+				ref[key] = e
+			case 1: // decrement
+				e, ok := ref[key]
+				got := tb.Dec(words, 0.5)
+				if got != (ok && e.Freq > 0) {
+					t.Fatalf("Dec(%x) = %v, ref has freq %d", key, got, e.Freq)
+				}
+				if ok {
+					e.Freq--
+					e.LengthSum -= 0.5
+					if e.Freq == 0 {
+						e.LengthSum = 0
+					}
+					ref[key] = e
+				}
+			}
+
+			// Probe after every op: the touched key must agree with ref.
+			e, ok := tb.Lookup(words)
+			re, rok := ref[key]
+			if ok != (rok && re.Freq > 0) {
+				t.Fatalf("Lookup(%x) live=%v, ref freq=%d", key, ok, re.Freq)
+			}
+			if ok && (e.Freq != re.Freq || e.Size != re.Size || e.LengthSum != re.LengthSum) {
+				t.Fatalf("Lookup(%x) = %+v, ref %+v", key, e, re)
+			}
+		}
+
+		// Final full sweep: live sets identical.
+		live := 0
+		for _, e := range ref {
+			if e.Freq > 0 {
+				live++
+			}
+		}
+		if tb.Len() != live {
+			t.Fatalf("Len = %d, ref live = %d", tb.Len(), live)
+		}
+		seen := 0
+		tb.Range(func(words []uint64, e Entry) bool {
+			seen++
+			var key [nw]uint64
+			copy(key[:], words)
+			re, ok := ref[key]
+			if !ok || re.Freq == 0 {
+				t.Fatalf("Range yielded dead or phantom key %x", key)
+			}
+			if e.Freq != re.Freq || e.Size != re.Size || e.LengthSum != re.LengthSum {
+				t.Fatalf("Range key %x = %+v, ref %+v", key, e, re)
+			}
+			return true
+		})
+		if seen != live {
+			t.Fatalf("Range visited %d, ref live = %d", seen, live)
+		}
+	})
+}

@@ -43,13 +43,27 @@ func FromMask(mask *bitset.Bits, anchor int) Bipartition {
 // Mask returns the canonical mask. Callers must not mutate it.
 func (b Bipartition) Mask() *bitset.Bits { return b.mask }
 
+// Words returns the canonical mask's backing words — the key-free access
+// path of the open-addressing BFH backend, which hashes and stores these
+// words directly instead of materializing a string key. The slice is
+// shared with the mask; callers must not mutate it.
+func (b Bipartition) Words() []uint64 { return b.mask.Words() }
+
 // Key returns the collision-free map key for the bipartition.
 func (b Bipartition) Key() string { return b.mask.Key() }
+
+// AppendKey appends the Key() bytes to dst and returns the extended slice,
+// allocating only when dst lacks capacity — the scratch-buffer probe path
+// of the legacy map backend.
+func (b Bipartition) AppendKey(dst []byte) []byte { return b.mask.AppendKey(dst) }
 
 // CompactKey returns the losslessly compressed collision-free key — the
 // paper's §IX future-work memory optimization. Equal bipartitions have
 // equal compact keys and distinct ones never collide.
 func (b Bipartition) CompactKey() string { return b.mask.CompactKey() }
+
+// AppendCompactKey is AppendKey for the compressed key scheme.
+func (b Bipartition) AppendCompactKey(dst []byte) []byte { return b.mask.AppendCompactKey(dst) }
 
 // Size returns the number of taxa on the 1 side of the canonical encoding.
 func (b Bipartition) Size() int { return b.mask.Count() }
@@ -154,11 +168,26 @@ type Extractor struct {
 	RequireComplete bool
 	// Filter, when non-nil, drops bipartitions it rejects.
 	Filter Filter
+	// ReuseMasks recycles the emitted bipartition masks and the returned
+	// slice across Extract calls, making extraction allocation-free in
+	// steady state. The returned bipartitions (and their masks) are then
+	// valid only until the next Extract call: callers must copy anything
+	// they retain (the BFH backends do — the open-addressing table copies
+	// words into its arena, the map backend copies bytes into keys) and
+	// Filter hooks must not hold on to the masks they see. Engines that
+	// keep bipartition sets resident (seqrf, consensus) must leave this
+	// off.
+	ReuseMasks bool
 
 	// pool recycles mask buffers between Extract calls.
 	pool []*bitset.Bits
 	// seen is the per-call duplicate-leaf scratch, reused across calls.
 	seen []bool
+	// emitted tracks masks handed out in the previous ReuseMasks Extract,
+	// recycled into pool at the start of the next call.
+	emitted []*bitset.Bits
+	// outBuf is the reused result slice under ReuseMasks.
+	outBuf []Bipartition
 }
 
 // getMask returns a zeroed width-n mask from the pool.
@@ -189,6 +218,11 @@ func (e *Extractor) Extract(t *tree.Tree) ([]Bipartition, error) {
 	n := e.Taxa.Len()
 	if t == nil || t.Root == nil {
 		return nil, fmt.Errorf("bipart: nil tree")
+	}
+	if e.ReuseMasks {
+		// The previous call's emitted masks are dead now; recycle them.
+		e.pool = append(e.pool, e.emitted...)
+		e.emitted = e.emitted[:0]
 	}
 
 	// First pass: map leaves to catalogue indices and find the anchor
@@ -235,8 +269,11 @@ func (e *Extractor) Extract(t *tree.Tree) ([]Bipartition, error) {
 	// Second pass: iterative postorder with pooled masks. Each stack frame
 	// owns one mask; a completed child ORs its mask into its parent's and
 	// returns the buffer to the pool, so extraction allocates only the
-	// emitted canonical masks.
+	// emitted canonical masks (and not even those under ReuseMasks).
 	var out []Bipartition
+	if e.ReuseMasks {
+		out = e.outBuf[:0]
+	}
 	// In the rooted-binary serialization (root with 2 children) the two root
 	// edges are the same unrooted edge; emit only the first.
 	var skipChild *tree.Node
@@ -264,7 +301,13 @@ func (e *Extractor) Extract(t *tree.Tree) ([]Bipartition, error) {
 			m.Set(idx)
 		}
 		if nd.Parent != nil && nd != skipChild {
-			c := m.Clone()
+			var c *bitset.Bits
+			if e.ReuseMasks {
+				c = e.getMask(n)
+				c.CopyFrom(m)
+			} else {
+				c = m.Clone()
+			}
 			if c.Test(anchor) {
 				c.ComplementInPlace()
 			}
@@ -273,6 +316,11 @@ func (e *Extractor) Extract(t *tree.Tree) ([]Bipartition, error) {
 			if (e.IncludeTrivial || !b.IsTrivial(present)) &&
 				(e.Filter == nil || e.Filter(b)) {
 				out = append(out, b)
+				if e.ReuseMasks {
+					e.emitted = append(e.emitted, c)
+				}
+			} else if e.ReuseMasks {
+				e.putMask(c)
 			}
 		}
 		stack = stack[:len(stack)-1]

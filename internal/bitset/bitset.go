@@ -229,11 +229,103 @@ func (b *Bits) mustMatch(o *Bits) {
 // property that distinguishes the paper's BFH from HashRF's lossy
 // compressed hashing.
 func (b *Bits) Key() string {
-	buf := make([]byte, len(b.words)*8)
-	for i, w := range b.words {
-		putUint64LE(buf[i*8:], w)
+	return string(b.AppendKey(nil))
+}
+
+// AppendKey appends the Key() bytes to dst and returns the extended slice.
+// It allocates only when dst lacks capacity, so hot paths can probe a
+// map[string]entry via m[string(buf)] with a reused scratch buffer and no
+// per-lookup key materialization.
+func (b *Bits) AppendKey(dst []byte) []byte {
+	for _, w := range b.words {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 	}
-	return string(buf)
+	return dst
+}
+
+// HashWords mixes a word slice into a 64-bit hash (murmur3-style per-word
+// mixing with a final avalanche, standard library only). It is the hash of
+// the open-addressing BFH backend: computed directly over a bipartition's
+// canonical mask words, so no key string ever exists on that path. The
+// result is never 0, letting tables use 0 as the empty-slot marker.
+func HashWords(words []uint64) uint64 {
+	const (
+		c1 = 0x87c37b91114253d5
+		c2 = 0x4cf5ad432745937f
+	)
+	h := uint64(0x9e3779b97f4a7c15) ^ (uint64(len(words)) * 8)
+	for _, w := range words {
+		k := w * c1
+		k = bits.RotateLeft64(k, 31)
+		k *= c2
+		h ^= k
+		h = bits.RotateLeft64(h, 27)*5 + 0x52dce729
+	}
+	// fmix64 avalanche.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// HashWord hashes a one-word key (catalogues of at most 64 taxa). It is
+// fmix64 — murmur3's finalizer — over the seeded word: a full-avalanche
+// mixer at roughly half the multiply count of the generic multi-word
+// path, and straight-line code the compiler inlines into a probe loop.
+// The open-addressing table uses it for every operation on 1-word keys
+// (insert and probe alike), so it need not match HashWords; like
+// HashWords it never returns 0.
+func HashWord(w uint64) uint64 {
+	h := w ^ 0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// EqualWords reports element-wise equality of two word slices of the same
+// length. Callers guarantee matching lengths (tables store fixed-width
+// keys); mismatched lengths compare unequal.
+func EqualWords(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, w := range a {
+		if b[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// FromWords builds a vector of the given width from raw little-endian
+// words, copying them. It returns an error when the word count does not
+// match the width or bits are set beyond it — the same validation FromKey
+// applies to serialized keys.
+func FromWords(words []uint64, width int) (*Bits, error) {
+	if len(words) != wordsFor(width) {
+		return nil, fmt.Errorf("bitset: %d words do not match width %d (want %d)", len(words), width, wordsFor(width))
+	}
+	b := New(width)
+	copy(b.words, words)
+	tail := b.Clone()
+	tail.maskTail()
+	if !tail.Equal(b) {
+		return nil, fmt.Errorf("bitset: words have bits beyond width %d", width)
+	}
+	return b, nil
 }
 
 // FromKey reconstructs a vector of the given width from a Key() string.
@@ -254,12 +346,6 @@ func FromKey(key string, width int) (*Bits, error) {
 		return nil, fmt.Errorf("bitset: key has bits beyond width %d", width)
 	}
 	return b, nil
-}
-
-func putUint64LE(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * uint(i)))
-	}
 }
 
 func getUint64LE(s string) uint64 {

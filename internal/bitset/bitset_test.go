@@ -339,3 +339,26 @@ func TestZeroWidth(t *testing.T) {
 		t.Error("complement of zero-width vector should stay empty")
 	}
 }
+
+// TestHashWordNeverZeroAndSpreads checks the one-word hash's table
+// contract: never 0 (0 marks an empty slot) and no empty top-bits bucket
+// (the shard selector) over a dense input range.
+func TestHashWordNeverZeroAndSpreads(t *testing.T) {
+	buckets := make([]int, 64)
+	for i := 0; i < 1<<14; i++ {
+		h := HashWord(uint64(i))
+		if h == 0 {
+			t.Fatal("HashWord returned 0")
+		}
+		buckets[h>>58]++
+	}
+	for b, c := range buckets {
+		if c == 0 {
+			t.Fatalf("top-bits bucket %d empty over 16k hashes", b)
+		}
+	}
+	// The seed word itself must not collapse to the zero fixup path.
+	if HashWord(0x9e3779b97f4a7c15) == 1 && HashWord(0) == 1 {
+		t.Fatal("distinct words collapsed to the zero fixup")
+	}
+}

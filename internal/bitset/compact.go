@@ -27,49 +27,71 @@ const (
 // Key() plus one tag byte and is much shorter for shallow or deep splits
 // (few set or few clear bits — the common case for biological splits).
 func (b *Bits) CompactKey() string {
+	return string(b.AppendCompactKey(nil))
+}
+
+// AppendCompactKey appends the CompactKey() bytes to dst and returns the
+// extended slice, allocating only when dst lacks capacity. Candidate
+// encodings are sized with a counting pass and only the winner is written,
+// so a reused scratch buffer makes compressed-key probing allocation-free.
+func (b *Bits) AppendCompactKey(dst []byte) []byte {
 	ones := b.Count()
 	zeros := b.width - ones
 
-	raw := b.rawBytes()
-	best := make([]byte, 0, len(raw)+1)
-	best = append(best, tagRaw)
-	best = append(best, raw...)
+	rawLen := len(b.words)*8 + 1
+	best, bestLen := byte(tagRaw), rawLen
+	if l := b.indicesLen(ones, true); l > 0 && l < bestLen {
+		best, bestLen = tagSparse, l
+	}
+	if l := b.indicesLen(zeros, false); l > 0 && l < bestLen {
+		best, bestLen = tagCosparse, l
+	}
 
-	if sp := b.encodeIndices(tagSparse, ones, true); sp != nil && len(sp) < len(best) {
-		best = sp
+	switch best {
+	case tagRaw:
+		dst = append(dst, tagRaw)
+		return b.AppendKey(dst)
+	default:
+		dst = append(dst, best)
+		want := best == tagSparse
+		prev := -1
+		for i := 0; i < b.width; i++ {
+			if b.Test(i) != want {
+				continue
+			}
+			dst = appendUvarint(dst, uint64(i-prev))
+			prev = i
+		}
+		return dst
 	}
-	if co := b.encodeIndices(tagCosparse, zeros, false); co != nil && len(co) < len(best) {
-		best = co
-	}
-	return string(best)
 }
 
-func (b *Bits) rawBytes() []byte {
-	buf := make([]byte, len(b.words)*8)
-	for i, w := range b.words {
-		putUint64LE(buf[i*8:], w)
+// indicesLen returns the encoded byte length of the delta+varint index
+// encoding over set (want=true) or clear (want=false) bits, or -1 when it
+// cannot beat raw (quick bail: each index costs at least 1 byte).
+func (b *Bits) indicesLen(count int, want bool) int {
+	if count >= len(b.words)*8 {
+		return -1
 	}
-	return buf
-}
-
-// encodeIndices delta+varint encodes the positions of set (want=true) or
-// clear (want=false) bits. Returns nil if the encoding cannot be smaller
-// than raw (quick bail: more than width/8 indices can't win).
-func (b *Bits) encodeIndices(tag byte, count int, want bool) []byte {
-	if count*1 >= len(b.words)*8 { // each index costs ≥1 byte
-		return nil
-	}
-	out := make([]byte, 0, count*2+1)
-	out = append(out, tag)
+	n := 1
 	prev := -1
 	for i := 0; i < b.width; i++ {
 		if b.Test(i) != want {
 			continue
 		}
-		out = appendUvarint(out, uint64(i-prev))
+		n += uvarintLen(uint64(i - prev))
 		prev = i
 	}
-	return out
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // FromCompactKey reconstructs a vector of the given width from a

@@ -1,0 +1,29 @@
+package collection
+
+// treesPerWorkerFloor is the minimum number of trees that justifies one
+// extra worker goroutine. Below it, channel handoff and goroutine startup
+// dominate the per-tree work and parallelism makes small workloads slower
+// (BENCH_0001: DSMP8 lost to single-threaded DS on a 289-tree slice).
+const treesPerWorkerFloor = 64
+
+// EffectiveWorkers clamps a requested worker count to what a workload of
+// the given tree count can keep busy: at most one worker per 64 trees,
+// never below one. A non-positive tree count means the workload size is
+// unknown and the request passes through. Every engine routes its worker
+// count through this one rule (core.Build, core.AverageRF, seqrf DSMP).
+func EffectiveWorkers(requested, trees int) int {
+	if requested < 1 {
+		requested = 1
+	}
+	if trees <= 0 {
+		return requested
+	}
+	max := trees / treesPerWorkerFloor
+	if max < 1 {
+		max = 1
+	}
+	if requested > max {
+		return max
+	}
+	return requested
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"repro/internal/bfhtable"
+	"repro/internal/bipart"
+)
+
+// This file holds the build-phase plumbing shared by the tree-object path
+// (build.go) and the parallel-parse raw path (rawbuild.go): backend
+// resolution, the per-worker accumulator, and the final fold into the hash.
+
+// resolveBackend picks the concrete engine for the build options.
+func (o BuildOptions) resolveBackend() Backend {
+	b := o.Backend
+	if b == BackendAuto {
+		if o.CompressKeys {
+			return BackendMap
+		}
+		return BackendOpenAddressing
+	}
+	return b
+}
+
+// shardCount picks the open-addressing shard count: explicit HashShards,
+// else one shard per build worker so worker-local tables merge with full
+// shard parallelism (bfhtable clamps to a power of two in [1, 256]).
+func (o BuildOptions) shardCount(workers int) int {
+	if o.HashShards > 0 {
+		return o.HashShards
+	}
+	return workers
+}
+
+// buildAccum is one build worker's backend-local accumulator: a private
+// map or a private sharded table, plus the tallies folded into the hash
+// once at the end. No locks anywhere on the insert path.
+type buildAccum struct {
+	local    map[string]entry
+	tbl      *bfhtable.Table
+	weighted bool
+	lenSum   float64
+	trees    int
+	bips     int
+}
+
+// newBuildAccum returns a worker accumulator for h's backend. wordsPerKey
+// and shards only matter for the open-addressing engine.
+func newBuildAccum(h *FreqHash, wordsPerKey, shards int) *buildAccum {
+	a := &buildAccum{weighted: true}
+	if h.oa != nil {
+		a.tbl = bfhtable.New(wordsPerKey, shards)
+	} else {
+		a.local = make(map[string]entry)
+	}
+	return a
+}
+
+// add folds one extracted tree's bipartitions.
+func (a *buildAccum) add(h *FreqHash, bs []bipart.Bipartition) {
+	a.trees++
+	a.bips += len(bs)
+	if a.tbl != nil {
+		for _, b := range bs {
+			length := 0.0
+			if b.HasLength {
+				length = b.Length
+			} else {
+				a.weighted = false
+			}
+			a.tbl.Add(b.Words(), uint32(b.Size()), length)
+			a.lenSum += length
+		}
+		return
+	}
+	for _, b := range bs {
+		k := h.keyOf(b)
+		e := a.local[k]
+		e.Freq++
+		e.Size = uint32(b.Size())
+		if b.HasLength {
+			e.LengthSum += b.Length
+		} else {
+			a.weighted = false
+		}
+		a.local[k] = e
+	}
+}
+
+// finishBuild folds every worker accumulator into the hash. Map-backend
+// locals fold serially (the legacy ablation baseline); open-addressing
+// tables merge shard-parallel via bfhtable.Merge. Returns the total
+// bipartition instances folded, for the build metrics.
+func (h *FreqHash) finishBuild(accums []*buildAccum) int {
+	bips := 0
+	var tbls []*bfhtable.Table
+	for _, a := range accums {
+		h.numTrees += a.trees
+		bips += a.bips
+		if !a.weighted {
+			h.weighted = false
+		}
+		if a.tbl != nil {
+			tbls = append(tbls, a.tbl)
+			h.sum += uint64(a.bips)
+			h.lenSum += a.lenSum
+		} else {
+			h.merge(a.local)
+		}
+	}
+	if tbls != nil {
+		h.oa = bfhtable.Merge(tbls)
+	}
+	return bips
+}

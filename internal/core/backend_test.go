@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/collection"
+)
+
+// The backend-equivalence property: the open-addressing table and the
+// legacy map must be observationally identical — byte-identical Entries
+// output and identical AverageRF across every variant — on randomized
+// tree collections. Branch lengths in randomCollection are unit, so even
+// the weighted sums are exact in floating point regardless of fold order.
+
+func TestBackendsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		n := 10 + rng.Intn(120) // 1 to 3 words per mask
+		r := 20 + rng.Intn(120)
+		trees, ts := randomCollection(int64(100+trial), n, r)
+		src := collection.FromTrees(trees)
+
+		oa, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 1, Backend: BackendOpenAddressing})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 1, Backend: BackendMap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oa.Backend() != BackendOpenAddressing || mp.Backend() != BackendMap {
+			t.Fatal("backend selection wrong")
+		}
+		if oa.UniqueBipartitions() != mp.UniqueBipartitions() ||
+			oa.TotalBipartitions() != mp.TotalBipartitions() {
+			t.Fatalf("trial %d: sizes differ: unique %d/%d total %d/%d", trial,
+				oa.UniqueBipartitions(), mp.UniqueBipartitions(),
+				oa.TotalBipartitions(), mp.TotalBipartitions())
+		}
+
+		// Entries(minFreq): byte-identical, including order.
+		for _, minFreq := range []int{0, 2} {
+			eo, err := oa.Entries(minFreq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			em, err := mp.Entries(minFreq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(eo) != len(em) {
+				t.Fatalf("trial %d minFreq %d: %d vs %d entries", trial, minFreq, len(eo), len(em))
+			}
+			for i := range eo {
+				if eo[i].Bipartition.Key() != em[i].Bipartition.Key() ||
+					eo[i].Frequency != em[i].Frequency ||
+					eo[i].Support != em[i].Support ||
+					eo[i].MeanLength != em[i].MeanLength {
+					t.Fatalf("trial %d minFreq %d entry %d differs: %+v vs %+v",
+						trial, minFreq, i, eo[i], em[i])
+				}
+			}
+		}
+
+		// AverageRF: identical across every variant (unit lengths make the
+		// weighted sums exact, so == is the right comparison).
+		for _, v := range []Variant{Plain, Normalized, Weighted} {
+			ro, err := oa.AverageRF(src, QueryOptions{RequireComplete: true, Workers: 1, Variant: v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rm, err := mp.AverageRF(src, QueryOptions{RequireComplete: true, Workers: 1, Variant: v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ro {
+				if ro[i].AvgRF != rm[i].AvgRF {
+					t.Fatalf("trial %d variant %v tree %d: %v vs %v",
+						trial, v, i, ro[i].AvgRF, rm[i].AvgRF)
+				}
+			}
+		}
+	}
+}
+
+// TestBackendsEquivalentParallelBuild repeats the Plain check with a
+// parallel build: integer frequencies are order-independent, so the
+// backends must still agree exactly no matter how trees land on workers.
+func TestBackendsEquivalentParallelBuild(t *testing.T) {
+	trees, ts := randomCollection(53, 80, 400)
+	src := collection.FromTrees(trees)
+	oa, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 6, Backend: BackendOpenAddressing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 6, Backend: BackendMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := oa.AverageRF(src, QueryOptions{RequireComplete: true, Variant: Plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := mp.AverageRF(src, QueryOptions{RequireComplete: true, Variant: Plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ro {
+		if ro[i].AvgRF != rm[i].AvgRF {
+			t.Fatalf("tree %d: %v vs %v", i, ro[i].AvgRF, rm[i].AvgRF)
+		}
+	}
+}
+
+// TestBackendAutoSelection pins the defaulting rules: auto is
+// open-addressing, except compressed keys force the map, and an explicit
+// OA + CompressKeys request is an error.
+func TestBackendAutoSelection(t *testing.T) {
+	trees, ts := randomCollection(3, 16, 10)
+	src := collection.FromTrees(trees)
+	h, err := Build(src, ts, BuildOptions{RequireComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Backend() != BackendOpenAddressing {
+		t.Fatalf("auto backend = %v, want openaddr", h.Backend())
+	}
+	h, err = Build(src, ts, BuildOptions{RequireComplete: true, CompressKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Backend() != BackendMap {
+		t.Fatalf("auto+compressed backend = %v, want map", h.Backend())
+	}
+	if _, err := Build(src, ts, BuildOptions{RequireComplete: true, CompressKeys: true, Backend: BackendOpenAddressing}); err == nil {
+		t.Fatal("openaddr + CompressKeys did not error")
+	}
+}
+
+// TestBackendIncrementalUpdates checks AddTree/RemoveTree equivalence:
+// after identical update sequences both backends answer identically, and
+// the open-addressing tombstone path (remove to zero, then re-add) keeps
+// the table consistent.
+func TestBackendIncrementalUpdates(t *testing.T) {
+	trees, ts := randomCollection(29, 40, 30)
+	src := collection.FromTrees(trees[:20])
+	oa, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 1, Backend: BackendOpenAddressing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 1, Backend: BackendMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []*FreqHash{oa, mp} {
+		for _, tr := range trees[20:] {
+			if err := h.AddTree(tr, nil, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Remove the first 10 (drives some frequencies to 0 → tombstones),
+		// then re-add 5 of them (revival path).
+		for _, tr := range trees[:10] {
+			if err := h.RemoveTree(tr, nil, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, tr := range trees[:5] {
+			if err := h.AddTree(tr, nil, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if oa.UniqueBipartitions() != mp.UniqueBipartitions() ||
+		oa.TotalBipartitions() != mp.TotalBipartitions() {
+		t.Fatalf("post-update sizes differ: unique %d/%d total %d/%d",
+			oa.UniqueBipartitions(), mp.UniqueBipartitions(),
+			oa.TotalBipartitions(), mp.TotalBipartitions())
+	}
+	all := collection.FromTrees(trees)
+	ro, err := oa.AverageRF(all, QueryOptions{RequireComplete: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := mp.AverageRF(all, QueryOptions{RequireComplete: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ro {
+		if ro[i].AvgRF != rm[i].AvgRF {
+			t.Fatalf("tree %d: %v vs %v", i, ro[i].AvgRF, rm[i].AvgRF)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/bfhtable"
 	"repro/internal/bipart"
 	"repro/internal/collection"
 	"repro/internal/obs"
@@ -17,7 +18,9 @@ import (
 // Algorithm 2).
 type BuildOptions struct {
 	// Workers is the number of goroutines extracting bipartitions.
-	// 0 selects GOMAXPROCS.
+	// 0 selects GOMAXPROCS. The effective count is clamped to what the
+	// collection size can keep busy when the source knows its size
+	// (EffectiveWorkers).
 	Workers int
 	// Filter optionally drops bipartitions before they enter the hash —
 	// the paper's pre-processing hook ("can still be pre-processed
@@ -28,8 +31,15 @@ type BuildOptions struct {
 	// trees first and keep this on for the reduced catalogue.
 	RequireComplete bool
 	// CompressKeys stores losslessly compressed bipartition keys (§IX),
-	// trading a little CPU per lookup for a smaller hash.
+	// trading a little CPU per lookup for a smaller hash. Map backend only.
 	CompressKeys bool
+	// Backend selects the storage engine. BackendAuto (the zero value)
+	// picks the open-addressing table, or the map when CompressKeys is set.
+	Backend Backend
+	// HashShards overrides the open-addressing backend's shard count
+	// (default: one shard per worker; rounded to a power of two in
+	// [1, 256]). Ignored by the map backend.
+	HashShards int
 }
 
 func (o BuildOptions) workers() int {
@@ -41,20 +51,30 @@ func (o BuildOptions) workers() int {
 
 // Build streams the reference collection once and constructs the
 // bipartition frequency hash. Trees are fanned out to Workers goroutines
-// that extract bipartitions into worker-local maps, merged at the end —
-// the "embarrassingly parallel at the tree level" structure of the paper
-// with no lock contention on the hot path.
+// that extract bipartitions into worker-local structures, merged at the
+// end — the "embarrassingly parallel at the tree level" structure of the
+// paper with no lock contention on the hot path. With the default
+// open-addressing backend the merge itself is parallel across hash shards.
 func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, error) {
 	if ts == nil {
 		return nil, fmt.Errorf("core: taxon catalogue is required")
+	}
+	if opts.Backend == BackendOpenAddressing && opts.CompressKeys {
+		return nil, fmt.Errorf("core: compressed keys require the map backend")
 	}
 	_, span := obs.StartSpan(nil, SpanBuild)
 	defer span.End()
 	h := &FreqHash{
 		taxa:       ts,
-		m:          make(map[string]entry),
 		weighted:   true,
 		compressed: opts.CompressKeys,
+	}
+	if opts.resolveBackend() == BackendOpenAddressing {
+		// Placeholder so h.oa != nil routes the build; replaced by the
+		// merged worker tables in finishBuild.
+		h.oa = bfhtable.New(wordsPerKey(ts), 1)
+	} else {
+		h.m = make(map[string]entry)
 	}
 	// Parallel-parse fast path: when the source hands out raw statements,
 	// workers parse as well as extract.
@@ -71,13 +91,11 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 		return nil, err
 	}
 
-	workers := opts.workers()
+	workers := EffectiveWorkers(opts.workers(), sourceLen(r))
+	shards := opts.shardCount(workers)
 	jobs := make(chan *tree.Tree, workers*2)
-	locals := make([]map[string]entry, workers)
-	weightedFlags := make([]bool, workers)
+	accums := make([]*buildAccum, workers)
 	errs := make([]error, workers)
-	treeCounts := make([]int, workers)
-	bipCounts := make([]int, workers)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -88,9 +106,9 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 				Taxa:            ts,
 				RequireComplete: opts.RequireComplete,
 				Filter:          opts.Filter,
+				ReuseMasks:      true,
 			}
-			local := make(map[string]entry)
-			weighted := true
+			acc := newBuildAccum(h, wordsPerKey(ts), shards)
 			for t := range jobs {
 				bs, err := ex.Extract(t)
 				if err != nil {
@@ -99,23 +117,9 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 					}
 					continue
 				}
-				treeCounts[w]++
-				bipCounts[w] += len(bs)
-				for _, b := range bs {
-					k := h.keyOf(b)
-					e := local[k]
-					e.Freq++
-					e.Size = uint32(b.Size())
-					if b.HasLength {
-						e.LengthSum += b.Length
-					} else {
-						weighted = false
-					}
-					local[k] = e
-				}
+				acc.add(h, bs)
 			}
-			locals[w] = local
-			weightedFlags[w] = weighted
+			accums[w] = acc
 		}(w)
 	}
 
@@ -142,21 +146,16 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 			return nil, fmt.Errorf("core: reference tree: %w", err)
 		}
 	}
-	bips := 0
-	for w := 0; w < workers; w++ {
-		h.merge(locals[w])
-		h.numTrees += treeCounts[w]
-		bips += bipCounts[w]
-		if !weightedFlags[w] {
-			h.weighted = false
-		}
-	}
+	bips := h.finishBuild(accums)
 	if h.numTrees == 0 {
 		return nil, fmt.Errorf("core: reference collection is empty")
 	}
-	recordBuild(h.numTrees, bips, len(h.m))
+	recordBuild(h, bips)
 	return h, nil
 }
+
+// wordsPerKey is the fixed word width of a canonical mask over ts.
+func wordsPerKey(ts *taxa.Set) int { return (ts.Len() + 63) / 64 }
 
 // BuildDefault builds the hash with complete-coverage checking and
 // GOMAXPROCS workers, the common case.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/bfhtable"
 	"repro/internal/bipart"
 	"repro/internal/bitset"
 	"repro/internal/taxa"
@@ -14,20 +15,67 @@ import (
 // reference trees containing the bipartition; LengthSum accumulates the
 // inducing edges' branch lengths for the weighted-RF variant; Size is the
 // popcount of the canonical mask, kept so size-dependent variants
-// (information content) never need to decode keys.
-type entry struct {
-	Freq      uint32
-	Size      uint32
-	LengthSum float64
+// (information content) never need to decode keys. It is the open-addressing
+// table's record type so entries move between backends without conversion.
+type entry = bfhtable.Entry
+
+// Backend selects the storage engine behind the frequency hash.
+type Backend int
+
+const (
+	// BackendAuto picks the open-addressing table unless compressed keys
+	// are requested (which only the map backend supports).
+	BackendAuto Backend = iota
+	// BackendOpenAddressing is the zero-allocation word-keyed table
+	// (internal/bfhtable): bipartitions are hashed and stored as their raw
+	// mask words, no key string ever materializes, and build workers merge
+	// shard-parallel. The default.
+	BackendOpenAddressing
+	// BackendMap is the legacy map[string]entry engine. It remains the
+	// only backend supporting the §IX compressed-key scheme, and serves as
+	// the A/B baseline for the backend ablation.
+	BackendMap
+)
+
+// String names the backend for diagnostics and CLI flags.
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendOpenAddressing:
+		return "openaddr"
+	case BackendMap:
+		return "map"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend inverts Backend.String (empty selects auto).
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	case "openaddr", "oa":
+		return BackendOpenAddressing, nil
+	case "map":
+		return BackendMap, nil
+	}
+	return 0, fmt.Errorf("core: unknown hash backend %q (want auto, openaddr or map)", s)
 }
 
 // FreqHash is the bipartition frequency hash BFH_R: a collision-free map
 // from canonical bipartition encodings to their frequency across the
 // reference collection. It is immutable after Build and safe for
 // concurrent readers.
+//
+// Exactly one of the two storage engines is active: oa (the default
+// open-addressing word-keyed table) or m (the legacy string-keyed map,
+// required for compressed keys).
 type FreqHash struct {
 	taxa *taxa.Set
 	m    map[string]entry
+	oa   *bfhtable.Table
 	// sum is Σ_b freq[b] — the paper's sumBFHR.
 	sum uint64
 	// lenSum is Σ_b lengthSum[b], for the weighted variant's left term.
@@ -37,7 +85,7 @@ type FreqHash struct {
 	// weighted records whether every indexed bipartition carried a length.
 	weighted bool
 	// compressed selects CompactKey (the §IX lossless key compression)
-	// instead of the raw bitmask bytes as the map key.
+	// instead of the raw bitmask bytes as the map key. Map backend only.
 	compressed bool
 
 	// mu guards the lazily built information-content state below and the
@@ -47,11 +95,19 @@ type FreqHash struct {
 	icSum   float64
 }
 
+// Backend reports which storage engine the hash uses.
+func (h *FreqHash) Backend() Backend {
+	if h.oa != nil {
+		return BackendOpenAddressing
+	}
+	return BackendMap
+}
+
 // Compressed reports whether the hash stores compressed keys.
 func (h *FreqHash) Compressed() bool { return h.compressed }
 
-// keyOf returns b's map key under the hash's key scheme. Both schemes are
-// collision-free; the compressed one trades CPU for memory.
+// keyOf returns b's map key under the hash's key scheme (map backend only).
+// Both schemes are collision-free; the compressed one trades CPU for memory.
 func (h *FreqHash) keyOf(b bipart.Bipartition) string {
 	if h.compressed {
 		return b.CompactKey()
@@ -75,7 +131,12 @@ func (h *FreqHash) NumTrees() int { return h.numTrees }
 
 // UniqueBipartitions returns the number of distinct bipartitions stored —
 // the quantity that actually bounds BFHRF's memory (paper §VII.C).
-func (h *FreqHash) UniqueBipartitions() int { return len(h.m) }
+func (h *FreqHash) UniqueBipartitions() int {
+	if h.oa != nil {
+		return h.oa.Len()
+	}
+	return len(h.m)
+}
 
 // TotalBipartitions returns sumBFHR, the total bipartition instances.
 func (h *FreqHash) TotalBipartitions() uint64 { return h.sum }
@@ -84,14 +145,35 @@ func (h *FreqHash) TotalBipartitions() uint64 { return h.sum }
 // length (required by the weighted-RF variant).
 func (h *FreqHash) Weighted() bool { return h.weighted }
 
+// entryOf returns b's stored record (zero entry if absent). The map path
+// allocates a key string; hot loops use a Prober instead.
+func (h *FreqHash) entryOf(b bipart.Bipartition) entry {
+	if h.oa != nil {
+		e, _ := h.oa.Lookup(b.Words())
+		return e
+	}
+	return h.m[h.keyOf(b)]
+}
+
 // Frequency returns the frequency of b over the reference collection
 // (0 if absent, per the paper's convention BFH_R[b] = 0).
 func (h *FreqHash) Frequency(b bipart.Bipartition) int {
-	return int(h.m[h.keyOf(b)].Freq)
+	return int(h.entryOf(b).Freq)
 }
 
-// FrequencyByKey is Frequency for a precomputed canonical key.
-func (h *FreqHash) FrequencyByKey(key string) int { return int(h.m[key].Freq) }
+// FrequencyByKey is Frequency for a precomputed canonical (uncompressed)
+// Key() string.
+func (h *FreqHash) FrequencyByKey(key string) int {
+	if h.oa != nil {
+		mask, err := bitset.FromKey(key, h.taxa.Len())
+		if err != nil {
+			return 0
+		}
+		e, _ := h.oa.Lookup(mask.Words())
+		return int(e.Freq)
+	}
+	return int(h.m[key].Freq)
+}
 
 // SupportOf returns freq/r, the fraction of reference trees containing b.
 func (h *FreqHash) SupportOf(b bipart.Bipartition) float64 {
@@ -100,6 +182,37 @@ func (h *FreqHash) SupportOf(b bipart.Bipartition) float64 {
 	}
 	return float64(h.Frequency(b)) / float64(h.numTrees)
 }
+
+// Prober performs repeated frequency lookups with no per-probe key
+// allocation: the open-addressing backend probes on the mask words
+// directly, and the map backend reuses one scratch buffer via the
+// map-index string-conversion optimization. A Prober is not safe for
+// concurrent use; give each goroutine its own.
+type Prober struct {
+	h   *FreqHash
+	buf []byte
+}
+
+// NewProber returns a prober bound to h.
+func (h *FreqHash) NewProber() *Prober { return &Prober{h: h} }
+
+// entryOf returns b's stored record without allocating.
+func (p *Prober) entryOf(b bipart.Bipartition) entry {
+	h := p.h
+	if h.oa != nil {
+		e, _ := h.oa.Lookup(b.Words())
+		return e
+	}
+	if h.compressed {
+		p.buf = b.AppendCompactKey(p.buf[:0])
+	} else {
+		p.buf = b.AppendKey(p.buf[:0])
+	}
+	return h.m[string(p.buf)]
+}
+
+// Frequency is FreqHash.Frequency through the prober's scratch buffer.
+func (p *Prober) Frequency(b bipart.Bipartition) int { return int(p.entryOf(b).Freq) }
 
 // Entry describes one stored bipartition for inspection and consensus.
 type Entry struct {
@@ -111,6 +224,32 @@ type Entry struct {
 	MeanLength float64
 }
 
+// forEachEntry yields every stored live bipartition's canonical mask and
+// record, in unspecified order. The mask is freshly decoded and owned by fn.
+func (h *FreqHash) forEachEntry(fn func(mask *bitset.Bits, e entry)) error {
+	if h.oa != nil {
+		var decodeErr error
+		h.oa.Range(func(words []uint64, e entry) bool {
+			mask, err := bitset.FromWords(words, h.taxa.Len())
+			if err != nil {
+				decodeErr = fmt.Errorf("core: corrupt hash words: %w", err)
+				return false
+			}
+			fn(mask, e)
+			return true
+		})
+		return decodeErr
+	}
+	for k, e := range h.m {
+		mask, err := h.maskFromKey(k)
+		if err != nil {
+			return fmt.Errorf("core: corrupt hash key: %w", err)
+		}
+		fn(mask, e)
+	}
+	return nil
+}
+
 // Entries returns every stored bipartition with frequency at least
 // minFreq, sorted by descending frequency (ties broken by key for
 // determinism). minFreq <= 1 returns everything.
@@ -118,14 +257,10 @@ func (h *FreqHash) Entries(minFreq int) ([]Entry, error) {
 	if minFreq < 1 {
 		minFreq = 1
 	}
-	out := make([]Entry, 0, len(h.m))
-	for k, e := range h.m {
+	out := make([]Entry, 0, h.UniqueBipartitions())
+	err := h.forEachEntry(func(mask *bitset.Bits, e entry) {
 		if int(e.Freq) < minFreq {
-			continue
-		}
-		mask, err := h.maskFromKey(k)
-		if err != nil {
-			return nil, fmt.Errorf("core: corrupt hash key: %w", err)
+			return
 		}
 		ent := Entry{
 			Bipartition: bipart.FromMask(mask, 0),
@@ -136,10 +271,13 @@ func (h *FreqHash) Entries(minFreq int) ([]Entry, error) {
 			ent.MeanLength = e.LengthSum / float64(e.Freq)
 		}
 		out = append(out, ent)
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Tie-break on the canonical (uncompressed) encoding so the order — and
 	// anything derived from it, like the greedy consensus — is identical
-	// whether or not the hash stores compressed keys.
+	// across backends and key schemes.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Frequency != out[j].Frequency {
 			return out[i].Frequency > out[j].Frequency
@@ -150,8 +288,18 @@ func (h *FreqHash) Entries(minFreq int) ([]Entry, error) {
 }
 
 // KeySizes returns the byte length of every stored key, for memory
-// accounting (the §IX compression ablation).
+// accounting (the §IX compression ablation). The open-addressing backend
+// stores fixed-width word keys, so every length is WordsPerKey()*8.
 func (h *FreqHash) KeySizes() []int {
+	if h.oa != nil {
+		out := make([]int, 0, h.oa.Len())
+		nb := h.oa.WordsPerKey() * 8
+		h.oa.Range(func(words []uint64, e entry) bool {
+			out = append(out, nb)
+			return true
+		})
+		return out
+	}
 	out := make([]int, 0, len(h.m))
 	for k := range h.m {
 		out = append(out, len(k))
@@ -159,7 +307,41 @@ func (h *FreqHash) KeySizes() []int {
 	return out
 }
 
-// merge folds a worker-local frequency map into the hash (build phase only).
+// NumShards returns the shard count of the open-addressing backend
+// (1 for the map backend, which is unsharded).
+func (h *FreqHash) NumShards() int {
+	if h.oa != nil {
+		return h.oa.NumShards()
+	}
+	return 1
+}
+
+// RangeShardRaw iterates one shard's live entries as raw mask words —
+// the serialization path of the distributed snapshot (internal/distrib).
+// For the map backend, shard 0 holds everything and words are decoded from
+// keys. The words slice is only valid during the call.
+func (h *FreqHash) RangeShardRaw(shard int, fn func(words []uint64, e entry) bool) error {
+	if h.oa != nil {
+		h.oa.RangeShard(shard, fn)
+		return nil
+	}
+	if shard != 0 {
+		return nil
+	}
+	for k, e := range h.m {
+		mask, err := h.maskFromKey(k)
+		if err != nil {
+			return fmt.Errorf("core: corrupt hash key: %w", err)
+		}
+		if !fn(mask.Words(), e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// merge folds a worker-local frequency map into the hash (map-backend
+// build phase only).
 func (h *FreqHash) merge(local map[string]entry) {
 	for k, le := range local {
 		e := h.m[k]

@@ -59,9 +59,17 @@ func (h *FreqHash) infoState() (splitInfoTable, float64) {
 	defer h.mu.Unlock()
 	if h.icTable == nil {
 		h.icTable = newSplitInfoTable(h.taxa.Len())
+		n := h.taxa.Len()
 		sum := 0.0
-		for _, e := range h.m {
-			sum += float64(e.Freq) * h.icTable.info(h.taxa.Len(), int(e.Size))
+		if h.oa != nil {
+			h.oa.Range(func(_ []uint64, e entry) bool {
+				sum += float64(e.Freq) * h.icTable.info(n, int(e.Size))
+				return true
+			})
+		} else {
+			for _, e := range h.m {
+				sum += float64(e.Freq) * h.icTable.info(n, int(e.Size))
+			}
 		}
 		h.icSum = sum
 	}
@@ -105,11 +113,12 @@ func (h *FreqHash) InfoRFOne(t *tree.Tree, opts QueryOptions) (float64, error) {
 	table, icSum := h.infoState()
 	n := h.taxa.Len()
 	r := float64(h.numTrees)
+	p := h.NewProber()
 	left := icSum
 	right := 0.0
 	for _, b := range bs {
 		hb := table.info(n, b.Size())
-		e := h.m[h.keyOf(b)]
+		e := p.entryOf(b)
 		left -= float64(e.Freq) * hb
 		right += hb * (r - float64(e.Freq))
 	}

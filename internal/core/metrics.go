@@ -26,6 +26,11 @@ var (
 		"Bipartition frequency lookups performed by queries.")
 	mHashMisses = obs.Counter("bfhrf_hash_misses_total",
 		"Query bipartition lookups that found no reference entry.")
+	mHashProbeLength = obs.Histogram("bfhrf_hash_probe_length",
+		"Probe-chain displacement of occupied open-addressing slots, observed once per slot after each BFH build (0 = direct hit).",
+		[]float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32})
+	mHashLoadFactor = obs.Gauge("bfhrf_hash_load_factor",
+		"Occupied-slot fraction of the open-addressing BFH after the most recent build (0 when the map backend is active).")
 )
 
 // SpanBuild and SpanQuery are the core's stage names in obs.StageMetric.
@@ -34,11 +39,22 @@ const (
 	SpanQuery = "bfh.query"
 )
 
-// recordBuild publishes one completed build's tallies.
-func recordBuild(trees, bipartitions, unique int) {
-	mRefTrees.Add(uint64(trees))
+// recordBuild publishes one completed build's tallies. The open-addressing
+// table health metrics (probe-length histogram, load factor) are sampled
+// here, once per build over the finished table — the insert and lookup hot
+// paths stay untouched.
+func recordBuild(h *FreqHash, bipartitions int) {
+	mRefTrees.Add(uint64(h.numTrees))
 	mBipartitionsHashed.Add(uint64(bipartitions))
-	mUniqueBipartitions.Set(float64(unique))
+	mUniqueBipartitions.Set(float64(h.UniqueBipartitions()))
+	if h.oa != nil {
+		mHashLoadFactor.Set(h.oa.LoadFactor())
+		h.oa.ProbeLengths(func(d int) {
+			mHashProbeLength.Observe(float64(d))
+		})
+	} else {
+		mHashLoadFactor.Set(0)
+	}
 }
 
 // RecordQueries publishes query-side tallies: queries answered, frequency

@@ -70,6 +70,42 @@ func TestBuildAndQueryMetrics(t *testing.T) {
 	}
 }
 
+// TestHashTableMetrics checks the open-addressing health metrics sampled
+// once per build: the probe-length histogram grows by one observation per
+// occupied slot and the load-factor gauge lands in (0, 0.75].
+func TestHashTableMetrics(t *testing.T) {
+	trees, ts := randomCollection(41, 24, 50)
+	probesBefore := mHashProbeLength.Count()
+
+	h, err := Build(collection.FromTrees(trees), ts, BuildOptions{RequireComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Backend() != BackendOpenAddressing {
+		t.Fatalf("default backend = %v", h.Backend())
+	}
+	// Every unique bipartition occupies a slot; each contributes one
+	// probe-length observation.
+	if got := mHashProbeLength.Count() - probesBefore; got != uint64(h.UniqueBipartitions()) {
+		t.Errorf("probe-length observations delta = %d, want %d", got, h.UniqueBipartitions())
+	}
+	if lf := mHashLoadFactor.Value(); lf <= 0 || lf > 0.75 {
+		t.Errorf("load factor gauge = %g, want in (0, 0.75]", lf)
+	}
+
+	// A map-backend build resets the gauge and observes no probes.
+	probesBefore = mHashProbeLength.Count()
+	if _, err := Build(collection.FromTrees(trees), ts, BuildOptions{RequireComplete: true, Backend: BackendMap}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mHashProbeLength.Count() - probesBefore; got != 0 {
+		t.Errorf("map build observed %d probe lengths, want 0", got)
+	}
+	if lf := mHashLoadFactor.Value(); lf != 0 {
+		t.Errorf("load factor gauge after map build = %g, want 0", lf)
+	}
+}
+
 func TestAddTreeMetrics(t *testing.T) {
 	trees := []*tree.Tree{mustParse(t, "((A,B),(C,D));")}
 	h := buildHash(t, trees, abcd)

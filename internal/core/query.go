@@ -90,7 +90,7 @@ func (h *FreqHash) AverageRF(q collection.Source, opts QueryOptions) ([]Result, 
 	if err := q.Reset(); err != nil {
 		return nil, err
 	}
-	workers := opts.workers()
+	workers := EffectiveWorkers(opts.workers(), sourceLen(q))
 
 	type job struct {
 		idx int
@@ -109,9 +109,11 @@ func (h *FreqHash) AverageRF(q collection.Source, opts QueryOptions) ([]Result, 
 				Taxa:            h.taxa,
 				RequireComplete: opts.RequireComplete,
 				Filter:          opts.Filter,
+				ReuseMasks:      true,
 			}
+			p := h.NewProber()
 			for j := range jobs {
-				avg, err := h.queryOne(j.t, ex, opts.Variant)
+				avg, err := h.queryOne(j.t, ex, p, opts.Variant)
 				if err != nil {
 					if errs[w] == nil {
 						errs[w] = fmt.Errorf("core: query tree %d: %w", j.idx, err)
@@ -175,30 +177,74 @@ func (h *FreqHash) AverageRFOne(t *tree.Tree, opts QueryOptions) (float64, error
 		RequireComplete: opts.RequireComplete,
 		Filter:          opts.Filter,
 	}
-	return h.queryOne(t, ex, opts.Variant)
+	return h.queryOne(t, ex, h.NewProber(), opts.Variant)
 }
 
 // queryOne is Algorithm 2's inner body: one tree versus the hash.
-func (h *FreqHash) queryOne(t *tree.Tree, ex *bipart.Extractor, v Variant) (float64, error) {
+func (h *FreqHash) queryOne(t *tree.Tree, ex *bipart.Extractor, p *Prober, v Variant) (float64, error) {
 	bs, err := ex.Extract(t)
 	if err != nil {
 		return 0, err
 	}
+	return p.AverageRFOfSplits(bs, v)
+}
+
+// AverageRFOfSplits computes the average RF of a query tree given its
+// already-extracted bipartition set — the pure probe phase of Algorithm 2.
+// Exposed (here and on Prober for allocation-free repetition) so backend
+// ablations can measure lookup cost in isolation from parsing and
+// extraction.
+func (h *FreqHash) AverageRFOfSplits(bs []bipart.Bipartition, v Variant) (float64, error) {
+	return h.NewProber().AverageRFOfSplits(bs, v)
+}
+
+// AverageRFOfSplits is Algorithm 2's probe loop over a pre-extracted
+// bipartition set, through the prober's allocation-free lookup path.
+func (p *Prober) AverageRFOfSplits(bs []bipart.Bipartition, v Variant) (float64, error) {
+	h := p.h
 	r := float64(h.numTrees)
 	misses := 0
 	switch v {
 	case Plain, Normalized:
 		// RFleft starts at sumBFHR; each query bipartition subtracts its
 		// frequency. RFright accumulates r − freq per query bipartition.
+		// The backend dispatch is hoisted out of the fold: entryOf does
+		// not inline, and on the open-addressing path the extra call
+		// layer plus per-probe branch cost as much as the probe itself.
 		rfLeft := int64(h.sum)
 		rfRight := int64(0)
-		for _, b := range bs {
-			f := int64(h.m[h.keyOf(b)].Freq)
-			if f == 0 {
-				misses++
+		rInt := int64(h.numTrees)
+		if oa := h.oa; oa != nil {
+			if oa.WordsPerKey() == 1 {
+				for _, b := range bs {
+					e, _ := oa.Lookup1(b.Words()[0])
+					f := int64(e.Freq)
+					if f == 0 {
+						misses++
+					}
+					rfLeft -= f
+					rfRight += rInt - f
+				}
+			} else {
+				for _, b := range bs {
+					e, _ := oa.Lookup(b.Words())
+					f := int64(e.Freq)
+					if f == 0 {
+						misses++
+					}
+					rfLeft -= f
+					rfRight += rInt - f
+				}
 			}
-			rfLeft -= f
-			rfRight += int64(h.numTrees) - f
+		} else {
+			for _, b := range bs {
+				f := int64(p.entryOf(b).Freq)
+				if f == 0 {
+					misses++
+				}
+				rfLeft -= f
+				rfRight += rInt - f
+			}
 		}
 		RecordQueries(1, len(bs), misses)
 		avg := float64(rfLeft+rfRight) / r
@@ -221,7 +267,7 @@ func (h *FreqHash) queryOne(t *tree.Tree, ex *bipart.Extractor, v Variant) (floa
 			if !b.HasLength {
 				return 0, fmt.Errorf("query bipartition without branch length in weighted variant")
 			}
-			e := h.m[h.keyOf(b)]
+			e := p.entryOf(b)
 			if e.Freq == 0 {
 				misses++
 			}

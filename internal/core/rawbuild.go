@@ -45,13 +45,11 @@ func rawCapable(src collection.Source) (collection.RawSource, bool) {
 
 // buildRaw is Build's worker body over raw statements.
 func buildRaw(rs collection.RawSource, ts *taxa.Set, opts BuildOptions, h *FreqHash) error {
-	workers := opts.workers()
+	workers := EffectiveWorkers(opts.workers(), sourceLen(rs))
+	shards := opts.shardCount(workers)
 	jobs := make(chan string, workers*4)
-	locals := make([]map[string]entry, workers)
-	weightedFlags := make([]bool, workers)
+	accums := make([]*buildAccum, workers)
 	errs := make([]error, workers)
-	treeCounts := make([]int, workers)
-	bipCounts := make([]int, workers)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -62,9 +60,9 @@ func buildRaw(rs collection.RawSource, ts *taxa.Set, opts BuildOptions, h *FreqH
 				Taxa:            ts,
 				RequireComplete: opts.RequireComplete,
 				Filter:          opts.Filter,
+				ReuseMasks:      true,
 			}
-			local := make(map[string]entry)
-			weighted := true
+			acc := newBuildAccum(h, wordsPerKey(ts), shards)
 			for stmt := range jobs {
 				t, err := newick.Parse(stmt)
 				if err != nil {
@@ -80,23 +78,9 @@ func buildRaw(rs collection.RawSource, ts *taxa.Set, opts BuildOptions, h *FreqH
 					}
 					continue
 				}
-				treeCounts[w]++
-				bipCounts[w] += len(bs)
-				for _, b := range bs {
-					k := h.keyOf(b)
-					e := local[k]
-					e.Freq++
-					e.Size = uint32(b.Size())
-					if b.HasLength {
-						e.LengthSum += b.Length
-					} else {
-						weighted = false
-					}
-					local[k] = e
-				}
+				acc.add(h, bs)
 			}
-			locals[w] = local
-			weightedFlags[w] = weighted
+			accums[w] = acc
 		}(w)
 	}
 
@@ -123,22 +107,14 @@ func buildRaw(rs collection.RawSource, ts *taxa.Set, opts BuildOptions, h *FreqH
 			return fmt.Errorf("core: reference tree: %w", err)
 		}
 	}
-	bips := 0
-	for w := 0; w < workers; w++ {
-		h.merge(locals[w])
-		h.numTrees += treeCounts[w]
-		bips += bipCounts[w]
-		if !weightedFlags[w] {
-			h.weighted = false
-		}
-	}
-	recordBuild(h.numTrees, bips, len(h.m))
+	bips := h.finishBuild(accums)
+	recordBuild(h, bips)
 	return nil
 }
 
 // averageRFRaw is AverageRF's worker body over raw statements.
 func (h *FreqHash) averageRFRaw(rs collection.RawSource, opts QueryOptions) ([]Result, error) {
-	workers := opts.workers()
+	workers := EffectiveWorkers(opts.workers(), sourceLen(rs))
 	type job struct {
 		idx  int
 		stmt string
@@ -156,7 +132,9 @@ func (h *FreqHash) averageRFRaw(rs collection.RawSource, opts QueryOptions) ([]R
 				Taxa:            h.taxa,
 				RequireComplete: opts.RequireComplete,
 				Filter:          opts.Filter,
+				ReuseMasks:      true,
 			}
+			p := h.NewProber()
 			for j := range jobs {
 				t, err := newick.Parse(j.stmt)
 				if err != nil {
@@ -165,7 +143,7 @@ func (h *FreqHash) averageRFRaw(rs collection.RawSource, opts QueryOptions) ([]R
 					}
 					continue
 				}
-				avg, err := h.queryOne(t, ex, opts.Variant)
+				avg, err := h.queryOne(t, ex, p, opts.Variant)
 				if err != nil {
 					if errs[w] == nil {
 						errs[w] = fmt.Errorf("core: query tree %d: %w", j.idx, err)

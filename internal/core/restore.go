@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bfhtable"
+	"repro/internal/bipart"
+	"repro/internal/bitset"
+	"repro/internal/taxa"
+)
+
+// Hash reassembly from serialized entries — the receiving half of the
+// distributed snapshot protocol (internal/distrib). A snapshot walks
+// RangeShardRaw; a Restorer folds those raw (words, entry) pairs back into
+// a fresh hash on any backend, so shards can be checkpointed and migrated
+// between workers regardless of the engine either side runs.
+
+// RestoreSpec describes the hash being reassembled.
+type RestoreSpec struct {
+	// Taxa is the catalogue the mask words are encoded over (required).
+	Taxa *taxa.Set
+	// NumTrees is r for the restored shard.
+	NumTrees int
+	// Weighted records whether every entry carries meaningful length sums.
+	Weighted bool
+	// CompressKeys and Backend select the engine, with the same defaulting
+	// rules as BuildOptions.
+	CompressKeys bool
+	Backend      Backend
+	// HashShards overrides the open-addressing shard count (default 1 for
+	// a restored table; restores are single-threaded folds).
+	HashShards int
+}
+
+// Restorer accumulates snapshot entries into a hash. Not safe for
+// concurrent use.
+type Restorer struct {
+	h  *FreqHash
+	nw int
+}
+
+// NewRestorer returns a restorer for the spec.
+func NewRestorer(spec RestoreSpec) (*Restorer, error) {
+	if spec.Taxa == nil {
+		return nil, fmt.Errorf("core: restore requires a taxon catalogue")
+	}
+	if spec.Backend == BackendOpenAddressing && spec.CompressKeys {
+		return nil, fmt.Errorf("core: compressed keys require the map backend")
+	}
+	h := &FreqHash{
+		taxa:       spec.Taxa,
+		numTrees:   spec.NumTrees,
+		weighted:   spec.Weighted,
+		compressed: spec.CompressKeys,
+	}
+	opts := BuildOptions{CompressKeys: spec.CompressKeys, Backend: spec.Backend}
+	if opts.resolveBackend() == BackendOpenAddressing {
+		shards := spec.HashShards
+		if shards <= 0 {
+			shards = 1
+		}
+		h.oa = bfhtable.New(wordsPerKey(spec.Taxa), shards)
+	} else {
+		h.m = make(map[string]entry)
+	}
+	return &Restorer{h: h, nw: wordsPerKey(spec.Taxa)}, nil
+}
+
+// AddEntry folds one snapshot entry: a canonical mask as raw words plus
+// its aggregated record. Frequencies accumulate, so entries for the same
+// bipartition (e.g. from two merged shards) fold correctly.
+func (r *Restorer) AddEntry(words []uint64, e bfhtable.Entry) error {
+	if len(words) != r.nw {
+		return fmt.Errorf("core: restore entry has %d words, want %d", len(words), r.nw)
+	}
+	h := r.h
+	if h.oa != nil {
+		h.oa.AddEntry(words, e)
+	} else {
+		mask, err := bitset.FromWords(words, h.taxa.Len())
+		if err != nil {
+			return fmt.Errorf("core: restore entry: %w", err)
+		}
+		k := h.keyOf(bipart.FromMask(mask, 0))
+		me := h.m[k]
+		me.Freq += e.Freq
+		me.Size = e.Size
+		me.LengthSum += e.LengthSum
+		h.m[k] = me
+	}
+	h.sum += uint64(e.Freq)
+	h.lenSum += e.LengthSum
+	return nil
+}
+
+// Finish returns the reassembled hash.
+func (r *Restorer) Finish() (*FreqHash, error) {
+	if r.h.numTrees <= 0 {
+		return nil, fmt.Errorf("core: restored hash has no trees")
+	}
+	return r.h, nil
+}

@@ -11,7 +11,10 @@ import (
 // exact per-bipartition frequencies, adding or removing a reference tree
 // is a handful of counter updates — no rebuild, no other engine supports
 // this. Useful for growing collections (e.g. posterior samples arriving
-// from an MCMC run) and for leave-one-out analyses.
+// from an MCMC run) and for leave-one-out analyses. Both backends support
+// it: the map deletes exhausted keys, the open-addressing table keeps them
+// as keyed tombstones (probe chains stay intact; a later AddTree revives
+// the slot).
 
 // AddTree folds one more reference tree into the hash (r increases by 1).
 func (h *FreqHash) AddTree(t *tree.Tree, filter bipart.Filter, requireComplete bool) error {
@@ -22,26 +25,30 @@ func (h *FreqHash) AddTree(t *tree.Tree, filter bipart.Filter, requireComplete b
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for _, b := range bs {
-		k := h.keyOf(b)
-		e := h.m[k]
-		e.Freq++
-		e.Size = uint32(b.Size())
+		length := 0.0
 		if b.HasLength {
-			e.LengthSum += b.Length
+			length = b.Length
 		} else {
 			h.weighted = false
 		}
-		h.m[k] = e
-		h.sum++
-		if b.HasLength {
-			h.lenSum += b.Length
+		if h.oa != nil {
+			h.oa.Add(b.Words(), uint32(b.Size()), length)
+		} else {
+			k := h.keyOf(b)
+			e := h.m[k]
+			e.Freq++
+			e.Size = uint32(b.Size())
+			e.LengthSum += length
+			h.m[k] = e
 		}
+		h.sum++
+		h.lenSum += length
 	}
 	h.numTrees++
 	h.icTable, h.icSum = nil, 0
 	mRefTrees.Inc()
 	mBipartitionsHashed.Add(uint64(len(bs)))
-	mUniqueBipartitions.Set(float64(len(h.m)))
+	mUniqueBipartitions.Set(float64(h.UniqueBipartitions()))
 	return nil
 }
 
@@ -62,23 +69,29 @@ func (h *FreqHash) RemoveTree(t *tree.Tree, filter bipart.Filter, requireComplet
 	}
 	// Validate first so the hash is never left half-updated.
 	for _, b := range bs {
-		if h.m[h.keyOf(b)].Freq == 0 {
+		if h.entryOf(b).Freq == 0 {
 			return fmt.Errorf("core: RemoveTree: bipartition %s was never in the hash", b)
 		}
 	}
 	for _, b := range bs {
-		k := h.keyOf(b)
-		e := h.m[k]
-		e.Freq--
+		length := 0.0
 		if b.HasLength {
-			e.LengthSum -= b.Length
-			h.lenSum -= b.Length
+			length = b.Length
 		}
-		if e.Freq == 0 {
-			delete(h.m, k)
+		if h.oa != nil {
+			h.oa.Dec(b.Words(), length)
 		} else {
-			h.m[k] = e
+			k := h.keyOf(b)
+			e := h.m[k]
+			e.Freq--
+			e.LengthSum -= length
+			if e.Freq == 0 {
+				delete(h.m, k)
+			} else {
+				h.m[k] = e
+			}
 		}
+		h.lenSum -= length
 		h.sum--
 	}
 	h.numTrees--

@@ -1,0 +1,20 @@
+package core
+
+import "repro/internal/collection"
+
+// EffectiveWorkers is collection.EffectiveWorkers: the shared
+// small-workload clamp (at most one worker per 64 trees). Re-exported here
+// because core is where most callers configure worker counts.
+func EffectiveWorkers(requested, trees int) int {
+	return collection.EffectiveWorkers(requested, trees)
+}
+
+// sourceLen returns the tree count of a source when it is known without
+// a scan (via collection.Counter), else -1. Build and AverageRF use it to
+// clamp workers; a full counting pass would cost more than it saves.
+func sourceLen(src collection.Source) int {
+	if c, ok := src.(collection.Counter); ok {
+		return c.Count()
+	}
+	return -1
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/collection"
+)
+
+// TestEffectiveWorkersClamp pins the small-workload clamp that fixed the
+// BENCH_0001 regression (DSMP8 slower than DS on a 289-tree slice): the
+// effective worker count is min(requested, trees/64), at least 1, with
+// unknown sizes passing the request through.
+func TestEffectiveWorkersClamp(t *testing.T) {
+	cases := []struct {
+		requested, trees, want int
+	}{
+		{8, 289, 4},   // the BENCH_0001 avian slice at scale 0.02
+		{8, 63, 1},    // below one floor: sequential
+		{8, 64, 1},    // exactly one floor
+		{8, 128, 2},   // two floors
+		{8, 10000, 8}, // large workload: request honored
+		{2, 10000, 2},
+		{8, 0, 8},  // unknown size passes through
+		{8, -1, 8}, // Counter convention: negative = unknown
+		{0, 10, 1}, // degenerate request
+	}
+	for _, c := range cases {
+		if got := EffectiveWorkers(c.requested, c.trees); got != c.want {
+			t.Errorf("EffectiveWorkers(%d, %d) = %d, want %d",
+				c.requested, c.trees, got, c.want)
+		}
+	}
+}
+
+func TestSourceLen(t *testing.T) {
+	trees, _ := randomCollection(5, 8, 7)
+	if n := sourceLen(collection.FromTrees(trees)); n != 7 {
+		t.Fatalf("sourceLen(slice) = %d, want 7", n)
+	}
+	if n := sourceLen(nonCounting{collection.FromTrees(trees)}); n != -1 {
+		t.Fatalf("sourceLen(non-counting) = %d, want -1", n)
+	}
+}
+
+// nonCounting hides the Counter (and everything else) behind the bare
+// Source interface.
+type nonCounting struct{ collection.Source }

@@ -31,6 +31,11 @@ type Coordinator struct {
 	ChunkSize int
 	// BatchSize is the number of query trees per Query RPC (default 256).
 	BatchSize int
+	// Backend selects every shard's hash engine (BackendAuto by default).
+	Backend core.Backend
+	// HashShards overrides each shard's open-addressing internal shard
+	// count (0 = worker default).
+	HashShards int
 }
 
 // Dial connects to worker addresses ("host:port").
@@ -100,7 +105,12 @@ func (c *Coordinator) Load(refs collection.Source, ts *taxa.Set, compress bool) 
 	_, span := obs.StartSpan(nil, "coord.load")
 	defer span.End()
 	c.taxa = ts
-	init := InitArgs{TaxaNames: ts.Names(), CompressKeys: compress}
+	init := InitArgs{
+		TaxaNames:    ts.Names(),
+		CompressKeys: compress,
+		Backend:      c.Backend.String(),
+		HashShards:   c.HashShards,
+	}
 	for i := range c.clients {
 		var reply LoadReply
 		if err := c.call(i, "Init", init, &reply); err != nil {
@@ -290,4 +300,44 @@ func (c *Coordinator) queryBatch(newicks []string) ([]float64, error) {
 		out[j] = float64(left+right) / rf
 	}
 	return out, nil
+}
+
+// SnapshotWorker serializes worker i's shard (see snapshot.go for the
+// wire format).
+func (c *Coordinator) SnapshotWorker(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.clients) {
+		return nil, fmt.Errorf("distrib: no worker %d", i)
+	}
+	var reply SnapshotReply
+	if err := c.call(i, "Snapshot", SnapshotArgs{}, &reply); err != nil {
+		return nil, fmt.Errorf("distrib: snapshot worker %d: %w", i, err)
+	}
+	return reply.Data, nil
+}
+
+// RestoreWorker installs a snapshot on worker i, replacing its shard.
+func (c *Coordinator) RestoreWorker(i int, data []byte) error {
+	if i < 0 || i >= len(c.clients) {
+		return fmt.Errorf("distrib: no worker %d", i)
+	}
+	var reply LoadReply
+	if err := c.call(i, "Restore", RestoreArgs{Data: data}, &reply); err != nil {
+		return fmt.Errorf("distrib: restore worker %d: %w", i, err)
+	}
+	slog.Debug("worker restored", "worker", c.addrs[i],
+		"shard_trees", reply.ShardTrees, "shard_unique", reply.ShardUnique)
+	return nil
+}
+
+// MigrateShard moves worker from's shard onto worker to via
+// snapshot/restore — no reference trees are re-shipped or re-parsed. The
+// folded totals (sum, r) are unchanged: the shard's content moved, nothing
+// was added or lost. The source worker keeps its state; re-Init it (or
+// drop it from the address list) to retire it.
+func (c *Coordinator) MigrateShard(from, to int) error {
+	data, err := c.SnapshotWorker(from)
+	if err != nil {
+		return err
+	}
+	return c.RestoreWorker(to, data)
 }

@@ -39,8 +39,15 @@ import (
 type InitArgs struct {
 	// TaxaNames in catalogue order (workers must agree on bit positions).
 	TaxaNames []string
-	// CompressKeys selects the §IX compact key encoding on the shard.
+	// CompressKeys selects the §IX compact key encoding on the shard
+	// (forces the map backend).
 	CompressKeys bool
+	// Backend names the shard's hash engine ("auto", "openaddr", "map");
+	// empty selects auto. Strings keep the wire format free of core enums.
+	Backend string
+	// HashShards overrides the open-addressing backend's internal shard
+	// count (0 = default).
+	HashShards int
 }
 
 // LoadArgs carry a chunk of reference trees to a worker's shard.
@@ -77,10 +84,12 @@ type QueryReply struct {
 
 // Worker is the RPC service holding one shard of the reference collection.
 type Worker struct {
-	mu       sync.Mutex
-	taxa     *taxa.Set
-	hash     *core.FreqHash
-	compress bool
+	mu         sync.Mutex
+	taxa       *taxa.Set
+	hash       *core.FreqHash
+	compress   bool
+	backend    core.Backend
+	hashShards int
 }
 
 // WorkerStatus is a consistent snapshot of a worker's shard, exposed for
@@ -117,13 +126,20 @@ func (w *Worker) init(args InitArgs, reply *LoadReply) error {
 	if err != nil {
 		return fmt.Errorf("distrib: %w", err)
 	}
+	backend, err := core.ParseBackend(args.Backend)
+	if err != nil {
+		return fmt.Errorf("distrib: %w", err)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.taxa = ts
 	w.hash = nil
 	w.compress = args.CompressKeys
+	w.backend = backend
+	w.hashShards = args.HashShards
 	*reply = LoadReply{}
-	slog.Debug("worker initialized", "taxa", len(args.TaxaNames), "compress", args.CompressKeys)
+	slog.Debug("worker initialized", "taxa", len(args.TaxaNames),
+		"compress", args.CompressKeys, "backend", backend.String(), "hash_shards", args.HashShards)
 	return nil
 }
 
@@ -146,6 +162,8 @@ func (w *Worker) load(args LoadArgs, reply *LoadReply) error {
 		h, err := core.Build(collection.FromTrees(trees), w.taxa, core.BuildOptions{
 			RequireComplete: true,
 			CompressKeys:    w.compress,
+			Backend:         w.backend,
+			HashShards:      w.hashShards,
 		})
 		if err != nil {
 			return err
@@ -180,7 +198,14 @@ func (w *Worker) query(args QueryArgs, reply *QueryReply) error {
 	if ts == nil {
 		return fmt.Errorf("distrib: worker not initialized")
 	}
+	// The hash copies what it keeps, so the extractor can recycle masks,
+	// and the prober probes with no per-lookup key allocation.
 	ex := bipart.NewExtractor(ts)
+	ex.ReuseMasks = true
+	var p *core.Prober
+	if h != nil {
+		p = h.NewProber()
+	}
 	reply.Hits = make([]int64, len(args.Newicks))
 	reply.Splits = make([]int64, len(args.Newicks))
 	lookups, misses := 0, 0
@@ -194,10 +219,10 @@ func (w *Worker) query(args QueryArgs, reply *QueryReply) error {
 			return fmt.Errorf("distrib: query %d: %w", i, err)
 		}
 		var hits int64
-		if h != nil {
+		if p != nil {
 			lookups += len(bs)
 			for _, b := range bs {
-				f := int64(h.Frequency(b))
+				f := int64(p.Frequency(b))
 				if f == 0 {
 					misses++
 				}

@@ -1,0 +1,296 @@
+package distrib
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log/slog"
+	"math"
+
+	"repro/internal/bfhtable"
+	"repro/internal/core"
+	"repro/internal/taxa"
+)
+
+// Shard snapshots: a compact, shard-aware binary serialization of a
+// worker's partial frequency hash. A snapshot captures the hash itself —
+// not the reference trees — so restoring costs one pass over the entries
+// instead of a re-parse and re-extract of the shard's collection. Because
+// entries are serialized as raw canonical mask words grouped by hash
+// shard, the encoder walks the open-addressing table's arenas without
+// materializing keys, and the layout is backend-independent on restore.
+//
+// Wire layout (all integers little-endian or uvarint):
+//
+//	magic   "BFS1"
+//	flags   byte: bit0 weighted, bit1 compressed keys, bit2 open-addressing
+//	trees   uvarint (r)
+//	taxa    uvarint count, then per name: uvarint length + bytes
+//	nw      uvarint words per key
+//	shards  uvarint shard count
+//	per shard:
+//	  entries uvarint
+//	  per entry: nw × 8-byte LE words, uvarint freq, uvarint size,
+//	             8-byte LE float64 bits of the length sum
+
+const snapshotMagic = "BFS1"
+
+const (
+	snapFlagWeighted   = 1 << 0
+	snapFlagCompressed = 1 << 1
+	snapFlagOpenAddr   = 1 << 2
+)
+
+// EncodeSnapshot serializes h into the snapshot wire format.
+func EncodeSnapshot(h *core.FreqHash) ([]byte, error) {
+	ts := h.Taxa()
+	nw := (ts.Len() + 63) / 64
+	buf := make([]byte, 0, 64+h.UniqueBipartitions()*(nw*8+6))
+	buf = append(buf, snapshotMagic...)
+	var flags byte
+	if h.Weighted() {
+		flags |= snapFlagWeighted
+	}
+	if h.Compressed() {
+		flags |= snapFlagCompressed
+	}
+	if h.Backend() == core.BackendOpenAddressing {
+		flags |= snapFlagOpenAddr
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(h.NumTrees()))
+	names := ts.Names()
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, n := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(n)))
+		buf = append(buf, n...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(nw))
+	shards := h.NumShards()
+	buf = binary.AppendUvarint(buf, uint64(shards))
+	for s := 0; s < shards; s++ {
+		// Count first: the format is length-prefixed per shard.
+		count := 0
+		if err := h.RangeShardRaw(s, func([]uint64, bfhtable.Entry) bool {
+			count++
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		buf = binary.AppendUvarint(buf, uint64(count))
+		if err := h.RangeShardRaw(s, func(words []uint64, e bfhtable.Entry) bool {
+			for _, w := range words {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+			buf = binary.AppendUvarint(buf, uint64(e.Freq))
+			buf = binary.AppendUvarint(buf, uint64(e.Size))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.LengthSum))
+			return true
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// snapReader walks a snapshot buffer with explicit bounds checking.
+type snapReader struct {
+	buf []byte
+	off int
+}
+
+func (r *snapReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, fmt.Errorf("distrib: truncated snapshot at offset %d", r.off)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *snapReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("distrib: corrupt snapshot varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *snapReader) uint64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// DecodeSnapshot reassembles a hash from the wire format. The restored
+// hash keeps the snapshot's backend and key scheme.
+func DecodeSnapshot(data []byte) (*core.FreqHash, error) {
+	r := &snapReader{buf: data}
+	magic, err := r.bytes(len(snapshotMagic))
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("distrib: bad snapshot magic %q", magic)
+	}
+	fb, err := r.bytes(1)
+	if err != nil {
+		return nil, err
+	}
+	flags := fb[0]
+	trees, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nNames, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, nNames)
+	for i := range names {
+		l, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.bytes(int(l))
+		if err != nil {
+			return nil, err
+		}
+		names[i] = string(b)
+	}
+	ts, err := taxa.NewOrderedSet(names)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: snapshot catalogue: %w", err)
+	}
+	nw, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if want := uint64((ts.Len() + 63) / 64); nw != want {
+		return nil, fmt.Errorf("distrib: snapshot has %d words per key, catalogue needs %d", nw, want)
+	}
+	shards, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	backend := core.BackendMap
+	if flags&snapFlagOpenAddr != 0 {
+		backend = core.BackendOpenAddressing
+	}
+	rest, err := core.NewRestorer(core.RestoreSpec{
+		Taxa:         ts,
+		NumTrees:     int(trees),
+		Weighted:     flags&snapFlagWeighted != 0,
+		CompressKeys: flags&snapFlagCompressed != 0,
+		Backend:      backend,
+		HashShards:   int(shards),
+	})
+	if err != nil {
+		return nil, err
+	}
+	words := make([]uint64, nw)
+	for s := uint64(0); s < shards; s++ {
+		count, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < count; i++ {
+			for w := range words {
+				words[w], err = r.uint64()
+				if err != nil {
+					return nil, err
+				}
+			}
+			freq, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			size, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			lenBits, err := r.uint64()
+			if err != nil {
+				return nil, err
+			}
+			if err := rest.AddEntry(words, bfhtable.Entry{
+				Freq:      uint32(freq),
+				Size:      uint32(size),
+				LengthSum: math.Float64frombits(lenBits),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("distrib: %d trailing snapshot bytes", len(data)-r.off)
+	}
+	return rest.Finish()
+}
+
+// SnapshotArgs request a worker's shard snapshot.
+type SnapshotArgs struct{}
+
+// SnapshotReply carries the serialized shard.
+type SnapshotReply struct {
+	Data []byte
+	// Trees and Unique describe the snapshotted shard, for logging and
+	// coordinator sanity checks.
+	Trees  int
+	Unique int
+}
+
+// Snapshot serializes the worker's partial hash. Used for checkpointing a
+// shard and for migrating it to a replacement worker without re-shipping
+// and re-parsing the reference trees.
+func (w *Worker) Snapshot(args SnapshotArgs, reply *SnapshotReply) error {
+	return observeRPC(sideWorker, "Snapshot", func() error { return w.snapshot(args, reply) })
+}
+
+func (w *Worker) snapshot(_ SnapshotArgs, reply *SnapshotReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.hash == nil {
+		return fmt.Errorf("distrib: nothing to snapshot: no reference chunk loaded")
+	}
+	data, err := EncodeSnapshot(w.hash)
+	if err != nil {
+		return err
+	}
+	reply.Data = data
+	reply.Trees = w.hash.NumTrees()
+	reply.Unique = w.hash.UniqueBipartitions()
+	slog.Debug("shard snapshot encoded",
+		"bytes", len(data), "trees", reply.Trees, "unique", reply.Unique)
+	return nil
+}
+
+// RestoreArgs carry a snapshot to install on a worker.
+type RestoreArgs struct {
+	Data []byte
+}
+
+// Restore replaces the worker's shard state with the decoded snapshot,
+// including its taxon catalogue — the receiving half of a migration.
+func (w *Worker) Restore(args RestoreArgs, reply *LoadReply) error {
+	return observeRPC(sideWorker, "Restore", func() error { return w.restore(args, reply) })
+}
+
+func (w *Worker) restore(args RestoreArgs, reply *LoadReply) error {
+	h, err := DecodeSnapshot(args.Data)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.taxa = h.Taxa()
+	w.hash = h
+	w.compress = h.Compressed()
+	reply.ShardTrees = h.NumTrees()
+	reply.ShardUnique = h.UniqueBipartitions()
+	slog.Debug("shard restored from snapshot",
+		"bytes", len(args.Data), "trees", reply.ShardTrees, "unique", reply.ShardUnique)
+	return nil
+}

@@ -2,13 +2,16 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 
+	"repro/internal/bipart"
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/memprof"
 	"repro/internal/tabfmt"
+	"repro/internal/taxa"
 )
 
 // Ablation measures the design choices DESIGN.md calls out:
@@ -44,9 +47,14 @@ func (c *Config) Ablation() *Report {
 			var h *core.FreqHash
 			m := memprof.Measure(func() error {
 				var err error
+				// Both rows pin the map backend: §IX compares key
+				// schemes within the string-keyed engine, and the
+				// open-addressing default stores raw words only. The
+				// backend itself is ablated in the table below.
 				h, err = core.Build(src, ts, core.BuildOptions{
 					RequireComplete: true,
 					CompressKeys:    compress,
+					Backend:         core.BackendMap,
 				})
 				return err
 			})
@@ -62,6 +70,76 @@ func (c *Config) Ablation() *Report {
 			comp.AddRow(n, r, label, fmt.Sprintf("%.4f", m.Minutes()),
 				fmt.Sprintf("%.1f", m.PeakHeapMB()), keyBytesOf(h))
 		}
+	}
+
+	// --- hash backend --------------------------------------------------------
+	// Open-addressing vs map vs map+compressed on one workload, split by
+	// phase: build wall time, then pure query passes over pre-extracted
+	// splits (the same measured region as the BFHRF-OA/BFHRF-MAP perf
+	// records), so the lookup cost the backend changes is visible apart
+	// from parsing.
+	back := tabfmt.New("Hash backend ablation — open-addressing vs map",
+		"Backend", "n", "R", "Build(m)", "Query(m)", "PeakMem(MB)", "Unique")
+	rep.Tables = append(rep.Tables, back)
+	bspec := dataset.Avian()
+	br := c.ScaleTrees(14446)
+	for _, bc := range []struct {
+		label    string
+		backend  core.Backend
+		compress bool
+	}{
+		{"openaddr", core.BackendOpenAddressing, false},
+		{"map", core.BackendMap, false},
+		{"map+compressed", core.BackendMap, true},
+	} {
+		path, ts, err := c.materialize(bspec, br)
+		if err != nil {
+			rep.Notes = append(rep.Notes, err.Error())
+			break
+		}
+		src, err := collection.OpenFile(path)
+		if err != nil {
+			rep.Notes = append(rep.Notes, err.Error())
+			break
+		}
+		var h *core.FreqHash
+		mb := memprof.Measure(func() error {
+			var err error
+			h, err = core.Build(src, ts, core.BuildOptions{
+				RequireComplete: true,
+				CompressKeys:    bc.compress,
+				Backend:         bc.backend,
+			})
+			return err
+		})
+		src.Close()
+		if mb.Err != nil {
+			rep.Notes = append(rep.Notes, mb.Err.Error())
+			continue
+		}
+		splits, err := extractAll(path, ts)
+		if err != nil {
+			rep.Notes = append(rep.Notes, err.Error())
+			continue
+		}
+		mq := memprof.Measure(func() error {
+			p := h.NewProber()
+			for pass := 0; pass < 10; pass++ {
+				for _, bs := range splits {
+					if _, err := p.AverageRFOfSplits(bs, core.Plain); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if mq.Err != nil {
+			rep.Notes = append(rep.Notes, mq.Err.Error())
+			continue
+		}
+		back.AddRow(bc.label, bspec.NumTaxa, br,
+			fmt.Sprintf("%.4f", mb.Minutes()), fmt.Sprintf("%.4f", mq.Minutes()),
+			fmt.Sprintf("%.1f", mb.PeakHeapMB()), h.UniqueBipartitions())
 	}
 
 	// --- worker scaling ------------------------------------------------------
@@ -114,6 +192,34 @@ func (c *Config) Ablation() *Report {
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("compression shrinks key storage most at large n; worker rows are meaningful only when GOMAXPROCS > 1 (this host: %d) — on a single hardware thread they measure goroutine overhead, not the paper's §VII.A scaling", runtime.GOMAXPROCS(0)))
 	return rep
+}
+
+// extractAll parses every tree of the file at path and returns its
+// bipartition set, retained so callers can run repeated query passes
+// without re-parsing. Shared by the backend ablation and the
+// BFHRF-OA/BFHRF-MAP perf engines.
+func extractAll(path string, ts *taxa.Set) ([][]bipart.Bipartition, error) {
+	src, err := collection.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	ex := &bipart.Extractor{Taxa: ts, RequireComplete: true}
+	var splits [][]bipart.Bipartition
+	for {
+		t, err := src.Next()
+		if err == io.EOF {
+			return splits, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		bs, err := ex.Extract(t)
+		if err != nil {
+			return nil, err
+		}
+		splits = append(splits, bs)
+	}
 }
 
 func keyBytesOf(h *core.FreqHash) int {

@@ -26,6 +26,11 @@ type PerfWorkload struct {
 // trajectory measures one representative of each family.
 var perfEngines = []Engine{DS, DSMP8, HashRF, BFHRF8}
 
+// avianEngines adds the hash-backend A/B pair (BFHRF-OA vs BFHRF-MAP) to
+// the paper families on the avian point: the trajectory's record of the
+// open-addressing table's query-phase advantage over the legacy map.
+var avianEngines = []Engine{DS, DSMP8, HashRF, BFHRF8, BFHRFOA, BFHRFMAP}
+
 // PerfIndex is the experiment index of the benchmark trajectory: one
 // point per dataset family, sized so that at the default scale every
 // measured operation is tens to hundreds of milliseconds — big enough
@@ -37,7 +42,7 @@ var perfEngines = []Engine{DS, DSMP8, HashRF, BFHRF8}
 // (§VI.B) — a refusal is not a measurement.
 func PerfIndex() []PerfWorkload {
 	return []PerfWorkload{
-		{ID: "avian-n48-r14446", Spec: dataset.Avian(), R: 14446, Engines: perfEngines},
+		{ID: "avian-n48-r14446", Spec: dataset.Avian(), R: 14446, Engines: avianEngines},
 		{ID: "insect-n144-r10000", Spec: dataset.Insect(), R: 10000, Engines: []Engine{DS, DSMP8, BFHRF8}},
 		{ID: "vartaxa-n1000-r1000", Spec: dataset.VariableTaxa(1000), R: 1000, Engines: perfEngines},
 		{ID: "vartrees-n100-r10000", Spec: dataset.VariableTrees(10000), R: 10000, Engines: perfEngines},

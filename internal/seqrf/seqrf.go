@@ -61,10 +61,21 @@ func AverageRF(q, r collection.Source, opts Options) ([]float64, error) {
 	if err := q.Reset(); err != nil {
 		return nil, err
 	}
-	if opts.workers() == 1 {
+	workers := clampWorkers(opts.workers(), len(refSets))
+	if workers == 1 {
 		return sequential(q, refSets, ex)
 	}
-	return parallel(q, refSets, ex, opts.workers())
+	return parallel(q, refSets, ex, workers)
+}
+
+// clampWorkers limits the DSMP worker count to what the workload can keep
+// busy: each query job costs one comparison per reference tree, so a small
+// reference collection makes jobs too cheap to amortize channel handoff
+// and DSMP loses to DS (BENCH_0001: DSMP8 210ms vs DS 203ms on a 289-tree
+// slice). Delegating to collection.EffectiveWorkers keeps one clamp rule
+// for every engine.
+func clampWorkers(requested, refTrees int) int {
+	return collection.EffectiveWorkers(requested, refTrees)
 }
 
 func loadReference(r collection.Source, ex *bipart.Extractor) ([]*bipart.Set, error) {

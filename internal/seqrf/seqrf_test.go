@@ -183,3 +183,49 @@ func TestPairwiseRF(t *testing.T) {
 		t.Errorf("PairwiseRF = %d, want 2", d)
 	}
 }
+
+// TestClampWorkers pins the DSMP small-workload clamp (the BENCH_0001 fix:
+// DSMP8 lost to DS on a 289-tree reference slice; the clamp turns that
+// request into 4 workers).
+func TestClampWorkers(t *testing.T) {
+	cases := []struct {
+		requested, refTrees, want int
+	}{
+		{8, 289, 4},
+		{8, 63, 1},
+		{8, 10000, 8},
+		{2, 289, 2},
+	}
+	for _, c := range cases {
+		if got := clampWorkers(c.requested, c.refTrees); got != c.want {
+			t.Errorf("clampWorkers(%d, %d) = %d, want %d",
+				c.requested, c.refTrees, got, c.want)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialSmall drives a workload small enough that
+// the clamp collapses DSMP to the sequential path and verifies results
+// stay identical to an unclamped parallel run on a bigger one.
+func TestParallelMatchesSequentialSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	ts := taxa.Generate(12)
+	var trees []*tree.Tree
+	for i := 0; i < 30; i++ {
+		trees = append(trees, simphy.RandomBinary(ts, rng))
+	}
+	src := collection.FromTrees(trees)
+	seq, err := AverageRF(src, src, Options{Taxa: ts, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AverageRF(src, src, Options{Taxa: ts, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("tree %d: sequential %v vs clamped-parallel %v", i, seq[i], par[i])
+		}
+	}
+}
