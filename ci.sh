@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # ci.sh — one-command tier-1 verification.
 #
-#   ./ci.sh            vet + build + tests + race (fast subset) + fuzz smoke
+#   ./ci.sh            gofmt + doc gate + vet + build + tests + race (fast
+#                      subset, incl. the distrib failover/health tests) +
+#                      fuzz smoke + admin smoke
 #   CI_PERF=1 ./ci.sh  additionally gate the perf sweep against BENCH_0002.json
 #
 # The perf gate is opt-in because wall-clock measurements on a loaded CI
@@ -9,6 +11,17 @@
 # on quiet hardware (see "Tracking performance" in README.md).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [[ -n "$unformatted" ]]; then
+  echo "ci.sh: gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "== doc gate (internal/doclint) =="
+go run ./internal/doclint/cmd/doclint .
 
 echo "== go vet =="
 go vet ./...
@@ -27,6 +40,13 @@ go test -race -short \
   ./internal/obs ./internal/perfjson ./internal/profhook \
   ./internal/seqrf ./internal/stats ./internal/tabfmt \
   ./internal/taxa ./internal/tree
+
+echo "== go test -race (distrib fault tolerance) =="
+# The failover, retry, and health-loop paths are the concurrency-heavy
+# new surface; run them explicitly under the race detector (not -short,
+# so nothing in them can quietly skip).
+go test -race -run 'Failover|PartialResults|Retry|Health|Adopt|LoadSeq|WorkerDies' \
+  ./internal/distrib
 
 echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/newick

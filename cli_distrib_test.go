@@ -105,11 +105,58 @@ func TestCLIBfhrfdErrors(t *testing.T) {
 	}
 	if _, stderr, err := run(t, "bfhrfd", "-serve", ":0", "-ref", "x.nwk"); err == nil {
 		t.Error("-serve with -ref should exit non-zero")
-	} else if !strings.Contains(stderr, "coordinator flags") {
+	} else if !strings.Contains(stderr, "coordinator flag") {
 		t.Errorf("expected coordinator-flag rejection, got:\n%s", stderr)
 	}
 	if _, _, err := run(t, "bfhrfd", "-serve", ":0", "-query", "x.nwk"); err == nil {
 		t.Error("-serve with -query should exit non-zero")
+	}
+	// The fault-tolerance knobs configure the coordinator's RPC layer and
+	// are likewise rejected in worker mode.
+	for _, args := range [][]string{
+		{"-serve", ":0", "-partial-results"},
+		{"-serve", ":0", "-rpc-timeout", "5s"},
+		{"-serve", ":0", "-retries", "7"},
+		{"-serve", ":0", "-health-interval", "1s"},
+	} {
+		if _, stderr, err := run(t, "bfhrfd", args...); err == nil {
+			t.Errorf("%v should exit non-zero", args[2:])
+		} else if !strings.Contains(stderr, "coordinator flag") {
+			t.Errorf("%v: expected coordinator-flag rejection, got:\n%s", args[2:], stderr)
+		}
+	}
+}
+
+// TestCLIBfhrfdFaultFlags drives a coordinator run with every fault-
+// tolerance flag set: the happy path must be unaffected (stdout identical
+// to cmd/bfhrf) with the health loop running.
+func TestCLIBfhrfdFaultFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests in -short mode")
+	}
+	dir := buildCLIs(t)
+	data := t.TempDir()
+	refs := filepath.Join(data, "refs.nwk")
+	if _, stderr, err := run(t, "treegen", "-n", "10", "-r", "16", "-seed", "21", "-out", refs); err != nil {
+		t.Fatalf("treegen: %v\n%s", err, stderr)
+	}
+	workerAddr, _ := startWorkerProcess(t)
+	_ = dir
+
+	distOut, stderr, err := run(t, "bfhrfd", "-workers", workerAddr, "-ref", refs,
+		"-rpc-timeout", "10s", "-retries", "3", "-health-interval", "50ms", "-chunk", "5")
+	if err != nil {
+		t.Fatalf("coordinator with fault flags: %v\n%s", err, stderr)
+	}
+	localOut, _, err := run(t, "bfhrf", "-ref", refs)
+	if err != nil {
+		t.Fatalf("bfhrf: %v", err)
+	}
+	if strings.TrimSpace(distOut) != strings.TrimSpace(localOut) {
+		t.Errorf("fault-flagged output differs from local:\n%s\nvs\n%s", distOut, localOut)
+	}
+	if strings.Contains(stderr, "PARTIAL") {
+		t.Errorf("healthy run reported partial results:\n%s", stderr)
 	}
 }
 

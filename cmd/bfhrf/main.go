@@ -33,12 +33,12 @@ func main() {
 	var (
 		refPath   = flag.String("ref", "", "reference tree collection (Newick, required)")
 		queryPath = flag.String("query", "", "query tree collection (Newick); defaults to -ref (Q is R)")
-		cpus      = flag.Int("cpus", 0, "worker count (0 = all CPUs)")
+		cpus      = flag.Int("cpus", 0, "worker count (0 = all CPUs; clamped to the collection size)")
 		variant   = flag.String("variant", "plain", "RF variant: plain | normalized | weighted | info")
 		minSize   = flag.Int("min-split", 0, "drop bipartitions whose smaller side has fewer taxa")
 		maxSize   = flag.Int("max-split", 0, "drop bipartitions whose smaller side has more taxa (0 = no bound)")
 		intersect = flag.Bool("intersect-taxa", false, "variable-taxa mode: restrict all trees to their common taxa")
-		compress  = flag.Bool("compress", false, "store losslessly compressed bipartition keys (lower memory)")
+		compress  = flag.Bool("compress", false, "store losslessly compressed bipartition keys (lower memory; selects the map hash backend)")
 		best      = flag.Bool("best", false, "print only the query with the lowest average RF")
 		annotate  = flag.String("annotate", "", "instead of distances, print this Newick tree annotated with reference support percentages")
 		version   = flag.Bool("version", false, "print version and VCS revision, then exit")

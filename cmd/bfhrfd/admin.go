@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/distrib"
@@ -72,16 +74,38 @@ func workerHealthz(w *distrib.Worker) http.HandlerFunc {
 	}
 }
 
-// coordinatorHealthz reports how many workers the coordinator reached.
+// coordinatorHealthz reports the cluster shape as the coordinator sees
+// it: total and alive worker counts plus the per-worker health verdict
+// (healthy/suspect/dead, mirroring bfhrf_worker_state). 503 when no
+// worker is reachable, "degraded" when some — but not all — are dead.
 func coordinatorHealthz(coord *distrib.Coordinator) http.HandlerFunc {
 	return func(rw http.ResponseWriter, _ *http.Request) {
 		n := coord.NumWorkers()
+		alive := coord.AliveWorkers()
 		rw.Header().Set("Content-Type", "application/json")
-		if n == 0 {
+		if n == 0 || alive == 0 {
 			rw.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(rw, `{"status":"not ready","workers":0}`)
+			fmt.Fprintf(rw, `{"status":"not ready","workers":%d,"alive":%d}`+"\n", n, alive)
 			return
 		}
-		fmt.Fprintf(rw, `{"status":"ok","workers":%d}`+"\n", n)
+		status := "ok"
+		if alive < n {
+			status = "degraded"
+		}
+		states := coord.WorkerStates()
+		addrs := make([]string, 0, len(states))
+		for addr := range states {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		var sb strings.Builder
+		for i, addr := range addrs {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, `%q:%q`, addr, states[addr].String())
+		}
+		fmt.Fprintf(rw, `{"status":%q,"workers":%d,"alive":%d,"states":{%s}}`+"\n",
+			status, n, alive, sb.String())
 	}
 }

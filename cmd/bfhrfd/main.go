@@ -11,13 +11,27 @@
 //
 //	bfhrfd -workers host1:7001,host2:7001 -ref refs.nwk -query queries.nwk
 //
-// Output matches cmd/bfhrf: one "index<TAB>avgRF" line per query.
+// Output matches cmd/bfhrf: one "index<TAB>avgRF" line per query on
+// stdout. Fault-tolerance annotations (coverage, failovers, lost workers)
+// go to stderr so pipelines comparing the two commands stay byte-stable.
+//
+// The coordinator tolerates worker failure. Every RPC carries the
+// -rpc-timeout deadline and transient failures (dial errors, timeouts,
+// severed connections) are retried up to -retries times with exponential
+// backoff. A worker that stays unreachable is declared dead: by default
+// its shard is re-dispatched to a healthy worker from the post-load
+// checkpoint and the query still returns the exact full result; with
+// -partial-results the query instead answers from the shards that
+// responded and reports the achieved coverage. -health-interval starts a
+// background probe loop that detects dead workers between queries
+// (bfhrf_worker_state: 0 healthy, 1 suspect, 2 dead). See ARCHITECTURE.md
+// for the failure model and "Operating bfhrfd" in README.md for the
+// recovery runbook.
 //
 // The -admin listener serves the runtime telemetry: /metrics (Prometheus
 // text format), /healthz (worker: shard loaded + tree count; coordinator:
-// reachable workers), and /debug/pprof. Structured logs go to stderr
-// (-log-format text|json, -v for debug detail, -v=2 for trace). See
-// "Operating bfhrfd" in README.md for the metric catalog.
+// alive/dead worker counts), and /debug/pprof. Structured logs go to
+// stderr (-log-format text|json, -v for debug detail, -v=2 for trace).
 //
 // The profiling flags (-cpuprofile, -memprofile, -trace) capture the run
 // for `go tool pprof` / `go tool trace`. A worker profiles until it is
@@ -26,6 +40,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -34,6 +49,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/collection"
 	"repro/internal/distrib"
@@ -46,12 +62,21 @@ func main() {
 		serve     = flag.String("serve", "", "run as a worker, listening on this address (e.g. :7001)")
 		workers   = flag.String("workers", "", "coordinator mode: comma-separated worker addresses")
 		refPath   = flag.String("ref", "", "reference tree collection (coordinator mode)")
-		queryPath = flag.String("query", "", "query tree collection; defaults to -ref")
-		compress  = flag.Bool("compress", false, "store compressed bipartition keys on the shards")
-		chunk     = flag.Int("chunk", 512, "reference trees per load RPC")
-		batch     = flag.Int("batch", 256, "query trees per query RPC")
+		queryPath = flag.String("query", "", "query tree collection; defaults to -ref (coordinator mode)")
+		compress  = flag.Bool("compress", false, "store losslessly compressed bipartition keys on the shards (selects the map hash backend; coordinator mode)")
+		chunk     = flag.Int("chunk", 512, "reference trees per load RPC (coordinator mode)")
+		batch     = flag.Int("batch", 256, "query trees per query RPC (coordinator mode)")
 		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9090)")
 		version   = flag.Bool("version", false, "print version and VCS revision, then exit")
+
+		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second,
+			"per-RPC deadline; 0 disables (coordinator mode)")
+		retries = flag.Int("retries", 2,
+			"retries per RPC on transient failures, with exponential backoff (coordinator mode)")
+		partialResults = flag.Bool("partial-results", false,
+			"answer from surviving shards instead of failing over a dead worker's shard; coverage is reported on stderr and in bfhrf_query_shard_coverage (coordinator mode)")
+		healthInterval = flag.Duration("health-interval", 0,
+			"probe worker health at this period; 0 disables the loop (coordinator mode)")
 	)
 	profs := profhook.RegisterFlags(nil)
 	logc := obs.RegisterLogFlags(nil)
@@ -67,7 +92,7 @@ func main() {
 	}
 	obs.RegisterBuildInfo(nil)
 
-	if code, msg := validateFlags(*serve, *workers, *refPath, *queryPath); code != 0 {
+	if code, msg := validateFlags(*serve, *workers, setFlags()); code != 0 {
 		fmt.Fprintf(os.Stderr, "bfhrfd: %s\n", msg)
 		flag.Usage()
 		os.Exit(code)
@@ -83,7 +108,19 @@ func main() {
 	if *serve != "" {
 		code = runWorker(*serve, *admin)
 	} else {
-		code = runCoordinator(*workers, *refPath, *queryPath, *admin, *compress, *chunk, *batch)
+		code = runCoordinator(coordConfig{
+			workers:        *workers,
+			refPath:        *refPath,
+			queryPath:      *queryPath,
+			adminAddr:      *admin,
+			compress:       *compress,
+			chunk:          *chunk,
+			batch:          *batch,
+			rpcTimeout:     *rpcTimeout,
+			retries:        *retries,
+			partialResults: *partialResults,
+			healthInterval: *healthInterval,
+		})
 	}
 	if err := stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "bfhrfd: stopping profiles: %v\n", err)
@@ -94,18 +131,38 @@ func main() {
 	os.Exit(code)
 }
 
+// coordinatorOnly lists the flags that configure the coordinator and are
+// meaningless on a worker (a worker receives its shard and its queries
+// over RPC). Worker mode rejects them instead of silently ignoring them.
+var coordinatorOnly = []string{
+	"ref", "query", "compress", "chunk", "batch",
+	"rpc-timeout", "retries", "partial-results", "health-interval",
+}
+
+// setFlags reports which flags were explicitly set on the command line.
+func setFlags() map[string]bool {
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
 // validateFlags enforces the mode split: -serve selects worker mode and
 // -workers coordinator mode; they are mutually exclusive, and the
 // coordinator-only flags are errors in worker mode rather than silently
 // ignored.
-func validateFlags(serve, workers, refPath, queryPath string) (int, string) {
+func validateFlags(serve, workers string, set map[string]bool) (int, string) {
 	switch {
 	case serve == "" && workers == "":
 		return 2, "need -serve (worker) or -workers (coordinator)"
 	case serve != "" && workers != "":
 		return 2, "-serve (worker mode) and -workers (coordinator mode) are mutually exclusive"
-	case serve != "" && (refPath != "" || queryPath != ""):
-		return 2, "-ref/-query are coordinator flags; a worker receives its shard over RPC"
+	}
+	if serve != "" {
+		for _, name := range coordinatorOnly {
+			if set[name] {
+				return 2, fmt.Sprintf("-%s is a coordinator flag; a worker receives its shard over RPC", name)
+			}
+		}
 	}
 	return 0, ""
 }
@@ -156,32 +213,61 @@ func runWorker(addr, adminAddr string) int {
 	return code
 }
 
-func runCoordinator(workerList, refPath, queryPath, adminAddr string, compress bool, chunk, batch int) int {
-	if refPath == "" {
+// coordConfig bundles the coordinator-mode flag values.
+type coordConfig struct {
+	workers, refPath, queryPath, adminAddr string
+	compress                               bool
+	chunk, batch                           int
+	rpcTimeout                             time.Duration
+	retries                                int
+	partialResults                         bool
+	healthInterval                         time.Duration
+}
+
+func runCoordinator(cfg coordConfig) int {
+	if cfg.refPath == "" {
 		fmt.Fprintln(os.Stderr, "bfhrfd: -ref is required in coordinator mode")
 		flag.Usage()
 		return 2
 	}
-	if queryPath == "" {
-		queryPath = refPath
+	if cfg.queryPath == "" {
+		cfg.queryPath = cfg.refPath
 	}
 	var addrs []string
-	for _, a := range strings.Split(workerList, ",") {
+	for _, a := range strings.Split(cfg.workers, ",") {
 		if a = strings.TrimSpace(a); a != "" {
 			addrs = append(addrs, a)
 		}
 	}
-	coord, err := distrib.Dial(addrs)
+	// SIGINT/SIGTERM cancels the context, which aborts in-flight RPCs and
+	// backoff sleeps instead of leaving the run hanging on a dead cluster.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	retry := distrib.RetryPolicy{MaxAttempts: cfg.retries + 1}
+	// Workers may still be starting when the coordinator launches; ride
+	// that out with the same backoff the per-RPC path uses.
+	var coord *distrib.Coordinator
+	err := distrib.Do(ctx, retry,
+		func(r int, err error) { slog.Warn("retrying worker dial", "retry", r+1, "error", err) },
+		func() error {
+			var err error
+			coord, err = distrib.Dial(addrs)
+			return err
+		})
 	if err != nil {
 		return fail(err)
 	}
 	defer coord.Close()
-	coord.ChunkSize = chunk
-	coord.BatchSize = batch
+	coord.ChunkSize = cfg.chunk
+	coord.BatchSize = cfg.batch
+	coord.RPCTimeout = cfg.rpcTimeout
+	coord.Retry = retry
+	coord.PartialResults = cfg.partialResults
 
 	var adm *adminServer
-	if adminAddr != "" {
-		adm, err = startAdmin(adminAddr, coordinatorHealthz(coord))
+	if cfg.adminAddr != "" {
+		adm, err = startAdmin(cfg.adminAddr, coordinatorHealthz(coord))
 		if err != nil {
 			return fail(err)
 		}
@@ -190,7 +276,7 @@ func runCoordinator(workerList, refPath, queryPath, adminAddr string, compress b
 		defer adm.Shutdown() //nolint:errcheck — best-effort drain on exit
 	}
 
-	refs, err := collection.OpenFile(refPath)
+	refs, err := collection.OpenFile(cfg.refPath)
 	if err != nil {
 		return fail(err)
 	}
@@ -201,23 +287,43 @@ func runCoordinator(workerList, refPath, queryPath, adminAddr string, compress b
 	if err != nil {
 		return fail(err)
 	}
-	if err := coord.Load(refs, ts, compress); err != nil {
+	if err := coord.LoadContext(ctx, refs, ts, cfg.compress); err != nil {
 		return fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "bfhrfd: loaded references across %d workers\n", coord.NumWorkers())
 
-	queries, err := collection.OpenFile(queryPath)
+	if cfg.healthInterval > 0 {
+		stopHealth := coord.StartHealthLoop(cfg.healthInterval)
+		defer stopHealth()
+		slog.Info("health loop started", "interval", cfg.healthInterval.String())
+	}
+
+	queries, err := collection.OpenFile(cfg.queryPath)
 	if err != nil {
 		return fail(err)
 	}
 	defer queries.Close()
-	results, err := coord.AverageRF(queries)
+	out, err := coord.AverageRFContext(ctx, queries)
 	if err != nil {
 		return fail(err)
 	}
-	for _, r := range results {
+	for _, r := range out.Results {
 		fmt.Printf("%d\t%g\n", r.Index, r.AvgRF)
 	}
-	slog.Info("run complete", "queries", len(results), "workers", coord.NumWorkers())
+	// Fault-tolerance annotations stay off stdout: the result stream must
+	// remain byte-identical to cmd/bfhrf.
+	if len(out.DeadWorkers) > 0 {
+		fmt.Fprintf(os.Stderr, "bfhrfd: lost workers during run: %s\n", strings.Join(out.DeadWorkers, ", "))
+	}
+	if out.Failovers > 0 {
+		fmt.Fprintf(os.Stderr, "bfhrfd: %d shard(s) failed over; results are complete\n", out.Failovers)
+	}
+	if out.Partial {
+		fmt.Fprintf(os.Stderr, "bfhrfd: PARTIAL RESULTS: minimum shard coverage %.1f%% of reference trees\n",
+			out.Coverage*100)
+	}
+	slog.Info("run complete", "queries", len(out.Results), "workers", coord.NumWorkers(),
+		"alive", coord.AliveWorkers(), "failovers", out.Failovers,
+		"partial", out.Partial, "coverage", out.Coverage)
 	return 0
 }

@@ -1,0 +1,28 @@
+package bfhtable_test
+
+import (
+	"fmt"
+
+	"repro/internal/bfhtable"
+)
+
+// Example folds a few bipartition occurrences into the open-addressing
+// table and reads one back. Keys are the canonical mask words themselves;
+// no string key is ever materialized.
+func Example() {
+	t := bfhtable.New(1, 4) // one-word keys (catalogue of ≤64 taxa), 4 shards
+
+	ab := []uint64{0b0011} // the split {A,B} | rest as a bit mask
+	cd := []uint64{0b1100}
+	t.Add(ab, 2, 0) // seen in one reference tree...
+	t.Add(ab, 2, 0) // ...and another
+	t.Add(cd, 2, 0)
+
+	e, ok := t.Lookup(ab)
+	fmt.Printf("unique=%d {A,B}: found=%t freq=%d size=%d\n", t.Len(), ok, e.Freq, e.Size)
+	_, ok = t.Lookup([]uint64{0b0101})
+	fmt.Printf("{A,C}: found=%t\n", ok)
+	// Output:
+	// unique=2 {A,B}: found=true freq=2 size=2
+	// {A,C}: found=false
+}

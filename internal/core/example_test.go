@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/newick"
+	"repro/internal/tree"
+)
+
+func mustParse(newicks []string) []*tree.Tree {
+	trees := make([]*tree.Tree, len(newicks))
+	for i, s := range newicks {
+		t, err := newick.Parse(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trees[i] = t
+	}
+	return trees
+}
+
+// Example builds the bipartition frequency hash over a reference
+// collection once and answers each query with a single tree-vs-hash
+// comparison — the paper's core loop.
+func Example() {
+	refs := mustParse([]string{
+		"((A,B),(C,D),E);",
+		"((A,B),(C,E),D);",
+		"((A,C),(B,D),E);",
+	})
+	queries := mustParse([]string{
+		"((A,B),(C,D),E);", // identical to the first reference
+		"((A,E),(B,C),D);", // shares no non-trivial split
+	})
+
+	src := collection.FromTrees(refs)
+	ts, err := collection.ScanTaxa(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := core.Build(src, ts, core.BuildOptions{RequireComplete: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("references=%d unique splits=%d\n", h.NumTrees(), h.UniqueBipartitions())
+
+	results, err := h.AverageRF(collection.FromTrees(queries), core.QueryOptions{RequireComplete: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("query %d: avgRF %.4f\n", r.Index, r.AvgRF)
+	}
+	// Output:
+	// references=3 unique splits=5
+	// query 0: avgRF 2.0000
+	// query 1: avgRF 4.0000
+}

@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -16,13 +17,34 @@ import (
 	"repro/internal/taxa"
 )
 
+// workerSlot is the coordinator's book-keeping for one worker: its
+// connection, the coordinator's health verdict, and the post-load shard
+// checkpoint that makes failover possible without re-shipping trees.
+type workerSlot struct {
+	addr   string
+	client *rpc.Client
+	state  WorkerState
+	// fails counts consecutive health-check failures (see health.go).
+	fails int
+	// trees is the shard's reference tree count, fixed by Load's probe.
+	trees int
+	// snapshot is the shard checkpoint taken after Load (nil for empty
+	// shards and when failover is disabled).
+	snapshot []byte
+	// orphaned marks a dead worker whose non-empty shard has not been
+	// re-homed yet.
+	orphaned bool
+}
+
 // Coordinator shards a reference collection across workers and answers
-// average-RF queries by scatter-gather.
+// average-RF queries by scatter-gather. It tolerates worker failure: RPCs
+// carry deadlines, transient errors are retried with backoff, and a dead
+// worker's shard is re-dispatched to a healthy worker from the post-load
+// checkpoint (or, with PartialResults, the query degrades and reports its
+// coverage).
 type Coordinator struct {
-	clients []*rpc.Client
-	// addrs[i] is the dialed address of clients[i] — the `worker` label on
-	// every coordinator-side metric series.
-	addrs []string
+	mu    sync.Mutex
+	slots []*workerSlot
 	taxa  *taxa.Set
 	// sum and r are the folded global totals, fixed after Load.
 	sum uint64
@@ -36,9 +58,50 @@ type Coordinator struct {
 	// HashShards overrides each shard's open-addressing internal shard
 	// count (0 = worker default).
 	HashShards int
+
+	// RPCTimeout is the per-RPC deadline. On expiry the connection is
+	// considered poisoned (net/rpc cannot cancel an in-flight call), the
+	// call fails with a transient error and is retried on a fresh dial.
+	// 0 means no deadline.
+	RPCTimeout time.Duration
+	// Retry bounds the backoff loop around every RPC. The zero value
+	// means a single attempt.
+	Retry RetryPolicy
+	// PartialResults selects the degraded-results policy: instead of
+	// re-dispatching a dead worker's shard (fail-fast mode, the default),
+	// answer from the shards that responded and report the coverage in
+	// the Outcome and in bfhrf_query_shard_coverage.
+	PartialResults bool
+	// NoFailover disables shard re-dispatch and post-load checkpoints; a
+	// dead worker then fails the query (unless PartialResults is set).
+	NoFailover bool
+	// DeadAfter is the number of consecutive health-check failures after
+	// which the health loop declares a worker dead (default 3). The first
+	// failure marks it suspect.
+	DeadAfter int
 }
 
-// Dial connects to worker addresses ("host:port").
+// Outcome is the result of one AverageRF run plus its fault-tolerance
+// annotations.
+type Outcome struct {
+	// Results are the per-query averages, in query order.
+	Results []core.Result
+	// Coverage is the minimum, over query batches, of the fraction of
+	// reference trees whose shards answered. 1 means every result is
+	// exact; lower values only occur with PartialResults.
+	Coverage float64
+	// Partial reports whether any batch was answered from a strict
+	// subset of the shards.
+	Partial bool
+	// Failovers counts shards successfully re-dispatched during the run.
+	Failovers int
+	// DeadWorkers lists addresses declared dead during the run.
+	DeadWorkers []string
+}
+
+// Dial connects to worker addresses ("host:port"). Each address is tried
+// once; wrap Dial in Do with a RetryPolicy to ride out workers that are
+// still starting.
 func Dial(addrs []string) (*Coordinator, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("distrib: no worker addresses")
@@ -51,55 +114,241 @@ func Dial(addrs []string) (*Coordinator, error) {
 			c.Close()
 			return nil, fmt.Errorf("distrib: dialing %s: %w", addr, err)
 		}
-		c.clients = append(c.clients, rpc.NewClient(meterConn(conn, sideCoordinator)))
-		c.addrs = append(c.addrs, addr)
+		c.slots = append(c.slots, &workerSlot{
+			addr:   addr,
+			client: rpc.NewClient(meterConn(conn, sideCoordinator)),
+		})
+		workerStateGauge(addr).Set(float64(StateHealthy))
 	}
-	slog.Debug("coordinator connected", "workers", len(c.clients))
+	slog.Debug("coordinator connected", "workers", len(c.slots))
 	return c, nil
 }
 
 // Close releases every worker connection.
 func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var first error
-	for _, cl := range c.clients {
-		if cl != nil {
-			if err := cl.Close(); err != nil && first == nil {
+	for _, s := range c.slots {
+		if s.client != nil {
+			if err := s.client.Close(); err != nil && first == nil {
 				first = err
 			}
+			s.client = nil
 		}
 	}
-	c.clients = nil
-	c.addrs = nil
+	c.slots = nil
 	return first
 }
 
-// NumWorkers returns the number of connected shards.
-func (c *Coordinator) NumWorkers() int { return len(c.clients) }
+// NumWorkers returns the number of dialed shards, dead or alive.
+func (c *Coordinator) NumWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.slots)
+}
+
+// AliveWorkers returns how many workers are not declared dead.
+func (c *Coordinator) AliveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range c.slots {
+		if s.state != StateDead {
+			n++
+		}
+	}
+	return n
+}
 
 // Addrs returns the dialed worker addresses.
-func (c *Coordinator) Addrs() []string { return append([]string(nil), c.addrs...) }
+func (c *Coordinator) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := make([]string, len(c.slots))
+	for i, s := range c.slots {
+		addrs[i] = s.addr
+	}
+	return addrs
+}
 
-// call executes one RPC against worker i with full instrumentation:
-// per-worker latency histogram, error counter, in-flight gauge.
-func (c *Coordinator) call(i int, method string, args, reply any) error {
+// slot returns the i-th worker slot (stable for the coordinator's life).
+func (c *Coordinator) slot(i int) *workerSlot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slots[i]
+}
+
+// clientOf returns a live client for worker i, redialing if the previous
+// connection was poisoned. Fails fast on workers already declared dead.
+func (c *Coordinator) clientOf(i int) (*rpc.Client, error) {
+	c.mu.Lock()
+	s := c.slots[i]
+	if s.state == StateDead {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("distrib: %s: %w", s.addr, errWorkerDead)
+	}
+	if cl := s.client; cl != nil {
+		c.mu.Unlock()
+		return cl, nil
+	}
+	addr := s.addr
+	c.mu.Unlock()
+
+	var conn net.Conn
+	var err error
+	if c.RPCTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, c.RPCTimeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
+	if err != nil {
+		rpcErrors(obs.L("side", sideCoordinator), obs.L("method", "Dial"), obs.L("worker", addr)).Inc()
+		return nil, fmt.Errorf("distrib: redialing %s: %w", addr, err)
+	}
+	cl := rpc.NewClient(meterConn(conn, sideCoordinator))
+	c.mu.Lock()
+	if s.client == nil {
+		s.client = cl
+	} else {
+		// A concurrent caller redialed first; use theirs.
+		cl.Close()
+		cl = s.client
+	}
+	c.mu.Unlock()
+	slog.Debug("worker redialed", "worker", addr)
+	return cl, nil
+}
+
+// invalidate drops a poisoned client so the next attempt redials.
+func (c *Coordinator) invalidate(i int, cl *rpc.Client) {
+	c.mu.Lock()
+	s := c.slots[i]
+	if s.client == cl {
+		s.client = nil
+	}
+	c.mu.Unlock()
+	if cl != nil {
+		cl.Close()
+	}
+}
+
+// callOnce executes one RPC against worker i with full instrumentation:
+// per-worker latency histogram, error counter, in-flight gauge, and the
+// per-RPC deadline. On deadline expiry or context cancellation the
+// connection is closed — net/rpc cannot abandon a single in-flight call —
+// so the retry layer redials.
+func (c *Coordinator) callOnce(ctx context.Context, i int, method string, args, reply any) error {
+	cl, err := c.clientOf(i)
+	if err != nil {
+		return err
+	}
+	addr := c.slot(i).addr
 	inflight := rpcInflight(sideCoordinator)
 	inflight.Inc()
 	start := time.Now()
-	err := c.clients[i].Call("BFHRF."+method, args, reply)
-	rpcLatency(obs.L("side", sideCoordinator), obs.L("method", method), obs.L("worker", c.addrs[i])).
+
+	call := cl.Go("BFHRF."+method, args, reply, make(chan *rpc.Call, 1))
+	var timeout <-chan time.Time
+	if c.RPCTimeout > 0 {
+		t := time.NewTimer(c.RPCTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-call.Done:
+		err = call.Error
+	case <-timeout:
+		c.invalidate(i, cl)
+		err = fmt.Errorf("distrib: %s to %s after %v: %w", method, addr, c.RPCTimeout, errRPCTimeout)
+	case <-done:
+		c.invalidate(i, cl)
+		err = ctx.Err()
+	}
+
+	rpcLatency(obs.L("side", sideCoordinator), obs.L("method", method), obs.L("worker", addr)).
 		Observe(time.Since(start).Seconds())
 	if err != nil {
-		rpcErrors(obs.L("side", sideCoordinator), obs.L("method", method), obs.L("worker", c.addrs[i])).Inc()
+		rpcErrors(obs.L("side", sideCoordinator), obs.L("method", method), obs.L("worker", addr)).Inc()
 	}
 	inflight.Dec()
 	return err
+}
+
+// call executes one RPC against worker i with retry-on-transient: each
+// failed attempt drops the (possibly poisoned) connection so the next
+// attempt redials the worker.
+func (c *Coordinator) call(ctx context.Context, i int, method string, args, reply any) error {
+	addr := c.slot(i).addr
+	return Do(ctx, c.Retry,
+		func(retry int, err error) {
+			rpcRetries(method, addr).Inc()
+			slog.Debug("retrying rpc", "method", method, "worker", addr, "retry", retry+1, "error", err)
+		},
+		func() error {
+			err := c.callOnce(ctx, i, method, args, reply)
+			if err != nil && IsTransient(err) {
+				c.mu.Lock()
+				cl := c.slots[i].client
+				c.mu.Unlock()
+				c.invalidate(i, cl)
+			}
+			return err
+		})
+}
+
+// markDead declares worker i unrecoverable: its connection is dropped,
+// bfhrf_worker_state flips to 2, and a non-empty shard becomes an orphan
+// awaiting failover.
+func (c *Coordinator) markDead(i int, cause error) {
+	c.mu.Lock()
+	s := c.slots[i]
+	alreadyDead := s.state == StateDead
+	s.state = StateDead
+	if s.trees > 0 {
+		s.orphaned = true
+	}
+	cl := s.client
+	s.client = nil
+	c.mu.Unlock()
+	if cl != nil {
+		cl.Close()
+	}
+	if !alreadyDead {
+		workerStateGauge(s.addr).Set(float64(StateDead))
+		slog.Warn("worker declared dead", "worker", s.addr, "shard_trees", s.trees, "cause", cause)
+	}
+}
+
+// liveIndexes snapshots the indexes of workers not declared dead.
+func (c *Coordinator) liveIndexes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var live []int
+	for i, s := range c.slots {
+		if s.state != StateDead {
+			live = append(live, i)
+		}
+	}
+	return live
 }
 
 // Load initializes every worker with the catalogue and distributes the
 // reference collection round-robin in chunks. It must be called once
 // before Query.
 func (c *Coordinator) Load(refs collection.Source, ts *taxa.Set, compress bool) error {
-	if len(c.clients) == 0 {
+	return c.LoadContext(context.Background(), refs, ts, compress)
+}
+
+// LoadContext is Load with cancellation: ctx bounds every RPC of the load
+// phase. A worker failure during load is fatal — failover only covers the
+// query phase, because a half-loaded shard has no checkpoint to re-home.
+func (c *Coordinator) LoadContext(ctx context.Context, refs collection.Source, ts *taxa.Set, compress bool) error {
+	if c.NumWorkers() == 0 {
 		return fmt.Errorf("distrib: no workers")
 	}
 	_, span := obs.StartSpan(nil, "coord.load")
@@ -111,9 +360,10 @@ func (c *Coordinator) Load(refs collection.Source, ts *taxa.Set, compress bool) 
 		Backend:      c.Backend.String(),
 		HashShards:   c.HashShards,
 	}
-	for i := range c.clients {
+	n := c.NumWorkers()
+	for i := 0; i < n; i++ {
 		var reply LoadReply
-		if err := c.call(i, "Init", init, &reply); err != nil {
+		if err := c.call(ctx, i, "Init", init, &reply); err != nil {
 			return fmt.Errorf("distrib: init worker %d: %w", i, err)
 		}
 	}
@@ -122,18 +372,20 @@ func (c *Coordinator) Load(refs collection.Source, ts *taxa.Set, compress bool) 
 	}
 	chunk := make([]string, 0, c.chunkSize())
 	target := 0
+	var seq uint64
 	flush := func() error {
 		if len(chunk) == 0 {
 			return nil
 		}
+		seq++
 		var reply LoadReply
-		err := c.call(target, "Load", LoadArgs{Newicks: chunk}, &reply)
+		err := c.call(ctx, target, "Load", LoadArgs{Newicks: chunk, Seq: seq}, &reply)
 		if err != nil {
 			return fmt.Errorf("distrib: load worker %d: %w", target, err)
 		}
-		slog.Debug("chunk distributed", "worker", c.addrs[target],
+		slog.Debug("chunk distributed", "worker", c.slot(target).addr,
 			"chunk", len(chunk), "shard_trees", reply.ShardTrees, "shard_unique", reply.ShardUnique)
-		target = (target + 1) % len(c.clients)
+		target = (target + 1) % n
 		chunk = chunk[:0]
 		return nil
 	}
@@ -160,20 +412,50 @@ func (c *Coordinator) Load(refs collection.Source, ts *taxa.Set, compress bool) 
 	if total == 0 {
 		return fmt.Errorf("distrib: reference collection is empty")
 	}
-	// Fold global totals with an empty probe query.
+	// Fold global totals with an empty probe query, and remember each
+	// shard's size — the denominator of the coverage arithmetic.
 	c.sum, c.r = 0, 0
-	for i := range c.clients {
+	for i := 0; i < n; i++ {
 		var reply QueryReply
-		if err := c.call(i, "Query", QueryArgs{}, &reply); err != nil {
+		if err := c.call(ctx, i, "Query", QueryArgs{}, &reply); err != nil {
 			return fmt.Errorf("distrib: probing worker %d: %w", i, err)
 		}
 		c.sum += reply.ShardSum
 		c.r += reply.ShardTrees
+		c.slot(i).trees = reply.ShardTrees
 	}
 	if c.r != total {
 		return fmt.Errorf("distrib: workers report %d trees, loaded %d", c.r, total)
 	}
-	slog.Info("references loaded", "trees", total, "workers", len(c.clients), "sum", c.sum)
+	if err := c.checkpoint(ctx); err != nil {
+		return err
+	}
+	slog.Info("references loaded", "trees", total, "workers", n, "sum", c.sum)
+	return nil
+}
+
+// checkpoint snapshots every non-empty shard so a dead worker's partition
+// can be re-dispatched without re-shipping or re-parsing reference trees.
+// Skipped when failover is disabled.
+func (c *Coordinator) checkpoint(ctx context.Context) error {
+	if c.NoFailover {
+		return nil
+	}
+	n := c.NumWorkers()
+	for i := 0; i < n; i++ {
+		s := c.slot(i)
+		if s.trees == 0 {
+			continue // an empty shard needs no failover
+		}
+		var reply SnapshotReply
+		if err := c.call(ctx, i, "Snapshot", SnapshotArgs{}, &reply); err != nil {
+			return fmt.Errorf("distrib: checkpointing worker %d: %w", i, err)
+		}
+		c.mu.Lock()
+		s.snapshot = reply.Data
+		c.mu.Unlock()
+		slog.Debug("shard checkpointed", "worker", s.addr, "bytes", len(reply.Data), "trees", reply.Trees)
+	}
 	return nil
 }
 
@@ -192,31 +474,45 @@ func (c *Coordinator) batchSize() int {
 }
 
 // AverageRF streams the query collection, fanning each batch out to every
-// worker and folding the partial sums. Results are in query order.
+// worker and folding the partial sums. Results are in query order. See
+// AverageRFContext for the coverage and failover annotations.
 func (c *Coordinator) AverageRF(queries collection.Source) ([]core.Result, error) {
+	out, err := c.AverageRFContext(context.Background(), queries)
+	if err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// AverageRFContext runs the scatter-gather query phase under ctx and
+// returns the results together with their fault-tolerance annotations:
+// achieved shard coverage, whether any batch was partial, and which
+// workers were lost along the way.
+func (c *Coordinator) AverageRFContext(ctx context.Context, queries collection.Source) (*Outcome, error) {
 	if c.r == 0 {
 		return nil, fmt.Errorf("distrib: Load before Query")
 	}
-	ctx, span := obs.StartSpan(nil, "coord.query")
+	sctx, span := obs.StartSpan(nil, "coord.query")
 	defer span.End()
 	if err := queries.Reset(); err != nil {
 		return nil, err
 	}
-	var results []core.Result
+	out := &Outcome{Coverage: 1}
+	deadBefore := c.deadAddrs()
 	batch := make([]string, 0, c.batchSize())
 	idx := 0
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
-		_, bspan := obs.StartSpan(ctx, "coord.query.batch")
-		avgs, err := c.queryBatch(batch)
+		_, bspan := obs.StartSpan(sctx, "coord.query.batch")
+		avgs, err := c.queryBatch(ctx, batch, out)
 		bspan.End()
 		if err != nil {
 			return err
 		}
 		for _, a := range avgs {
-			results = append(results, core.Result{Index: idx, AvgRF: a})
+			out.Results = append(out.Results, core.Result{Index: idx, AvgRF: a})
 			idx++
 		}
 		batch = batch[:0]
@@ -240,42 +536,142 @@ func (c *Coordinator) AverageRF(queries collection.Source) ([]core.Result, error
 	if err := flush(); err != nil {
 		return nil, err
 	}
-	return results, nil
+	out.DeadWorkers = diffAddrs(c.deadAddrs(), deadBefore)
+	return out, nil
 }
 
-// queryBatch scatter-gathers one batch across all workers concurrently.
-func (c *Coordinator) queryBatch(newicks []string) ([]float64, error) {
-	type partial struct {
-		reply QueryReply
-		err   error
+// deadAddrs lists workers currently declared dead.
+func (c *Coordinator) deadAddrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dead []string
+	for _, s := range c.slots {
+		if s.state == StateDead {
+			dead = append(dead, s.addr)
+		}
 	}
-	parts := make([]partial, len(c.clients))
-	var wg sync.WaitGroup
-	args := QueryArgs{Newicks: newicks}
-	for i := range c.clients {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			parts[i].err = c.call(i, "Query", args, &parts[i].reply)
-		}(i)
-	}
-	wg.Wait()
+	return dead
+}
 
+func diffAddrs(now, before []string) []string {
+	seen := make(map[string]bool, len(before))
+	for _, a := range before {
+		seen[a] = true
+	}
+	var diff []string
+	for _, a := range now {
+		if !seen[a] {
+			diff = append(diff, a)
+		}
+	}
+	return diff
+}
+
+// queryBatch scatter-gathers one batch across the live workers. Transient
+// worker failures are retried (see call); a worker that stays unreachable
+// is declared dead and, in fail-fast mode, its shard is re-dispatched from
+// the checkpoint and the batch is retried on the new topology. With
+// PartialResults the batch instead folds whatever answered and records
+// the coverage.
+func (c *Coordinator) queryBatch(ctx context.Context, newicks []string, out *Outcome) ([]float64, error) {
+	for round := 0; ; round++ {
+		if round > c.NumWorkers() {
+			return nil, fmt.Errorf("distrib: failover did not converge after %d rounds", round)
+		}
+		// Re-home shards orphaned by earlier batches or the health loop
+		// before scattering, so the fold sees full coverage.
+		if !c.PartialResults && !c.NoFailover {
+			if err := c.rehomeOrphans(ctx, out); err != nil {
+				return nil, err
+			}
+		}
+		live := c.liveIndexes()
+		if len(live) == 0 {
+			return nil, fmt.Errorf("distrib: no live workers")
+		}
+
+		parts := make([]queryPart, len(live))
+		var wg sync.WaitGroup
+		args := QueryArgs{Newicks: newicks}
+		for k, i := range live {
+			parts[k].idx = i
+			wg.Add(1)
+			go func(k, i int) {
+				defer wg.Done()
+				parts[k].err = c.call(ctx, i, "Query", args, &parts[k].reply)
+			}(k, i)
+		}
+		wg.Wait()
+
+		var answered []queryPart
+		lost := false
+		for _, p := range parts {
+			switch {
+			case p.err == nil:
+				answered = append(answered, p)
+			case IsTransient(p.err):
+				c.markDead(p.idx, p.err)
+				lost = true
+				if !c.PartialResults {
+					if c.NoFailover {
+						return nil, fmt.Errorf("distrib: worker %s: %w", c.slot(p.idx).addr, p.err)
+					}
+					// Failover next round; keep draining the other errors
+					// so every dead worker is marked this round.
+				}
+			default:
+				// Application or protocol error: retrying or failing over
+				// cannot fix a malformed reply or a worker-side bug.
+				return nil, fmt.Errorf("distrib: worker %d: %w", p.idx, p.err)
+			}
+		}
+		if lost && !c.PartialResults {
+			continue // re-dispatch orphans and retry the batch
+		}
+		avgs, coverage, err := c.fold(newicks, answered)
+		if err != nil {
+			return nil, err
+		}
+		shardCoverage().Observe(coverage)
+		if coverage < 1 {
+			degradedQueries().Inc()
+			out.Partial = true
+			if coverage < out.Coverage {
+				out.Coverage = coverage
+			}
+			slog.Warn("degraded query batch", "coverage", coverage, "answered", len(answered))
+		}
+		return avgs, nil
+	}
+}
+
+// queryPart is one worker's contribution to a scattered batch.
+type queryPart struct {
+	idx   int
+	reply QueryReply
+	err   error
+}
+
+// fold combines the answered partial sums into per-query averages. The
+// totals are derived from the replies themselves (Σ ShardSum, Σ
+// ShardTrees), so the same arithmetic serves full and degraded batches:
+// coverage is the answered tree count over the loaded total.
+func (c *Coordinator) fold(newicks []string, answered []queryPart) ([]float64, float64, error) {
 	hits := make([]int64, len(newicks))
 	splits := make([]int64, len(newicks))
 	haveSplits := false
-	for i := range parts {
-		if parts[i].err != nil {
-			return nil, fmt.Errorf("distrib: worker %d: %w", i, parts[i].err)
-		}
-		rep := parts[i].reply
+	var sumAns uint64
+	rAns := 0
+	for _, p := range answered {
+		rep := p.reply
+		addr := c.slot(p.idx).addr
 		if len(rep.Hits) != len(newicks) {
-			protocolErrors(c.addrs[i]).Inc()
-			return nil, fmt.Errorf("distrib: worker %d returned %d hits for %d queries", i, len(rep.Hits), len(newicks))
+			protocolErrors(addr).Inc()
+			return nil, 0, fmt.Errorf("distrib: worker %d returned %d hits for %d queries", p.idx, len(rep.Hits), len(newicks))
 		}
 		if len(rep.Splits) != len(newicks) {
-			protocolErrors(c.addrs[i]).Inc()
-			return nil, fmt.Errorf("distrib: worker %d returned %d split counts for %d queries", i, len(rep.Splits), len(newicks))
+			protocolErrors(addr).Inc()
+			return nil, 0, fmt.Errorf("distrib: worker %d returned %d split counts for %d queries", p.idx, len(rep.Splits), len(newicks))
 		}
 		for j := range hits {
 			hits[j] += rep.Hits[j]
@@ -286,30 +682,107 @@ func (c *Coordinator) queryBatch(newicks []string) ([]float64, error) {
 		} else {
 			for j := range splits {
 				if splits[j] != rep.Splits[j] {
-					protocolErrors(c.addrs[i]).Inc()
-					return nil, fmt.Errorf("distrib: workers disagree on |B(query %d)|: %d vs %d", j, splits[j], rep.Splits[j])
+					protocolErrors(addr).Inc()
+					return nil, 0, fmt.Errorf("distrib: workers disagree on |B(query %d)|: %d vs %d", j, splits[j], rep.Splits[j])
 				}
 			}
 		}
+		sumAns += rep.ShardSum
+		rAns += rep.ShardTrees
+	}
+	if rAns == 0 {
+		return nil, 0, fmt.Errorf("distrib: no reference shards answered")
 	}
 	out := make([]float64, len(newicks))
-	rf := float64(c.r)
+	rf := float64(rAns)
 	for j := range out {
-		left := int64(c.sum) - hits[j]
-		right := splits[j]*int64(c.r) - hits[j]
+		left := int64(sumAns) - hits[j]
+		right := splits[j]*int64(rAns) - hits[j]
 		out[j] = float64(left+right) / rf
 	}
-	return out, nil
+	return out, float64(rAns) / float64(c.r), nil
+}
+
+// rehomeOrphans re-dispatches every orphaned shard onto a live worker via
+// the checkpoint snapshot. The target merges the orphan into its own
+// partition (Worker.Adopt), is re-checkpointed so a later failure of the
+// target loses nothing, and the donor's orphan flag clears.
+func (c *Coordinator) rehomeOrphans(ctx context.Context, out *Outcome) error {
+	n := c.NumWorkers()
+	for i := 0; i < n; i++ {
+		c.mu.Lock()
+		s := c.slots[i]
+		orphaned := s.orphaned
+		snap := s.snapshot
+		c.mu.Unlock()
+		if !orphaned {
+			continue
+		}
+		if snap == nil {
+			return fmt.Errorf("distrib: worker %s died with no shard checkpoint; cannot fail over", s.addr)
+		}
+		if err := c.adoptOnto(ctx, i, snap, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adoptOnto finds a live worker to adopt dead worker donor's shard,
+// trying each live worker in turn (an adoption target can itself die
+// mid-failover).
+func (c *Coordinator) adoptOnto(ctx context.Context, donor int, snap []byte, out *Outcome) error {
+	s := c.slot(donor)
+	var lastErr error
+	for _, t := range c.liveIndexes() {
+		var reply LoadReply
+		err := c.call(ctx, t, "Adopt", AdoptArgs{ShardID: donor, Data: snap}, &reply)
+		if err != nil {
+			if IsTransient(err) {
+				c.markDead(t, err)
+				lastErr = err
+				continue
+			}
+			return fmt.Errorf("distrib: worker %d adopting shard of %s: %w", t, s.addr, err)
+		}
+		target := c.slot(t)
+		// Re-checkpoint the target: its partition now includes the
+		// adopted shard, so the old snapshot is stale.
+		var snapReply SnapshotReply
+		if err := c.call(ctx, t, "Snapshot", SnapshotArgs{}, &snapReply); err != nil {
+			if IsTransient(err) {
+				c.markDead(t, err)
+				lastErr = err
+				continue
+			}
+			return fmt.Errorf("distrib: re-checkpointing worker %d: %w", t, err)
+		}
+		c.mu.Lock()
+		target.snapshot = snapReply.Data
+		target.trees = snapReply.Trees
+		s.orphaned = false
+		s.snapshot = nil
+		c.mu.Unlock()
+		shardFailovers(s.addr).Inc()
+		out.Failovers++
+		slog.Info("shard failed over", "from", s.addr, "to", target.addr,
+			"trees", reply.ShardTrees, "unique", reply.ShardUnique)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no live workers")
+	}
+	return fmt.Errorf("distrib: failing over shard of %s: %w", s.addr, lastErr)
 }
 
 // SnapshotWorker serializes worker i's shard (see snapshot.go for the
 // wire format).
 func (c *Coordinator) SnapshotWorker(i int) ([]byte, error) {
-	if i < 0 || i >= len(c.clients) {
+	if i < 0 || i >= c.NumWorkers() {
 		return nil, fmt.Errorf("distrib: no worker %d", i)
 	}
 	var reply SnapshotReply
-	if err := c.call(i, "Snapshot", SnapshotArgs{}, &reply); err != nil {
+	if err := c.call(context.Background(), i, "Snapshot", SnapshotArgs{}, &reply); err != nil {
 		return nil, fmt.Errorf("distrib: snapshot worker %d: %w", i, err)
 	}
 	return reply.Data, nil
@@ -317,14 +790,14 @@ func (c *Coordinator) SnapshotWorker(i int) ([]byte, error) {
 
 // RestoreWorker installs a snapshot on worker i, replacing its shard.
 func (c *Coordinator) RestoreWorker(i int, data []byte) error {
-	if i < 0 || i >= len(c.clients) {
+	if i < 0 || i >= c.NumWorkers() {
 		return fmt.Errorf("distrib: no worker %d", i)
 	}
 	var reply LoadReply
-	if err := c.call(i, "Restore", RestoreArgs{Data: data}, &reply); err != nil {
+	if err := c.call(context.Background(), i, "Restore", RestoreArgs{Data: data}, &reply); err != nil {
 		return fmt.Errorf("distrib: restore worker %d: %w", i, err)
 	}
-	slog.Debug("worker restored", "worker", c.addrs[i],
+	slog.Debug("worker restored", "worker", c.slot(i).addr,
 		"shard_trees", reply.ShardTrees, "shard_unique", reply.ShardUnique)
 	return nil
 }

@@ -15,6 +15,17 @@
 // Only O(1) scalars per (query, worker) cross the wire — the communication
 // pattern that makes the approach scale. Transport is net/rpc over TCP
 // (or any net.Listener), standard library only.
+//
+// The layer is fault tolerant: coordinator RPCs carry per-call deadlines,
+// transient failures (dial errors, timeouts, severed connections) are
+// retried with capped exponential backoff and jitter (retry.go), a
+// background health loop grades workers healthy/suspect/dead (health.go),
+// and a dead worker's shard is re-dispatched to a healthy worker from a
+// post-load snapshot checkpoint (Worker.Adopt) so queries keep returning
+// exact results. When failover is impossible, the degraded-results policy
+// decides between failing the query and answering from the shards that
+// responded with an explicit coverage annotation. ARCHITECTURE.md
+// documents the full failure model.
 package distrib
 
 import (
@@ -54,6 +65,12 @@ type InitArgs struct {
 type LoadArgs struct {
 	// Newicks are serialized reference trees.
 	Newicks []string
+	// Seq is the coordinator's chunk sequence number (1-based,
+	// monotonically increasing across the load). It makes Load idempotent
+	// under retry: a worker that already folded chunk Seq answers its
+	// current stats instead of double-counting the trees. 0 disables the
+	// check (pre-fault-tolerance callers).
+	Seq uint64
 }
 
 // LoadReply reports shard statistics after a chunk is folded in.
@@ -90,6 +107,12 @@ type Worker struct {
 	compress   bool
 	backend    core.Backend
 	hashShards int
+	// lastSeq is the highest Load chunk sequence number folded in; chunks
+	// re-sent by the coordinator's retry loop are answered, not re-added.
+	lastSeq uint64
+	// adopted records shard IDs merged in by failover, so a retried Adopt
+	// cannot double-count an orphaned shard.
+	adopted map[int]bool
 }
 
 // WorkerStatus is a consistent snapshot of a worker's shard, exposed for
@@ -137,6 +160,8 @@ func (w *Worker) init(args InitArgs, reply *LoadReply) error {
 	w.compress = args.CompressKeys
 	w.backend = backend
 	w.hashShards = args.HashShards
+	w.lastSeq = 0
+	w.adopted = nil
 	*reply = LoadReply{}
 	slog.Debug("worker initialized", "taxa", len(args.TaxaNames),
 		"compress", args.CompressKeys, "backend", backend.String(), "hash_shards", args.HashShards)
@@ -153,6 +178,17 @@ func (w *Worker) load(args LoadArgs, reply *LoadReply) error {
 	defer w.mu.Unlock()
 	if w.taxa == nil {
 		return fmt.Errorf("distrib: worker not initialized")
+	}
+	if args.Seq != 0 && args.Seq <= w.lastSeq {
+		// Duplicate delivery of a chunk the shard already folded in (the
+		// coordinator retried after a transport failure that lost only
+		// the reply). Answer the current stats instead of double-counting.
+		if w.hash != nil {
+			reply.ShardTrees = w.hash.NumTrees()
+			reply.ShardUnique = w.hash.UniqueBipartitions()
+		}
+		slog.Debug("duplicate chunk ignored", "seq", args.Seq, "last_seq", w.lastSeq)
+		return nil
 	}
 	trees, err := parseChunk(args.Newicks)
 	if err != nil {
@@ -176,11 +212,27 @@ func (w *Worker) load(args LoadArgs, reply *LoadReply) error {
 			}
 		}
 	}
+	if args.Seq != 0 {
+		w.lastSeq = args.Seq
+	}
 	reply.ShardTrees = w.hash.NumTrees()
 	reply.ShardUnique = w.hash.UniqueBipartitions()
 	slog.Debug("shard chunk loaded",
 		"chunk", len(args.Newicks), "shard_trees", reply.ShardTrees, "shard_unique", reply.ShardUnique)
 	return nil
+}
+
+// HealthArgs request a worker's health status.
+type HealthArgs struct{}
+
+// Health is the RPC form of Status, probed by the coordinator's health
+// loop (see health.go). It deliberately does no work beyond reading the
+// shard state: a health probe must stay cheap under load.
+func (w *Worker) Health(args HealthArgs, reply *WorkerStatus) error {
+	return observeRPC(sideWorker, "Health", func() error {
+		*reply = w.Status()
+		return nil
+	})
 }
 
 // Query computes partial hit sums for a batch of query trees. A worker

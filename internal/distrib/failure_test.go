@@ -153,7 +153,10 @@ func (kw *killableWorker) kill() {
 	kw.conns = nil
 }
 
-func TestWorkerDiesMidQuery(t *testing.T) {
+// TestWorkerDiesMidQueryNoFailover pins the pre-failover contract for
+// clusters that opt out of recovery: a worker dying mid-query surfaces an
+// error (never a hang) plus an error-counter increment.
+func TestWorkerDiesMidQueryNoFailover(t *testing.T) {
 	kw := startKillableWorker(t)
 	healthy := startWorkers(t, 1)
 	addrs := []string{kw.addr(), healthy[0]}
@@ -163,6 +166,7 @@ func TestWorkerDiesMidQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer coord.Close()
+	coord.NoFailover = true
 	trees, ts := testCollection(7, 10, 30)
 	if err := coord.Load(collection.FromTrees(trees), ts, false); err != nil {
 		t.Fatal(err)
@@ -179,7 +183,7 @@ func TestWorkerDiesMidQuery(t *testing.T) {
 		return err
 	})
 	if err == nil {
-		t.Fatal("query against a dead worker should fail")
+		t.Fatal("query against a dead worker should fail with failover disabled")
 	}
 	if got := coordErrors("Query", kw.addr()).Value() - before; got == 0 {
 		t.Error("Query error counter did not increment")
@@ -251,6 +255,9 @@ func TestMalformedRPCResponse(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer coord.Close()
+	// The fake service speaks only the load/query half of the protocol, so
+	// skip the post-load snapshot checkpoint.
+	coord.NoFailover = true
 	trees, ts := testCollection(13, 8, 6)
 	if err := coord.Load(collection.FromTrees(trees), ts, false); err != nil {
 		t.Fatalf("load against malformed service: %v", err)

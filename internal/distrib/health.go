@@ -1,0 +1,155 @@
+package distrib
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Worker health: the coordinator runs an optional background loop that
+// probes every worker's Health RPC (a cheap shard-status read) and keeps
+// a three-state verdict per worker, published as bfhrf_worker_state:
+//
+//	healthy (0)  last check succeeded
+//	suspect (1)  at least one consecutive check failed
+//	dead    (2)  DeadAfter consecutive checks failed; the connection is
+//	             dropped and the worker's shard becomes an orphan that the
+//	             next query re-homes (fail-fast mode) or reports as
+//	             missing coverage (partial-results mode)
+//
+// The query path declares workers dead on its own when retries exhaust,
+// so the loop is not required for correctness — it exists to detect death
+// between queries, cheaply, before a query pays the timeout.
+
+// WorkerState is the coordinator's health verdict for one worker.
+type WorkerState int32
+
+const (
+	// StateHealthy means the last health check (or RPC) succeeded.
+	StateHealthy WorkerState = iota
+	// StateSuspect means the worker failed its most recent health check
+	// but has not yet crossed the death threshold.
+	StateSuspect
+	// StateDead means the coordinator has given up on the worker. Dead is
+	// terminal: recovery is a new worker process and a fresh Dial.
+	StateDead
+)
+
+// String names the state, matching the gauge values 0/1/2.
+func (s WorkerState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// WorkerStates reports the current verdict per worker address.
+func (c *Coordinator) WorkerStates() map[string]WorkerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	states := make(map[string]WorkerState, len(c.slots))
+	for _, s := range c.slots {
+		states[s.addr] = s.state
+	}
+	return states
+}
+
+func (c *Coordinator) deadAfter() int {
+	if c.DeadAfter <= 0 {
+		return 3
+	}
+	return c.DeadAfter
+}
+
+// StartHealthLoop launches the background health-check loop with the
+// given probe period and returns a function that stops it and waits for
+// the in-flight sweep to finish. Each sweep probes every non-dead worker
+// concurrently with the coordinator's RPC deadline (retries are left to
+// the next tick — the loop itself is the retry).
+func (c *Coordinator) StartHealthLoop(interval time.Duration) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				c.healthSweep(ctx)
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// healthSweep probes every non-dead worker once and advances the state
+// machine.
+func (c *Coordinator) healthSweep(ctx context.Context) {
+	live := c.liveIndexes()
+	var wg sync.WaitGroup
+	for _, i := range live {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var status WorkerStatus
+			err := c.callOnce(ctx, i, "Health", HealthArgs{}, &status)
+			c.recordHealth(i, err)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// recordHealth folds one probe result into worker i's state machine.
+func (c *Coordinator) recordHealth(i int, err error) {
+	c.mu.Lock()
+	s := c.slots[i]
+	if s.state == StateDead {
+		c.mu.Unlock()
+		return
+	}
+	var transition WorkerState = -1
+	died := false
+	if err == nil {
+		if s.state != StateHealthy {
+			transition = StateHealthy
+		}
+		s.fails = 0
+		s.state = StateHealthy
+	} else {
+		s.fails++
+		if s.fails >= c.deadAfter() {
+			died = true
+		} else if s.state != StateSuspect {
+			transition = StateSuspect
+			s.state = StateSuspect
+		}
+	}
+	addr, fails, state := s.addr, s.fails, s.state
+	c.mu.Unlock()
+
+	if died {
+		// markDead handles the gauge, the orphan flag and the connection.
+		c.markDead(i, err)
+		return
+	}
+	workerStateGauge(addr).Set(float64(state))
+	if transition == StateSuspect {
+		slog.Warn("worker suspect", "worker", addr, "fails", fails, "error", err)
+	} else if transition == StateHealthy {
+		slog.Info("worker recovered", "worker", addr)
+	}
+}

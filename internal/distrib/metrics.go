@@ -55,15 +55,64 @@ func rpcBytes(side, direction string) *obs.CounterMetric {
 		obs.L("side", side), obs.L("direction", direction))
 }
 
+// ---- fault-tolerance families ----------------------------------------------
+
+// workerStateGauge exposes the coordinator's verdict on one worker:
+// 0 healthy, 1 suspect (failed its last health check), 2 dead (declared
+// unrecoverable; its shard is re-dispatched or the query degrades).
+func workerStateGauge(worker string) *obs.GaugeMetric {
+	return obs.Gauge("bfhrf_worker_state",
+		"Coordinator's health verdict per worker: 0 healthy, 1 suspect, 2 dead.",
+		obs.L("worker", worker))
+}
+
+// coverageBuckets resolve the shard-coverage histogram in even tenths —
+// coverage is a ratio in (0,1], so linear buckets keep full resolution.
+var coverageBuckets = obs.LinearBuckets(0.1, 0.1, 10)
+
+// shardCoverage observes, per query batch, the fraction of reference
+// trees whose shards answered. 1.0 on every sample means full results;
+// anything lower means the batch was served degraded (-partial-results).
+func shardCoverage() *obs.HistogramMetric {
+	return obs.Histogram("bfhrf_query_shard_coverage",
+		"Fraction of reference trees covered by the shards that answered each query batch (1 = full result).",
+		coverageBuckets)
+}
+
+// rpcRetries counts backoff retries of transient RPC failures, per method
+// and worker — a leading indicator of a flaky worker before it is
+// declared dead.
+func rpcRetries(method, worker string) *obs.CounterMetric {
+	return obs.Counter("bfhrf_rpc_retries_total",
+		"Transient RPC failures retried with backoff, by method and worker.",
+		obs.L("side", sideCoordinator), obs.L("method", method), obs.L("worker", worker))
+}
+
+// shardFailovers counts successful shard re-dispatches, labeled by the
+// worker that lost the shard.
+func shardFailovers(worker string) *obs.CounterMetric {
+	return obs.Counter("bfhrf_shard_failovers_total",
+		"Shards re-dispatched from a dead worker to a healthy one, by dead worker.",
+		obs.L("worker", worker))
+}
+
+// degradedQueries counts query batches answered with partial coverage.
+func degradedQueries() *obs.CounterMetric {
+	return obs.Counter("bfhrf_degraded_query_batches_total",
+		"Query batches answered from a strict subset of shards (-partial-results mode).")
+}
+
 // init pre-registers the families a fresh process should already expose,
 // so an admin /metrics scrape is meaningful before the first RPC arrives.
 func init() {
-	for _, method := range []string{"Init", "Load", "Query"} {
+	for _, method := range []string{"Init", "Load", "Query", "Health", "Snapshot", "Restore", "Adopt"} {
 		rpcLatency(obs.L("side", sideWorker), obs.L("method", method))
 		rpcErrors(obs.L("side", sideWorker), obs.L("method", method))
 	}
 	rpcInflight(sideWorker)
 	rpcInflight(sideCoordinator)
+	shardCoverage()
+	degradedQueries()
 	rpcBytes(sideWorker, "read")
 	rpcBytes(sideWorker, "written")
 	rpcBytes(sideCoordinator, "read")

@@ -1,0 +1,157 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"time"
+)
+
+// Retry policy for transient RPC failures. A distributed query crosses
+// machine and network boundaries, so dial refusals, severed connections
+// and per-RPC deadline expiries are expected events, not bugs; they are
+// retried with capped exponential backoff plus jitter before the worker
+// is declared dead and shard failover takes over (see coordinator.go).
+// Application-level errors (a worker rejecting a malformed tree, a
+// protocol violation) are never retried: repeating them cannot help and
+// would mask the defect.
+
+// RetryPolicy bounds the retry loop for one logical RPC.
+//
+// The zero value disables retries (a single attempt), which preserves the
+// pre-fault-tolerance behaviour for callers that construct a Coordinator
+// without configuring it.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values below 1 mean a single attempt.
+	MaxAttempts int
+	// BaseDelay is the sleep before the first retry; each subsequent
+	// retry doubles it. Defaults to 50ms when retries are enabled.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Defaults to 2s.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay that is randomized (0..1) to
+	// de-synchronize retry storms across coordinators. Defaults to 0.5;
+	// set negative to disable jitter entirely.
+	Jitter float64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 2 * time.Second
+	}
+	return p.MaxDelay
+}
+
+// delay computes the backoff before retry number retry (0-based): base·2^retry
+// capped at MaxDelay, with the top Jitter fraction randomized so that a
+// fleet of coordinators retrying a recovering worker does not stampede it.
+func (p RetryPolicy) delay(retry int) time.Duration {
+	d := p.baseDelay()
+	for i := 0; i < retry && d < p.maxDelay(); i++ {
+		d *= 2
+	}
+	if d > p.maxDelay() {
+		d = p.maxDelay()
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 {
+		if jitter > 1 {
+			jitter = 1
+		}
+		// Scale into [1-jitter, 1]·d: never longer than the cap,
+		// never a zero sleep.
+		d = time.Duration(float64(d) * (1 - jitter*rand.Float64()))
+		if d <= 0 {
+			d = time.Millisecond
+		}
+	}
+	return d
+}
+
+// errRPCTimeout marks a per-RPC deadline expiry (see Coordinator.RPCTimeout).
+// It is transient: the worker may merely be slow, so the call is retried on
+// a fresh connection.
+var errRPCTimeout = errors.New("rpc deadline exceeded")
+
+// errWorkerDead marks a worker the coordinator has given up on; calls
+// against it fail immediately instead of burning a retry budget.
+var errWorkerDead = errors.New("worker marked dead")
+
+// IsTransient reports whether err is an infrastructure failure worth
+// retrying: dial errors, timeouts, severed or shut-down connections.
+// Application errors returned by a worker's RPC method (rpc.ServerError)
+// and protocol violations are permanent.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var serverErr rpc.ServerError
+	if errors.As(err, &serverErr) {
+		return false
+	}
+	if errors.Is(err, errRPCTimeout) || errors.Is(err, rpc.ErrShutdown) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var netErr net.Error
+	return errors.As(err, &netErr)
+}
+
+// Do runs op under the policy, retrying transient failures with backoff
+// until the attempt budget is exhausted or ctx is done. onRetry, if
+// non-nil, is invoked before each retry (metrics, logging). The final
+// error wraps the underlying failure so callers can still errors.Is/As it.
+func Do(ctx context.Context, p RetryPolicy, onRetry func(retry int, err error), op func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var err error
+	for attempt := 0; attempt < p.attempts(); attempt++ {
+		if attempt > 0 {
+			if onRetry != nil {
+				onRetry(attempt-1, err)
+			}
+			t := time.NewTimer(p.delay(attempt - 1))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("distrib: %w (last error: %w)", ctx.Err(), err)
+			}
+		}
+		err = op()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	if p.attempts() > 1 {
+		return fmt.Errorf("distrib: failed after %d attempts: %w", p.attempts(), err)
+	}
+	return err
+}

@@ -1,0 +1,174 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/collection"
+)
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"eof", io.EOF, true},
+		{"unexpected-eof", io.ErrUnexpectedEOF, true},
+		{"shutdown", rpc.ErrShutdown, true},
+		{"net-closed", net.ErrClosed, true},
+		{"rpc-timeout", fmt.Errorf("wrapped: %w", errRPCTimeout), true},
+		{"dial-refused", &net.OpError{Op: "dial", Err: errors.New("connection refused")}, true},
+		{"server-error", rpc.ServerError("distrib: worker not initialized"), false},
+		{"plain", errors.New("some application bug"), false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRetryPolicyDelayCapsAndJitters(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Jitter: 0.5}
+	for retry := 0; retry < 10; retry++ {
+		// Deterministic ceiling: base·2^retry capped at MaxDelay.
+		ceil := 10 * time.Millisecond << retry
+		if ceil > p.MaxDelay {
+			ceil = p.MaxDelay
+		}
+		for rep := 0; rep < 20; rep++ {
+			d := p.delay(retry)
+			if d > ceil {
+				t.Fatalf("delay(%d) = %v, above ceiling %v", retry, d, ceil)
+			}
+			if d < ceil/2 {
+				t.Fatalf("delay(%d) = %v, below jitter floor %v", retry, d, ceil/2)
+			}
+		}
+	}
+	// Negative jitter disables randomization entirely.
+	exact := RetryPolicy{BaseDelay: 4 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
+	if d := exact.delay(2); d != 16*time.Millisecond {
+		t.Errorf("jitter-free delay(2) = %v, want 16ms", d)
+	}
+}
+
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	calls, retries := 0, 0
+	err := Do(context.Background(),
+		RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: -1},
+		func(int, error) { retries++ },
+		func() error {
+			calls++
+			if calls < 3 {
+				return io.ErrUnexpectedEOF
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Errorf("calls = %d retries = %d, want 3 and 2", calls, retries)
+	}
+}
+
+func TestDoStopsOnNonTransient(t *testing.T) {
+	boom := errors.New("application bug")
+	calls := 0
+	err := Do(context.Background(), RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}, nil,
+		func() error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want the application error", err)
+	}
+	if calls != 1 {
+		t.Errorf("non-transient error was retried %d times", calls-1)
+	}
+}
+
+func TestDoExhaustionWrapsUnderlyingError(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: -1}, nil,
+		func() error { calls++; return io.ErrUnexpectedEOF })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("exhaustion error should wrap the underlying failure, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("exhaustion error should mention the attempt budget, got: %v", err)
+	}
+}
+
+func TestDoHonorsContextCancellation(t *testing.T) {
+	// Cancel while Do sleeps in its (hour-long) backoff: the loop must
+	// abort promptly, reporting both the cancellation and the last failure.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	calls := 0
+	start := time.Now()
+	err := Do(ctx, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Hour, Jitter: -1}, nil,
+		func() error { calls++; return io.EOF })
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Do did not abort the backoff sleep (took %v)", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if !errors.Is(err, io.EOF) {
+		t.Errorf("cancellation error should also wrap the last failure, got: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("cancelled ctx still ran %d calls", calls)
+	}
+}
+
+// TestRPCDeadline: a worker that accepts connections but never answers
+// must trip Coordinator.RPCTimeout instead of hanging the load phase.
+func TestRPCDeadline(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow the request, never reply.
+			go func() { io.Copy(io.Discard, conn) }() //nolint:errcheck
+		}
+	}()
+
+	coord, err := Dial([]string{l.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.RPCTimeout = 50 * time.Millisecond
+	trees, ts := testCollection(3, 8, 6)
+	err = runWithTimeout(t, "Load", func() error {
+		return coord.Load(collection.FromTrees(trees), ts, false)
+	})
+	if err == nil {
+		t.Fatal("Load against a mute worker should time out")
+	}
+	if !errors.Is(err, errRPCTimeout) {
+		t.Errorf("error should be the RPC deadline, got: %v", err)
+	}
+}

@@ -288,9 +288,113 @@ func (w *Worker) restore(args RestoreArgs, reply *LoadReply) error {
 	w.taxa = h.Taxa()
 	w.hash = h
 	w.compress = h.Compressed()
+	w.adopted = nil
 	reply.ShardTrees = h.NumTrees()
 	reply.ShardUnique = h.UniqueBipartitions()
 	slog.Debug("shard restored from snapshot",
 		"bytes", len(args.Data), "trees", reply.ShardTrees, "unique", reply.ShardUnique)
 	return nil
+}
+
+// AdoptArgs carry an orphaned shard (a dead worker's checkpoint) to a
+// surviving worker during failover.
+type AdoptArgs struct {
+	// ShardID identifies the orphaned shard (the dead worker's index at
+	// the coordinator). Adoption is idempotent per ID: a retried Adopt
+	// after a lost reply cannot double-count the shard.
+	ShardID int
+	// Data is the shard's snapshot in the wire format above.
+	Data []byte
+}
+
+// Adopt merges an orphaned shard into the worker's own partition — the
+// receiving half of failover. Unlike Restore it adds to the current shard
+// instead of replacing it: freq[b] = Σ_s freq_s[b] is associative, so the
+// merged partition answers for both shards at once and the global fold
+// stays exact.
+func (w *Worker) Adopt(args AdoptArgs, reply *LoadReply) error {
+	return observeRPC(sideWorker, "Adopt", func() error { return w.adopt(args, reply) })
+}
+
+func (w *Worker) adopt(args AdoptArgs, reply *LoadReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	stats := func() {
+		if w.hash != nil {
+			reply.ShardTrees = w.hash.NumTrees()
+			reply.ShardUnique = w.hash.UniqueBipartitions()
+		}
+	}
+	if w.adopted[args.ShardID] {
+		stats()
+		slog.Debug("duplicate adoption ignored", "shard", args.ShardID)
+		return nil
+	}
+	orphan, err := DecodeSnapshot(args.Data)
+	if err != nil {
+		return err
+	}
+	if w.hash == nil {
+		// Fresh or empty worker: the orphan becomes its whole partition.
+		w.taxa = orphan.Taxa()
+		w.hash = orphan
+		w.compress = orphan.Compressed()
+	} else {
+		merged, err := mergeHashes(w.hash, orphan)
+		if err != nil {
+			return err
+		}
+		w.hash = merged
+	}
+	if w.adopted == nil {
+		w.adopted = make(map[int]bool)
+	}
+	w.adopted[args.ShardID] = true
+	stats()
+	slog.Info("orphaned shard adopted",
+		"shard", args.ShardID, "bytes", len(args.Data),
+		"shard_trees", reply.ShardTrees, "shard_unique", reply.ShardUnique)
+	return nil
+}
+
+// mergeHashes folds two partial frequency hashes over the same taxon
+// catalogue into one: frequencies add, tree counts add, and the result
+// keeps a's backend and key scheme. This is the shard-merge primitive
+// behind failover.
+func mergeHashes(a, b *core.FreqHash) (*core.FreqHash, error) {
+	an, bn := a.Taxa().Names(), b.Taxa().Names()
+	if len(an) != len(bn) {
+		return nil, fmt.Errorf("distrib: cannot merge shards over different catalogues (%d vs %d taxa)", len(an), len(bn))
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return nil, fmt.Errorf("distrib: cannot merge shards: catalogues disagree at position %d (%q vs %q)", i, an[i], bn[i])
+		}
+	}
+	rest, err := core.NewRestorer(core.RestoreSpec{
+		Taxa:         a.Taxa(),
+		NumTrees:     a.NumTrees() + b.NumTrees(),
+		Weighted:     a.Weighted() || b.Weighted(),
+		CompressKeys: a.Compressed(),
+		Backend:      a.Backend(),
+		HashShards:   a.NumShards(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range []*core.FreqHash{a, b} {
+		for s := 0; s < h.NumShards(); s++ {
+			var addErr error
+			if err := h.RangeShardRaw(s, func(words []uint64, e bfhtable.Entry) bool {
+				addErr = rest.AddEntry(words, e)
+				return addErr == nil
+			}); err != nil {
+				return nil, err
+			}
+			if addErr != nil {
+				return nil, addErr
+			}
+		}
+	}
+	return rest.Finish()
 }

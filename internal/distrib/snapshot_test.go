@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -133,7 +134,7 @@ func TestMigrateShard(t *testing.T) {
 	coord2.sum, coord2.r = 0, 0
 	for i := 0; i < coord2.NumWorkers(); i++ {
 		var reply QueryReply
-		if err := coord2.call(i, "Query", QueryArgs{}, &reply); err != nil {
+		if err := coord2.call(context.Background(), i, "Query", QueryArgs{}, &reply); err != nil {
 			t.Fatal(err)
 		}
 		coord2.sum += reply.ShardSum

@@ -1,0 +1,38 @@
+// Command doclint checks that every Go package under the given roots
+// (default ".") carries a package comment, exiting 1 with one line per
+// violation. ci.sh runs it over the repository so package documentation
+// is enforced, not aspirational.
+//
+// Usage:
+//
+//	go run ./internal/doclint/cmd/doclint [root ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/doclint"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := false
+	for _, root := range roots {
+		findings, err := doclint.Check(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+// Package doclint is the repository's documentation gate: it walks a
+// source tree and reports every Go package that lacks a package comment.
+// ci.sh runs it (via internal/doclint/cmd/doclint) so that "every package
+// keeps a package doc" is an enforced invariant rather than a convention
+// that decays — the same philosophy as the perf regression gate.
+//
+// The checker is deliberately small and stdlib-only: go/parser in
+// PackageClauseOnly mode reads just the package clause and its attached
+// comment, so linting the whole repository costs milliseconds.
+package doclint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one undocumented package.
+type Finding struct {
+	// Dir is the package directory, relative to the checked root.
+	Dir string
+	// Package is the package name from the package clause.
+	Package string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: package %s has no package comment", f.Dir, f.Package)
+}
+
+// Check walks root and returns a finding for every package directory in
+// which no non-test Go file carries a package doc comment. Directories
+// named testdata, vendor, or starting with "." or "_" are skipped, as are
+// _test.go files (test packages document themselves through the tests).
+// Findings are sorted by directory for stable output.
+func Check(root string) ([]Finding, error) {
+	// docs[dir] = true once any non-test file in dir has a package doc;
+	// name[dir] remembers the package name for the report.
+	docs := make(map[string]bool)
+	names := make(map[string]string)
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		base := d.Name()
+		if d.IsDir() {
+			if path != root && (base == "testdata" || base == "vendor" ||
+				strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(base, ".go") || strings.HasSuffix(base, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("doclint: %s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		if _, seen := docs[dir]; !seen {
+			docs[dir] = false
+			names[dir] = f.Name.Name
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			docs[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	for dir, documented := range docs {
+		if documented {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		findings = append(findings, Finding{Dir: rel, Package: names[dir]})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Dir < findings[j].Dir })
+	return findings, nil
+}

@@ -1,0 +1,75 @@
+package doclint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFindsUndocumentedPackages(t *testing.T) {
+	root := t.TempDir()
+	// Documented: doc on one of two files suffices.
+	write(t, filepath.Join(root, "good", "a.go"), "// Package good is documented.\npackage good\n")
+	write(t, filepath.Join(root, "good", "b.go"), "package good\n")
+	// Undocumented.
+	write(t, filepath.Join(root, "bad", "a.go"), "package bad\n")
+	// A doc comment only on the _test.go file does not count.
+	write(t, filepath.Join(root, "testdoc", "a.go"), "package testdoc\n")
+	write(t, filepath.Join(root, "testdoc", "a_test.go"), "// Package testdoc tests.\npackage testdoc\n")
+	// Skipped trees.
+	write(t, filepath.Join(root, "good", "testdata", "x.go"), "package ignoreme\n")
+	write(t, filepath.Join(root, ".hidden", "x.go"), "package hidden\n")
+	write(t, filepath.Join(root, "_build", "x.go"), "package underscore\n")
+
+	findings, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want exactly [bad testdoc]", findings)
+	}
+	if findings[0].Dir != "bad" || findings[0].Package != "bad" {
+		t.Errorf("findings[0] = %+v, want dir bad", findings[0])
+	}
+	if findings[1].Dir != "testdoc" {
+		t.Errorf("findings[1] = %+v, want dir testdoc", findings[1])
+	}
+}
+
+func TestCheckRejectsUnparsableFile(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "broken", "a.go"), "pack age broken\n")
+	if _, err := Check(root); err == nil {
+		t.Error("unparsable file should be an error, not silently skipped")
+	}
+}
+
+// TestRepositoryIsFullyDocumented is the actual gate on this repo: every
+// package in the module keeps a package comment. If this fails, write
+// the doc — do not amend the test.
+func TestRepositoryIsFullyDocumented(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found at %s", root)
+	}
+	findings, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}

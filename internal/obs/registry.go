@@ -132,6 +132,24 @@ var DefSizeBuckets = []float64{
 	256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
 }
 
+// LinearBuckets returns count evenly spaced upper bounds starting at
+// start: start, start+width, …  Useful for bounded ratios (e.g. shard
+// coverage in [0,1]) where exponential latency-style buckets would waste
+// resolution. count must be positive and width non-negative.
+func LinearBuckets(start, width float64, count int) []float64 {
+	if count <= 0 {
+		panic("obs: LinearBuckets needs a positive count")
+	}
+	if width < 0 {
+		panic("obs: LinearBuckets needs a non-negative width")
+	}
+	b := make([]float64, count)
+	for i := range b {
+		b[i] = start + width*float64(i)
+	}
+	return b
+}
+
 // instance is one labeled metric within a family, keeping the sorted
 // label set for exposition.
 type instance struct {
