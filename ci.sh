@@ -34,8 +34,9 @@ go test ./...
 
 echo "== go test -race (fast subset) =="
 go test -race -short \
-  ./internal/bfhtable ./internal/bipart ./internal/bitset \
-  ./internal/collection ./internal/core ./internal/distrib \
+  ./internal/atomicio ./internal/bfhtable ./internal/bipart \
+  ./internal/bitset ./internal/checkpoint ./internal/collection \
+  ./internal/core ./internal/distrib ./internal/faultinject \
   ./internal/memprof ./internal/newick ./internal/nexus \
   ./internal/obs ./internal/perfjson ./internal/profhook \
   ./internal/seqrf ./internal/stats ./internal/tabfmt \
@@ -47,6 +48,14 @@ echo "== go test -race (distrib fault tolerance) =="
 # so nothing in them can quietly skip).
 go test -race -run 'Failover|PartialResults|Retry|Health|Adopt|LoadSeq|WorkerDies' \
   ./internal/distrib
+
+echo "== chaos smoke (seeded fault schedules under -race) =="
+# The full chaos sweep (50+ schedules, single-node + distributed) plus
+# the subprocess kill-and-resume e2e tests. Schedules are deterministic,
+# so a failure here names a replayable BFHRF_FAULTS spec.
+go test -race -run 'TestChaos' -count=1 ./internal/faultinject
+go test -run 'TestCrashAndResume|TestCorruptCheckpointQuarantine|TestResumeRejectsForeignCheckpoint' \
+  -count=1 ./cmd/bfhrf
 
 echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/newick

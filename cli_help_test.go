@@ -31,11 +31,16 @@ func TestCLIHelpMentionsEveryFlag(t *testing.T) {
 		{"bfhrf", append([]string{
 			"ref", "query", "cpus", "variant", "min-split", "max-split",
 			"intersect-taxa", "compress", "best", "annotate", "version",
+			"o", "checkpoint", "checkpoint-interval", "resume",
+			"skip-bad-trees", "bad-tree-log",
+			"max-taxa", "max-tree-bytes", "max-input-bytes",
 		}, append(sharedProfFlags, sharedLogFlags...)...)},
 		{"bfhrfd", append([]string{
 			"serve", "workers", "ref", "query", "compress", "chunk", "batch",
 			"admin", "version",
 			"rpc-timeout", "retries", "partial-results", "health-interval",
+			"o", "checkpoint", "checkpoint-interval", "resume",
+			"skip-bad-trees", "max-taxa", "max-tree-bytes", "max-input-bytes",
 		}, append(sharedProfFlags, sharedLogFlags...)...)},
 		{"rfdist", append([]string{
 			"a", "b", "matrix", "avg", "cluster", "linkage", "phylip",
@@ -97,6 +102,9 @@ func TestCLIHelpFlagDescriptionsCurrent(t *testing.T) {
 	}{
 		{"bfhrf", "clamped to the collection size"}, // -cpus is not a hard worker count
 		{"bfhrf", "map hash backend"},               // -compress implies the map backend
+		{"bfhrf", "crash-safe resume"},              // -checkpoint is durable, not a cache
+		{"bfhrf", "fingerprint-verified"},           // -resume refuses foreign checkpoints
+		{"bfhrf", "atomic"},                         // -o never leaves partial output
 		{"bfhrfd", "coordinator mode"},              // coordinator-only flags are annotated
 		{"bfhrfd", "per-RPC deadline"},
 		{"bfhrfd", "transient failures"},

@@ -1,0 +1,210 @@
+package main
+
+// End-to-end crash safety: these tests build the real bfhrf binary and
+// hard-kill it mid-run with an injected crash (exit 137, simulating
+// kill -9 / OOM), then verify that -resume completes the run to output
+// byte-identical with an uninterrupted one, and that a corrupted
+// checkpoint record is quarantined rather than silently folded in.
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/newick"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+)
+
+var buildOnce sync.Once
+var builtBin string
+var buildErr error
+
+// buildBinary compiles bfhrf once for all subprocess tests.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "bfhrf-e2e")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtBin = filepath.Join(dir, "bfhrf")
+		cmd := exec.Command("go", "build", "-o", builtBin, ".")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			builtBin = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building bfhrf: %v\n%s", buildErr, builtBin)
+	}
+	return builtBin
+}
+
+// writeCollection writes r deterministic random binary trees on n taxa.
+func writeCollection(t *testing.T, path string, seed int64, n, r int) {
+	t.Helper()
+	ts := taxa.Generate(n)
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	for i := 0; i < r; i++ {
+		buf.WriteString(newick.String(simphy.RandomBinary(ts, rng), newick.WriteOptions{BranchLengths: true}))
+		buf.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runBin executes the binary and returns its exit code and combined output.
+func runBin(t *testing.T, bin string, env []string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), string(out)
+	}
+	t.Fatalf("running %s: %v\n%s", bin, err, out)
+	return -1, ""
+}
+
+func TestCrashAndResume(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	rp := filepath.Join(dir, "refs.nwk")
+	qp := filepath.Join(dir, "queries.nwk")
+	writeCollection(t, rp, 1, 12, 15)
+	writeCollection(t, qp, 2, 12, 8)
+	ck := filepath.Join(dir, "run.ckpt")
+	outCrash := filepath.Join(dir, "crash.out")
+	outClean := filepath.Join(dir, "clean.out")
+
+	// Reference: an uninterrupted run.
+	code, msg := runBin(t, bin, nil, "-ref", rp, "-query", qp, "-cpus", "1", "-o", outClean)
+	if code != 0 {
+		t.Fatalf("clean run failed (%d): %s", code, msg)
+	}
+	want, err := os.ReadFile(outClean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash run: the injected fault exits the process with 137 on the 2nd
+	// checkpoint append — after some results are durable, before the rest.
+	code, msg = runBin(t, bin, []string{"BFHRF_FAULTS=checkpoint.write:crash@2"},
+		"-ref", rp, "-query", qp, "-cpus", "1",
+		"-checkpoint", ck, "-checkpoint-interval", "1", "-o", outCrash)
+	if code != 137 {
+		t.Fatalf("crash run exited %d, want 137: %s", code, msg)
+	}
+	if _, err := os.Stat(outCrash); !os.IsNotExist(err) {
+		t.Fatalf("crashed run left an output file at %s — atomic write broken", outCrash)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("crashed run left no checkpoint: %v", err)
+	}
+
+	// Resume run: completes the remaining queries from the checkpoint.
+	code, msg = runBin(t, bin, nil, "-ref", rp, "-query", qp, "-cpus", "1",
+		"-checkpoint", ck, "-resume", "-o", outCrash)
+	if code != 0 {
+		t.Fatalf("resume run failed (%d): %s", code, msg)
+	}
+	got, err := os.ReadFile(outCrash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed output differs from uninterrupted run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCorruptCheckpointQuarantine(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	rp := filepath.Join(dir, "refs.nwk")
+	qp := filepath.Join(dir, "queries.nwk")
+	writeCollection(t, rp, 3, 10, 12)
+	writeCollection(t, qp, 4, 10, 6)
+	ck := filepath.Join(dir, "run.ckpt")
+	out1 := filepath.Join(dir, "first.out")
+	out2 := filepath.Join(dir, "second.out")
+
+	code, msg := runBin(t, bin, nil, "-ref", rp, "-query", qp, "-cpus", "1",
+		"-checkpoint", ck, "-checkpoint-interval", "1", "-o", out1)
+	if code != 0 {
+		t.Fatalf("first run failed (%d): %s", code, msg)
+	}
+
+	// Flip one byte inside a middle record: its CRC no longer matches, so
+	// it and everything after it must be quarantined, never folded in.
+	data, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("checkpoint too short to corrupt: %d lines", len(lines))
+	}
+	mid := lines[len(lines)/2]
+	if len(mid) < 5 {
+		t.Fatalf("middle record too short: %q", mid)
+	}
+	mid[4] ^= 0xFF
+	if err := os.WriteFile(ck, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, msg = runBin(t, bin, nil, "-ref", rp, "-query", qp, "-cpus", "1",
+		"-checkpoint", ck, "-resume", "-o", out2)
+	if code != 0 {
+		t.Fatalf("resume over corrupt checkpoint failed (%d): %s", code, msg)
+	}
+	want, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output after corrupt-checkpoint resume differs:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if _, err := os.Stat(ck + ".quarantine"); err != nil {
+		t.Fatalf("corrupt checkpoint suffix was not quarantined: %v", err)
+	}
+}
+
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	rp := filepath.Join(dir, "refs.nwk")
+	rp2 := filepath.Join(dir, "refs2.nwk")
+	qp := filepath.Join(dir, "queries.nwk")
+	writeCollection(t, rp, 5, 10, 12)
+	writeCollection(t, rp2, 6, 10, 12) // different collection → different fingerprint
+	writeCollection(t, qp, 7, 10, 6)
+	ck := filepath.Join(dir, "run.ckpt")
+
+	code, msg := runBin(t, bin, nil, "-ref", rp, "-query", qp, "-cpus", "1",
+		"-checkpoint", ck, "-checkpoint-interval", "1")
+	if code != 0 {
+		t.Fatalf("first run failed (%d): %s", code, msg)
+	}
+	code, msg = runBin(t, bin, nil, "-ref", rp2, "-query", qp, "-cpus", "1",
+		"-checkpoint", ck, "-resume")
+	if code == 0 {
+		t.Fatalf("resume against a different reference collection succeeded; output:\n%s", msg)
+	}
+}

@@ -12,7 +12,19 @@
 // itself (Q is R), the setting of every experiment in the paper.
 //
 // Output: one line per query tree, "index<TAB>avgRF", plus a summary of
-// the best (lowest average) query on stderr.
+// the best (lowest average) query on stderr. With -o the lines go to a
+// file, written atomically (temp file + fsync + rename) so a crash never
+// leaves a half-written result.
+//
+// Long runs survive interruption: -checkpoint streams each result to a
+// checksummed record file as it is computed, SIGINT/SIGTERM flush it
+// before exit, and -resume skips the already-recorded query trees after
+// verifying the checkpoint matches the current reference collection.
+//
+// Hostile or damaged inputs are handled explicitly: -skip-bad-trees
+// records a diagnostic per malformed tree and continues, while -max-taxa,
+// -max-tree-bytes and -max-input-bytes turn pathological inputs into
+// clean errors.
 //
 // The profiling flags (-cpuprofile, -memprofile, -trace) capture the run
 // for `go tool pprof` / `go tool trace`, so hot paths can be inspected on
@@ -20,29 +32,54 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"repro"
+	"repro/internal/atomicio"
 	"repro/internal/obs"
 	"repro/internal/profhook"
 )
 
+type cliOptions struct {
+	refPath, queryPath string
+	cfg                repro.Config
+	best               bool
+	annotate           string
+	outPath            string
+	checkpointPath     string
+	checkpointEvery    int
+	resume             bool
+	badTreeLog         string
+}
+
 func main() {
-	var (
-		refPath   = flag.String("ref", "", "reference tree collection (Newick, required)")
-		queryPath = flag.String("query", "", "query tree collection (Newick); defaults to -ref (Q is R)")
-		cpus      = flag.Int("cpus", 0, "worker count (0 = all CPUs; clamped to the collection size)")
-		variant   = flag.String("variant", "plain", "RF variant: plain | normalized | weighted | info")
-		minSize   = flag.Int("min-split", 0, "drop bipartitions whose smaller side has fewer taxa")
-		maxSize   = flag.Int("max-split", 0, "drop bipartitions whose smaller side has more taxa (0 = no bound)")
-		intersect = flag.Bool("intersect-taxa", false, "variable-taxa mode: restrict all trees to their common taxa")
-		compress  = flag.Bool("compress", false, "store losslessly compressed bipartition keys (lower memory; selects the map hash backend)")
-		best      = flag.Bool("best", false, "print only the query with the lowest average RF")
-		annotate  = flag.String("annotate", "", "instead of distances, print this Newick tree annotated with reference support percentages")
-		version   = flag.Bool("version", false, "print version and VCS revision, then exit")
-	)
+	var o cliOptions
+	flag.StringVar(&o.refPath, "ref", "", "reference tree collection (Newick, required)")
+	flag.StringVar(&o.queryPath, "query", "", "query tree collection (Newick); defaults to -ref (Q is R)")
+	flag.IntVar(&o.cfg.Workers, "cpus", 0, "worker count (0 = all CPUs; clamped to the collection size)")
+	flag.StringVar(&o.cfg.Variant, "variant", "plain", "RF variant: plain | normalized | weighted | info")
+	flag.IntVar(&o.cfg.MinSplitSize, "min-split", 0, "drop bipartitions whose smaller side has fewer taxa")
+	flag.IntVar(&o.cfg.MaxSplitSize, "max-split", 0, "drop bipartitions whose smaller side has more taxa (0 = no bound)")
+	flag.BoolVar(&o.cfg.IntersectTaxa, "intersect-taxa", false, "variable-taxa mode: restrict all trees to their common taxa")
+	flag.BoolVar(&o.cfg.CompressKeys, "compress", false, "store losslessly compressed bipartition keys (lower memory; selects the map hash backend)")
+	flag.BoolVar(&o.best, "best", false, "print only the query with the lowest average RF")
+	flag.StringVar(&o.annotate, "annotate", "", "instead of distances, print this Newick tree annotated with reference support percentages")
+	flag.StringVar(&o.outPath, "o", "", "write results to this file (atomic: temp+fsync+rename) instead of stdout")
+	flag.StringVar(&o.checkpointPath, "checkpoint", "", "stream per-query results to this checksummed record file for crash-safe resume")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-interval", 0, "results between checkpoint fsyncs (0 = default)")
+	flag.BoolVar(&o.resume, "resume", false, "resume from -checkpoint, skipping already-completed query trees (fingerprint-verified)")
+	flag.BoolVar(&o.cfg.SkipBadTrees, "skip-bad-trees", false, "skip malformed or over-limit input trees, recording a diagnostic for each, instead of failing")
+	flag.StringVar(&o.badTreeLog, "bad-tree-log", "", "with -skip-bad-trees, append per-tree diagnostics to this file (default stderr)")
+	flag.IntVar(&o.cfg.MaxTaxa, "max-taxa", 0, "reject input trees with more than this many leaves (0 = unlimited)")
+	flag.IntVar(&o.cfg.MaxTreeBytes, "max-tree-bytes", 0, "reject input trees serialized larger than this (0 = unlimited)")
+	flag.Int64Var(&o.cfg.MaxInputBytes, "max-input-bytes", 0, "hard cap on decompressed bytes read per input file (0 = unlimited)")
+	version := flag.Bool("version", false, "print version and VCS revision, then exit")
 	profs := profhook.RegisterFlags(nil)
 	logc := obs.RegisterLogFlags(nil)
 	flag.Parse()
@@ -61,7 +98,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
 		os.Exit(1)
 	}
-	code := run(*refPath, *queryPath, *cpus, *variant, *minSize, *maxSize, *intersect, *compress, *best, *annotate)
+	code := run(&o)
 	if err := stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "bfhrf: stopping profiles: %v\n", err)
 		if code == 0 {
@@ -71,29 +108,79 @@ func main() {
 	os.Exit(code)
 }
 
-func run(refPath, queryPath string, cpus int, variant string, minSize, maxSize int,
-	intersect, compress, best bool, annotate string) int {
-	if refPath == "" {
+func run(o *cliOptions) int {
+	if o.refPath == "" {
 		fmt.Fprintln(os.Stderr, "bfhrf: -ref is required")
 		flag.Usage()
 		return 2
 	}
-	q := queryPath
+	if o.resume && o.checkpointPath == "" {
+		fmt.Fprintln(os.Stderr, "bfhrf: -resume requires -checkpoint")
+		return 2
+	}
+	q := o.queryPath
 	if q == "" {
-		q = refPath
+		q = o.refPath
 	}
-	cfg := repro.Config{
-		Workers:       cpus,
-		Variant:       variant,
-		MinSplitSize:  minSize,
-		MaxSplitSize:  maxSize,
-		IntersectTaxa: intersect,
-		CompressKeys:  compress,
+
+	// Per-tree diagnostics sink for lenient ingest.
+	var diagSink *os.File
+	if o.cfg.SkipBadTrees {
+		diagSink = os.Stderr
+		if o.badTreeLog != "" {
+			f, err := os.OpenFile(o.badTreeLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			diagSink = f
+		}
+		o.cfg.OnBadTree = func(b repro.BadTree) {
+			kind := "malformed"
+			if b.Limit {
+				kind = "over limit"
+			}
+			fmt.Fprintf(diagSink, "bfhrf: skipped %s: tree %d (line %d): %s: %s\n",
+				b.Path, b.Tree, b.Line, kind, b.Reason)
+		}
 	}
-	if annotate != "" {
-		return annotateMode(annotate, refPath, cfg)
+
+	if o.annotate != "" {
+		return annotateMode(o.annotate, o.refPath, o.cfg)
 	}
-	results, err := repro.AverageRFFiles(q, refPath, cfg)
+
+	// SIGINT/SIGTERM cancel the run gracefully: in-flight queries drain
+	// and the checkpoint is flushed before exit.
+	cancel := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		if _, ok := <-sigs; ok {
+			fmt.Fprintln(os.Stderr, "bfhrf: interrupted; flushing checkpoint…")
+			close(cancel)
+		}
+	}()
+
+	results, err := repro.AverageRFFilesResumable(q, o.refPath, o.cfg, repro.RunOptions{
+		CheckpointPath:     o.checkpointPath,
+		CheckpointInterval: o.checkpointEvery,
+		Resume:             o.resume,
+		Cancel:             cancel,
+		OnResume: func(done int) {
+			fmt.Fprintf(os.Stderr, "bfhrf: resuming from %s: %d queries already done\n", o.checkpointPath, done)
+		},
+	})
+	if errors.Is(err, repro.ErrCanceled) {
+		if o.checkpointPath != "" {
+			fmt.Fprintf(os.Stderr, "bfhrf: interrupted after %d queries; checkpoint %s is valid — rerun with -resume to continue\n",
+				len(results), o.checkpointPath)
+		} else {
+			fmt.Fprintf(os.Stderr, "bfhrf: interrupted after %d queries (no -checkpoint; progress not saved)\n", len(results))
+		}
+		return 130
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
 		return 1
@@ -102,21 +189,38 @@ func run(refPath, queryPath string, cpus int, variant string, minSize, maxSize i
 		fmt.Fprintln(os.Stderr, "bfhrf: no query trees")
 		return 1
 	}
-	if best {
+	if o.best {
 		b, err := repro.BestResult(results)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
 			return 1
 		}
-		fmt.Printf("%d\t%g\n", b.Index, b.AvgRF)
-		return 0
+		return emit(o.outPath, fmt.Sprintf("%d\t%g\n", b.Index, b.AvgRF))
 	}
+	var sb strings.Builder
 	for _, r := range results {
-		fmt.Printf("%d\t%g\n", r.Index, r.AvgRF)
+		fmt.Fprintf(&sb, "%d\t%g\n", r.Index, r.AvgRF)
+	}
+	if code := emit(o.outPath, sb.String()); code != 0 {
+		return code
 	}
 	b, _ := repro.BestResult(results)
 	fmt.Fprintf(os.Stderr, "bfhrf: %d queries; best is tree %d with average RF %g\n",
 		len(results), b.Index, b.AvgRF)
+	return 0
+}
+
+// emit writes the result block to stdout, or atomically to a file so an
+// interrupted write can never be mistaken for a complete result set.
+func emit(outPath, content string) int {
+	if outPath == "" {
+		fmt.Print(content)
+		return 0
+	}
+	if err := atomicio.WriteFile(outPath, []byte(content)); err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
+		return 1
+	}
 	return 0
 }
 

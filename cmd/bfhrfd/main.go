@@ -41,18 +41,25 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/atomicio"
+	"repro/internal/checkpoint"
 	"repro/internal/collection"
+	"repro/internal/core"
 	"repro/internal/distrib"
+	"repro/internal/newick"
 	"repro/internal/obs"
 	"repro/internal/profhook"
 )
@@ -77,6 +84,23 @@ func main() {
 			"answer from surviving shards instead of failing over a dead worker's shard; coverage is reported on stderr and in bfhrf_query_shard_coverage (coordinator mode)")
 		healthInterval = flag.Duration("health-interval", 0,
 			"probe worker health at this period; 0 disables the loop (coordinator mode)")
+
+		outPath = flag.String("o", "",
+			"write results to this file (atomic: temp+fsync+rename) instead of stdout (coordinator mode)")
+		checkpointPath = flag.String("checkpoint", "",
+			"stream per-query results to this checksummed record file for crash-safe resume (coordinator mode)")
+		checkpointEvery = flag.Int("checkpoint-interval", 0,
+			"results between checkpoint fsyncs; 0 = default (coordinator mode)")
+		resume = flag.Bool("resume", false,
+			"resume from -checkpoint, skipping already-completed query trees (fingerprint-verified; coordinator mode)")
+		skipBadTrees = flag.Bool("skip-bad-trees", false,
+			"skip malformed or over-limit input trees, recording a diagnostic for each, instead of failing (coordinator mode)")
+		maxTaxa = flag.Int("max-taxa", 0,
+			"reject input trees with more than this many leaves; 0 = unlimited (coordinator mode)")
+		maxTreeBytes = flag.Int("max-tree-bytes", 0,
+			"reject input trees serialized larger than this; 0 = unlimited (coordinator mode)")
+		maxInputBytes = flag.Int64("max-input-bytes", 0,
+			"hard cap on decompressed bytes read per input file; 0 = unlimited (coordinator mode)")
 	)
 	profs := profhook.RegisterFlags(nil)
 	logc := obs.RegisterLogFlags(nil)
@@ -109,17 +133,25 @@ func main() {
 		code = runWorker(*serve, *admin)
 	} else {
 		code = runCoordinator(coordConfig{
-			workers:        *workers,
-			refPath:        *refPath,
-			queryPath:      *queryPath,
-			adminAddr:      *admin,
-			compress:       *compress,
-			chunk:          *chunk,
-			batch:          *batch,
-			rpcTimeout:     *rpcTimeout,
-			retries:        *retries,
-			partialResults: *partialResults,
-			healthInterval: *healthInterval,
+			workers:         *workers,
+			refPath:         *refPath,
+			queryPath:       *queryPath,
+			adminAddr:       *admin,
+			compress:        *compress,
+			chunk:           *chunk,
+			batch:           *batch,
+			rpcTimeout:      *rpcTimeout,
+			retries:         *retries,
+			partialResults:  *partialResults,
+			healthInterval:  *healthInterval,
+			outPath:         *outPath,
+			checkpointPath:  *checkpointPath,
+			checkpointEvery: *checkpointEvery,
+			resume:          *resume,
+			skipBadTrees:    *skipBadTrees,
+			maxTaxa:         *maxTaxa,
+			maxTreeBytes:    *maxTreeBytes,
+			maxInputBytes:   *maxInputBytes,
 		})
 	}
 	if err := stop(); err != nil {
@@ -137,6 +169,8 @@ func main() {
 var coordinatorOnly = []string{
 	"ref", "query", "compress", "chunk", "batch",
 	"rpc-timeout", "retries", "partial-results", "health-interval",
+	"o", "checkpoint", "checkpoint-interval", "resume",
+	"skip-bad-trees", "max-taxa", "max-tree-bytes", "max-input-bytes",
 }
 
 // setFlags reports which flags were explicitly set on the command line.
@@ -222,12 +256,53 @@ type coordConfig struct {
 	retries                                int
 	partialResults                         bool
 	healthInterval                         time.Duration
+	outPath                                string
+	checkpointPath                         string
+	checkpointEvery                        int
+	resume                                 bool
+	skipBadTrees                           bool
+	maxTaxa, maxTreeBytes                  int
+	maxInputBytes                          int64
+}
+
+// ingest translates the hardening flags to collection options; skipped
+// trees are reported on stderr, mirroring cmd/bfhrf.
+func (cfg coordConfig) ingest() collection.Options {
+	opts := collection.Options{
+		Lenient:       cfg.skipBadTrees,
+		Limits:        newick.Limits{MaxTaxa: cfg.maxTaxa, MaxTreeBytes: cfg.maxTreeBytes},
+		MaxInputBytes: cfg.maxInputBytes,
+	}
+	if cfg.skipBadTrees {
+		opts.OnDiag = func(d collection.Diag) {
+			kind := "malformed"
+			if d.Limit {
+				kind = "over limit"
+			}
+			fmt.Fprintf(os.Stderr, "bfhrfd: skipped %s: tree %d (line %d): %s: %s\n",
+				d.Path, d.Tree, d.Line, kind, d.Reason)
+		}
+	}
+	return opts
+}
+
+// resultKey canonically renders every flag that affects result values, for
+// the checkpoint header. The topology (workers, chunk, batch) is absent on
+// purpose: sharding never changes the answers, so a run may resume on a
+// different cluster shape.
+func (cfg coordConfig) resultKey() string {
+	return fmt.Sprintf("distrib skipbad=%t maxtaxa=%d maxtreebytes=%d maxinput=%d",
+		cfg.skipBadTrees, cfg.maxTaxa, cfg.maxTreeBytes, cfg.maxInputBytes)
 }
 
 func runCoordinator(cfg coordConfig) int {
 	if cfg.refPath == "" {
 		fmt.Fprintln(os.Stderr, "bfhrfd: -ref is required in coordinator mode")
 		flag.Usage()
+		return 2
+	}
+	if cfg.resume && cfg.checkpointPath == "" {
+		fmt.Fprintln(os.Stderr, "bfhrfd: -resume requires -checkpoint")
 		return 2
 	}
 	if cfg.queryPath == "" {
@@ -276,7 +351,7 @@ func runCoordinator(cfg coordConfig) int {
 		defer adm.Shutdown() //nolint:errcheck — best-effort drain on exit
 	}
 
-	refs, err := collection.OpenFile(cfg.refPath)
+	refs, err := collection.OpenFileOpts(cfg.refPath, cfg.ingest())
 	if err != nil {
 		return fail(err)
 	}
@@ -298,17 +373,92 @@ func runCoordinator(cfg coordConfig) int {
 		slog.Info("health loop started", "interval", cfg.healthInterval.String())
 	}
 
-	queries, err := collection.OpenFile(cfg.queryPath)
+	queries, err := collection.OpenFileOpts(cfg.queryPath, cfg.ingest())
 	if err != nil {
 		return fail(err)
 	}
 	defer queries.Close()
-	out, err := coord.AverageRFContext(ctx, queries)
+
+	// Checkpoint wiring: each folded result streams into the record file,
+	// and a resumed run skips the queries already on disk after verifying
+	// the checkpoint was written against these references and flags.
+	ropts := distrib.QueryRunOptions{Cancel: ctx.Done()}
+	done := map[int]float64{}
+	var w *checkpoint.Writer
+	var ckMu sync.Mutex
+	var ckErr error
+	if cfg.checkpointPath != "" {
+		hdr := checkpoint.Header{Fingerprint: coord.Fingerprint(), Config: cfg.resultKey()}
+		if cfg.resume {
+			var loaded *checkpoint.LoadResult
+			w, loaded, err = checkpoint.Resume(cfg.checkpointPath, hdr)
+			if err != nil {
+				return fail(err)
+			}
+			done = loaded.Done
+			fmt.Fprintf(os.Stderr, "bfhrfd: resuming from %s: %d queries already done\n",
+				cfg.checkpointPath, len(done))
+		} else {
+			w, err = checkpoint.Create(cfg.checkpointPath, hdr)
+			if err != nil {
+				return fail(err)
+			}
+		}
+		defer w.Close()
+		if cfg.checkpointEvery > 0 {
+			w.Interval = cfg.checkpointEvery
+		}
+		ropts.Skip = func(idx int) bool { _, ok := done[idx]; return ok }
+		ropts.OnResult = func(r core.Result) {
+			if err := w.Record(r.Index, r.AvgRF); err != nil {
+				ckMu.Lock()
+				if ckErr == nil {
+					ckErr = err
+				}
+				ckMu.Unlock()
+			}
+		}
+	}
+
+	out, err := coord.AverageRFOpts(ctx, queries, ropts)
+	// SIGINT/SIGTERM surface either as ErrCanceled (caught at a batch
+	// boundary) or as a context error from an aborted in-flight RPC; both
+	// leave a valid, flushed checkpoint behind.
+	canceled := errors.Is(err, distrib.ErrCanceled) || errors.Is(err, context.Canceled)
+	if err != nil && !canceled {
+		return fail(err)
+	}
+	if w != nil {
+		if flushErr := w.Flush(); flushErr != nil && ckErr == nil {
+			ckErr = flushErr
+		}
+		if ckErr != nil {
+			return fail(fmt.Errorf("checkpointing failed: %w", ckErr))
+		}
+	}
+	results, err := mergeResults(out.Results, done, canceled)
 	if err != nil {
 		return fail(err)
 	}
-	for _, r := range out.Results {
-		fmt.Printf("%d\t%g\n", r.Index, r.AvgRF)
+	if canceled {
+		if cfg.checkpointPath != "" {
+			fmt.Fprintf(os.Stderr, "bfhrfd: interrupted after %d queries; checkpoint %s is valid — rerun with -resume to continue\n",
+				len(results), cfg.checkpointPath)
+		} else {
+			fmt.Fprintf(os.Stderr, "bfhrfd: interrupted after %d queries (no -checkpoint; progress not saved)\n", len(results))
+		}
+		return 130
+	}
+	var sb strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%d\t%g\n", r.Index, r.AvgRF)
+	}
+	if cfg.outPath != "" {
+		if err := atomicio.WriteFile(cfg.outPath, []byte(sb.String())); err != nil {
+			return fail(err)
+		}
+	} else {
+		fmt.Print(sb.String())
 	}
 	// Fault-tolerance annotations stay off stdout: the result stream must
 	// remain byte-identical to cmd/bfhrf.
@@ -322,8 +472,38 @@ func runCoordinator(cfg coordConfig) int {
 		fmt.Fprintf(os.Stderr, "bfhrfd: PARTIAL RESULTS: minimum shard coverage %.1f%% of reference trees\n",
 			out.Coverage*100)
 	}
-	slog.Info("run complete", "queries", len(out.Results), "workers", coord.NumWorkers(),
+	slog.Info("run complete", "queries", len(results), "workers", coord.NumWorkers(),
 		"alive", coord.AliveWorkers(), "failovers", out.Failovers,
 		"partial", out.Partial, "coverage", out.Coverage)
 	return 0
+}
+
+// mergeResults folds checkpoint-restored averages into freshly computed
+// ones and verifies the combined set is a contiguous 0..n-1 range (unless
+// the run was canceled, where gaps are expected). A checkpoint record
+// beyond the query count — stale state from a different query file —
+// fails loudly rather than folding in silently.
+func mergeResults(computed []core.Result, done map[int]float64, canceled bool) ([]core.Result, error) {
+	out := make([]core.Result, 0, len(computed)+len(done))
+	seen := make(map[int]bool, len(computed)+len(done))
+	for _, r := range computed {
+		out = append(out, r)
+		seen[r.Index] = true
+	}
+	for idx, avg := range done {
+		if seen[idx] {
+			continue
+		}
+		out = append(out, core.Result{Index: idx, AvgRF: avg})
+		seen[idx] = true
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	if !canceled {
+		for i, r := range out {
+			if r.Index != i {
+				return nil, fmt.Errorf("result set is not contiguous at query %d (found index %d) — stale checkpoint for a different query file?", i, r.Index)
+			}
+		}
+	}
+	return out, nil
 }

@@ -14,9 +14,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/collection"
 	"repro/internal/dataset"
 	"repro/internal/newick"
@@ -39,18 +41,26 @@ func main() {
 	)
 	flag.Parse()
 
-	w := os.Stdout
+	// -out is written atomically: the file appears only once the full
+	// collection is generated, so a killed treegen never leaves a truncated
+	// dataset behind for a later experiment to silently train on.
+	var w io.Writer = os.Stdout
+	var af *atomicio.File
+	commit := func() {
+		if af == nil {
+			return
+		}
+		if err := af.Commit(); err != nil {
+			fatal(err)
+		}
+	}
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err := atomicio.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
-		w = f
+		defer f.Close()
+		af, w = f, f
 	}
 
 	spec, err := resolveSpec(*name, *n, *r, *seed, *meanBr)
@@ -66,6 +76,7 @@ func main() {
 		if err := newick.WriteAll(w, qs, writeOpts(spec)); err != nil {
 			fatal(err)
 		}
+		commit()
 		fmt.Fprintf(os.Stderr, "treegen: wrote %d query trees (%d NNI moves each)\n", len(qs), *moves)
 		return
 	}
@@ -97,6 +108,7 @@ func main() {
 		}
 		written++
 	}
+	commit()
 	fmt.Fprintf(os.Stderr, "treegen: wrote %d trees (n=%d, %s)\n", written, spec.NumTaxa, spec.Name)
 }
 

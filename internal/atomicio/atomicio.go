@@ -1,0 +1,106 @@
+// Package atomicio writes files crash-safely: content goes to a temp file
+// in the destination directory, is fsync'd, and is renamed over the target
+// in one step, so readers never observe a half-written result and a crash
+// mid-write leaves the previous version intact. Every place a result lands
+// on disk (bfhrf output files, rfbench CSV/JSON records, materialized
+// datasets, checkpoint finalization) goes through this package.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultinject"
+)
+
+// File is an in-progress atomic write. Write into it like a regular file,
+// then Commit to publish (fsync + rename) or Close to abort (the target
+// is untouched either way until Commit returns nil).
+type File struct {
+	f         *os.File
+	path, tmp string
+	committed bool
+}
+
+// Create begins an atomic write of path. The temp file lives next to the
+// target so the final rename stays within one filesystem.
+func Create(path string) (*File, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: %w", err)
+	}
+	return &File{f: f, path: path, tmp: f.Name()}, nil
+}
+
+// Write implements io.Writer.
+func (a *File) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Commit fsyncs the temp file, renames it over the target, and fsyncs the
+// directory so the rename itself survives a crash. After Commit, Close is
+// a no-op.
+func (a *File) Commit() error {
+	if a.committed {
+		return fmt.Errorf("atomicio: %s: already committed", a.path)
+	}
+	if err := faultinject.Hit(faultinject.PointOutputWrite); err != nil {
+		a.Close()
+		return fmt.Errorf("atomicio: %s: %w", a.path, err)
+	}
+	if err := a.f.Sync(); err != nil {
+		a.Close()
+		return fmt.Errorf("atomicio: syncing %s: %w", a.tmp, err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.tmp)
+		return fmt.Errorf("atomicio: closing %s: %w", a.tmp, err)
+	}
+	if err := os.Rename(a.tmp, a.path); err != nil {
+		os.Remove(a.tmp)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	a.committed = true
+	syncDir(filepath.Dir(a.path))
+	return nil
+}
+
+// Close aborts an uncommitted write, removing the temp file. It is safe
+// (and conventional, via defer) to call after Commit.
+func (a *File) Close() error {
+	if a.committed {
+		return nil
+	}
+	a.committed = true
+	err := a.f.Close()
+	if rmErr := os.Remove(a.tmp); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// WriteFile atomically replaces path with data (the crash-safe
+// counterpart of os.WriteFile).
+func WriteFile(path string, data []byte) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("atomicio: writing %s: %w", path, err)
+	}
+	return f.Commit()
+}
+
+// syncDir best-effort fsyncs a directory so a just-renamed entry is
+// durable. Some filesystems reject directory fsync; that is not an error
+// worth failing a completed write over.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

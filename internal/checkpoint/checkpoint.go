@@ -1,0 +1,390 @@
+// Package checkpoint makes long average-RF batch runs crash-safe. Results
+// stream into an append-only record file — one CRC-protected line per
+// completed query tree, flushed and fsync'd every Interval records — so a
+// crash (OOM kill, power loss, SIGKILL) loses at most the last unflushed
+// batch. A header line pins the checkpoint to the reference collection
+// (its BFH fingerprint) and the run configuration, so -resume can refuse
+// to mix results computed against a different reference set.
+//
+// The format is deliberately line-oriented text:
+//
+//	bfhrf-checkpoint v1 fp=<16 hex> cfg=<quoted config> crc=<8 hex>
+//	r <query index> <float64 bits, 16 hex> crc=<8 hex>
+//
+// Loading stops at the first record that fails its checksum or does not
+// parse — everything from that point on (a torn write, a corrupted
+// sector, manual tampering) is quarantined to a side file and recomputed,
+// never silently folded into the averages. Resumed values are the exact
+// bit patterns that were stored, so an interrupted-then-resumed run is
+// bit-identical to an uninterrupted one.
+package checkpoint
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/atomicio"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// Metrics published into the obs Default registry (scraped via the
+// bfhrfd admin endpoint; also a cheap progress signal for bfhrf).
+var (
+	mRecords = obs.Counter("bfhrf_checkpoint_records_total",
+		"Per-query results appended to a checkpoint file.")
+	mFlushes = obs.Counter("bfhrf_checkpoint_flushes_total",
+		"Checkpoint flush+fsync cycles completed.")
+	mCorrupt = obs.Counter("bfhrf_checkpoint_corrupt_records_total",
+		"Checkpoint lines rejected by checksum or parse and quarantined.")
+	mRestored = obs.Counter("bfhrf_checkpoint_restored_total",
+		"Per-query results restored from a checkpoint on resume.")
+)
+
+// ErrMismatch reports a checkpoint whose header does not match the
+// current run: the reference collection or the configuration changed
+// since the checkpoint was written. Resuming would mix incomparable
+// results, so callers must either recompute from scratch or restore the
+// matching inputs.
+var ErrMismatch = errors.New("checkpoint: fingerprint/config mismatch")
+
+const magic = "bfhrf-checkpoint v1"
+
+// Header identifies what a checkpoint's results were computed against.
+type Header struct {
+	// Fingerprint is the reference collection's identity (for bfhrf, the
+	// built BFH's fingerprint; for bfhrfd, the coordinator load
+	// fingerprint). Resume requires an exact match.
+	Fingerprint uint64
+	// Config is a canonical rendering of the result-affecting options
+	// (variant, filters, taxa mode); it must match exactly too.
+	Config string
+}
+
+func headerLine(h Header) string {
+	body := fmt.Sprintf("%s fp=%016x cfg=%s", magic, h.Fingerprint, strconv.Quote(h.Config))
+	return fmt.Sprintf("%s crc=%08x\n", body, crc32.ChecksumIEEE([]byte(body)))
+}
+
+func recordLine(idx int, avg float64) string {
+	body := fmt.Sprintf("r %d %016x", idx, math.Float64bits(avg))
+	return fmt.Sprintf("%s crc=%08x\n", body, crc32.ChecksumIEEE([]byte(body)))
+}
+
+// splitCRC validates "…​ crc=xxxxxxxx" and returns the body.
+func splitCRC(line string) (string, bool) {
+	i := strings.LastIndex(line, " crc=")
+	if i < 0 || len(line)-(i+5) != 8 {
+		return "", false
+	}
+	want, err := strconv.ParseUint(line[i+5:], 16, 32)
+	if err != nil {
+		return "", false
+	}
+	body := line[:i]
+	if crc32.ChecksumIEEE([]byte(body)) != uint32(want) {
+		return "", false
+	}
+	return body, true
+}
+
+func parseHeader(body string) (Header, bool) {
+	rest, found := strings.CutPrefix(body, magic+" ")
+	if !found {
+		return Header{}, false
+	}
+	var fpHex string
+	fields := strings.SplitN(rest, " ", 2)
+	if len(fields) != 2 || !strings.HasPrefix(fields[0], "fp=") || !strings.HasPrefix(fields[1], "cfg=") {
+		return Header{}, false
+	}
+	fpHex = strings.TrimPrefix(fields[0], "fp=")
+	fp, err := strconv.ParseUint(fpHex, 16, 64)
+	if err != nil {
+		return Header{}, false
+	}
+	cfg, err := strconv.Unquote(strings.TrimPrefix(fields[1], "cfg="))
+	if err != nil {
+		return Header{}, false
+	}
+	return Header{Fingerprint: fp, Config: cfg}, true
+}
+
+func parseRecord(body string) (int, float64, bool) {
+	fields := strings.Split(body, " ")
+	if len(fields) != 3 || fields[0] != "r" {
+		return 0, 0, false
+	}
+	idx, err := strconv.Atoi(fields[1])
+	if err != nil || idx < 0 {
+		return 0, 0, false
+	}
+	bits, err := strconv.ParseUint(fields[2], 16, 64)
+	if err != nil || len(fields[2]) != 16 {
+		return 0, 0, false
+	}
+	return idx, math.Float64frombits(bits), true
+}
+
+// LoadResult is what Load recovered from an existing checkpoint file.
+type LoadResult struct {
+	Header Header
+	// Done maps query index to its stored average for every valid record.
+	Done map[int]float64
+	// ValidBytes is the length of the valid prefix; everything beyond it
+	// failed validation.
+	ValidBytes int64
+	// CorruptBytes counts the invalid suffix (0 for a clean file).
+	CorruptBytes int64
+	// CorruptLines counts lines dropped, including everything after the
+	// first bad one (records beyond a corruption are not trusted either).
+	CorruptLines int
+}
+
+// Load reads and validates a checkpoint file. A missing file returns an
+// error satisfying os.IsNotExist. A file whose header is unreadable
+// returns an error (there is nothing safe to resume from). Corrupt or
+// torn records only truncate: the valid prefix is returned and the
+// boundary reported so Resume can quarantine the rest.
+func Load(path string) (*LoadResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(f)
+	res := &LoadResult{Done: make(map[int]float64)}
+
+	readLine := func() (string, bool) {
+		line, err := br.ReadString('\n')
+		if err != nil || !strings.HasSuffix(line, "\n") {
+			// Torn tail (no terminating newline) is invalid by definition.
+			return "", false
+		}
+		return line, true
+	}
+
+	line, ok := readLine()
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: %s: missing or torn header", path)
+	}
+	body, ok := splitCRC(strings.TrimSuffix(line, "\n"))
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: %s: header failed checksum", path)
+	}
+	hdr, ok := parseHeader(body)
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: %s: unrecognized header %q", path, body)
+	}
+	res.Header = hdr
+	res.ValidBytes = int64(len(line))
+
+	for {
+		if err := faultinject.Hit(faultinject.PointCheckpointRead); err != nil {
+			return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+		}
+		line, ok := readLine()
+		if !ok {
+			break
+		}
+		body, ok := splitCRC(strings.TrimSuffix(line, "\n"))
+		if !ok {
+			break
+		}
+		idx, avg, ok := parseRecord(body)
+		if !ok {
+			break
+		}
+		res.Done[idx] = avg
+		res.ValidBytes += int64(len(line))
+	}
+
+	res.CorruptBytes = st.Size() - res.ValidBytes
+	if res.CorruptBytes > 0 {
+		// Count whole dropped lines for the diagnostic (approximate for a
+		// torn final line, which has no terminator).
+		rest := make([]byte, 0)
+		if _, err := f.Seek(res.ValidBytes, io.SeekStart); err == nil {
+			rest, _ = io.ReadAll(f)
+		}
+		res.CorruptLines = strings.Count(string(rest), "\n")
+		if len(rest) > 0 && !strings.HasSuffix(string(rest), "\n") {
+			res.CorruptLines++
+		}
+		mCorrupt.Add(uint64(res.CorruptLines))
+	}
+	mRestored.Add(uint64(len(res.Done)))
+	return res, nil
+}
+
+// Writer appends CRC-protected result records to a checkpoint file,
+// flushing and fsyncing every Interval records (and on Flush/Close).
+// Record is safe for concurrent use — query workers call it directly.
+type Writer struct {
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	pending  int
+	Interval int
+}
+
+// DefaultInterval is how many records accumulate between fsyncs when the
+// caller does not configure an interval.
+const DefaultInterval = 64
+
+// Create starts a fresh checkpoint at path (truncating any previous one)
+// with the given header, flushed and fsync'd immediately so even an
+// instant crash leaves a resumable (empty) checkpoint.
+func Create(path string, hdr Header) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	w := &Writer{f: f, bw: bufio.NewWriter(f), Interval: DefaultInterval}
+	if _, err := w.bw.WriteString(headerLine(hdr)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := w.flushLocked(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Resume opens path for a run described by hdr. A missing file starts a
+// fresh checkpoint. An existing one must match hdr exactly (ErrMismatch
+// otherwise); its valid records are returned, any corrupt tail is copied
+// to path+".quarantine" and truncated away, and the writer appends after
+// the valid prefix.
+func Resume(path string, hdr Header) (*Writer, *LoadResult, error) {
+	res, err := Load(path)
+	if os.IsNotExist(err) {
+		w, err := Create(path, hdr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return w, &LoadResult{Header: hdr, Done: map[int]float64{}}, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Header != hdr {
+		return nil, nil, fmt.Errorf("%w: checkpoint %s has fp=%016x cfg=%q, run has fp=%016x cfg=%q",
+			ErrMismatch, path, res.Header.Fingerprint, res.Header.Config, hdr.Fingerprint, hdr.Config)
+	}
+	if res.CorruptBytes > 0 {
+		if err := quarantine(path, res.ValidBytes); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Writer{f: f, bw: bufio.NewWriter(f), Interval: DefaultInterval}, res, nil
+}
+
+// quarantine saves the invalid suffix of path to path+".quarantine" and
+// truncates path to validBytes, so the corruption stays inspectable but
+// can never leak back into results.
+func quarantine(path string, validBytes int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(validBytes, io.SeekStart); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tail, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := atomicio.WriteFile(path+".quarantine", tail); err != nil {
+		return err
+	}
+	if err := os.Truncate(path, validBytes); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Record appends one result. Every Interval records it flushes and
+// fsyncs, bounding what a crash can lose.
+func (w *Writer) Record(idx int, avg float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.bw.WriteString(recordLine(idx, avg)); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	mRecords.Inc()
+	w.pending++
+	if interval := w.interval(); w.pending >= interval {
+		return w.flushLocked()
+	}
+	return nil
+}
+
+func (w *Writer) interval() int {
+	if w.Interval <= 0 {
+		return DefaultInterval
+	}
+	return w.Interval
+}
+
+// Flush forces buffered records to stable storage.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	if err := faultinject.Hit(faultinject.PointCheckpointWrite); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	w.pending = 0
+	mFlushes.Inc()
+	return nil
+}
+
+// Close flushes outstanding records and closes the file. The checkpoint
+// stays on disk; callers delete it (os.Remove) only after the final
+// output has been committed.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	ferr := w.flushLocked()
+	cerr := w.f.Close()
+	w.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	if cerr != nil {
+		return fmt.Errorf("checkpoint: %w", cerr)
+	}
+	return nil
+}

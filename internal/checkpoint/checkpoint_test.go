@@ -1,0 +1,277 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func TestCreateLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	hdr := Header{Fingerprint: 0xdeadbeefcafe, Config: "variant=rf workers=4"}
+	w, err := Create(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]float64{0: 1.5, 3: 0, 7: 42.25, 12: 1e-9}
+	for idx, avg := range want {
+		if err := w.Record(idx, avg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Header != hdr {
+		t.Fatalf("header round trip: got %+v want %+v", res.Header, hdr)
+	}
+	if len(res.Done) != len(want) {
+		t.Fatalf("got %d records, want %d", len(res.Done), len(want))
+	}
+	for idx, avg := range want {
+		if got, ok := res.Done[idx]; !ok || got != avg {
+			t.Fatalf("record %d: got %v (%v), want %v", idx, got, ok, avg)
+		}
+	}
+	if res.CorruptBytes != 0 || res.CorruptLines != 0 {
+		t.Fatalf("clean file reported corruption: %+v", res)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist, got %v", err)
+	}
+}
+
+func TestCorruptRecordTruncatesNotFolds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	hdr := Header{Fingerprint: 1, Config: "c"}
+	w, err := Create(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Record(i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside record 2's stored bits: its checksum now fails,
+	// and records 3 and 4 (beyond the corruption) must be dropped too.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	bad := []byte(lines[3])
+	bad[4] ^= 0x01
+	lines[3] = string(bad)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Done) != 2 {
+		t.Fatalf("got %d records past corruption, want 2: %v", len(res.Done), res.Done)
+	}
+	if res.CorruptLines != 3 {
+		t.Fatalf("CorruptLines = %d, want 3", res.CorruptLines)
+	}
+}
+
+func TestTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	w, err := Create(path, Header{Fingerprint: 1, Config: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(0, 1)
+	w.Record(1, 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: chop the final newline and a few bytes.
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Done) != 1 {
+		t.Fatalf("torn tail: got %d records, want 1", len(res.Done))
+	}
+	if res.CorruptBytes == 0 || res.CorruptLines != 1 {
+		t.Fatalf("torn tail not reported: %+v", res)
+	}
+}
+
+func TestResumeQuarantinesCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	hdr := Header{Fingerprint: 9, Config: "c"}
+	w, err := Create(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(0, 0.5)
+	w.Record(1, 1.5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("r 2 garbagegarbage crc=00000000\n")
+	f.Close()
+
+	w2, res, err := Resume(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Done) != 2 {
+		t.Fatalf("resume restored %d records, want 2", len(res.Done))
+	}
+	// Corrupt tail is preserved on the side, not folded in.
+	q, err := os.ReadFile(path + ".quarantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(q), "garbage") {
+		t.Fatalf("quarantine file missing corrupt tail: %q", q)
+	}
+	// The writer appends after the valid prefix; a fresh Load sees old and
+	// new records, no corruption.
+	if err := w2.Record(2, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Done) != 3 || res2.CorruptBytes != 0 {
+		t.Fatalf("post-resume load: %+v", res2)
+	}
+	if res2.Done[2] != 2.5 {
+		t.Fatalf("appended record = %v, want 2.5", res2.Done[2])
+	}
+}
+
+func TestResumeRejectsMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	w, err := Create(path, Header{Fingerprint: 1, Config: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(path, Header{Fingerprint: 2, Config: "c"}); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("fingerprint mismatch: got %v, want ErrMismatch", err)
+	}
+	if _, _, err := Resume(path, Header{Fingerprint: 1, Config: "other"}); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("config mismatch: got %v, want ErrMismatch", err)
+	}
+}
+
+func TestResumeFreshFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	hdr := Header{Fingerprint: 5, Config: "c"}
+	w, res, err := Resume(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Done) != 0 {
+		t.Fatalf("fresh resume has %d done", len(res.Done))
+	}
+	w.Record(0, 7)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil || got.Done[0] != 7 {
+		t.Fatalf("fresh resume round trip: %+v, %v", got, err)
+	}
+}
+
+func TestIntervalFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	w, err := Create(path, Header{Fingerprint: 1, Config: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Interval = 2
+	w.Record(0, 1)
+	w.Record(1, 2) // triggers flush
+	w.Record(2, 3) // buffered only
+
+	// Without closing, a concurrent Load must see at least the flushed two.
+	res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Done) < 2 {
+		t.Fatalf("interval flush: load saw %d records, want >=2", len(res.Done))
+	}
+	w.Close()
+}
+
+func TestInjectedFlushFault(t *testing.T) {
+	defer faultinject.Disarm()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	w, err := Create(path, Header{Fingerprint: 1, Config: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Interval = 1
+	faultinject.Arm(faultinject.Plan{
+		Point: faultinject.PointCheckpointWrite, Kind: faultinject.KindError, Hit: 1,
+	})
+	if err := w.Record(0, 1); err == nil {
+		t.Fatal("flush fault not surfaced")
+	}
+	faultinject.Disarm()
+	if err := w.Record(1, 2); err != nil {
+		t.Fatalf("recovery after flush fault: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderRejectsTampering(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	w, err := Create(path, Header{Fingerprint: 1, Config: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, _ := os.ReadFile(path)
+	data[len(magic)+4] ^= 0x01 // flip a fingerprint hex digit
+	os.WriteFile(path, data, 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("tampered header accepted")
+	}
+}

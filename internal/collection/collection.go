@@ -12,6 +12,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/faultinject"
 	"repro/internal/newick"
 	"repro/internal/nexus"
 	"repro/internal/tree"
@@ -88,9 +89,12 @@ type File struct {
 	f     *os.File
 	gz    *gzip.Reader
 	r     treeReader
-	raw   *rawScanner // non-nil for plain Newick; enables NextRaw
-	count int         // trees seen on the first full pass; -1 until known
+	nr    *newick.Reader // concrete reader when plain Newick, for resync
+	raw   *rawScanner    // non-nil for plain Newick; enables NextRaw
+	count int            // trees seen on the first full pass; -1 until known
 	seen  int
+	opts  Options
+	diags []Diag // trees skipped this pass (lenient mode)
 }
 
 // treeReader is the streaming interface both format readers satisfy.
@@ -110,25 +114,33 @@ func OpenFile(path string) (*File, error) {
 	return fs, nil
 }
 
-// Next implements Source.
+// Next implements Source. In lenient mode (Options.Lenient), per-tree
+// damage — a malformed statement, a tree over its size or taxon limit —
+// is recorded as a Diag and skipped; only stream-level failures
+// (unreadable input, byte budget exhausted) surface as errors.
 func (s *File) Next() (*tree.Tree, error) {
 	if s.r == nil {
 		if err := s.Reset(); err != nil {
 			return nil, err
 		}
 	}
-	t, err := s.r.Read()
-	if err == io.EOF {
-		if s.count < 0 {
-			s.count = s.seen
+	for {
+		t, err := s.r.Read()
+		if err == io.EOF {
+			if s.count < 0 {
+				s.count = s.seen
+			}
+			return nil, io.EOF
 		}
-		return nil, io.EOF
+		if err != nil {
+			if s.recover(err) {
+				continue
+			}
+			return nil, fmt.Errorf("collection: %s: %w", s.Path, err)
+		}
+		s.seen++
+		return t, nil
 	}
-	if err != nil {
-		return nil, fmt.Errorf("collection: %s: %w", s.Path, err)
-	}
-	s.seen++
-	return t, nil
 }
 
 // Count implements Counter: the tree count is known (non-negative) only
@@ -144,6 +156,9 @@ func (s *File) Reset() error {
 	if s.f != nil {
 		s.f.Close()
 		s.f = nil
+	}
+	if err := faultinject.Hit(faultinject.PointIOOpen); err != nil {
+		return fmt.Errorf("collection: %s: %w", s.Path, err)
 	}
 	f, err := os.Open(s.Path)
 	if err != nil {
@@ -162,17 +177,39 @@ func (s *File) Reset() error {
 		s.gz = gz
 		br = bufio.NewReader(gz)
 	}
+	// The parser reads through the fault-injection tap (free when
+	// disarmed) and, when a budget is set, through the byte-budget
+	// enforcer — counting decompressed bytes, so a gzip bomb trips it too.
+	var rd io.Reader = faultinject.Reader(faultinject.PointIORead, br)
+	if s.opts.MaxInputBytes > 0 {
+		rd = newBudgetReader(rd, s.opts.MaxInputBytes, s.Path)
+	}
+	pbr := bufio.NewReader(rd)
 	// Format sniff: "#NEXUS" (optionally after whitespace) vs Newick.
 	// For plain Newick a raw-statement scanner shares the buffered reader:
-	// per pass, use either Next or NextRaw, never both.
-	if isNexus(br) {
-		s.r = nexus.NewReader(br)
+	// per pass, use either Next or NextRaw, never both. The raw fast path
+	// is disabled whenever ingest options are set — raw statements bypass
+	// the per-tree parser, so limits and lenient skipping could not be
+	// enforced on them.
+	if isNexus(pbr) {
+		xr := nexus.NewReader(pbr)
+		xr.SetLimits(s.opts.Limits)
+		s.r = xr
+		s.nr = nil
 		s.raw = nil
 	} else {
-		s.r = newick.NewReader(br)
-		s.raw = newRawScanner(br)
+		nr := newick.NewReader(pbr)
+		nr.SetLimits(s.opts.Limits)
+		s.r = nr
+		s.nr = nr
+		if s.opts.zero() {
+			s.raw = newRawScanner(pbr)
+		} else {
+			s.raw = nil
+		}
 	}
 	s.seen = 0
+	s.diags = nil
 	return nil
 }
 

@@ -1,0 +1,205 @@
+package collection
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/newick"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func drainLeaves(t *testing.T, src Source) []int {
+	t.Helper()
+	var leaves []int
+	for {
+		tr, err := src.Next()
+		if err == io.EOF {
+			return leaves
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		leaves = append(leaves, tr.NumLeaves())
+	}
+}
+
+func TestLenientSkipsMalformedNewick(t *testing.T) {
+	path := writeTemp(t, "mixed.nwk", "(a,b);\n(a,,b);\n(c,(d,e));\n")
+	var streamed []Diag
+	f, err := OpenFileOpts(path, Options{Lenient: true, OnDiag: func(d Diag) { streamed = append(streamed, d) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := drainLeaves(t, f); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("lenient read got leaf counts %v, want [2 3]", got)
+	}
+	diags := f.Diags()
+	if len(diags) != 1 || len(streamed) != 1 {
+		t.Fatalf("diags = %v, streamed = %v, want one each", diags, streamed)
+	}
+	d := diags[0]
+	if d.Tree != 2 || d.Line != 2 || d.Path != path || d.Limit {
+		t.Fatalf("diag = %+v", d)
+	}
+	// A second pass reproduces the same skips.
+	if err := f.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainLeaves(t, f); len(got) != 2 {
+		t.Fatalf("second pass got %v", got)
+	}
+	if f.Skipped() != 1 {
+		t.Fatalf("second pass skipped %d", f.Skipped())
+	}
+}
+
+func TestStrictStillFails(t *testing.T) {
+	path := writeTemp(t, "bad.nwk", "(a,b);\n(a,,b);\n")
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Next()
+	if _, err := f.Next(); err == nil {
+		t.Fatal("strict mode parsed malformed tree")
+	}
+}
+
+func TestLenientSkipsOverLimitTrees(t *testing.T) {
+	path := writeTemp(t, "big.nwk", "(a,b);\n(a,(b,(c,(d,(e,f)))));\n(c,d);\n")
+	f, err := OpenFileOpts(path, Options{Lenient: true, Limits: newick.Limits{MaxTaxa: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := drainLeaves(t, f); len(got) != 2 {
+		t.Fatalf("got %v trees", got)
+	}
+	if d := f.Diags(); len(d) != 1 || !d[0].Limit {
+		t.Fatalf("diags = %v", f.Diags())
+	}
+}
+
+func TestLenientNexus(t *testing.T) {
+	src := "#NEXUS\nBEGIN TREES;\nTREE a = (a,(b,c));\nTREE bad = (a,,b);\nTREE b = ((a,b),(c,d));\nEND;\n"
+	path := writeTemp(t, "mixed.nex", src)
+	f, err := OpenFileOpts(path, Options{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := drainLeaves(t, f); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("lenient NEXUS got %v", got)
+	}
+	if len(f.Diags()) != 1 {
+		t.Fatalf("diags = %v", f.Diags())
+	}
+}
+
+func TestInputByteBudget(t *testing.T) {
+	path := writeTemp(t, "many.nwk", "(a,b);\n(c,d);\n(e,f);\n(g,h);\n")
+	f, err := OpenFileOpts(path, Options{MaxInputBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lastErr error
+	for {
+		_, err := f.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrInputBudget) {
+		t.Fatalf("budget overrun gave %v, want ErrInputBudget", lastErr)
+	}
+	// Budget exhaustion is fatal even in lenient mode.
+	f2, err := OpenFileOpts(path, Options{Lenient: true, MaxInputBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	lastErr = nil
+	for {
+		_, err := f2.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrInputBudget) {
+		t.Fatalf("lenient budget overrun gave %v", lastErr)
+	}
+}
+
+func TestOptionsDisableRawPath(t *testing.T) {
+	path := writeTemp(t, "raw.nwk", "(a,b);\n(c,d);\n")
+	f, err := OpenFileOpts(path, Options{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.NextRaw(); err != ErrRawUnsupported {
+		t.Fatalf("NextRaw under options gave %v, want ErrRawUnsupported", err)
+	}
+	// Without options the raw path still works.
+	f2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if stmt, err := f2.NextRaw(); err != nil || stmt == "" {
+		t.Fatalf("plain NextRaw: %q, %v", stmt, err)
+	}
+}
+
+func TestInjectedOpenAndReadFaults(t *testing.T) {
+	defer faultinject.Disarm()
+	path := writeTemp(t, "ok.nwk", "(a,b);\n(c,d);\n")
+
+	faultinject.Arm(faultinject.Plan{
+		Point: faultinject.PointIOOpen, Kind: faultinject.KindError, Hit: 1,
+	})
+	if _, err := OpenFile(path); err == nil {
+		t.Fatal("injected open fault not surfaced")
+	}
+	faultinject.Disarm()
+
+	// A mid-stream read error is fatal even in lenient mode (it is not
+	// per-tree damage). Arm after Reset so the format sniff (which
+	// tolerates read errors) does not absorb the fault.
+	f, err := OpenFileOpts(path, Options{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	faultinject.Arm(faultinject.Plan{
+		Point: faultinject.PointIORead, Kind: faultinject.KindError, Hit: 1, Times: -1,
+	})
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		if _, err := f.Next(); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	var ie *faultinject.Error
+	if !errors.As(lastErr, &ie) {
+		t.Fatalf("injected read fault gave %v", lastErr)
+	}
+}

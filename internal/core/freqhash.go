@@ -145,6 +145,40 @@ func (h *FreqHash) TotalBipartitions() uint64 { return h.sum }
 // length (required by the weighted-RF variant).
 func (h *FreqHash) Weighted() bool { return h.weighted }
 
+// Fingerprint returns a deterministic identity of the built hash: FNV-1a
+// over the taxa catalogue, the tree count, sumBFHR, and the unique
+// bipartition count. Two hashes built from the same reference collection
+// (any worker count, any backend) agree; any change to the references —
+// a different file, trees skipped by lenient ingest, different taxa —
+// disagrees with overwhelming probability. Checkpoint resume uses it to
+// refuse mixing results computed against different reference sets.
+// Deliberately excluded: lenSum (float accumulation order varies with
+// scheduling) and the backend/compression choice (they do not affect
+// results).
+func (h *FreqHash) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	fp := uint64(offset64)
+	mix := func(b byte) { fp = (fp ^ uint64(b)) * prime64 }
+	mixU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	}
+	for i := 0; i < h.taxa.Len(); i++ {
+		for _, b := range []byte(h.taxa.Name(i)) {
+			mix(b)
+		}
+		mix(0)
+	}
+	mixU64(uint64(h.numTrees))
+	mixU64(h.sum)
+	mixU64(uint64(h.UniqueBipartitions()))
+	return fp
+}
+
 // entryOf returns b's stored record (zero entry if absent). The map path
 // allocates a key string; hot loops use a Prober instead.
 func (h *FreqHash) entryOf(b bipart.Bipartition) entry {

@@ -85,15 +85,30 @@ func (h *FreqHash) AverageInfoRF(q collection.Source, opts QueryOptions) ([]Resu
 	var out []Result
 	idx := 0
 	for {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				return out, ErrCanceled
+			default:
+			}
+		}
 		t, err := q.Next()
 		if err != nil {
 			break
+		}
+		if opts.Skip != nil && opts.Skip(idx) {
+			idx++
+			continue
 		}
 		v, err := h.InfoRFOne(t, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: query tree %d: %w", idx, err)
 		}
-		out = append(out, Result{Index: idx, AvgRF: v})
+		r := Result{Index: idx, AvgRF: v}
+		if opts.OnResult != nil {
+			opts.OnResult(r)
+		}
+		out = append(out, r)
 		idx++
 	}
 	return out, nil

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/bipart"
@@ -44,6 +46,10 @@ func (v Variant) String() string {
 	}
 }
 
+// ErrCanceled is returned (wrapped) by AverageRF when QueryOptions.Cancel
+// fires; the results computed so far accompany it.
+var ErrCanceled = errors.New("core: query canceled")
+
 // QueryOptions configure the query phase (the second loop of Algorithm 2).
 type QueryOptions struct {
 	// Workers is the number of goroutines comparing trees against the
@@ -56,6 +62,21 @@ type QueryOptions struct {
 	Variant Variant
 	// RequireComplete rejects query trees not covering the catalogue.
 	RequireComplete bool
+	// Skip, when set, elides queries whose index it reports true for: the
+	// tree is still consumed from the source (streams have no seek) but
+	// never compared, and no Result is produced for it. Checkpoint resume
+	// uses this to avoid recomputing finished trees. With Skip set, the
+	// returned slice is compacted — ascending in Index, gaps where skipped.
+	Skip func(idx int) bool
+	// OnResult, when set, observes each result as soon as a worker
+	// produces it (out of order). It may be called from multiple
+	// goroutines concurrently; checkpoint writers serialize internally.
+	OnResult func(Result)
+	// Cancel, when closed, stops feeding new queries. AverageRF drains
+	// in-flight work and returns the results completed so far alongside
+	// an error wrapping ErrCanceled — so a signal handler can flush a
+	// valid checkpoint before exit.
+	Cancel <-chan struct{}
 }
 
 func (o QueryOptions) workers() int {
@@ -120,14 +141,27 @@ func (h *FreqHash) AverageRF(q collection.Source, opts QueryOptions) ([]Result, 
 					}
 					continue
 				}
-				outs[w] = append(outs[w], Result{Index: j.idx, AvgRF: avg})
+				r := Result{Index: j.idx, AvgRF: avg}
+				if opts.OnResult != nil {
+					opts.OnResult(r)
+				}
+				outs[w] = append(outs[w], r)
 			}
 		}(w)
 	}
 
-	idx := 0
+	var dispatched []bool
+	canceled := false
 	var feedErr error
-	for {
+	for !canceled {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				canceled = true
+				continue
+			default:
+			}
+		}
 		t, err := q.Next()
 		if err == io.EOF {
 			break
@@ -136,8 +170,13 @@ func (h *FreqHash) AverageRF(q collection.Source, opts QueryOptions) ([]Result, 
 			feedErr = err
 			break
 		}
+		idx := len(dispatched)
+		if opts.Skip != nil && opts.Skip(idx) {
+			dispatched = append(dispatched, false)
+			continue
+		}
+		dispatched = append(dispatched, true)
 		jobs <- job{idx: idx, t: t}
-		idx++
 	}
 	close(jobs)
 	wg.Wait()
@@ -150,16 +189,35 @@ func (h *FreqHash) AverageRF(q collection.Source, opts QueryOptions) ([]Result, 
 			return nil, err
 		}
 	}
-	results := make([]Result, idx)
-	filled := make([]bool, idx)
+	return collectResults(outs, dispatched, canceled)
+}
+
+// collectResults merges per-worker partial results into one slice sorted
+// by query index. dispatched[i] records whether query i was handed to a
+// worker; unless the run was canceled, every dispatched query must have
+// produced a result (the PR-4 no-silent-loss invariant). On cancellation
+// the completed subset is returned alongside ErrCanceled.
+func collectResults(outs [][]Result, dispatched []bool, canceled bool) ([]Result, error) {
+	n := 0
 	for _, part := range outs {
-		for _, r := range part {
-			results[r.Index] = r
-			filled[r.Index] = true
+		n += len(part)
+	}
+	results := make([]Result, 0, n)
+	for _, part := range outs {
+		results = append(results, part...)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
+	if canceled {
+		return results, ErrCanceled
+	}
+	got := make([]bool, len(dispatched))
+	for _, r := range results {
+		if r.Index < len(got) {
+			got[r.Index] = true
 		}
 	}
-	for i, ok := range filled {
-		if !ok {
+	for i, want := range dispatched {
+		if want && !got[i] {
 			return nil, fmt.Errorf("core: query tree %d produced no result", i)
 		}
 	}

@@ -150,14 +150,27 @@ func (h *FreqHash) averageRFRaw(rs collection.RawSource, opts QueryOptions) ([]R
 					}
 					continue
 				}
-				outs[w] = append(outs[w], Result{Index: j.idx, AvgRF: avg})
+				r := Result{Index: j.idx, AvgRF: avg}
+				if opts.OnResult != nil {
+					opts.OnResult(r)
+				}
+				outs[w] = append(outs[w], r)
 			}
 		}(w)
 	}
 
-	idx := 0
+	var dispatched []bool
+	canceled := false
 	var feedErr error
-	for {
+	for !canceled {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				canceled = true
+				continue
+			default:
+			}
+		}
 		stmt, err := rs.NextRaw()
 		if err == io.EOF {
 			break
@@ -166,8 +179,13 @@ func (h *FreqHash) averageRFRaw(rs collection.RawSource, opts QueryOptions) ([]R
 			feedErr = err
 			break
 		}
+		idx := len(dispatched)
+		if opts.Skip != nil && opts.Skip(idx) {
+			dispatched = append(dispatched, false)
+			continue
+		}
+		dispatched = append(dispatched, true)
 		jobs <- job{idx: idx, stmt: stmt}
-		idx++
 	}
 	close(jobs)
 	wg.Wait()
@@ -180,18 +198,5 @@ func (h *FreqHash) averageRFRaw(rs collection.RawSource, opts QueryOptions) ([]R
 			return nil, err
 		}
 	}
-	results := make([]Result, idx)
-	filled := make([]bool, idx)
-	for _, part := range outs {
-		for _, r := range part {
-			results[r.Index] = r
-			filled[r.Index] = true
-		}
-	}
-	for i, ok := range filled {
-		if !ok {
-			return nil, fmt.Errorf("core: query tree %d produced no result", i)
-		}
-	}
-	return results, nil
+	return collectResults(outs, dispatched, canceled)
 }

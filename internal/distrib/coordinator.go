@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/newick"
 	"repro/internal/obs"
 	"repro/internal/taxa"
@@ -49,6 +50,9 @@ type Coordinator struct {
 	// sum and r are the folded global totals, fixed after Load.
 	sum uint64
 	r   int
+	// fp is the reference-collection fingerprint, fixed after Load (see
+	// Fingerprint).
+	fp uint64
 	// ChunkSize is the number of reference trees per Load RPC (default 512).
 	ChunkSize int
 	// BatchSize is the number of query trees per Query RPC (default 256).
@@ -239,6 +243,15 @@ func (c *Coordinator) invalidate(i int, cl *rpc.Client) {
 // connection is closed — net/rpc cannot abandon a single in-flight call —
 // so the retry layer redials.
 func (c *Coordinator) callOnce(ctx context.Context, i int, method string, args, reply any) error {
+	if ferr := faultinject.Hit(faultinject.PointRPCSend); ferr != nil {
+		// An injected send fault stands in for a network failure before the
+		// bytes leave the coordinator. Transient plans wrap
+		// io.ErrUnexpectedEOF, so IsTransient routes them through the same
+		// retry/failover machinery a real severed connection takes.
+		addr := c.slot(i).addr
+		rpcErrors(obs.L("side", sideCoordinator), obs.L("method", method), obs.L("worker", addr)).Inc()
+		return fmt.Errorf("distrib: %s to %s: %w", method, addr, ferr)
+	}
 	cl, err := c.clientOf(i)
 	if err != nil {
 		return err
@@ -427,6 +440,7 @@ func (c *Coordinator) LoadContext(ctx context.Context, refs collection.Source, t
 	if c.r != total {
 		return fmt.Errorf("distrib: workers report %d trees, loaded %d", c.r, total)
 	}
+	c.fp = fingerprint(ts, c.r, c.sum)
 	if err := c.checkpoint(ctx); err != nil {
 		return err
 	}
@@ -473,6 +487,58 @@ func (c *Coordinator) batchSize() int {
 	return c.BatchSize
 }
 
+// Fingerprint identifies the loaded reference collection: an FNV-1a hash
+// over the taxon catalogue, the tree count and the folded bipartition
+// mass. Valid after Load; resumable runs store it in their checkpoint
+// header so a checkpoint can never silently resume against different
+// references. (The local core.FreqHash fingerprint also folds in the
+// global unique-bipartition count, which shards cannot provide, so the
+// two schemes are deliberately distinct: a single-node checkpoint does
+// not resume a distributed run, or vice versa.)
+func (c *Coordinator) Fingerprint() uint64 { return c.fp }
+
+func fingerprint(ts *taxa.Set, trees int, sum uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	fp := uint64(offset64)
+	mix := func(b byte) { fp = (fp ^ uint64(b)) * prime64 }
+	mixU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	}
+	for i := 0; i < ts.Len(); i++ {
+		for _, b := range []byte(ts.Name(i)) {
+			mix(b)
+		}
+		mix(0)
+	}
+	mixU64(uint64(trees))
+	mixU64(sum)
+	return fp
+}
+
+// ErrCanceled is returned by AverageRFOpts when QueryRunOptions.Cancel
+// fires; the results gathered so far accompany it.
+var ErrCanceled = core.ErrCanceled
+
+// QueryRunOptions configure one scatter-gather run for resumable
+// operation; the zero value is a plain full run.
+type QueryRunOptions struct {
+	// Skip, when non-nil, is consulted per query tree (by 0-based index in
+	// the query collection); true drops it from the batches. Results for
+	// skipped trees are absent from the Outcome.
+	Skip func(idx int) bool
+	// OnResult, when non-nil, observes each result as its batch folds —
+	// the checkpointing hook. Called sequentially in query order.
+	OnResult func(core.Result)
+	// Cancel, when closed, stops the run after the current batch: the
+	// results so far return with ErrCanceled.
+	Cancel <-chan struct{}
+}
+
 // AverageRF streams the query collection, fanning each batch out to every
 // worker and folding the partial sums. Results are in query order. See
 // AverageRFContext for the coverage and failover annotations.
@@ -489,6 +555,14 @@ func (c *Coordinator) AverageRF(queries collection.Source) ([]core.Result, error
 // achieved shard coverage, whether any batch was partial, and which
 // workers were lost along the way.
 func (c *Coordinator) AverageRFContext(ctx context.Context, queries collection.Source) (*Outcome, error) {
+	return c.AverageRFOpts(ctx, queries, QueryRunOptions{})
+}
+
+// AverageRFOpts is AverageRFContext with per-query skip, result streaming
+// and graceful cancellation — the hooks crash-safe resumable runs build
+// on. Each result's Index is its position in the query collection, so a
+// run that skips trees still reports stable indexes.
+func (c *Coordinator) AverageRFOpts(ctx context.Context, queries collection.Source, run QueryRunOptions) (*Outcome, error) {
 	if c.r == 0 {
 		return nil, fmt.Errorf("distrib: Load before Query")
 	}
@@ -500,7 +574,9 @@ func (c *Coordinator) AverageRFContext(ctx context.Context, queries collection.S
 	out := &Outcome{Coverage: 1}
 	deadBefore := c.deadAddrs()
 	batch := make([]string, 0, c.batchSize())
+	origIdx := make([]int, 0, c.batchSize())
 	idx := 0
+	canceled := false
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
@@ -511,14 +587,26 @@ func (c *Coordinator) AverageRFContext(ctx context.Context, queries collection.S
 		if err != nil {
 			return err
 		}
-		for _, a := range avgs {
-			out.Results = append(out.Results, core.Result{Index: idx, AvgRF: a})
-			idx++
+		for j, a := range avgs {
+			r := core.Result{Index: origIdx[j], AvgRF: a}
+			if run.OnResult != nil {
+				run.OnResult(r)
+			}
+			out.Results = append(out.Results, r)
 		}
 		batch = batch[:0]
+		origIdx = origIdx[:0]
 		return nil
 	}
-	for {
+	for !canceled {
+		if run.Cancel != nil {
+			select {
+			case <-run.Cancel:
+				canceled = true
+				continue
+			default:
+			}
+		}
 		t, err := queries.Next()
 		if err == io.EOF {
 			break
@@ -526,7 +614,13 @@ func (c *Coordinator) AverageRFContext(ctx context.Context, queries collection.S
 		if err != nil {
 			return nil, err
 		}
+		if run.Skip != nil && run.Skip(idx) {
+			idx++
+			continue
+		}
 		batch = append(batch, newick.String(t, newick.WriteOptions{BranchLengths: true}))
+		origIdx = append(origIdx, idx)
+		idx++
 		if len(batch) >= c.batchSize() {
 			if err := flush(); err != nil {
 				return nil, err
@@ -537,6 +631,9 @@ func (c *Coordinator) AverageRFContext(ctx context.Context, queries collection.S
 		return nil, err
 	}
 	out.DeadWorkers = diffAddrs(c.deadAddrs(), deadBefore)
+	if canceled {
+		return out, ErrCanceled
+	}
 	return out, nil
 }
 

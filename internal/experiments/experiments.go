@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -179,10 +180,11 @@ func (c *Config) materialize(spec dataset.Spec, r int) (string, *taxa.Set, error
 	}
 	src, _ := spec.Source()
 	head := &collection.Head{Src: src, N: r}
-	f, err := os.Create(path + ".tmp")
+	f, err := atomicio.Create(path)
 	if err != nil {
 		return "", nil, err
 	}
+	defer f.Close()
 	opts := newick.WriteOptions{BranchLengths: !spec.Unweighted, Precision: 6}
 	count := 0
 	for {
@@ -191,18 +193,14 @@ func (c *Config) materialize(spec dataset.Spec, r int) (string, *taxa.Set, error
 			break
 		}
 		if err := newick.Write(f, t, opts); err != nil {
-			f.Close()
 			return "", nil, err
 		}
 		count++
 	}
-	if err := f.Close(); err != nil {
-		return "", nil, err
-	}
 	if count != r {
 		return "", nil, fmt.Errorf("experiments: materialized %d of %d trees for %s", count, r, spec.Name)
 	}
-	if err := os.Rename(path+".tmp", path); err != nil {
+	if err := f.Commit(); err != nil {
 		return "", nil, err
 	}
 	return path, ts, nil

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/atomicio"
 	"repro/internal/dataset"
 	"repro/internal/tabfmt"
 )
@@ -40,7 +41,7 @@ func (rep *Report) SaveCSV(dir string) error {
 	}
 	for i, t := range rep.Tables {
 		name := fmt.Sprintf("%s_%d.csv", rep.ID, i)
-		f, err := os.Create(filepath.Join(dir, name))
+		f, err := atomicio.Create(filepath.Join(dir, name))
 		if err != nil {
 			return err
 		}
@@ -48,7 +49,7 @@ func (rep *Report) SaveCSV(dir string) error {
 			f.Close()
 			return err
 		}
-		if err := f.Close(); err != nil {
+		if err := f.Commit(); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,240 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	Disarm()
+	for i := 0; i < 100; i++ {
+		if err := Hit(PointIORead); err != nil {
+			t.Fatalf("disarmed Hit returned %v", err)
+		}
+	}
+}
+
+func TestErrorFiresOnExactHit(t *testing.T) {
+	defer Disarm()
+	Arm(Plan{Point: "p", Kind: KindError, Hit: 3})
+	for i := 1; i <= 5; i++ {
+		err := Hit("p")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v", i, err)
+		}
+		if i == 3 {
+			var ie *Error
+			if !errors.As(err, &ie) || ie.N != 3 || ie.Point != "p" {
+				t.Fatalf("hit 3: unexpected error %#v", err)
+			}
+		}
+	}
+}
+
+func TestTimesAndForever(t *testing.T) {
+	defer Disarm()
+	Arm(Plan{Point: "p", Kind: KindError, Hit: 2, Times: 2})
+	got := ""
+	for i := 1; i <= 5; i++ {
+		if Hit("p") != nil {
+			got += "x"
+		} else {
+			got += "."
+		}
+	}
+	if got != ".xx.." {
+		t.Fatalf("times=2 pattern = %q, want .xx..", got)
+	}
+
+	Arm(Plan{Point: "p", Kind: KindError, Hit: 3, Times: -1})
+	got = ""
+	for i := 1; i <= 5; i++ {
+		if Hit("p") != nil {
+			got += "x"
+		} else {
+			got += "."
+		}
+	}
+	if got != "..xxx" {
+		t.Fatalf("times=* pattern = %q, want ..xxx", got)
+	}
+}
+
+func TestTransientUnwraps(t *testing.T) {
+	defer Disarm()
+	Arm(Plan{Point: "p", Kind: KindError, Hit: 1, Transient: true})
+	err := Hit("p")
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("transient error does not unwrap to ErrUnexpectedEOF: %v", err)
+	}
+	Arm(Plan{Point: "p", Kind: KindError, Hit: 1})
+	if errors.Is(Hit("p"), io.ErrUnexpectedEOF) {
+		t.Fatal("permanent error unexpectedly transient")
+	}
+}
+
+func TestDelayPlanSleeps(t *testing.T) {
+	defer Disarm()
+	Arm(Plan{Point: "p", Kind: KindDelay, Hit: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatalf("delay plan returned error %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay plan slept only %v", d)
+	}
+}
+
+func TestCrashPlanCallsExit(t *testing.T) {
+	defer Disarm()
+	code := 0
+	exit = func(c int) { code = c; panic("exit") }
+	defer func() {
+		exit = os.Exit
+		if r := recover(); r != "exit" {
+			t.Fatalf("crash plan did not exit (recovered %v)", r)
+		}
+		if code != 137 {
+			t.Fatalf("crash exit code = %d, want 137", code)
+		}
+	}()
+	Arm(Plan{Point: "p", Kind: KindCrash, Hit: 1})
+	Hit("p")
+}
+
+func TestReaderShortRead(t *testing.T) {
+	defer Disarm()
+	Arm(Plan{Point: "r", Kind: KindShortRead, Hit: 2})
+	r := Reader("r", strings.NewReader(strings.Repeat("a", 10)))
+	buf := make([]byte, 4)
+	n, err := r.Read(buf)
+	if n != 4 || err != nil {
+		t.Fatalf("first read: n=%d err=%v", n, err)
+	}
+	n, err = r.Read(buf)
+	if n != 0 || err != io.EOF {
+		t.Fatalf("short read: n=%d err=%v, want 0, EOF", n, err)
+	}
+	// The cut is sticky: the stream stays ended.
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Fatalf("post-cut read err=%v, want EOF", err)
+	}
+}
+
+func TestReaderErrorAndPassthrough(t *testing.T) {
+	defer Disarm()
+	Arm(Plan{Point: "r", Kind: KindError, Hit: 2})
+	r := Reader("r", strings.NewReader("abcdef"))
+	buf := make([]byte, 3)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("first read errored: %v", err)
+	}
+	if _, err := r.Read(buf); err == nil {
+		t.Fatal("second read did not inject")
+	}
+	Disarm()
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("disarmed read errored: %v", err)
+	}
+}
+
+func TestHitCount(t *testing.T) {
+	defer Disarm()
+	Arm(Plan{Point: "p", Kind: KindError, Hit: 100})
+	for i := 0; i < 7; i++ {
+		Hit("p")
+	}
+	if n := HitCount("p"); n != 7 {
+		t.Fatalf("HitCount = %d, want 7", n)
+	}
+	if n := HitCount("other"); n != 0 {
+		t.Fatalf("HitCount(other) = %d, want 0", n)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"parse.tree:error@3",
+		"io.read:delay@2x5:10ms",
+		"checkpoint.write:crash@2",
+		"rpc.send:error@1x*:transient",
+		"io.read:short@4",
+	}
+	for _, s := range specs {
+		plans, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		if got := SpecOf(plans); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	// Multiple entries, both separators.
+	plans, err := ParseSpec("a:error@1;b:delay@2,c:short@3")
+	if err != nil || len(plans) != 3 {
+		t.Fatalf("multi-entry parse: %v (%d plans)", err, len(plans))
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"", "p", "p:explode@1", "p:error", "p:error@0", "p:error@x",
+		"p:error@1x0", "p:delay@1:notaduration", "p:crash@1:9999",
+		"p:error@1:permanent",
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted garbage", s)
+		}
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	points := []string{"a", "b", "c"}
+	s1 := Schedule(42, points, 4, 10)
+	s2 := Schedule(42, points, 4, 10)
+	if SpecOf(s1) != SpecOf(s2) {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", SpecOf(s1), SpecOf(s2))
+	}
+	if len(s1) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for _, p := range s1 {
+		if p.Kind == KindCrash {
+			t.Fatal("Schedule generated a crash plan")
+		}
+	}
+	// Different seeds should (typically) differ; check a sweep isn't constant.
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		distinct[SpecOf(Schedule(seed, points, 4, 10))] = true
+	}
+	if len(distinct) < 5 {
+		t.Fatalf("20 seeds produced only %d distinct schedules", len(distinct))
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	defer Disarm()
+	Arm(Plan{Point: "p", Kind: KindError, Hit: 50, Times: 1})
+	errs := make(chan error, 100)
+	for g := 0; g < 10; g++ {
+		go func() {
+			for i := 0; i < 10; i++ {
+				errs <- Hit("p")
+			}
+		}()
+	}
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if <-errs != nil {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("plan fired %d times across goroutines, want exactly 1", fired)
+	}
+}

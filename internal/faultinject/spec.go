@@ -1,0 +1,184 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ArmSpec parses a BFHRF_FAULTS-style schedule description and arms it.
+// Entries are comma- or semicolon-separated; each entry is
+//
+//	point:kind@n[xTIMES][:arg]
+//
+// where kind is error|delay|short|crash, n is the 1-based hit number,
+// TIMES is a repeat count ("*" = forever), and arg is a duration for
+// delay plans, "transient" for error plans, or an exit code for crash
+// plans. See the package comment for examples.
+func ArmSpec(spec string) error {
+	plans, err := ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	Arm(plans...)
+	return nil
+}
+
+// ParseSpec parses the schedule grammar without arming it.
+func ParseSpec(spec string) ([]Plan, error) {
+	var plans []Plan
+	for _, entry := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ';' }) {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		p, err := parseEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("faultinject: empty schedule %q", spec)
+	}
+	return plans, nil
+}
+
+func parseEntry(entry string) (Plan, error) {
+	parts := strings.SplitN(entry, ":", 3)
+	if len(parts) < 2 {
+		return Plan{}, fmt.Errorf("faultinject: entry %q: want point:kind@n[xT][:arg]", entry)
+	}
+	p := Plan{Point: parts[0]}
+
+	kindAt := parts[1]
+	kindStr, hitStr, found := strings.Cut(kindAt, "@")
+	if !found {
+		return Plan{}, fmt.Errorf("faultinject: entry %q: missing @n hit number", entry)
+	}
+	switch kindStr {
+	case "error":
+		p.Kind = KindError
+	case "delay":
+		p.Kind = KindDelay
+	case "short":
+		p.Kind = KindShortRead
+	case "crash":
+		p.Kind = KindCrash
+	default:
+		return Plan{}, fmt.Errorf("faultinject: entry %q: unknown kind %q", entry, kindStr)
+	}
+
+	hitPart, timesPart, hasTimes := strings.Cut(hitStr, "x")
+	hit, err := strconv.Atoi(hitPart)
+	if err != nil || hit < 1 {
+		return Plan{}, fmt.Errorf("faultinject: entry %q: bad hit number %q", entry, hitPart)
+	}
+	p.Hit = hit
+	if hasTimes {
+		if timesPart == "*" {
+			p.Times = -1
+		} else {
+			times, err := strconv.Atoi(timesPart)
+			if err != nil || times < 1 {
+				return Plan{}, fmt.Errorf("faultinject: entry %q: bad repeat count %q", entry, timesPart)
+			}
+			p.Times = times
+		}
+	}
+
+	if len(parts) == 3 {
+		arg := parts[2]
+		switch p.Kind {
+		case KindDelay:
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faultinject: entry %q: bad delay %q: %v", entry, arg, err)
+			}
+			p.Delay = d
+		case KindError, KindShortRead:
+			if arg != "transient" {
+				return Plan{}, fmt.Errorf("faultinject: entry %q: unknown error arg %q (want \"transient\")", entry, arg)
+			}
+			p.Transient = true
+		case KindCrash:
+			code, err := strconv.Atoi(arg)
+			if err != nil || code < 1 || code > 255 {
+				return Plan{}, fmt.Errorf("faultinject: entry %q: bad exit code %q", entry, arg)
+			}
+			p.ExitCode = code
+		}
+	}
+	return p, nil
+}
+
+// String renders the plan back in the ArmSpec grammar, so schedules can
+// be logged and replayed verbatim.
+func (p Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:%s@%d", p.Point, p.Kind, int(p.firstHit()))
+	if p.Times < 0 {
+		sb.WriteString("x*")
+	} else if p.Times > 1 {
+		fmt.Fprintf(&sb, "x%d", p.Times)
+	}
+	switch {
+	case p.Kind == KindDelay && p.Delay > 0:
+		fmt.Fprintf(&sb, ":%s", p.Delay)
+	case (p.Kind == KindError || p.Kind == KindShortRead) && p.Transient:
+		sb.WriteString(":transient")
+	case p.Kind == KindCrash && p.ExitCode != 0:
+		fmt.Fprintf(&sb, ":%d", p.ExitCode)
+	}
+	return sb.String()
+}
+
+// SpecOf renders a whole schedule in the ArmSpec grammar.
+func SpecOf(plans []Plan) string {
+	parts := make([]string, len(plans))
+	for i, p := range plans {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Schedule derives a reproducible random fault schedule from seed: between
+// 1 and maxFaults plans over the given points, with hit numbers in
+// [1, maxHit]. Crash plans are never generated (they would kill the test
+// process); kinds rotate over error (permanent and transient), short-read
+// and small delays. The same (seed, points, maxFaults, maxHit) always
+// yields the same schedule, so a failing chaos run replays exactly.
+func Schedule(seed int64, points []string, maxFaults, maxHit int) []Plan {
+	rng := rand.New(rand.NewSource(seed))
+	if maxFaults < 1 {
+		maxFaults = 1
+	}
+	if maxHit < 1 {
+		maxHit = 1
+	}
+	n := 1 + rng.Intn(maxFaults)
+	plans := make([]Plan, 0, n)
+	for i := 0; i < n; i++ {
+		p := Plan{
+			Point: points[rng.Intn(len(points))],
+			Hit:   1 + rng.Intn(maxHit),
+			Times: 1 + rng.Intn(3),
+		}
+		switch rng.Intn(4) {
+		case 0:
+			p.Kind = KindError
+		case 1:
+			p.Kind = KindError
+			p.Transient = true
+		case 2:
+			p.Kind = KindShortRead
+		case 3:
+			p.Kind = KindDelay
+			p.Delay = time.Duration(1+rng.Intn(3)) * time.Millisecond
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}

@@ -76,11 +76,12 @@ func (m *Matrix) At(i, j int) int {
 	return int(m.tri[m.triIndex(i, j)])
 }
 
-func (m *Matrix) set(i, j int, v int) {
+func (m *Matrix) set(i, j int, v int) error {
 	if v < 0 || v > math.MaxUint16 {
-		panic(fmt.Sprintf("hashrf: RF value %d out of uint16 range", v))
+		return fmt.Errorf("hashrf: RF(%d,%d) = %d out of uint16 range — collection exceeds the packed matrix's representable distances", i, j, v)
 	}
 	m.tri[m.triIndex(i, j)] = uint16(v)
+	return nil
 }
 
 // RowAverages returns, for each tree, the mean RF distance to every tree in
@@ -169,7 +170,9 @@ func AllVsAll(r collection.Source, opts Options) (*Matrix, error) {
 	for i := 0; i < rN; i++ {
 		for j := i + 1; j < rN; j++ {
 			s := int(shared[m.triIndex(i, j)])
-			m.set(i, j, int(counts[i])+int(counts[j])-2*s)
+			if err := m.set(i, j, int(counts[i])+int(counts[j])-2*s); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return m, nil

@@ -60,7 +60,16 @@ type token struct {
 type lexer struct {
 	r      *bufio.Reader
 	pos    int
+	line   int // 1-based, counts '\n' bytes consumed
 	peeked *token
+	last   byte // most recently read byte, for unreadByte line accounting
+
+	// Per-tree byte budget: when budget > 0, readByte fails once more than
+	// budget bytes have been consumed since treeStart. Turns a pathological
+	// or hostile tree (one unterminated 100MB "label") into a clean,
+	// position-stamped error instead of an unbounded allocation.
+	budget    int
+	treeStart int
 }
 
 func newLexer(r io.Reader) *lexer {
@@ -68,13 +77,24 @@ func newLexer(r io.Reader) *lexer {
 	if !ok {
 		br = bufio.NewReader(r)
 	}
-	return &lexer{r: br}
+	return &lexer{r: br, line: 1}
 }
 
+// startTree marks the budget window for the next tree.
+func (l *lexer) startTree() { l.treeStart = l.pos }
+
 func (l *lexer) readByte() (byte, error) {
+	if l.budget > 0 && l.pos-l.treeStart >= l.budget {
+		return 0, &ParseError{Pos: l.pos, Line: l.line, Limit: true,
+			Msg: fmt.Sprintf("tree exceeds %d-byte limit", l.budget)}
+	}
 	b, err := l.r.ReadByte()
 	if err == nil {
 		l.pos++
+		l.last = b
+		if b == '\n' {
+			l.line++
+		}
 	}
 	return b, err
 }
@@ -82,6 +102,46 @@ func (l *lexer) readByte() (byte, error) {
 func (l *lexer) unreadByte() {
 	if err := l.r.UnreadByte(); err == nil {
 		l.pos--
+		if l.last == '\n' {
+			l.line--
+		}
+	}
+}
+
+// skipToSemi discards input through the next top-level ';' so a lenient
+// reader can resynchronize after a malformed tree. Quoted labels and
+// bracket comments are honored so an embedded ';' does not end the skip
+// early; the byte budget is NOT applied (the whole point is to get past
+// an oversized or mangled tree). Returns io.EOF if input ends first.
+func (l *lexer) skipToSemi() error {
+	l.peeked = nil
+	budget := l.budget
+	l.budget = 0
+	defer func() { l.budget = budget }()
+	depth, inQuote := 0, false
+	for {
+		b, err := l.readByte()
+		if err != nil {
+			return err
+		}
+		switch {
+		case inQuote:
+			if b == '\'' {
+				inQuote = false
+			}
+		case depth > 0:
+			if b == '[' {
+				depth++
+			} else if b == ']' {
+				depth--
+			}
+		case b == '\'':
+			inQuote = true
+		case b == '[':
+			depth++
+		case b == ';':
+			return nil
+		}
 	}
 }
 
@@ -150,7 +210,7 @@ func (l *lexer) skipComment() error {
 	for depth > 0 {
 		b, err := l.readByte()
 		if err == io.EOF {
-			return &ParseError{Pos: start, Msg: "unterminated comment"}
+			return &ParseError{Pos: start, Line: l.line, Msg: "unterminated comment"}
 		}
 		if err != nil {
 			return err
@@ -173,7 +233,7 @@ func (l *lexer) lexQuoted() (token, error) {
 	for {
 		b, err := l.readByte()
 		if err == io.EOF {
-			return token{}, &ParseError{Pos: start, Msg: "unterminated quoted label"}
+			return token{}, &ParseError{Pos: start, Line: l.line, Msg: "unterminated quoted label"}
 		}
 		if err != nil {
 			return token{}, err
@@ -224,7 +284,7 @@ func (l *lexer) lexBare() (token, error) {
 	}
 	text := sb.String()
 	if text == "" {
-		return token{}, &ParseError{Pos: start, Msg: "empty label"}
+		return token{}, &ParseError{Pos: start, Line: l.line, Msg: "empty label"}
 	}
 	return token{kind: tokLabel, text: text, pos: start}, nil
 }

@@ -16,19 +16,39 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/faultinject"
 	"repro/internal/tree"
 )
 
-// ParseError describes a syntax error with its byte offset within the
-// current tree text.
+// ParseError describes a syntax error with its byte offset (and, when
+// known, 1-based line number) within the input stream.
 type ParseError struct {
-	Pos int
-	Msg string
+	Pos  int
+	Line int
+	Msg  string
+	// Limit marks errors produced by a resource limit (MaxTreeBytes,
+	// MaxTaxa) rather than malformed syntax; both are recoverable the
+	// same way (skip the tree), but diagnostics distinguish them.
+	Limit bool
 }
 
 // Error implements the error interface.
 func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("newick: parse error at line %d (offset %d): %s", e.Line, e.Pos, e.Msg)
+	}
 	return fmt.Sprintf("newick: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Limits bounds the resources a single tree may consume. Zero values mean
+// unlimited. Exceeding a limit yields a *ParseError with Limit set — a
+// clean, skippable per-tree failure instead of a runaway allocation.
+type Limits struct {
+	// MaxTreeBytes caps the serialized size of one tree (bytes consumed
+	// between its first token and its ';').
+	MaxTreeBytes int
+	// MaxTaxa caps the number of leaves in one tree.
+	MaxTaxa int
 }
 
 // Parse parses a single Newick tree from s. Trailing input after the
@@ -60,8 +80,10 @@ func MustParse(s string) *tree.Tree {
 // Reader streams trees from a multi-tree Newick source. Each call to Read
 // returns the next tree; io.EOF signals a clean end of input.
 type Reader struct {
-	lx    *lexer
-	count int
+	lx     *lexer
+	count  int
+	limits Limits
+	leaves int // leaf count of the tree currently being parsed
 }
 
 // NewReader wraps r in a streaming Newick reader.
@@ -69,8 +91,25 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{lx: newLexer(r)}
 }
 
+// SetLimits applies per-tree resource limits to subsequent Reads.
+func (r *Reader) SetLimits(l Limits) {
+	r.limits = l
+	r.lx.budget = l.MaxTreeBytes
+}
+
 // TreesRead returns the number of trees successfully read so far.
 func (r *Reader) TreesRead() int { return r.count }
+
+// Pos returns the byte offset and 1-based line of the reader's position,
+// for per-tree diagnostics in lenient mode.
+func (r *Reader) Pos() (offset, line int) { return r.lx.pos, r.lx.line }
+
+// SkipTree abandons the current (malformed or oversized) tree and
+// advances past its terminating ';' so the next Read starts on the
+// following tree. Returns io.EOF if the input ends before a ';'.
+func (r *Reader) SkipTree() error {
+	return r.lx.skipToSemi()
+}
 
 // Read parses and returns the next tree, or io.EOF when input is exhausted.
 func (r *Reader) Read() (*tree.Tree, error) {
@@ -82,6 +121,13 @@ func (r *Reader) Read() (*tree.Tree, error) {
 	if tok.kind == tokEOF {
 		return nil, io.EOF
 	}
+	if err := faultinject.Hit(faultinject.PointParseTree); err != nil {
+		// Injected parse faults impersonate malformed trees so lenient
+		// ingest exercises exactly the recovery path real corruption takes.
+		return nil, &ParseError{Pos: tok.pos, Line: r.lx.line, Msg: err.Error()}
+	}
+	r.lx.startTree()
+	r.leaves = 0
 	root, err := r.parseNode()
 	if err != nil {
 		return nil, err
@@ -91,7 +137,7 @@ func (r *Reader) Read() (*tree.Tree, error) {
 		return nil, err
 	}
 	if tok.kind != tokSemi {
-		return nil, &ParseError{Pos: tok.pos, Msg: fmt.Sprintf("expected ';' after tree, found %s", tok.kind)}
+		return nil, &ParseError{Pos: tok.pos, Line: r.lx.line, Msg: fmt.Sprintf("expected ';' after tree, found %s", tok.kind)}
 	}
 	r.count++
 	return tree.New(root), nil
@@ -138,10 +184,10 @@ func (r *Reader) parseNode() (*tree.Node, error) {
 			if sep.kind == tokClose {
 				break
 			}
-			return nil, &ParseError{Pos: sep.pos, Msg: fmt.Sprintf("expected ',' or ')' in subtree, found %s", sep.kind)}
+			return nil, &ParseError{Pos: sep.pos, Line: r.lx.line, Msg: fmt.Sprintf("expected ',' or ')' in subtree, found %s", sep.kind)}
 		}
 	} else if tok.kind != tokLabel {
-		return nil, &ParseError{Pos: tok.pos, Msg: fmt.Sprintf("expected '(' or label, found %s", tok.kind)}
+		return nil, &ParseError{Pos: tok.pos, Line: r.lx.line, Msg: fmt.Sprintf("expected '(' or label, found %s", tok.kind)}
 	}
 
 	// Optional label.
@@ -166,20 +212,27 @@ func (r *Reader) parseNode() (*tree.Node, error) {
 			return nil, err
 		}
 		if lt.kind != tokLabel {
-			return nil, &ParseError{Pos: lt.pos, Msg: fmt.Sprintf("expected branch length after ':', found %s", lt.kind)}
+			return nil, &ParseError{Pos: lt.pos, Line: r.lx.line, Msg: fmt.Sprintf("expected branch length after ':', found %s", lt.kind)}
 		}
 		// Undo the underscore-to-space decoding for numbers (numbers never
 		// legitimately contain underscores, but be strict anyway).
 		v, err := strconv.ParseFloat(strings.TrimSpace(lt.text), 64)
 		if err != nil {
-			return nil, &ParseError{Pos: lt.pos, Msg: fmt.Sprintf("invalid branch length %q", lt.text)}
+			return nil, &ParseError{Pos: lt.pos, Line: r.lx.line, Msg: fmt.Sprintf("invalid branch length %q", lt.text)}
 		}
 		n.Length = v
 		n.HasLength = true
 	}
 
-	if len(n.Children) == 0 && n.Name == "" {
-		return nil, &ParseError{Pos: tok.pos, Msg: "leaf without a name"}
+	if len(n.Children) == 0 {
+		if n.Name == "" {
+			return nil, &ParseError{Pos: tok.pos, Line: r.lx.line, Msg: "leaf without a name"}
+		}
+		r.leaves++
+		if r.limits.MaxTaxa > 0 && r.leaves > r.limits.MaxTaxa {
+			return nil, &ParseError{Pos: tok.pos, Line: r.lx.line, Limit: true,
+				Msg: fmt.Sprintf("tree exceeds %d-taxon limit", r.limits.MaxTaxa)}
+		}
 	}
 	return n, nil
 }

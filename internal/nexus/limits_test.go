@@ -1,0 +1,69 @@
+package nexus
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/newick"
+)
+
+const lenientSrc = `#NEXUS
+BEGIN TREES;
+  TREE one = (a,(b,c));
+  TREE bad = (a,,b);
+  TREE two = ((a,b),c);
+END;
+`
+
+func TestStatementErrorIsRecoverable(t *testing.T) {
+	r := NewReader(strings.NewReader(lenientSrc))
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first tree: %v", err)
+	}
+	_, err := r.Read()
+	var se *StatementError
+	if !errors.As(err, &se) {
+		t.Fatalf("malformed TREE gave %T (%v), want *StatementError", err, err)
+	}
+	if se.Line == 0 || !strings.Contains(se.Stmt, "TREE bad") {
+		t.Fatalf("diagnostics incomplete: %+v", se)
+	}
+	// The statement was consumed; reading continues at the next tree.
+	tr, err := r.Read()
+	if err != nil {
+		t.Fatalf("tree after StatementError: %v", err)
+	}
+	if tr.NumLeaves() != 3 {
+		t.Fatalf("wrong tree after recovery: %d leaves", tr.NumLeaves())
+	}
+	if r.TreesRead() != 2 {
+		t.Fatalf("TreesRead = %d, want 2", r.TreesRead())
+	}
+}
+
+func TestOversizedStatementDrained(t *testing.T) {
+	big := "TREE huge = (" + strings.Repeat("a,", 4000) + "b);"
+	src := "#NEXUS\nBEGIN TREES;\n" + big + "\nTREE ok = (a,b);\nEND;\n"
+	r := NewReader(strings.NewReader(src))
+	r.SetLimits(newick.Limits{MaxTreeBytes: 256})
+	_, err := r.Read()
+	var se *StatementError
+	if !errors.As(err, &se) || !se.Limit {
+		t.Fatalf("oversized statement gave %v, want limit StatementError", err)
+	}
+	tr, err := r.Read()
+	if err != nil || tr.NumLeaves() != 2 {
+		t.Fatalf("tree after oversized statement: %v, %v", tr, err)
+	}
+}
+
+func TestMaxTaxaThroughNexus(t *testing.T) {
+	r := NewReader(strings.NewReader(lenientSrc))
+	r.SetLimits(newick.Limits{MaxTaxa: 2})
+	_, err := r.Read()
+	var se *StatementError
+	if !errors.As(err, &se) || !se.Limit {
+		t.Fatalf("over-taxa tree gave %v, want limit StatementError", err)
+	}
+}

@@ -18,6 +18,7 @@ package nexus
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -33,15 +34,47 @@ type Reader struct {
 	inTrees   bool
 	started   bool
 	count     int
+	line      int // 1-based, tracks '\n' bytes consumed
+	limits    newick.Limits
 }
 
 // NewReader wraps r. The NEXUS header is validated on the first Read.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{br: bufio.NewReader(r)}
+	return &Reader{br: bufio.NewReader(r), line: 1}
 }
+
+// SetLimits applies per-tree resource limits to subsequent Reads. Tree
+// statements larger than MaxTreeBytes (plus keyword slack) are consumed
+// without buffering and reported as a *StatementError.
+func (r *Reader) SetLimits(l newick.Limits) { r.limits = l }
 
 // TreesRead returns the number of trees returned so far.
 func (r *Reader) TreesRead() int { return r.count }
+
+// Line returns the 1-based line number of the reader's position, for
+// per-tree diagnostics in lenient mode.
+func (r *Reader) Line() int { return r.line }
+
+// StatementError reports a failure confined to a single NEXUS statement
+// (a malformed or oversized TREE line). The statement has been fully
+// consumed, so lenient callers may simply call Read again; everything
+// else — a missing header, a corrupt TRANSLATE table, truncated input —
+// is returned as an ordinary error because continuing could silently
+// mislabel every subsequent tree.
+type StatementError struct {
+	Line int
+	Stmt string // leading fragment of the offending statement
+	Err  error
+	// Limit marks statements rejected by a resource limit rather than a
+	// parse failure.
+	Limit bool
+}
+
+func (e *StatementError) Error() string {
+	return fmt.Sprintf("nexus: line %d: statement %q: %v", e.Line, e.Stmt, e.Err)
+}
+
+func (e *StatementError) Unwrap() error { return e.Err }
 
 // Read returns the next tree, or io.EOF after the last TREE statement.
 func (r *Reader) Read() (*tree.Tree, error) {
@@ -123,6 +156,9 @@ func (r *Reader) readHeader() error {
 func (r *Reader) readMeaningfulLine() (string, error) {
 	for {
 		line, err := r.br.ReadString('\n')
+		if strings.HasSuffix(line, "\n") {
+			r.line++
+		}
 		if line == "" && err != nil {
 			return "", err
 		}
@@ -156,10 +192,20 @@ func (r *Reader) seekTreesBlock() (bool, error) {
 
 // readStatement reads up to the next top-level ';', skipping comments and
 // respecting single-quoted strings. The ';' is consumed but not returned.
+// When a statement byte limit is set, an oversized statement is drained
+// (without buffering it) and reported as a *StatementError — so a header
+// claiming a 100MB tree costs a bounded scan, not a 100MB allocation.
 func (r *Reader) readStatement() (string, error) {
 	var sb strings.Builder
 	inQuote := false
 	depth := 0
+	read := 0
+	startLine := r.line
+	// Slack over the per-tree budget covers the "TREE name = " prefix.
+	max := 0
+	if r.limits.MaxTreeBytes > 0 {
+		max = r.limits.MaxTreeBytes + 4096
+	}
 	for {
 		b, err := r.br.ReadByte()
 		if err == io.EOF {
@@ -170,6 +216,36 @@ func (r *Reader) readStatement() (string, error) {
 		}
 		if err != nil {
 			return "", err
+		}
+		if b == '\n' {
+			r.line++
+		}
+		read++
+		if max > 0 && read == max+1 {
+			sb.Reset() // stop buffering; keep scanning for the terminator
+		}
+		if max > 0 && read > max {
+			if !inQuote && depth == 0 && b == ';' {
+				return "", &StatementError{Line: startLine, Stmt: "(oversized)", Limit: true,
+					Err: fmt.Errorf("statement exceeds %d-byte limit", max)}
+			}
+			// Track quote/comment state so an embedded ';' doesn't end the
+			// drain early.
+			switch {
+			case inQuote:
+				inQuote = b != '\''
+			case depth > 0:
+				if b == '[' {
+					depth++
+				} else if b == ']' {
+					depth--
+				}
+			case b == '\'':
+				inQuote = true
+			case b == '[':
+				depth++
+			}
+			continue
 		}
 		switch {
 		case inQuote:
@@ -297,17 +373,26 @@ func splitTopLevel(s string, sep byte) []string {
 }
 
 // parseTree handles "TREE name = [&U] (...)" (the ';' was consumed by the
-// statement reader).
+// statement reader). Failures are *StatementError: the statement is fully
+// consumed, so lenient callers can keep reading.
 func (r *Reader) parseTree(stmt string) (*tree.Tree, error) {
 	eq := strings.Index(stmt, "=")
 	if eq < 0 {
-		return nil, fmt.Errorf("nexus: TREE statement without '=': %q", truncate(stmt))
+		return nil, &StatementError{Line: r.line, Stmt: truncate(stmt),
+			Err: fmt.Errorf("TREE statement without '='")}
 	}
 	body := strings.TrimSpace(stmt[eq+1:])
 	// Comments (incl. [&U]/[&R]) were already stripped by readStatement.
-	t, err := newick.Parse(body + ";")
+	nr := newick.NewReader(strings.NewReader(body + ";"))
+	nr.SetLimits(r.limits)
+	t, err := nr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("nexus: %w", err)
+		var pe *newick.ParseError
+		limit := false
+		if errors.As(err, &pe) {
+			limit = pe.Limit
+		}
+		return nil, &StatementError{Line: r.line, Stmt: truncate(stmt), Err: err, Limit: limit}
 	}
 	if len(r.translate) > 0 {
 		var terr error

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/atomicio"
 	"repro/internal/memprof"
 )
 
@@ -161,22 +162,18 @@ func Decode(r io.Reader) (*Suite, error) {
 	return &s, nil
 }
 
-// WriteFile encodes the suite to path atomically (temp file + rename, like
-// the experiment harness's dataset materialization).
+// WriteFile encodes the suite to path atomically (temp file + fsync +
+// rename), so a crash mid-write leaves any previous suite intact.
 func WriteFile(path string, s *Suite) error {
-	f, err := os.Create(path + ".tmp")
+	f, err := atomicio.Create(path)
 	if err != nil {
 		return err
 	}
+	defer f.Close()
 	if err := Encode(f, s); err != nil {
-		f.Close()
-		os.Remove(path + ".tmp")
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(path+".tmp", path)
+	return f.Commit()
 }
 
 // ReadFile decodes and validates the suite at path.

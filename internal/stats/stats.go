@@ -39,10 +39,16 @@ func Variance(xs []float64) float64 {
 // StdDev returns the population standard deviation of xs.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
-// Min and Max return the extrema of xs; both panic on empty input.
-func Min(xs []float64) float64 {
+// errEmpty reports a summary requested over no samples. An empty input is
+// a caller-level condition (an experiment that produced no measurements),
+// not a programming invariant, so these functions return errors rather
+// than panicking.
+func errEmpty(what string) error { return fmt.Errorf("stats: %s of empty slice", what) }
+
+// Min returns the minimum of xs; it errors on empty input.
+func Min(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		panic("stats: Min of empty slice")
+		return 0, errEmpty("Min")
 	}
 	m := xs[0]
 	for _, x := range xs[1:] {
@@ -50,13 +56,13 @@ func Min(xs []float64) float64 {
 			m = x
 		}
 	}
-	return m
+	return m, nil
 }
 
-// Max returns the maximum of xs.
-func Max(xs []float64) float64 {
+// Max returns the maximum of xs; it errors on empty input.
+func Max(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		panic("stats: Max of empty slice")
+		return 0, errEmpty("Max")
 	}
 	m := xs[0]
 	for _, x := range xs[1:] {
@@ -64,22 +70,23 @@ func Max(xs []float64) float64 {
 			m = x
 		}
 	}
-	return m
+	return m, nil
 }
 
-// Median returns the median of xs (mean of middle pair for even length).
-func Median(xs []float64) float64 {
+// Median returns the median of xs (mean of middle pair for even length);
+// it errors on empty input.
+func Median(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		panic("stats: Median of empty slice")
+		return 0, errEmpty("Median")
 	}
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
 	mid := len(s) / 2
 	if len(s)%2 == 1 {
-		return s[mid]
+		return s[mid], nil
 	}
-	return (s[mid-1] + s[mid]) / 2
+	return (s[mid-1] + s[mid]) / 2, nil
 }
 
 // Pearson returns the Pearson correlation coefficient of the paired

@@ -27,26 +27,25 @@ func TestMeanVarianceStdDev(t *testing.T) {
 
 func TestMinMaxMedian(t *testing.T) {
 	xs := []float64{3, 1, 4, 1, 5}
-	if Min(xs) != 1 || Max(xs) != 5 {
-		t.Error("Min/Max wrong")
+	mn, err1 := Min(xs)
+	mx, err2 := Max(xs)
+	if err1 != nil || err2 != nil || mn != 1 || mx != 5 {
+		t.Errorf("Min/Max = %v (%v), %v (%v)", mn, err1, mx, err2)
 	}
-	if Median(xs) != 3 {
-		t.Errorf("Median = %v", Median(xs))
+	if md, err := Median(xs); err != nil || md != 3 {
+		t.Errorf("Median = %v, %v", md, err)
 	}
-	if Median([]float64{1, 2, 3, 4}) != 2.5 {
-		t.Error("even-length median wrong")
+	if md, err := Median([]float64{1, 2, 3, 4}); err != nil || md != 2.5 {
+		t.Errorf("even-length median = %v, %v", md, err)
 	}
-	for _, f := range []func(){
-		func() { Min(nil) }, func() { Max(nil) }, func() { Median(nil) },
+	for name, f := range map[string]func() (float64, error){
+		"Min":    func() (float64, error) { return Min(nil) },
+		"Max":    func() (float64, error) { return Max(nil) },
+		"Median": func() (float64, error) { return Median(nil) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic on empty input")
-				}
-			}()
-			f()
-		}()
+		if _, err := f(); err == nil {
+			t.Errorf("%s(nil) should error", name)
+		}
 	}
 }
 

@@ -63,6 +63,51 @@ type Config struct {
 	// CompressKeys stores losslessly compressed bipartition keys in the
 	// frequency hash, trading a little CPU for memory (paper §IX).
 	CompressKeys bool
+
+	// SkipBadTrees makes file ingest lenient: malformed or over-limit
+	// trees are skipped (each recorded as a diagnostic) instead of
+	// failing the run. The default is strict — fail fast on the first
+	// bad tree.
+	SkipBadTrees bool
+	// MaxTaxa caps the number of leaves per input tree (0 = unlimited).
+	MaxTaxa int
+	// MaxTreeBytes caps the serialized size of one input tree
+	// (0 = unlimited).
+	MaxTreeBytes int
+	// MaxInputBytes caps the decompressed bytes read per input file
+	// (0 = unlimited). Exceeding it fails the run even with
+	// SkipBadTrees — the budget exists to stop runaway inputs.
+	MaxInputBytes int64
+	// OnBadTree, when set with SkipBadTrees, observes each skipped
+	// tree's diagnostic (file path, tree ordinal, line, reason).
+	OnBadTree func(BadTree)
+}
+
+// BadTree describes one input tree skipped by lenient ingest.
+type BadTree struct {
+	Path   string
+	Tree   int // 1-based ordinal within the file
+	Line   int // 1-based line where the failure was detected (0 if unknown)
+	Reason string
+	// Limit marks trees dropped by a resource limit (MaxTaxa,
+	// MaxTreeBytes) rather than a syntax error.
+	Limit bool
+}
+
+// ingest translates the Config's hardening fields to collection options.
+func (c Config) ingest() collection.Options {
+	opts := collection.Options{
+		Lenient:       c.SkipBadTrees,
+		Limits:        newick.Limits{MaxTaxa: c.MaxTaxa, MaxTreeBytes: c.MaxTreeBytes},
+		MaxInputBytes: c.MaxInputBytes,
+	}
+	if c.OnBadTree != nil {
+		cb := c.OnBadTree
+		opts.OnDiag = func(d collection.Diag) {
+			cb(BadTree{Path: d.Path, Tree: d.Tree, Line: d.Line, Reason: d.Reason, Limit: d.Limit})
+		}
+	}
+	return opts
 }
 
 func (c Config) variant() (core.Variant, bool, error) {
@@ -118,12 +163,12 @@ func BestResult(results []Result) (Result, error) {
 // AverageRFFiles computes average RF of every tree in the query Newick
 // file against the collection in the reference Newick file.
 func AverageRFFiles(queryPath, refPath string, cfg Config) ([]Result, error) {
-	q, err := collection.OpenFile(queryPath)
+	q, err := collection.OpenFileOpts(queryPath, cfg.ingest())
 	if err != nil {
 		return nil, err
 	}
 	defer q.Close()
-	r, err := collection.OpenFile(refPath)
+	r, err := collection.OpenFileOpts(refPath, cfg.ingest())
 	if err != nil {
 		return nil, err
 	}
