@@ -61,6 +61,7 @@ echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/newick
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/nexus
 go test -run='^$' -fuzz=FuzzTable -fuzztime=10s ./internal/bfhtable
+go test -run='^$' -fuzz=FuzzFingerprint -fuzztime=10s ./internal/core
 
 echo "== bfhrfd admin endpoint smoke =="
 # Start a worker on ephemeral RPC+admin ports, scrape /healthz and
@@ -89,8 +90,8 @@ wait "$worker_pid" 2>/dev/null || true
 echo "admin smoke: /healthz and /metrics OK on $admin_addr"
 
 if [[ "${CI_PERF:-0}" == "1" ]]; then
-  echo "== perf gate (rfbench -compare BENCH_0002.json) =="
-  go run ./cmd/rfbench -compare BENCH_0002.json -threshold 0.10 -reps 5
+  echo "== perf gate (rfbench -compare BENCH_0003.json) =="
+  go run ./cmd/rfbench -compare BENCH_0003.json -threshold 0.10 -reps 5
 fi
 
 echo "ci.sh: all checks passed"

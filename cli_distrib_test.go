@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -179,8 +180,19 @@ func TestCLIVersionFlag(t *testing.T) {
 // startWorkerProcess launches a bfhrfd worker with ephemeral RPC and admin
 // ports, parses both bound addresses off its stderr, and returns them.
 func startWorkerProcess(t *testing.T) (workerAddr, adminAddr string) {
+	workerAddr, adminAddr, _ = startWorkerProcessCmd(t)
+	return workerAddr, adminAddr
+}
+
+// startWorkerProcessCmd is startWorkerProcess returning the process handle
+// too, and accepting extra environment entries — failover tests use
+// BFHRF_FAULTS to schedule a deterministic mid-run crash in the worker.
+func startWorkerProcessCmd(t *testing.T, env ...string) (workerAddr, adminAddr string, cmd *exec.Cmd) {
 	t.Helper()
-	cmd := exec.Command(filepath.Join(buildCLIs(t), "bfhrfd"), "-serve", "127.0.0.1:0", "-admin", "127.0.0.1:0")
+	cmd = exec.Command(filepath.Join(buildCLIs(t), "bfhrfd"), "-serve", "127.0.0.1:0", "-admin", "127.0.0.1:0")
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -220,7 +232,7 @@ func startWorkerProcess(t *testing.T) (workerAddr, adminAddr string) {
 		for range lines {
 		}
 	}()
-	return workerAddr, adminAddr
+	return workerAddr, adminAddr, cmd
 }
 
 func httpGet(t *testing.T, url string) (int, string) {
@@ -279,8 +291,11 @@ func TestCLIBfhrfdAdmin(t *testing.T) {
 		}
 	}
 
-	// Run a real coordinator against the worker.
-	out, stderr, err := run(t, "bfhrfd", "-workers", workerAddr, "-ref", refs, "-chunk", "6")
+	// Run a real coordinator against the worker. The cache is disabled so
+	// the worker-side query counter below stays exactly the query count
+	// (with it on, repeated topologies never reach the worker — that path
+	// has its own e2e in TestCLIBfhrfdQueryCache).
+	out, stderr, err := run(t, "bfhrfd", "-workers", workerAddr, "-ref", refs, "-chunk", "6", "-query-cache=false")
 	if err != nil {
 		t.Fatalf("coordinator: %v\n%s", err, stderr)
 	}
@@ -319,4 +334,224 @@ func TestCLIBfhrfdAdmin(t *testing.T) {
 	if status != http.StatusOK {
 		t.Errorf("pprof cmdline status = %d", status)
 	}
+}
+
+// scrapeCounter fetches one Prometheus counter's value off an admin
+// endpoint's /metrics page.
+func scrapeCounter(adminAddr, name string) (float64, error) {
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", adminAddr))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			return strconv.ParseFloat(fields[1], 64)
+		}
+	}
+	return 0, fmt.Errorf("counter %s not on /metrics", name)
+}
+
+// cachedCoordinatorRun starts a coordinator (query cache on, ephemeral
+// admin port) against the given workers, polls its /metrics until the
+// cache reports its first hits, invokes atHits, then drains stdout and
+// waits for exit. The coordinator cannot slip away before the poll
+// succeeds: its result print exceeds the stdout pipe buffer, so the
+// process blocks — admin server still up, every cache hit already counted
+// — until this function starts draining.
+func cachedCoordinatorRun(t *testing.T, addrs []string, refs, queries string, atHits func()) (stdout, stderr string, hits float64) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildCLIs(t), "bfhrfd"),
+		"-workers", strings.Join(addrs, ","), "-ref", refs, "-query", queries,
+		"-admin", "127.0.0.1:0", "-chunk", "7")
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	// Collect stderr in the background, catching the admin address as it
+	// is announced.
+	adminCh := make(chan string, 1)
+	errDone := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		sc := bufio.NewScanner(errPipe)
+		for sc.Scan() {
+			line := sc.Text()
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+			if rest, found := strings.CutPrefix(line, "bfhrfd: admin serving on "); found {
+				select {
+				case adminCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+		errDone <- sb.String()
+	}()
+
+	var adminAddr string
+	select {
+	case adminAddr = <-adminCh:
+	case <-time.After(20 * time.Second):
+		t.Fatal("coordinator never announced its admin address")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for hits <= 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("bfhrf_cache_hit_total never became positive on the coordinator")
+		}
+		hits, _ = scrapeCounter(adminAddr, "bfhrf_cache_hit_total")
+		if hits <= 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if atHits != nil {
+		atHits()
+	}
+	out, err := io.ReadAll(outPipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr = <-errDone
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("coordinator exited with %v\n%s", err, stderr)
+	}
+	return string(out), stderr, hits
+}
+
+// TestCLIBfhrfdQueryCache is the query-cache e2e: a repeat-heavy stream —
+// eight distinct topologies cycled 2500 times — against a two-worker
+// cluster. The coordinator-side cache must report hits on /metrics, and
+// its stdout must be byte-identical to a cache-disabled run, including
+// when one worker is killed mid-run and its shard fails over.
+func TestCLIBfhrfdQueryCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests in -short mode")
+	}
+	buildCLIs(t)
+	data := t.TempDir()
+	refs := filepath.Join(data, "refs.nwk")
+	distinct := filepath.Join(data, "distinct.nwk")
+	queries := filepath.Join(data, "q.nwk")
+	if _, stderr, err := run(t, "treegen", "-n", "16", "-r", "60", "-seed", "5", "-out", refs); err != nil {
+		t.Fatalf("treegen: %v\n%s", err, stderr)
+	}
+	if _, stderr, err := run(t, "treegen", "-n", "16", "-r", "60", "-seed", "5", "-queries", "8", "-moves", "2", "-out", distinct); err != nil {
+		t.Fatalf("treegen -queries: %v\n%s", err, stderr)
+	}
+	block, err := os.ReadFile(distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const repeats = 2500
+	var sb strings.Builder
+	sb.Grow(len(block) * repeats)
+	for i := 0; i < repeats; i++ {
+		sb.Write(block)
+	}
+	if err := os.WriteFile(queries, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantLines := repeats * 8
+
+	// Baseline: the same stream with the cache disabled, every repeat
+	// re-scattered to the workers.
+	a1, _ := startWorkerProcess(t)
+	a2, _ := startWorkerProcess(t)
+	baseline, stderr, err := run(t, "bfhrfd", "-workers", a1+","+a2,
+		"-ref", refs, "-query", queries, "-chunk", "7", "-query-cache=false")
+	if err != nil {
+		t.Fatalf("cache-disabled coordinator: %v\n%s", err, stderr)
+	}
+	if n := len(strings.Split(strings.TrimSpace(baseline), "\n")); n != wantLines {
+		t.Fatalf("baseline lines = %d, want %d", n, wantLines)
+	}
+
+	t.Run("hits", func(t *testing.T) {
+		b1, _ := startWorkerProcess(t)
+		b2, _ := startWorkerProcess(t)
+		out, _, hits := cachedCoordinatorRun(t, []string{b1, b2}, refs, queries, nil)
+		if hits <= 0 {
+			t.Fatalf("cache hits = %v, want > 0", hits)
+		}
+		if out != baseline {
+			t.Error("cached output differs from cache-disabled baseline")
+		}
+	})
+
+	t.Run("worker-killed-mid-run", func(t *testing.T) {
+		// The repeat-heavy stream above is useless here: its eight
+		// topologies all enter the cache in the first batch, after which
+		// the coordinator never talks to a worker again — there is no
+		// "mid-run" left to kill. This stream interleaves fresh
+		// topologies with the eight repeats, so batches keep scattering
+		// (and the repeats keep hitting) for the whole run.
+		fresh := filepath.Join(data, "fresh.nwk")
+		mixed := filepath.Join(data, "mixed.nwk")
+		if _, stderr, err := run(t, "treegen", "-n", "16", "-r", "2000", "-seed", "6",
+			"-out", fresh); err != nil {
+			t.Fatalf("treegen fresh: %v\n%s", err, stderr)
+		}
+		freshBytes, err := os.ReadFile(fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshLines := strings.Split(strings.TrimSpace(string(freshBytes)), "\n")
+		distinctLines := strings.Split(strings.TrimSpace(string(block)), "\n")
+		var mb strings.Builder
+		for i, line := range freshLines {
+			mb.WriteString(line)
+			mb.WriteByte('\n')
+			mb.WriteString(distinctLines[i%len(distinctLines)])
+			mb.WriteByte('\n')
+		}
+		if err := os.WriteFile(mixed, []byte(mb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		// Baseline: cache disabled, both workers healthy.
+		c1, _ := startWorkerProcess(t)
+		c2, _ := startWorkerProcess(t)
+		mixedBase, stderr, err := run(t, "bfhrfd", "-workers", c1+","+c2,
+			"-ref", refs, "-query", mixed, "-chunk", "7", "-query-cache=false")
+		if err != nil {
+			t.Fatalf("cache-disabled coordinator: %v\n%s", err, stderr)
+		}
+
+		// The victim arms a deterministic crash: exit on its 600th tree
+		// parse. Its reference shard is ~30 parses and each scattered
+		// batch is ~130 more, so the crash lands several batches into the
+		// query phase — reliably after load, reliably before EOF.
+		d1, _ := startWorkerProcess(t)
+		d2, _, victim := startWorkerProcessCmd(t, "BFHRF_FAULTS=parse.tree:crash@600")
+		out, coordErr, err := run(t, "bfhrfd", "-workers", d1+","+d2,
+			"-ref", refs, "-query", mixed, "-chunk", "7")
+		if err != nil {
+			t.Fatalf("coordinator with crashing worker: %v\n%s", err, coordErr)
+		}
+		if werr := victim.Wait(); werr == nil {
+			t.Error("victim worker exited cleanly; the armed crash never fired")
+		}
+		if out != mixedBase {
+			t.Error("cached output after worker crash differs from cache-disabled baseline")
+		}
+		if !strings.Contains(coordErr, "lost workers during run") &&
+			!strings.Contains(coordErr, "failed over") {
+			t.Errorf("no failover evidence on coordinator stderr:\n%s", coordErr)
+		}
+	})
 }

@@ -31,6 +31,7 @@ func TestCLIHelpMentionsEveryFlag(t *testing.T) {
 		{"bfhrf", append([]string{
 			"ref", "query", "cpus", "variant", "min-split", "max-split",
 			"intersect-taxa", "compress", "best", "annotate", "version",
+			"query-cache", "query-cache-size", "query-cache-bytes",
 			"o", "checkpoint", "checkpoint-interval", "resume",
 			"skip-bad-trees", "bad-tree-log",
 			"max-taxa", "max-tree-bytes", "max-input-bytes",
@@ -39,6 +40,7 @@ func TestCLIHelpMentionsEveryFlag(t *testing.T) {
 			"serve", "workers", "ref", "query", "compress", "chunk", "batch",
 			"admin", "version",
 			"rpc-timeout", "retries", "partial-results", "health-interval",
+			"query-cache", "query-cache-size", "query-cache-bytes",
 			"o", "checkpoint", "checkpoint-interval", "resume",
 			"skip-bad-trees", "max-taxa", "max-tree-bytes", "max-input-bytes",
 		}, append(sharedProfFlags, sharedLogFlags...)...)},

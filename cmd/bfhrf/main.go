@@ -68,6 +68,9 @@ func main() {
 	flag.IntVar(&o.cfg.MaxSplitSize, "max-split", 0, "drop bipartitions whose smaller side has more taxa (0 = no bound)")
 	flag.BoolVar(&o.cfg.IntersectTaxa, "intersect-taxa", false, "variable-taxa mode: restrict all trees to their common taxa")
 	flag.BoolVar(&o.cfg.CompressKeys, "compress", false, "store losslessly compressed bipartition keys (lower memory; selects the map hash backend)")
+	queryCache := flag.Bool("query-cache", true, "answer exact topological repeats from the topology-fingerprint result cache (plain/normalized variants)")
+	flag.IntVar(&o.cfg.QueryCacheEntries, "query-cache-size", 0, "query-cache capacity in entries (0 = default 65536)")
+	flag.Int64Var(&o.cfg.QueryCacheBytes, "query-cache-bytes", 0, "query-cache memory cap in bytes (0 = default 8 MiB)")
 	flag.BoolVar(&o.best, "best", false, "print only the query with the lowest average RF")
 	flag.StringVar(&o.annotate, "annotate", "", "instead of distances, print this Newick tree annotated with reference support percentages")
 	flag.StringVar(&o.outPath, "o", "", "write results to this file (atomic: temp+fsync+rename) instead of stdout")
@@ -83,6 +86,7 @@ func main() {
 	profs := profhook.RegisterFlags(nil)
 	logc := obs.RegisterLogFlags(nil)
 	flag.Parse()
+	o.cfg.NoQueryCache = !*queryCache
 
 	if *version {
 		fmt.Println(obs.VersionLine("bfhrf"))

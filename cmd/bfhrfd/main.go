@@ -82,6 +82,12 @@ func main() {
 			"retries per RPC on transient failures, with exponential backoff (coordinator mode)")
 		partialResults = flag.Bool("partial-results", false,
 			"answer from surviving shards instead of failing over a dead worker's shard; coverage is reported on stderr and in bfhrf_query_shard_coverage (coordinator mode)")
+		queryCache = flag.Bool("query-cache", true,
+			"answer exact topological repeats from the coordinator's topology-fingerprint cache and dedupe repeats within a batch (coordinator mode)")
+		queryCacheSize = flag.Int("query-cache-size", 0,
+			"query-cache capacity in entries; 0 = default 65536 (coordinator mode)")
+		queryCacheBytes = flag.Int64("query-cache-bytes", 0,
+			"query-cache memory cap in bytes; 0 = default 8 MiB (coordinator mode)")
 		healthInterval = flag.Duration("health-interval", 0,
 			"probe worker health at this period; 0 disables the loop (coordinator mode)")
 
@@ -143,6 +149,9 @@ func main() {
 			rpcTimeout:      *rpcTimeout,
 			retries:         *retries,
 			partialResults:  *partialResults,
+			queryCache:      *queryCache,
+			queryCacheSize:  *queryCacheSize,
+			queryCacheBytes: *queryCacheBytes,
 			healthInterval:  *healthInterval,
 			outPath:         *outPath,
 			checkpointPath:  *checkpointPath,
@@ -169,6 +178,7 @@ func main() {
 var coordinatorOnly = []string{
 	"ref", "query", "compress", "chunk", "batch",
 	"rpc-timeout", "retries", "partial-results", "health-interval",
+	"query-cache", "query-cache-size", "query-cache-bytes",
 	"o", "checkpoint", "checkpoint-interval", "resume",
 	"skip-bad-trees", "max-taxa", "max-tree-bytes", "max-input-bytes",
 }
@@ -255,6 +265,9 @@ type coordConfig struct {
 	rpcTimeout                             time.Duration
 	retries                                int
 	partialResults                         bool
+	queryCache                             bool
+	queryCacheSize                         int
+	queryCacheBytes                        int64
 	healthInterval                         time.Duration
 	outPath                                string
 	checkpointPath                         string
@@ -339,6 +352,9 @@ func runCoordinator(cfg coordConfig) int {
 	coord.RPCTimeout = cfg.rpcTimeout
 	coord.Retry = retry
 	coord.PartialResults = cfg.partialResults
+	if cfg.queryCache {
+		coord.Cache = core.NewQueryCache(cfg.queryCacheSize, cfg.queryCacheBytes)
+	}
 
 	var adm *adminServer
 	if cfg.adminAddr != "" {

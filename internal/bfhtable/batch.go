@@ -1,0 +1,154 @@
+package bfhtable
+
+import "repro/internal/bitset"
+
+// Shard-ordered batched lookups. A query tree probes one bipartition at a
+// time in extraction order, which ping-pongs across shards — every probe
+// lands on a cold arena region. LookupBatch instead takes a whole block
+// of query keys, sorts them by (shard, home slot) with a counting sort
+// over the shard index, and probes each shard's arena in ascending slot
+// order, so consecutive probes touch adjacent cache lines. Results are
+// scattered back to the caller's original order, which keeps the fold —
+// and therefore float summation order in the weighted variant —
+// bit-identical to the scalar path.
+
+// ProbeBatch is reusable scratch for LookupBatch: key storage, per-key
+// hashes, the shard-ordered permutation, and the result array. A zero
+// ProbeBatch is ready to use; like a Prober it is single-goroutine state.
+type ProbeBatch struct {
+	keys    []uint64 // n*nw key words, caller-filled via Reset
+	hashes  []uint64
+	order   []int32
+	entries []Entry
+	bucket  [maxShards + 1]int32
+}
+
+// Reset sizes the batch for n keys of nw words each and returns the flat
+// key buffer and the per-key hash buffer to fill: key i occupies
+// keys[i*nw : (i+1)*nw] and hashes[i] must be the table's hashing rule
+// applied to it — bipart.Bipartition.Hash is exactly that value, computed
+// once at extraction, so the batch path never re-walks the key words to
+// hash them. Previous contents are discarded; storage is reused across
+// calls.
+func (b *ProbeBatch) Reset(n, nw int) (keys, hashes []uint64) {
+	need := n * nw
+	if cap(b.keys) < need {
+		b.keys = make([]uint64, need)
+	}
+	b.keys = b.keys[:need]
+	if cap(b.hashes) < n {
+		b.hashes = make([]uint64, n)
+		b.order = make([]int32, n)
+		b.entries = make([]Entry, n)
+	}
+	b.hashes = b.hashes[:n]
+	b.order = b.order[:n]
+	b.entries = b.entries[:n]
+	return b.keys, b.hashes
+}
+
+// LookupBatch probes the first n keys loaded into pb (via Reset, with
+// caller-supplied hashes) and returns the entries in the caller's key
+// order; absent and tombstoned keys yield a zero Entry, matching what the
+// scalar Lookup reports as (Entry{…Freq: 0…}, false). Like Lookup it
+// allocates nothing after the scratch warms up and takes no lock, so it
+// is safe concurrently with other readers.
+func (t *Table) LookupBatch(pb *ProbeBatch, n int) []Entry {
+	nw := t.nw
+	keys, hashes, order := pb.keys, pb.hashes, pb.order
+	// Pass 1: counting sort by shard index into order.
+	shift := t.shardShift
+	bucket := &pb.bucket
+	for i := range t.shards {
+		bucket[i] = 0
+	}
+	bucket[len(t.shards)] = 0
+	if shift >= 64 {
+		for i := 0; i < n; i++ {
+			order[i] = int32(i)
+		}
+		bucket[0] = int32(n)
+	} else {
+		for i := 0; i < n; i++ {
+			bucket[hashes[i]>>shift]++
+		}
+		sum := int32(0)
+		for i := 0; i <= len(t.shards); i++ {
+			c := bucket[i]
+			bucket[i] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			s := hashes[i] >> shift
+			order[bucket[s]] = int32(i)
+			bucket[s]++
+		}
+		// bucket[s] now holds the END of shard s's run (exclusive), i.e.
+		// the start of shard s+1's run — the walk below uses that.
+	}
+	// Pass 2: within each shard's run, insertion-sort by home slot, then
+	// probe in ascending slot order, scattering entries back to the
+	// caller's indices.
+	start := int32(0)
+	for si := range t.shards {
+		end := bucket[si]
+		if end <= start {
+			start = end
+			continue
+		}
+		s := &t.shards[si]
+		if s.used == 0 {
+			for k := start; k < end; k++ {
+				pb.entries[order[k]] = Entry{}
+			}
+			start = end
+			continue
+		}
+		mask := s.mask
+		run := order[start:end]
+		for i := 1; i < len(run); i++ {
+			oi := run[i]
+			slot := hashes[oi] & mask
+			j := i - 1
+			for j >= 0 && hashes[run[j]]&mask > slot {
+				run[j+1] = run[j]
+				j--
+			}
+			run[j+1] = oi
+		}
+		for _, oi := range run {
+			pb.entries[oi] = s.probeOne(hashes[oi], keys[int(oi)*nw:int(oi)*nw+nw], nw)
+		}
+		start = end
+	}
+	return pb.entries[:n]
+}
+
+// probeOne is the scalar probe loop shared by the batched path: linear
+// probing from the home slot, zero Entry on an empty slot.
+func (s *shard) probeOne(h uint64, words []uint64, nw int) Entry {
+	i := h & s.mask
+	if nw == 1 {
+		w := words[0]
+		for {
+			sh := s.hashes[i]
+			if sh == 0 {
+				return Entry{}
+			}
+			if sh == h && s.words[i] == w {
+				return s.entries[i]
+			}
+			i = (i + 1) & s.mask
+		}
+	}
+	for {
+		sh := s.hashes[i]
+		if sh == 0 {
+			return Entry{}
+		}
+		if sh == h && bitset.EqualWords(s.key(int(i), nw), words) {
+			return s.entries[i]
+		}
+		i = (i + 1) & s.mask
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"unsafe"
 
 	"repro/internal/bitset"
 )
@@ -120,6 +121,20 @@ func (t *Table) Len() int {
 
 // ShardLen returns the number of live entries in one shard.
 func (t *Table) ShardLen(s int) int { return t.shards[s].live }
+
+// FootprintBytes returns the table's resident size — the hash, key-arena,
+// and entry arrays across all shards. Probe-path heuristics use it to
+// judge whether scattered probes will thrash the CPU cache or the whole
+// table is cache-resident anyway.
+func (t *Table) FootprintBytes() int64 {
+	const entryBytes = int64(unsafe.Sizeof(Entry{}))
+	var b int64
+	for i := range t.shards {
+		s := &t.shards[i]
+		b += int64(len(s.hashes))*8 + int64(len(s.words))*8 + int64(len(s.entries))*entryBytes
+	}
+	return b
+}
 
 // key returns slot i's words.
 func (s *shard) key(i int, nw int) []uint64 {
@@ -262,6 +277,41 @@ func (t *Table) Lookup(words []uint64) (Entry, bool) {
 // table of another width is a programming error (it reads word 0 only).
 func (t *Table) Lookup1(w uint64) (Entry, bool) {
 	h := bitset.HashWord(w)
+	s := t.shardOf(h)
+	if s.used == 0 {
+		return Entry{}, false
+	}
+	hashes, words := s.hashes, s.words
+	i := h & s.mask
+	for {
+		sh := hashes[i]
+		if sh == 0 {
+			return Entry{}, false
+		}
+		if sh == h && words[i] == w {
+			e := s.entries[i]
+			return e, e.Freq > 0
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// LookupHashed is Lookup with the key's hash supplied by the caller
+// instead of recomputed — the probe path for callers that carry the
+// precomputed bipart.Bipartition.Hash. h must be the table's hashing rule
+// applied to words (hashOf); any other value silently misses.
+func (t *Table) LookupHashed(h uint64, words []uint64) (Entry, bool) {
+	s := t.shardOf(h)
+	if s.used == 0 {
+		return Entry{}, false
+	}
+	e := s.probeOne(h, words, t.nw)
+	return e, e.Freq > 0
+}
+
+// Lookup1Hashed is LookupHashed for the one-word-key case; like Lookup1
+// it reads word 0 only and skips the EqualWords call.
+func (t *Table) Lookup1Hashed(h uint64, w uint64) (Entry, bool) {
 	s := t.shardOf(h)
 	if s.used == 0 {
 		return Entry{}, false

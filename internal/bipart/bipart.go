@@ -21,10 +21,24 @@ import (
 // the split that does not contain the anchor (lowest-indexed) taxon.
 type Bipartition struct {
 	mask *bitset.Bits
+	// hash is the canonical mask's word hash under the open-addressing
+	// table's hashing rule, computed once at construction while the words
+	// are cache-hot. See Hash.
+	hash uint64
 	// Length is the length of the inducing edge (for weighted-RF variants);
 	// valid only when HasLength is true.
 	Length    float64
 	HasLength bool
+}
+
+// maskHash is the one hashing rule shared with the open-addressing table
+// (bfhtable.Table.hashOf): the cheap inlinable HashWord on one-word masks,
+// the generic multi-word mix otherwise. Never 0.
+func maskHash(words []uint64) uint64 {
+	if len(words) == 1 {
+		return bitset.HashWord(words[0])
+	}
+	return bitset.HashWords(words)
 }
 
 // FromMask builds a bipartition from an arbitrary orientation of a split
@@ -37,11 +51,19 @@ func FromMask(mask *bitset.Bits, anchor int) Bipartition {
 	if m.Test(anchor) {
 		m = m.Complement()
 	}
-	return Bipartition{mask: m}
+	return Bipartition{mask: m, hash: maskHash(m.Words())}
 }
 
 // Mask returns the canonical mask. Callers must not mutate it.
 func (b Bipartition) Mask() *bitset.Bits { return b.mask }
+
+// Hash returns the canonical mask's word hash under the open-addressing
+// table's hashing rule (bitset.HashWord for one-word masks, bitset.HashWords
+// otherwise), precomputed at construction. The table's hashed lookups and
+// the topology fingerprint read it instead of re-walking the mask words —
+// the fingerprint's hash pass then touches only the contiguous bipartition
+// slice, never the pointer-scattered word arrays. Never 0.
+func (b Bipartition) Hash() uint64 { return b.hash }
 
 // Words returns the canonical mask's backing words — the key-free access
 // path of the open-addressing BFH backend, which hashes and stores these
@@ -311,7 +333,7 @@ func (e *Extractor) Extract(t *tree.Tree) ([]Bipartition, error) {
 			if c.Test(anchor) {
 				c.ComplementInPlace()
 			}
-			b := Bipartition{mask: c}
+			b := Bipartition{mask: c, hash: maskHash(c.Words())}
 			b.Length, b.HasLength = nd.Length, nd.HasLength
 			if (e.IncludeTrivial || !b.IsTrivial(present)) &&
 				(e.Filter == nil || e.Filter(b)) {

@@ -245,25 +245,26 @@ func (b *Bits) AppendKey(dst []byte) []byte {
 	return dst
 }
 
-// HashWords mixes a word slice into a 64-bit hash (murmur3-style per-word
-// mixing with a final avalanche, standard library only). It is the hash of
-// the open-addressing BFH backend: computed directly over a bipartition's
-// canonical mask words, so no key string ever exists on that path. The
-// result is never 0, letting tables use 0 as the empty-slot marker.
-func HashWords(words []uint64) uint64 {
+// MixHash folds one word into a running murmur3-style hash state — the
+// per-word mixing step of HashWords, exported so order-invariant digests
+// (the query-side topology fingerprint in internal/core) can chain the
+// exact same mix over an already-sorted hash sequence instead of
+// reinventing constants. Seed the state, fold words, then FinishHash.
+func MixHash(h, w uint64) uint64 {
 	const (
 		c1 = 0x87c37b91114253d5
 		c2 = 0x4cf5ad432745937f
 	)
-	h := uint64(0x9e3779b97f4a7c15) ^ (uint64(len(words)) * 8)
-	for _, w := range words {
-		k := w * c1
-		k = bits.RotateLeft64(k, 31)
-		k *= c2
-		h ^= k
-		h = bits.RotateLeft64(h, 27)*5 + 0x52dce729
-	}
-	// fmix64 avalanche.
+	k := w * c1
+	k = bits.RotateLeft64(k, 31)
+	k *= c2
+	h ^= k
+	return bits.RotateLeft64(h, 27)*5 + 0x52dce729
+}
+
+// FinishHash applies the final fmix64 avalanche to a MixHash chain. The
+// result is never 0, letting tables use 0 as the empty-slot marker.
+func FinishHash(h uint64) uint64 {
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
@@ -275,6 +276,19 @@ func HashWords(words []uint64) uint64 {
 	return h
 }
 
+// HashWords mixes a word slice into a 64-bit hash (murmur3-style per-word
+// mixing with a final avalanche, standard library only). It is the hash of
+// the open-addressing BFH backend: computed directly over a bipartition's
+// canonical mask words, so no key string ever exists on that path. The
+// result is never 0, letting tables use 0 as the empty-slot marker.
+func HashWords(words []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15) ^ (uint64(len(words)) * 8)
+	for _, w := range words {
+		h = MixHash(h, w)
+	}
+	return FinishHash(h)
+}
+
 // HashWord hashes a one-word key (catalogues of at most 64 taxa). It is
 // fmix64 — murmur3's finalizer — over the seeded word: a full-avalanche
 // mixer at roughly half the multiply count of the generic multi-word
@@ -283,16 +297,7 @@ func HashWords(words []uint64) uint64 {
 // (insert and probe alike), so it need not match HashWords; like
 // HashWords it never returns 0.
 func HashWord(w uint64) uint64 {
-	h := w ^ 0x9e3779b97f4a7c15
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	if h == 0 {
-		h = 1
-	}
-	return h
+	return FinishHash(w ^ 0x9e3779b97f4a7c15)
 }
 
 // EqualWords reports element-wise equality of two word slices of the same

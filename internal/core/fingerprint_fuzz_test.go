@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/bipart"
+)
+
+// FuzzFingerprint hunts for the two ways the topology fingerprint can lie:
+// a collision (two differing canonical bipartition sets with equal
+// TopoKeys — a cache hit returning another topology's answer) and a
+// non-determinism (the same set fingerprinting differently across call
+// paths or element orders — a cache that never hits). The input bytes are
+// the raw mask bits, so the fuzzer controls the hashed words directly;
+// widths span one- and two-word masks, the two code paths of
+// bipart.Bipartition's construction-time hash.
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{64, 3, 3, 0b0110, 0b1010, 0b0110, 0b0110, 0b1100, 0b0011})
+	f.Add([]byte{100, 16, 16, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
+		17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := 4 + int(data[0])%124 // 4..127 taxa: one- and two-word masks
+		nw := (n + 63) / 64
+		nb := (n + 7) / 8 // mask bytes consumed per bipartition
+		ca := int(data[1])%16 + 1
+		cb := int(data[2])%16 + 1
+		data = data[3:]
+
+		// take decodes count masks from the stream into a deduped
+		// canonical bipartition set (the extractor never emits duplicates,
+		// so the fingerprint's contract is over sets).
+		take := func(count int) []bipart.Bipartition {
+			set := make(map[string]bipart.Bipartition)
+			for i := 0; i < count && len(data) >= nb; i++ {
+				words := make([]uint64, nw)
+				for j, c := range data[:nb] {
+					words[j/8] |= uint64(c) << (8 * (j % 8))
+				}
+				data = data[nb:]
+				if rem := n % 64; rem != 0 {
+					words[nw-1] &= (uint64(1)<<rem - 1)
+				}
+				bp, err := bipartFromWords(words, n)
+				if err != nil {
+					t.Fatalf("masked words rejected: %v", err)
+				}
+				set[bp.Key()] = bp
+			}
+			out := make([]bipart.Bipartition, 0, len(set))
+			for _, bp := range set { // map range order: already shuffled
+				out = append(out, bp)
+			}
+			return out
+		}
+		keysOf := func(bs []bipart.Bipartition) []string {
+			ks := make([]string, len(bs))
+			for i, b := range bs {
+				ks[i] = b.Key()
+			}
+			slices.Sort(ks)
+			return ks
+		}
+
+		a := take(ca)
+		b := take(cb)
+		fa := TopologyFingerprint(a)
+		fb := TopologyFingerprint(b)
+
+		sameSet := slices.Equal(keysOf(a), keysOf(b))
+		if sameSet && fa != fb {
+			t.Fatalf("equal sets, unequal fingerprints: %+v vs %+v", fa, fb)
+		}
+		if !sameSet && fa == fb {
+			t.Fatalf("fingerprint collision between differing sets (|a|=%d |b|=%d): %+v", len(a), len(b), fa)
+		}
+
+		// Order invariance: a deterministic shuffle must not move the key.
+		rand.New(rand.NewSource(int64(fa.Lo))).Shuffle(len(a), func(i, j int) {
+			a[i], a[j] = a[j], a[i]
+		})
+		if got := TopologyFingerprint(a); got != fa {
+			t.Fatalf("shuffle changed fingerprint: %+v vs %+v", got, fa)
+		}
+
+		// Path agreement: the prober's scratch-reusing fingerprinter must
+		// match the one-shot entry point, including across consecutive
+		// sets of different sizes on the same scratch.
+		var fp fingerprinter
+		if got := fp.key(b); got != fb {
+			t.Fatalf("fingerprinter.key(b) = %+v, want %+v", got, fb)
+		}
+		if got := fp.key(a); got != fa {
+			t.Fatalf("fingerprinter.key(a) = %+v, want %+v", got, fa)
+		}
+	})
+}

@@ -183,7 +183,7 @@ func (h *FreqHash) Fingerprint() uint64 {
 // allocates a key string; hot loops use a Prober instead.
 func (h *FreqHash) entryOf(b bipart.Bipartition) entry {
 	if h.oa != nil {
-		e, _ := h.oa.Lookup(b.Words())
+		e, _ := h.oa.LookupHashed(b.Hash(), b.Words())
 		return e
 	}
 	return h.m[h.keyOf(b)]
@@ -225,16 +225,28 @@ func (h *FreqHash) SupportOf(b bipart.Bipartition) float64 {
 type Prober struct {
 	h   *FreqHash
 	buf []byte
+
+	// Query-side acceleration state (see query.go): an optional shared
+	// result cache keyed by topology fingerprint, the probe-path selector,
+	// and per-prober scratch for fingerprinting and batched lookups.
+	cache *QueryCache
+	probe ProbeMode
+	fp    fingerprinter
+	batch bfhtable.ProbeBatch
+	// autoBatch memoizes ProbeAuto's table-footprint decision:
+	// 0 undecided, +1 batch, -1 scalar (see Prober.batchAuto).
+	autoBatch int8
 }
 
-// NewProber returns a prober bound to h.
+// NewProber returns a prober bound to h with no cache attached and
+// automatic probe-path selection.
 func (h *FreqHash) NewProber() *Prober { return &Prober{h: h} }
 
 // entryOf returns b's stored record without allocating.
 func (p *Prober) entryOf(b bipart.Bipartition) entry {
 	h := p.h
 	if h.oa != nil {
-		e, _ := h.oa.Lookup(b.Words())
+		e, _ := h.oa.LookupHashed(b.Hash(), b.Words())
 		return e
 	}
 	if h.compressed {

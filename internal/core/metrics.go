@@ -31,6 +31,13 @@ var (
 		[]float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32})
 	mHashLoadFactor = obs.Gauge("bfhrf_hash_load_factor",
 		"Occupied-slot fraction of the open-addressing BFH after the most recent build (0 when the map backend is active).")
+	mCacheHits = obs.Counter("bfhrf_cache_hit_total",
+		"Query trees answered from the topology-fingerprint result cache.")
+	mCacheMisses = obs.Counter("bfhrf_cache_miss_total",
+		"Query-cache lookups that fell through to a full probe pass.")
+	mProbeBatchSize = obs.Histogram("bfhrf_probe_batch_size",
+		"Query bipartitions probed per shard-ordered batch (batched lookup path only).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 )
 
 // SpanBuild and SpanQuery are the core's stage names in obs.StageMetric.

@@ -50,6 +50,64 @@ func (v Variant) String() string {
 // fires; the results computed so far accompany it.
 var ErrCanceled = errors.New("core: query canceled")
 
+// ProbeMode selects how a prober walks the open-addressing table.
+type ProbeMode int
+
+const (
+	// ProbeAuto (the default) probes scalar for small bipartition sets
+	// or cache-resident tables, and switches to shard-ordered batches
+	// from probeBatchMin splits once the table's footprint exceeds
+	// probeBatchTableMin (locality only pays when probes miss cache).
+	ProbeAuto ProbeMode = iota
+	// ProbeScalar forces the per-bipartition probe loop.
+	ProbeScalar
+	// ProbeBatched forces shard-ordered batched probing whenever the
+	// open-addressing backend is active (the map backend has no batch
+	// path and always probes scalar).
+	ProbeBatched
+)
+
+// String names the probe mode for diagnostics.
+func (m ProbeMode) String() string {
+	switch m {
+	case ProbeAuto:
+		return "auto"
+	case ProbeScalar:
+		return "scalar"
+	case ProbeBatched:
+		return "batched"
+	default:
+		return fmt.Sprintf("ProbeMode(%d)", int(m))
+	}
+}
+
+// probeBatchMin is the bipartition count from which ProbeAuto batches:
+// below it the counting sort's fixed cost beats the locality win.
+const probeBatchMin = 16
+
+// probeBatchTableMin is the open-addressing footprint from which
+// ProbeAuto batches. Shard-ordered probing only pays when scattered
+// probes miss the CPU caches; below this size the whole table is
+// cache-resident, every probe is cheap regardless of order, and the
+// batch's scratch fill plus counting sort is pure overhead (measured
+// ~2× slower on the bench-scale avian table).
+const probeBatchTableMin = 4 << 20
+
+// batchAuto reports whether ProbeAuto should take the batched path,
+// deciding once per prober from the table's footprint. Probers are
+// created per query pass, so a table growing across passes (AddTree)
+// re-evaluates naturally.
+func (p *Prober) batchAuto() bool {
+	if p.autoBatch == 0 {
+		if p.h.oa.FootprintBytes() >= probeBatchTableMin {
+			p.autoBatch = 1
+		} else {
+			p.autoBatch = -1
+		}
+	}
+	return p.autoBatch == 1
+}
+
 // QueryOptions configure the query phase (the second loop of Algorithm 2).
 type QueryOptions struct {
 	// Workers is the number of goroutines comparing trees against the
@@ -77,6 +135,14 @@ type QueryOptions struct {
 	// an error wrapping ErrCanceled — so a signal handler can flush a
 	// valid checkpoint before exit.
 	Cancel <-chan struct{}
+	// Cache, when set, answers exact topological repeats from the shared
+	// query-result cache instead of re-probing the hash. Only the Plain
+	// and Normalized variants consult it (Weighted results depend on
+	// branch lengths, which the topology fingerprint ignores). Cached
+	// answers are bit-identical to recomputation.
+	Cache *QueryCache
+	// Probe selects the probe path (ProbeAuto by default).
+	Probe ProbeMode
 }
 
 func (o QueryOptions) workers() int {
@@ -85,6 +151,22 @@ func (o QueryOptions) workers() int {
 	}
 	return o.Workers
 }
+
+// proberFor returns a prober carrying the options' cache and probe mode.
+// The cache may be shared across probers (it locks internally); the
+// prober itself remains single-goroutine state.
+func (h *FreqHash) proberFor(opts QueryOptions) *Prober {
+	p := h.NewProber()
+	p.cache = opts.Cache
+	p.probe = opts.Probe
+	return p
+}
+
+// SetCache attaches (or, with nil, detaches) a shared query-result cache.
+func (p *Prober) SetCache(c *QueryCache) { p.cache = c }
+
+// SetProbeMode selects the probe path for subsequent queries.
+func (p *Prober) SetProbeMode(m ProbeMode) { p.probe = m }
 
 // Result is the average distance of one query tree to the reference
 // collection.
@@ -132,7 +214,7 @@ func (h *FreqHash) AverageRF(q collection.Source, opts QueryOptions) ([]Result, 
 				Filter:          opts.Filter,
 				ReuseMasks:      true,
 			}
-			p := h.NewProber()
+			p := h.proberFor(opts)
 			for j := range jobs {
 				avg, err := h.queryOne(j.t, ex, p, opts.Variant)
 				if err != nil {
@@ -235,7 +317,7 @@ func (h *FreqHash) AverageRFOne(t *tree.Tree, opts QueryOptions) (float64, error
 		RequireComplete: opts.RequireComplete,
 		Filter:          opts.Filter,
 	}
-	return h.queryOne(t, ex, h.NewProber(), opts.Variant)
+	return h.queryOne(t, ex, h.proberFor(opts), opts.Variant)
 }
 
 // queryOne is Algorithm 2's inner body: one tree versus the hash.
@@ -258,8 +340,38 @@ func (h *FreqHash) AverageRFOfSplits(bs []bipart.Bipartition, v Variant) (float6
 
 // AverageRFOfSplits is Algorithm 2's probe loop over a pre-extracted
 // bipartition set, through the prober's allocation-free lookup path.
+// With a cache attached (SetCache / QueryOptions.Cache), Plain and
+// Normalized queries are first looked up by topology fingerprint, so an
+// exact topological repeat skips the probe pass entirely; its cached
+// answer is the identical bit pattern the probe pass produced.
 func (p *Prober) AverageRFOfSplits(bs []bipart.Bipartition, v Variant) (float64, error) {
+	if c := p.cache; c != nil && (v == Plain || v == Normalized) {
+		k := p.fp.key(bs)
+		if avg, ok := c.Get(k, v); ok {
+			RecordQueries(1, 0, 0)
+			return avg, nil
+		}
+		avg, err := p.averageRFUncached(bs, v)
+		if err != nil {
+			return 0, err
+		}
+		c.Put(k, v, avg)
+		return avg, nil
+	}
+	return p.averageRFUncached(bs, v)
+}
+
+// averageRFUncached is the probe pass proper: shard-ordered batches when
+// the open-addressing backend is active and the mode allows, the scalar
+// loop otherwise. Both paths fold in the bipartition slice's order, so
+// they are bit-identical in every variant.
+func (p *Prober) averageRFUncached(bs []bipart.Bipartition, v Variant) (float64, error) {
 	h := p.h
+	if h.oa != nil &&
+		(p.probe == ProbeBatched ||
+			(p.probe == ProbeAuto && len(bs) >= probeBatchMin && p.batchAuto())) {
+		return p.averageRFBatched(bs, v)
+	}
 	r := float64(h.numTrees)
 	misses := 0
 	switch v {
@@ -275,7 +387,7 @@ func (p *Prober) AverageRFOfSplits(bs []bipart.Bipartition, v Variant) (float64,
 		if oa := h.oa; oa != nil {
 			if oa.WordsPerKey() == 1 {
 				for _, b := range bs {
-					e, _ := oa.Lookup1(b.Words()[0])
+					e, _ := oa.Lookup1Hashed(b.Hash(), b.Words()[0])
 					f := int64(e.Freq)
 					if f == 0 {
 						misses++
@@ -285,7 +397,7 @@ func (p *Prober) AverageRFOfSplits(bs []bipart.Bipartition, v Variant) (float64,
 				}
 			} else {
 				for _, b := range bs {
-					e, _ := oa.Lookup(b.Words())
+					e, _ := oa.LookupHashed(b.Hash(), b.Words())
 					f := int64(e.Freq)
 					if f == 0 {
 						misses++
@@ -326,6 +438,77 @@ func (p *Prober) AverageRFOfSplits(bs []bipart.Bipartition, v Variant) (float64,
 				return 0, fmt.Errorf("query bipartition without branch length in weighted variant")
 			}
 			e := p.entryOf(b)
+			if e.Freq == 0 {
+				misses++
+			}
+			left -= e.LengthSum
+			right += b.Length * (r - float64(e.Freq))
+		}
+		RecordQueries(1, len(bs), misses)
+		return (left + right) / r, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %v", v)
+	}
+}
+
+// averageRFBatched is the probe pass over the open-addressing backend via
+// bfhtable.LookupBatch: keys are loaded into the prober's batch scratch,
+// probed in shard-then-slot order for locality, and the entries come back
+// in the original index order — so the fold below runs in exactly the
+// same order as the scalar loop, keeping even the Weighted variant's
+// float summation bit-identical.
+func (p *Prober) averageRFBatched(bs []bipart.Bipartition, v Variant) (float64, error) {
+	h := p.h
+	oa := h.oa
+	nw := oa.WordsPerKey()
+	keys, hashes := p.batch.Reset(len(bs), nw)
+	if nw == 1 {
+		for i, b := range bs {
+			keys[i] = b.Words()[0]
+			hashes[i] = b.Hash()
+		}
+	} else {
+		for i, b := range bs {
+			copy(keys[i*nw:(i+1)*nw], b.Words())
+			hashes[i] = b.Hash()
+		}
+	}
+	entries := oa.LookupBatch(&p.batch, len(bs))
+	mProbeBatchSize.Observe(float64(len(bs)))
+	r := float64(h.numTrees)
+	misses := 0
+	switch v {
+	case Plain, Normalized:
+		rfLeft := int64(h.sum)
+		rfRight := int64(0)
+		rInt := int64(h.numTrees)
+		for i := range entries {
+			f := int64(entries[i].Freq)
+			if f == 0 {
+				misses++
+			}
+			rfLeft -= f
+			rfRight += rInt - f
+		}
+		RecordQueries(1, len(bs), misses)
+		avg := float64(rfLeft+rfRight) / r
+		if v == Normalized {
+			n := h.taxa.Len()
+			maxRF := 2 * (n - 3)
+			if maxRF <= 0 {
+				return 0, nil
+			}
+			avg /= float64(maxRF)
+		}
+		return avg, nil
+	case Weighted:
+		left := h.lenSum
+		right := 0.0
+		for i, b := range bs {
+			if !b.HasLength {
+				return 0, fmt.Errorf("query bipartition without branch length in weighted variant")
+			}
+			e := entries[i]
 			if e.Freq == 0 {
 				misses++
 			}

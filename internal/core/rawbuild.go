@@ -134,7 +134,7 @@ func (h *FreqHash) averageRFRaw(rs collection.RawSource, opts QueryOptions) ([]R
 				Filter:          opts.Filter,
 				ReuseMasks:      true,
 			}
-			p := h.NewProber()
+			p := h.proberFor(opts)
 			for j := range jobs {
 				t, err := newick.Parse(j.stmt)
 				if err != nil {

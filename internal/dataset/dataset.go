@@ -55,6 +55,16 @@ func VariableTrees(r int) Spec {
 	return Spec{Name: fmt.Sprintf("vartrees-r%d", r), NumTaxa: 100, NumTrees: r, Seed: 29001, MeanInternalBranch: 1.0}
 }
 
+// Replicate is the posterior-sample replicate collection: n=100 gene
+// trees under a high-discordance coalescent regime (internal branches of
+// 0.15 coalescent units, deep incomplete lineage sorting). Discordant
+// collections share few bipartitions across trees, so the reference table
+// grows near-linearly in r — the memory- and cache-pressure setting where
+// query-side result caching is measured (the replicate perf workload).
+func Replicate(r int) Spec {
+	return Spec{Name: fmt.Sprintf("replicate-r%d", r), NumTaxa: 100, NumTrees: r, Seed: 29003, MeanInternalBranch: 0.15}
+}
+
 // VariableTaxa is the r=1000 sweep collection; n is chosen per data point
 // (100..1000 in the paper's Table IV).
 func VariableTaxa(n int) Spec {

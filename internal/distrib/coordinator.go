@@ -7,9 +7,11 @@ import (
 	"log/slog"
 	"net"
 	"net/rpc"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/bipart"
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/faultinject"
@@ -83,6 +85,13 @@ type Coordinator struct {
 	// which the health loop declares a worker dead (default 3). The first
 	// failure marks it suspect.
 	DeadAfter int
+	// Cache, when set, is the coordinator-side topology-fingerprint result
+	// cache: each query tree is fingerprinted before scatter, an exact
+	// topological repeat of an earlier full-coverage answer is emitted
+	// without touching any worker, and repeats within one batch are
+	// deduplicated so only distinct topologies go over the wire. Results
+	// from degraded (coverage < 1) batches are never cached.
+	Cache *core.QueryCache
 }
 
 // Outcome is the result of one AverageRF run plus its fault-tolerance
@@ -531,8 +540,11 @@ type QueryRunOptions struct {
 	// the query collection); true drops it from the batches. Results for
 	// skipped trees are absent from the Outcome.
 	Skip func(idx int) bool
-	// OnResult, when non-nil, observes each result as its batch folds —
-	// the checkpointing hook. Called sequentially in query order.
+	// OnResult, when non-nil, observes each result as it is produced —
+	// the checkpointing hook. Called from a single goroutine, but not
+	// necessarily in query order: with a coordinator cache, a repeated
+	// topology's result is emitted before earlier in-flight batches fold.
+	// The Outcome's Results slice is always sorted by query index.
 	OnResult func(core.Result)
 	// Cancel, when closed, stops the run after the current batch: the
 	// results so far return with ErrCanceled.
@@ -573,29 +585,55 @@ func (c *Coordinator) AverageRFOpts(ctx context.Context, queries collection.Sour
 	}
 	out := &Outcome{Coverage: 1}
 	deadBefore := c.deadAddrs()
-	batch := make([]string, 0, c.batchSize())
-	origIdx := make([]int, 0, c.batchSize())
+	emit := func(r core.Result) {
+		if run.OnResult != nil {
+			run.OnResult(r)
+		}
+		out.Results = append(out.Results, r)
+	}
+	// The coordinator-side cache fingerprints each query tree before it is
+	// serialized for the wire; extraction failures fall through to the
+	// workers uncached, so worker-side errors stay authoritative.
+	var ex *bipart.Extractor
+	if c.Cache != nil {
+		ex = &bipart.Extractor{Taxa: c.taxa, RequireComplete: true, ReuseMasks: true}
+	}
+	// A batch ships only distinct topologies: uniq/uniqKey are the wire
+	// batch, and each pending query records which uniq slot answers it.
+	uniq := make([]string, 0, c.batchSize())
+	uniqKey := make([]pendingKey, 0, c.batchSize())
+	uniqAt := make(map[core.TopoKey]int, c.batchSize())
+	type pendingQuery struct {
+		orig int
+		pos  int // index into uniq
+	}
+	pend := make([]pendingQuery, 0, c.batchSize())
 	idx := 0
 	canceled := false
 	flush := func() error {
-		if len(batch) == 0 {
+		if len(uniq) == 0 {
 			return nil
 		}
 		_, bspan := obs.StartSpan(sctx, "coord.query.batch")
-		avgs, err := c.queryBatch(ctx, batch, out)
+		avgs, coverage, err := c.queryBatch(ctx, uniq, out)
 		bspan.End()
 		if err != nil {
 			return err
 		}
-		for j, a := range avgs {
-			r := core.Result{Index: origIdx[j], AvgRF: a}
-			if run.OnResult != nil {
-				run.OnResult(r)
-			}
-			out.Results = append(out.Results, r)
+		for _, p := range pend {
+			emit(core.Result{Index: p.orig, AvgRF: avgs[p.pos]})
 		}
-		batch = batch[:0]
-		origIdx = origIdx[:0]
+		if c.Cache != nil && coverage >= 1 {
+			for u, k := range uniqKey {
+				if k.ok {
+					c.Cache.Put(k.key, core.Plain, avgs[u])
+				}
+			}
+		}
+		uniq = uniq[:0]
+		uniqKey = uniqKey[:0]
+		clear(uniqAt)
+		pend = pend[:0]
 		return nil
 	}
 	for !canceled {
@@ -618,10 +656,39 @@ func (c *Coordinator) AverageRFOpts(ctx context.Context, queries collection.Sour
 			idx++
 			continue
 		}
-		batch = append(batch, newick.String(t, newick.WriteOptions{BranchLengths: true}))
-		origIdx = append(origIdx, idx)
+		key := pendingKey{}
+		if ex != nil {
+			if bs, exErr := ex.Extract(t); exErr == nil {
+				key = pendingKey{key: core.TopologyFingerprint(bs), ok: true}
+			}
+		}
+		u := -1
+		if key.ok {
+			if avg, hit := c.Cache.Get(key.key, core.Plain); hit {
+				emit(core.Result{Index: idx, AvgRF: avg})
+				idx++
+				continue
+			}
+			if at, dup := uniqAt[key.key]; dup {
+				u = at
+			}
+		}
+		if u < 0 {
+			u = len(uniq)
+			uniq = append(uniq, newick.String(t, newick.WriteOptions{BranchLengths: true}))
+			uniqKey = append(uniqKey, key)
+			if key.ok {
+				uniqAt[key.key] = u
+			}
+		}
+		pend = append(pend, pendingQuery{orig: idx, pos: u})
 		idx++
-		if len(batch) >= c.batchSize() {
+		// The batch fills by pending queries, not distinct topologies
+		// (len(uniq) never exceeds len(pend)): a repeat-heavy stream that
+		// batched by uniq alone would never flush, withholding every cache
+		// insert — and so every hit — until EOF. Duplicate appends count
+		// too, which is why the dup branch above falls through to here.
+		if len(pend) >= c.batchSize() {
 			if err := flush(); err != nil {
 				return nil, err
 			}
@@ -630,11 +697,20 @@ func (c *Coordinator) AverageRFOpts(ctx context.Context, queries collection.Sour
 	if err := flush(); err != nil {
 		return nil, err
 	}
+	sort.Slice(out.Results, func(i, j int) bool { return out.Results[i].Index < out.Results[j].Index })
 	out.DeadWorkers = diffAddrs(c.deadAddrs(), deadBefore)
 	if canceled {
 		return out, ErrCanceled
 	}
 	return out, nil
+}
+
+// pendingKey is a query tree's coordinator-side fingerprint; ok is false
+// when the cache is off or local extraction failed (the tree then goes to
+// the workers unconditionally, so their error reporting stays canonical).
+type pendingKey struct {
+	key core.TopoKey
+	ok  bool
 }
 
 // deadAddrs lists workers currently declared dead.
@@ -664,27 +740,28 @@ func diffAddrs(now, before []string) []string {
 	return diff
 }
 
-// queryBatch scatter-gathers one batch across the live workers. Transient
-// worker failures are retried (see call); a worker that stays unreachable
-// is declared dead and, in fail-fast mode, its shard is re-dispatched from
-// the checkpoint and the batch is retried on the new topology. With
-// PartialResults the batch instead folds whatever answered and records
-// the coverage.
-func (c *Coordinator) queryBatch(ctx context.Context, newicks []string, out *Outcome) ([]float64, error) {
+// queryBatch scatter-gathers one batch across the live workers and
+// returns the per-query averages plus the batch's shard coverage (1 for
+// exact answers). Transient worker failures are retried (see call); a
+// worker that stays unreachable is declared dead and, in fail-fast mode,
+// its shard is re-dispatched from the checkpoint and the batch is retried
+// on the new topology. With PartialResults the batch instead folds
+// whatever answered and records the coverage.
+func (c *Coordinator) queryBatch(ctx context.Context, newicks []string, out *Outcome) ([]float64, float64, error) {
 	for round := 0; ; round++ {
 		if round > c.NumWorkers() {
-			return nil, fmt.Errorf("distrib: failover did not converge after %d rounds", round)
+			return nil, 0, fmt.Errorf("distrib: failover did not converge after %d rounds", round)
 		}
 		// Re-home shards orphaned by earlier batches or the health loop
 		// before scattering, so the fold sees full coverage.
 		if !c.PartialResults && !c.NoFailover {
 			if err := c.rehomeOrphans(ctx, out); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		live := c.liveIndexes()
 		if len(live) == 0 {
-			return nil, fmt.Errorf("distrib: no live workers")
+			return nil, 0, fmt.Errorf("distrib: no live workers")
 		}
 
 		parts := make([]queryPart, len(live))
@@ -711,7 +788,7 @@ func (c *Coordinator) queryBatch(ctx context.Context, newicks []string, out *Out
 				lost = true
 				if !c.PartialResults {
 					if c.NoFailover {
-						return nil, fmt.Errorf("distrib: worker %s: %w", c.slot(p.idx).addr, p.err)
+						return nil, 0, fmt.Errorf("distrib: worker %s: %w", c.slot(p.idx).addr, p.err)
 					}
 					// Failover next round; keep draining the other errors
 					// so every dead worker is marked this round.
@@ -719,7 +796,7 @@ func (c *Coordinator) queryBatch(ctx context.Context, newicks []string, out *Out
 			default:
 				// Application or protocol error: retrying or failing over
 				// cannot fix a malformed reply or a worker-side bug.
-				return nil, fmt.Errorf("distrib: worker %d: %w", p.idx, p.err)
+				return nil, 0, fmt.Errorf("distrib: worker %d: %w", p.idx, p.err)
 			}
 		}
 		if lost && !c.PartialResults {
@@ -727,7 +804,7 @@ func (c *Coordinator) queryBatch(ctx context.Context, newicks []string, out *Out
 		}
 		avgs, coverage, err := c.fold(newicks, answered)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		shardCoverage().Observe(coverage)
 		if coverage < 1 {
@@ -738,7 +815,7 @@ func (c *Coordinator) queryBatch(ctx context.Context, newicks []string, out *Out
 			}
 			slog.Warn("degraded query batch", "coverage", coverage, "answered", len(answered))
 		}
-		return avgs, nil
+		return avgs, coverage, nil
 	}
 }
 

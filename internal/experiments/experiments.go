@@ -49,6 +49,14 @@ const (
 	// OA/map ratio isolates the per-lookup cost the backend changes.
 	BFHRFOA  Engine = "BFHRF-OA"
 	BFHRFMAP Engine = "BFHRF-MAP"
+	// BFHRFCACHED and BFHRFNOCACHE are the query-cache A/B pair on the
+	// replicate-heavy workload (see replicate.go): identical 8-worker
+	// probe passes over a repeat-dominated query stream, with and without
+	// the topology-fingerprint result cache. Build, parsing and extraction
+	// are excluded from the measured region, so the CACHED/NOCACHE ratio
+	// isolates what the cache saves on bootstrap-style traffic.
+	BFHRFCACHED  Engine = "BFHRF-CACHED"
+	BFHRFNOCACHE Engine = "BFHRF-NOCACHE"
 )
 
 // AllEngines lists the engines in the paper's table order.
@@ -251,6 +259,8 @@ func (c *Config) MeasurePoint(engine Engine, spec dataset.Spec, r int) (memprof.
 		return c.runBFHRF(engine, src, path, ts)
 	case BFHRFOA, BFHRFMAP:
 		return c.runBFHRFBackend(engine, src, path, ts)
+	case BFHRFCACHED, BFHRFNOCACHE:
+		return c.runBFHRFReplicate(engine, src, ts, spec)
 	default:
 		return memprof.Measurement{}, 1, fmt.Errorf("experiments: unknown engine %q", engine)
 	}
@@ -260,7 +270,7 @@ func workersOf(e Engine) int {
 	switch e {
 	case DS:
 		return 1
-	case DSMP8, BFHRF8, BFHRFOA, BFHRFMAP:
+	case DSMP8, BFHRF8, BFHRFOA, BFHRFMAP, BFHRFCACHED, BFHRFNOCACHE:
 		return 8
 	case DSMP16, BFHRF16:
 		return 16

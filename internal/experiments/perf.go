@@ -47,6 +47,12 @@ func PerfIndex() []PerfWorkload {
 		{ID: "vartaxa-n1000-r1000", Spec: dataset.VariableTaxa(1000), R: 1000, Engines: perfEngines},
 		{ID: "vartrees-n100-r10000", Spec: dataset.VariableTrees(10000), R: 10000, Engines: perfEngines},
 		{ID: "vartrees-n100-r50000", Spec: dataset.VariableTrees(50000), R: 50000, Engines: []Engine{HashRF, BFHRF8}},
+		// The replicate-heavy point: a repeat-dominated query stream over a
+		// high-discordance reference table far larger than cache, where the
+		// query-cache A/B pair records the dedupe win (see replicate.go).
+		// Only the hash engines run here — the stream's 50k instances are
+		// pointless for the quadratic baselines.
+		{ID: "replicate-n100-r2500000", Spec: dataset.Replicate(2500000), R: 2500000, Engines: []Engine{BFHRFCACHED, BFHRFNOCACHE}},
 	}
 }
 

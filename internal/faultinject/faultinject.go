@@ -48,6 +48,11 @@ const (
 	PointCheckpointRead = "checkpoint.read"
 	// PointOutputWrite fires when an atomic output file is committed.
 	PointOutputWrite = "output.write"
+	// PointCachePut fires before a result is inserted into the query-side
+	// topology cache — delay plans widen the compute-to-publish window the
+	// eviction hammer races over, and crash plans model a process dying
+	// between computing a result and caching it.
+	PointCachePut = "cache.put"
 )
 
 // Kind enumerates what an armed plan does when it fires.

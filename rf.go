@@ -64,6 +64,18 @@ type Config struct {
 	// frequency hash, trading a little CPU for memory (paper §IX).
 	CompressKeys bool
 
+	// NoQueryCache disables the topology-fingerprint result cache that
+	// answers exact topological repeats (bootstrap replicates, posterior
+	// samples) without re-probing the hash. The cache is on by default
+	// for the Plain and Normalized variants; Weighted and Info queries
+	// never use it. Disable it for memory-constrained runs or when the
+	// query stream has no repeats.
+	NoQueryCache bool
+	// QueryCacheEntries caps the cache's entry count (0 = default 65536).
+	QueryCacheEntries int
+	// QueryCacheBytes caps the cache's accounted memory (0 = default 8 MiB).
+	QueryCacheBytes int64
+
 	// SkipBadTrees makes file ingest lenient: malformed or over-limit
 	// trees are skipped (each recorded as a diagnostic) instead of
 	// failing the run. The default is strict — fail fast on the first
@@ -123,6 +135,15 @@ func (c Config) variant() (core.Variant, bool, error) {
 	default:
 		return 0, false, fmt.Errorf("repro: unknown variant %q", c.Variant)
 	}
+}
+
+// queryCache constructs the configured query-result cache, or nil when
+// disabled.
+func (c Config) queryCache() *core.QueryCache {
+	if c.NoQueryCache {
+		return nil
+	}
+	return core.NewQueryCache(c.QueryCacheEntries, c.QueryCacheBytes)
 }
 
 func (c Config) filter(n int) bipart.Filter {
@@ -248,6 +269,7 @@ func query(h *core.FreqHash, q collection.Source, cfg Config) ([]Result, error) 
 		Filter:          cfg.filter(h.Taxa().Len()),
 		Variant:         v,
 		RequireComplete: true,
+		Cache:           cfg.queryCache(),
 	}
 	var res []core.Result
 	if info {

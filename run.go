@@ -87,6 +87,7 @@ func AverageRFFilesResumable(queryPath, refPath string, cfg Config, run RunOptio
 		Variant:         v,
 		RequireComplete: true,
 		Cancel:          run.Cancel,
+		Cache:           cfg.queryCache(),
 	}
 
 	done := map[int]float64{}
