@@ -46,7 +46,7 @@ echo "== go test -race (distrib fault tolerance) =="
 # The failover, retry, and health-loop paths are the concurrency-heavy
 # new surface; run them explicitly under the race detector (not -short,
 # so nothing in them can quietly skip).
-go test -race -run 'Failover|PartialResults|Retry|Health|Adopt|LoadSeq|WorkerDies' \
+go test -race -run 'Failover|PartialResults|Retry|Health|Adopt|LoadSeq|WorkerDies|Traced' \
   ./internal/distrib
 
 echo "== chaos smoke (seeded fault schedules under -race) =="
@@ -82,12 +82,25 @@ done
 health="$(curl -s -o /dev/null -w '%{http_code}' "http://$admin_addr/healthz")"
 [[ "$health" == "503" ]] || { echo "ci.sh: pre-load /healthz = $health, want 503" >&2; exit 1; }
 metrics="$(curl -fsS "http://$admin_addr/metrics")"
-for family in bfhrf_rpc_latency_seconds bfhrf_bipartitions_hashed_total bfhrf_queries_total bfhrf_build_info; do
+for family in bfhrf_rpc_latency_seconds bfhrf_bipartitions_hashed_total bfhrf_queries_total bfhrf_build_info bfhrf_go_goroutines; do
   grep -q "^# TYPE $family " <<<"$metrics" || { echo "ci.sh: /metrics missing family $family" >&2; exit 1; }
 done
+traces="$(curl -fsS "http://$admin_addr/debug/traces")"
+grep -q '"count"' <<<"$traces" || { echo "ci.sh: /debug/traces returned no trace listing: $traces" >&2; exit 1; }
 kill "$worker_pid"
 wait "$worker_pid" 2>/dev/null || true
-echo "admin smoke: /healthz and /metrics OK on $admin_addr"
+echo "admin smoke: /healthz, /metrics and /debug/traces OK on $admin_addr"
+
+echo "== trace smoke (bfhrf -trace-out → tracevet) =="
+# A real single-node run with tracing on must export at least one valid
+# JSONL trace; tracevet is the schema gate.
+go build -o "$tmpdir/treegen" ./cmd/treegen
+go build -o "$tmpdir/bfhrf" ./cmd/bfhrf
+go build -o "$tmpdir/tracevet" ./cmd/tracevet
+"$tmpdir/treegen" -n 16 -r 40 -seed 7 -out "$tmpdir/refs.nwk"
+"$tmpdir/bfhrf" -ref "$tmpdir/refs.nwk" -trace-out "$tmpdir/traces.jsonl" -slow-query 1ns >/dev/null 2>"$tmpdir/trace.log"
+"$tmpdir/tracevet" -min-traces 1 "$tmpdir/traces.jsonl"
+grep -q "slow query" "$tmpdir/trace.log" || { echo "ci.sh: -slow-query 1ns produced no slow-query log line" >&2; exit 1; }
 
 if [[ "${CI_PERF:-0}" == "1" ]]; then
   echo "== perf gate (rfbench -compare BENCH_0003.json) =="

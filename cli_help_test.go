@@ -20,6 +20,10 @@ var sharedProfFlags = []string{"cpuprofile", "memprofile", "trace"}
 // sharedLogFlags are registered by internal/obs on the same binaries.
 var sharedLogFlags = []string{"log-format", "v"}
 
+// sharedTraceFlags are the distributed-tracing flags registered by
+// internal/obs on bfhrf and bfhrfd.
+var sharedTraceFlags = []string{"trace-out", "trace-sample", "slow-query"}
+
 func TestCLIHelpMentionsEveryFlag(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI tests in -short mode")
@@ -35,7 +39,7 @@ func TestCLIHelpMentionsEveryFlag(t *testing.T) {
 			"o", "checkpoint", "checkpoint-interval", "resume",
 			"skip-bad-trees", "bad-tree-log",
 			"max-taxa", "max-tree-bytes", "max-input-bytes",
-		}, append(sharedProfFlags, sharedLogFlags...)...)},
+		}, append(sharedProfFlags, append(sharedLogFlags, sharedTraceFlags...)...)...)},
 		{"bfhrfd", append([]string{
 			"serve", "workers", "ref", "query", "compress", "chunk", "batch",
 			"admin", "version",
@@ -43,7 +47,8 @@ func TestCLIHelpMentionsEveryFlag(t *testing.T) {
 			"query-cache", "query-cache-size", "query-cache-bytes",
 			"o", "checkpoint", "checkpoint-interval", "resume",
 			"skip-bad-trees", "max-taxa", "max-tree-bytes", "max-input-bytes",
-		}, append(sharedProfFlags, sharedLogFlags...)...)},
+			"mutex-profile-fraction", "block-profile-rate",
+		}, append(sharedProfFlags, append(sharedLogFlags, sharedTraceFlags...)...)...)},
 		{"rfdist", append([]string{
 			"a", "b", "matrix", "avg", "cluster", "linkage", "phylip",
 			"consensus", "t", "greedy", "draw", "version",
@@ -56,6 +61,7 @@ func TestCLIHelpMentionsEveryFlag(t *testing.T) {
 			"dataset", "n", "r", "seed", "random", "queries", "moves", "out",
 			"mean-branch",
 		}},
+		{"tracevet", []string{"summary", "min-traces"}},
 	}
 	for _, c := range cases {
 		t.Run(c.bin, func(t *testing.T) {
@@ -111,6 +117,9 @@ func TestCLIHelpFlagDescriptionsCurrent(t *testing.T) {
 		{"bfhrfd", "per-RPC deadline"},
 		{"bfhrfd", "transient failures"},
 		{"bfhrfd", "surviving shards"},
+		{"bfhrf", "head-sampling probability"}, // -trace-sample is a probability, not a ratio denominator
+		{"bfhrf", "slow-query diagnostics"},    // -slow-query keeps AND logs
+		{"bfhrfd", "/debug/pprof/mutex"},       // -mutex-profile-fraction feeds the pprof endpoint
 		{"rfbench", "exit 3 on regression"},
 	}
 	for _, c := range checks {

@@ -29,7 +29,7 @@ func buildCLIs(t *testing.T) string {
 			return
 		}
 		cliDir = dir
-		for _, name := range []string{"bfhrf", "bfhrfd", "rfdist", "treegen", "rfbench"} {
+		for _, name := range []string{"bfhrf", "bfhrfd", "rfdist", "treegen", "rfbench", "tracevet"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "./cmd/"+name)
 			cmd.Dir = "."
 			if out, err := cmd.CombinedOutput(); err != nil {

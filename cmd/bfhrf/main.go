@@ -28,7 +28,11 @@
 //
 // The profiling flags (-cpuprofile, -memprofile, -trace) capture the run
 // for `go tool pprof` / `go tool trace`, so hot paths can be inspected on
-// real workloads.
+// real workloads. The tracing flags (-trace-out, -trace-sample,
+// -slow-query) record per-request distributed traces — every kept trace
+// is exported as JSONL on exit, and roots exceeding -slow-query emit a
+// structured slow-query log line with their stage breakdown; validate or
+// summarize the export with cmd/tracevet.
 package main
 
 import (
@@ -85,6 +89,7 @@ func main() {
 	version := flag.Bool("version", false, "print version and VCS revision, then exit")
 	profs := profhook.RegisterFlags(nil)
 	logc := obs.RegisterLogFlags(nil)
+	tracec := obs.RegisterTraceFlags(nil)
 	flag.Parse()
 	o.cfg.NoQueryCache = !*queryCache
 
@@ -93,6 +98,11 @@ func main() {
 		return
 	}
 	if _, err := logc.Setup(nil); err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
+		os.Exit(2)
+	}
+	flushTraces, err := tracec.Setup(false)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
 		os.Exit(2)
 	}
@@ -105,6 +115,12 @@ func main() {
 	code := run(&o)
 	if err := stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "bfhrf: stopping profiles: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if err := flushTraces(); err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrf: flushing traces: %v\n", err)
 		if code == 0 {
 			code = 1
 		}

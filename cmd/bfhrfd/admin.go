@@ -16,10 +16,15 @@ import (
 
 // The admin listener is the operational surface of a bfhrfd process:
 //
-//	/metrics       obs registry, Prometheus text format
+//	/metrics       obs registry, Prometheus text format (including the
+//	               runtime telemetry polled by obs.RuntimeCollector)
 //	/healthz       readiness — worker: shard loaded + tree count;
 //	               coordinator: reachable workers
-//	/debug/pprof/  live CPU/heap/goroutine profiling (net/http/pprof)
+//	/debug/traces  the last-K kept traces as JSON (?n=K limits)
+//	/debug/pprof/  live CPU/heap/goroutine profiling (net/http/pprof);
+//	               mutex and block profiles populate when the
+//	               -mutex-profile-fraction / -block-profile-rate flags
+//	               enable their samplers
 //
 // It is deliberately separate from the RPC port so operators can firewall
 // the data plane and the admin plane independently.
@@ -28,6 +33,7 @@ import (
 type adminServer struct {
 	srv *http.Server
 	l   net.Listener
+	rc  *obs.RuntimeCollector
 }
 
 // startAdmin serves the admin mux on addr. healthz is mode-specific.
@@ -39,12 +45,19 @@ func startAdmin(addr string, healthz http.HandlerFunc) (*adminServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Default.Handler())
 	mux.HandleFunc("/healthz", healthz)
+	mux.Handle("/debug/traces", obs.CurrentTracer().Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	a := &adminServer{srv: &http.Server{Handler: mux}, l: l}
+	a := &adminServer{
+		srv: &http.Server{Handler: mux},
+		l:   l,
+		// Poll runtime health (GC pauses, heap, goroutines, sched latency)
+		// into the registry for as long as /metrics is being served.
+		rc: obs.StartRuntimeCollector(nil, 5*time.Second),
+	}
 	go a.srv.Serve(l) //nolint:errcheck — returns ErrServerClosed on Shutdown
 	return a, nil
 }
@@ -52,8 +65,10 @@ func startAdmin(addr string, healthz http.HandlerFunc) (*adminServer, error) {
 // Addr returns the bound admin address (useful with -admin :0).
 func (a *adminServer) Addr() string { return a.l.Addr().String() }
 
-// Shutdown drains in-flight admin requests for up to five seconds.
+// Shutdown stops the runtime collector and drains in-flight admin
+// requests for up to five seconds.
 func (a *adminServer) Shutdown() error {
+	a.rc.Stop()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	return a.srv.Shutdown(ctx)

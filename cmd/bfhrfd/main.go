@@ -29,9 +29,20 @@
 // recovery runbook.
 //
 // The -admin listener serves the runtime telemetry: /metrics (Prometheus
-// text format), /healthz (worker: shard loaded + tree count; coordinator:
-// alive/dead worker counts), and /debug/pprof. Structured logs go to
-// stderr (-log-format text|json, -v for debug detail, -v=2 for trace).
+// text format, including Go runtime health polled by the runtime
+// collector), /healthz (worker: shard loaded + tree count; coordinator:
+// alive/dead worker counts), /debug/traces (the last-K kept distributed
+// traces as JSON), and /debug/pprof (whose mutex and block profiles
+// activate via -mutex-profile-fraction / -block-profile-rate). Structured
+// logs go to stderr (-log-format text|json, -v for debug detail, -v=2
+// for trace).
+//
+// Distributed tracing is configured by -trace-out (JSONL export),
+// -trace-sample (head-sampling probability) and -slow-query (tail-based
+// always-keep plus a structured slow-query log line); trace context
+// propagates through the query RPCs, so a coordinator trace includes the
+// worker-side spans of every fan-out. See "Diagnosing slow queries" in
+// README.md.
 //
 // The profiling flags (-cpuprofile, -memprofile, -trace) capture the run
 // for `go tool pprof` / `go tool trace`. A worker profiles until it is
@@ -48,6 +59,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -107,9 +119,15 @@ func main() {
 			"reject input trees serialized larger than this; 0 = unlimited (coordinator mode)")
 		maxInputBytes = flag.Int64("max-input-bytes", 0,
 			"hard cap on decompressed bytes read per input file; 0 = unlimited (coordinator mode)")
+
+		mutexFraction = flag.Int("mutex-profile-fraction", 0,
+			"sample 1/n of mutex contention events for /debug/pprof/mutex; 0 disables (both modes)")
+		blockRate = flag.Int("block-profile-rate", 0,
+			"sample blocking events lasting at least this many nanoseconds for /debug/pprof/block; 0 disables (both modes)")
 	)
 	profs := profhook.RegisterFlags(nil)
 	logc := obs.RegisterLogFlags(nil)
+	tracec := obs.RegisterTraceFlags(nil)
 	flag.Parse()
 
 	if *version {
@@ -121,6 +139,19 @@ func main() {
 		os.Exit(2)
 	}
 	obs.RegisterBuildInfo(nil)
+	// With an admin listener the ring must record regardless of flags, so
+	// /debug/traces has something to show.
+	flushTraces, err := tracec.Setup(*admin != "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrfd: %v\n", err)
+		os.Exit(2)
+	}
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	if code, msg := validateFlags(*serve, *workers, setFlags()); code != 0 {
 		fmt.Fprintf(os.Stderr, "bfhrfd: %s\n", msg)
@@ -165,6 +196,12 @@ func main() {
 	}
 	if err := stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "bfhrfd: stopping profiles: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if err := flushTraces(); err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrfd: flushing traces: %v\n", err)
 		if code == 0 {
 			code = 1
 		}

@@ -1,0 +1,168 @@
+// Command tracevet validates and summarizes a -trace-out JSONL trace
+// export. It is both an operator tool ("which traces were slow, where did
+// the time go") and the CI gate that keeps the export schema honest: every
+// line must be one JSON trace object whose IDs are well-formed fixed-width
+// hex, whose spans all carry the trace's ID, and whose parent links
+// resolve within the trace (the root's parent may live in another process
+// — a stitched remote trace — and is reported, not failed).
+//
+// Usage:
+//
+//	tracevet traces.jsonl
+//	tracevet -summary traces.jsonl
+//
+// With -summary a per-trace line (trace ID, root, duration, span count,
+// slow flag) is printed after validation. Exit status: 0 when every line
+// validates, 1 on any malformed line, 2 on usage errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	summary := flag.Bool("summary", false, "print a per-trace summary line after validating")
+	minTraces := flag.Int("min-traces", 0, "fail unless the file holds at least this many traces")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "Usage: tracevet [-summary] [-min-traces N] <traces.jsonl>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracevet: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // traces can be long lines
+	traces, bad := 0, 0
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var t obs.Trace
+		if err := json.Unmarshal(sc.Bytes(), &t); err != nil {
+			fmt.Fprintf(os.Stderr, "tracevet: line %d: invalid JSON: %v\n", line, err)
+			bad++
+			continue
+		}
+		if errs := vetTrace(&t); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "tracevet: line %d: trace %s: %s\n", line, t.TraceID, e)
+			}
+			bad++
+			continue
+		}
+		traces++
+		if *summary {
+			slow := ""
+			if t.Slow {
+				slow = "\tSLOW"
+			}
+			fmt.Printf("%s\t%s\t%s\t%d spans%s\n",
+				t.TraceID, t.Root, time.Duration(t.DurationNanos), len(t.Spans), slow)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracevet: reading: %v\n", err)
+		os.Exit(1)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "tracevet: %d of %d trace line(s) invalid\n", bad, traces+bad)
+		os.Exit(1)
+	}
+	if traces < *minTraces {
+		fmt.Fprintf(os.Stderr, "tracevet: %d trace(s), want at least %d\n", traces, *minTraces)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracevet: %d trace(s) ok\n", traces)
+}
+
+// vetTrace checks one trace's internal consistency and returns every
+// violation found (not just the first, so a broken producer is diagnosed
+// in one run).
+func vetTrace(t *obs.Trace) []string {
+	var errs []string
+	if !validHex(t.TraceID, 32) {
+		errs = append(errs, fmt.Sprintf("trace_id %q is not 32 hex digits", t.TraceID))
+	}
+	if t.Root == "" {
+		errs = append(errs, "empty root name")
+	}
+	if t.DurationNanos < 0 {
+		errs = append(errs, fmt.Sprintf("negative duration %d", t.DurationNanos))
+	}
+	if len(t.Spans) == 0 {
+		errs = append(errs, "no spans")
+	}
+	ids := make(map[string]bool, len(t.Spans))
+	for i, s := range t.Spans {
+		if s.TraceID != t.TraceID {
+			errs = append(errs, fmt.Sprintf("span %d carries trace %q", i, s.TraceID))
+		}
+		if !validHex(s.SpanID, 16) {
+			errs = append(errs, fmt.Sprintf("span %d: span_id %q is not 16 hex digits", i, s.SpanID))
+		}
+		if s.ParentID != "" && !validHex(s.ParentID, 16) {
+			errs = append(errs, fmt.Sprintf("span %d: parent_id %q is not 16 hex digits", i, s.ParentID))
+		}
+		if s.Name == "" {
+			errs = append(errs, fmt.Sprintf("span %d has no name", i))
+		}
+		if s.DurationNanos < 0 {
+			errs = append(errs, fmt.Sprintf("span %d: negative duration %d", i, s.DurationNanos))
+		}
+		if ids[s.SpanID] {
+			errs = append(errs, fmt.Sprintf("duplicate span_id %s", s.SpanID))
+		}
+		ids[s.SpanID] = true
+	}
+	// Parent links must resolve within the trace, except for spans whose
+	// parent is the propagated remote context (the worker-side root of a
+	// stitched trace) — those parents are other spans of the same trace
+	// recorded by the sender, so they still resolve once the trace is
+	// assembled by the coordinator. A dangling parent is only legal when
+	// the trace was truncated by the span cap.
+	if t.DroppedSpans == 0 {
+		for i, s := range t.Spans {
+			if s.ParentID != "" && !ids[s.ParentID] {
+				errs = append(errs, fmt.Sprintf("span %d (%s): parent %s not in trace", i, s.Name, s.ParentID))
+			}
+		}
+	}
+	return errs
+}
+
+// validHex reports whether s is exactly n lowercase hex digits and not
+// all-zero (the invalid ID).
+func validHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}

@@ -85,6 +85,7 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 		if h.numTrees == 0 {
 			return nil, fmt.Errorf("core: reference collection is empty")
 		}
+		annotateBuildSpan(span, h)
 		return h, nil
 	}
 	if err := r.Reset(); err != nil {
@@ -151,6 +152,7 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 		return nil, fmt.Errorf("core: reference collection is empty")
 	}
 	recordBuild(h, bips)
+	annotateBuildSpan(span, h)
 	return h, nil
 }
 

@@ -1,0 +1,11 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs/obstest"
+)
+
+// TestMain gates the suite on span hygiene: any span started by core
+// code and never ended fails the run (see internal/obs/obstest).
+func TestMain(m *testing.M) { obstest.Main(m) }

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/obs"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Runtime metrics of the BFHRF core, published into the obs Default
 // registry (served by cmd/bfhrfd's admin /metrics endpoint). The hot
@@ -62,6 +66,23 @@ func recordBuild(h *FreqHash, bipartitions int) {
 	} else {
 		mHashLoadFactor.Set(0)
 	}
+}
+
+// annotateBuildSpan attaches the finished build's identity to its trace
+// span: backend, size, and the reference-collection fingerprint that ties
+// the trace to checkpoint and cache diagnostics.
+func annotateBuildSpan(span *obs.Span, h *FreqHash) {
+	if !span.Recorded() {
+		return
+	}
+	if h.oa != nil {
+		span.SetAttr("backend", "openaddr")
+	} else {
+		span.SetAttr("backend", "map")
+	}
+	span.SetAttr("trees", h.NumTrees())
+	span.SetAttr("unique", h.UniqueBipartitions())
+	span.SetAttr("fingerprint", fmt.Sprintf("%016x", h.Fingerprint()))
 }
 
 // RecordQueries publishes query-side tallies: queries answered, frequency

@@ -186,6 +186,21 @@ func (h *FreqHash) AverageRF(q collection.Source, opts QueryOptions) ([]Result, 
 	}
 	_, span := obs.StartSpan(nil, SpanQuery)
 	defer span.End()
+	if span.Recorded() {
+		span.SetAttr("variant", opts.Variant)
+		span.SetAttr("probe", opts.Probe)
+		span.SetAttr("fingerprint", fmt.Sprintf("%016x", h.Fingerprint()))
+		span.SetAttr("cache", opts.Cache != nil)
+		if opts.Cache != nil {
+			// Process-global counters; the deltas are exact when one query
+			// pass runs at a time, an upper bound under concurrency.
+			hits0, misses0 := mCacheHits.Value(), mCacheMisses.Value()
+			defer func() {
+				span.SetAttr("cache_hits", mCacheHits.Value()-hits0)
+				span.SetAttr("cache_misses", mCacheMisses.Value()-misses0)
+			}()
+		}
+	}
 	// Parallel-parse fast path (see rawbuild.go).
 	if rs, ok := rawCapable(q); ok {
 		return h.averageRFRaw(rs, opts)

@@ -309,6 +309,11 @@ func (c *Coordinator) call(ctx context.Context, i int, method string, args, repl
 	return Do(ctx, c.Retry,
 		func(retry int, err error) {
 			rpcRetries(method, addr).Inc()
+			// Do invokes the hook in the calling goroutine, which is the
+			// goroutine that started the span in ctx (if any) — so SetAttr's
+			// owner-only rule holds. Last write wins: the attribute ends up
+			// as the total retry count.
+			obs.SpanFromContext(ctx).SetAttr("retries", retry+1)
 			slog.Debug("retrying rpc", "method", method, "worker", addr, "retry", retry+1, "error", err)
 		},
 		func() error {
@@ -373,7 +378,7 @@ func (c *Coordinator) LoadContext(ctx context.Context, refs collection.Source, t
 	if c.NumWorkers() == 0 {
 		return fmt.Errorf("distrib: no workers")
 	}
-	_, span := obs.StartSpan(nil, "coord.load")
+	ctx, span := obs.StartSpan(ctx, "coord.load")
 	defer span.End()
 	c.taxa = ts
 	init := InitArgs{
@@ -578,8 +583,15 @@ func (c *Coordinator) AverageRFOpts(ctx context.Context, queries collection.Sour
 	if c.r == 0 {
 		return nil, fmt.Errorf("distrib: Load before Query")
 	}
-	sctx, span := obs.StartSpan(nil, "coord.query")
+	// The root span rides the run's context, so cancellation and trace
+	// identity travel together through queryBatch into every RPC.
+	ctx, span := obs.StartSpan(ctx, "coord.query")
 	defer span.End()
+	if span.Recorded() {
+		span.SetAttr("fingerprint", fmt.Sprintf("%016x", c.fp))
+		span.SetAttr("workers", c.NumWorkers())
+		span.SetAttr("cache", c.Cache != nil)
+	}
 	if err := queries.Reset(); err != nil {
 		return nil, err
 	}
@@ -610,12 +622,22 @@ func (c *Coordinator) AverageRFOpts(ctx context.Context, queries collection.Sour
 	pend := make([]pendingQuery, 0, c.batchSize())
 	idx := 0
 	canceled := false
+	cacheHits := 0
+	defer func() {
+		if span.Recorded() {
+			span.SetAttr("queries", idx)
+			span.SetAttr("cache_hits", cacheHits)
+		}
+	}()
 	flush := func() error {
 		if len(uniq) == 0 {
 			return nil
 		}
-		_, bspan := obs.StartSpan(sctx, "coord.query.batch")
-		avgs, coverage, err := c.queryBatch(ctx, uniq, out)
+		bctx, bspan := obs.StartSpan(ctx, "coord.query.batch")
+		bspan.SetAttr("batch", len(uniq))
+		bspan.SetAttr("pending", len(pend))
+		avgs, coverage, err := c.queryBatch(bctx, uniq, out)
+		bspan.SetAttr("coverage", coverage)
 		bspan.End()
 		if err != nil {
 			return err
@@ -665,6 +687,7 @@ func (c *Coordinator) AverageRFOpts(ctx context.Context, queries collection.Sour
 		u := -1
 		if key.ok {
 			if avg, hit := c.Cache.Get(key.key, core.Plain); hit {
+				cacheHits++
 				emit(core.Result{Index: idx, AvgRF: avg})
 				idx++
 				continue
@@ -766,13 +789,24 @@ func (c *Coordinator) queryBatch(ctx context.Context, newicks []string, out *Out
 
 		parts := make([]queryPart, len(live))
 		var wg sync.WaitGroup
-		args := QueryArgs{Newicks: newicks}
 		for k, i := range live {
 			parts[k].idx = i
 			wg.Add(1)
 			go func(k, i int) {
 				defer wg.Done()
-				parts[k].err = c.call(ctx, i, "Query", args, &parts[k].reply)
+				// One span per worker RPC, owned by this goroutine; the
+				// trace context rides the args so the worker's spans stitch
+				// in, and they come back in the reply.
+				qctx, qspan := obs.StartSpan(ctx, "rpc.query")
+				qspan.SetAttr("worker", c.slot(i).addr)
+				args := QueryArgs{Newicks: newicks, Trace: toTraceContext(obs.SpanContextFrom(qctx))}
+				parts[k].err = c.call(qctx, i, "Query", args, &parts[k].reply)
+				if parts[k].err != nil {
+					qspan.SetAttr("error", parts[k].err.Error())
+				} else {
+					obs.AttachSpans(qctx, parts[k].reply.Spans)
+				}
+				qspan.End()
 			}(k, i)
 		}
 		wg.Wait()

@@ -40,6 +40,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/newick"
+	"repro/internal/obs"
 	"repro/internal/taxa"
 	"repro/internal/tree"
 )
@@ -80,9 +81,45 @@ type LoadReply struct {
 	ShardUnique int
 }
 
+// TraceContext propagates the coordinator's distributed-tracing identity
+// in RPC args (see internal/obs): the worker starts its spans under this
+// trace so both sides of the RPC stitch into one stage tree. The zero
+// value means "no recorded trace" and costs the worker nothing.
+type TraceContext struct {
+	// TraceHi and TraceLo are the halves of the 128-bit trace ID.
+	TraceHi, TraceLo uint64
+	// SpanID is the coordinator-side span issuing the RPC — the parent of
+	// the worker's root span.
+	SpanID uint64
+	// Sampled reports whether the trace is being recorded.
+	Sampled bool
+}
+
+// toTraceContext converts an obs span context for the wire.
+func toTraceContext(sc obs.SpanContext) TraceContext {
+	return TraceContext{
+		TraceHi: sc.Trace.Hi,
+		TraceLo: sc.Trace.Lo,
+		SpanID:  uint64(sc.Span),
+		Sampled: sc.Sampled,
+	}
+}
+
+// spanContext converts back on the receiving side.
+func (tc TraceContext) spanContext() obs.SpanContext {
+	return obs.SpanContext{
+		Trace:   obs.TraceID{Hi: tc.TraceHi, Lo: tc.TraceLo},
+		Span:    obs.SpanID(tc.SpanID),
+		Sampled: tc.Sampled,
+	}
+}
+
 // QueryArgs carry a batch of query trees.
 type QueryArgs struct {
 	Newicks []string
+	// Trace carries the coordinator's trace context so worker spans stitch
+	// into the caller's trace (zero = untraced).
+	Trace TraceContext
 }
 
 // QueryReply carries per-query partial sums.
@@ -95,6 +132,10 @@ type QueryReply struct {
 	// ShardSum and ShardTrees fold into the global sum and r.
 	ShardSum   uint64
 	ShardTrees int
+	// Spans are the worker-side span records of this call, stamped with
+	// the trace from QueryArgs.Trace; the coordinator folds them into its
+	// live trace. Empty when the trace is not recorded.
+	Spans []obs.SpanRecord
 }
 
 // ---- worker ----------------------------------------------------------------
@@ -243,6 +284,18 @@ func (w *Worker) Query(args QueryArgs, reply *QueryReply) error {
 }
 
 func (w *Worker) query(args QueryArgs, reply *QueryReply) error {
+	// The worker-side root span joins the coordinator's trace when the args
+	// carry one; its completed records travel back in the reply.
+	_, span := obs.StartRemoteSpan(nil, "worker.query", args.Trace.spanContext())
+	err := w.queryShard(span, args, reply)
+	span.End()
+	if err == nil {
+		reply.Spans = span.Records()
+	}
+	return err
+}
+
+func (w *Worker) queryShard(span *obs.Span, args QueryArgs, reply *QueryReply) error {
 	w.mu.Lock()
 	h := w.hash
 	ts := w.taxa
@@ -287,6 +340,12 @@ func (w *Worker) query(args QueryArgs, reply *QueryReply) error {
 	if h != nil {
 		reply.ShardSum = h.TotalBipartitions()
 		reply.ShardTrees = h.NumTrees()
+	}
+	if span.Recorded() {
+		span.SetAttr("queries", len(args.Newicks))
+		span.SetAttr("lookups", lookups)
+		span.SetAttr("misses", misses)
+		span.SetAttr("shard_trees", reply.ShardTrees)
 	}
 	// The shard answers queries outside core.AverageRF, so it feeds the
 	// same core counters (bfhrf_queries_total et al.) itself.

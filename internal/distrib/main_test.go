@@ -1,0 +1,11 @@
+package distrib
+
+import (
+	"testing"
+
+	"repro/internal/obs/obstest"
+)
+
+// TestMain gates the suite on span hygiene: any span started by distrib
+// code and never ended fails the run (see internal/obs/obstest).
+func TestMain(m *testing.M) { obstest.Main(m) }

@@ -1,0 +1,46 @@
+// Package obstest provides test-suite gates for observability hygiene.
+// Its Main wrapper runs a package's tests and then fails the suite if
+// any started span was never ended — a leaked span under-reports the
+// stage histograms and, with tracing enabled, pins its trace buffer
+// forever, so leaks are bugs even though nothing crashes.
+package obstest
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Main is a TestMain body that forwards to m.Run and converts a span
+// leak into a suite failure:
+//
+//	func TestMain(m *testing.M) { obstest.Main(m) }
+//
+// It waits briefly for stragglers (background goroutines ending spans
+// after their test returns) before declaring a leak, so legitimate
+// asynchronous End calls don't flake.
+func Main(m *testing.M) {
+	code := m.Run()
+	if n := waitForSpans(2 * time.Second); n != 0 && code == 0 {
+		fmt.Fprintf(os.Stderr,
+			"obstest: span leak: %d span(s) started but never ended after suite completed\n", n)
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// waitForSpans polls obs.ActiveSpans until it reaches zero or the
+// timeout expires, returning the final count.
+func waitForSpans(timeout time.Duration) int64 {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := obs.ActiveSpans()
+		if n == 0 || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeCollector polls runtime/metrics into the registry so /metrics
+// exposes process health next to the application families: goroutine
+// count, heap footprint, GC cycles, and the GC-pause and scheduling-
+// latency distributions (as quantile gauges — the runtime's histograms
+// have runtime-chosen bucket layouts, so fixed-bucket re-observation
+// would distort them; quantiles carry the operational signal: "are GC
+// pauses eating my tail latency").
+//
+// The sampled metric names are resolved against metrics.All at
+// construction, so a runtime that renames or drops a metric (they are
+// versioned by Go release) degrades to publishing the supported subset
+// instead of reading garbage.
+
+// runtimeQuantiles are the published distribution cuts.
+var runtimeQuantiles = []float64{0.5, 0.9, 0.99}
+
+// runtimeSample maps one runtime/metrics name to a registry family.
+type runtimeSample struct {
+	// names are tried in order; the first one the runtime supports wins
+	// (e.g. GC pauses moved from /gc/pauses to /sched/pauses/total/gc).
+	names  []string
+	metric string
+	help   string
+}
+
+var runtimeSamples = []runtimeSample{
+	{
+		names:  []string{"/sched/goroutines:goroutines"},
+		metric: "bfhrf_go_goroutines",
+		help:   "Live goroutines (runtime/metrics /sched/goroutines).",
+	},
+	{
+		names:  []string{"/memory/classes/heap/objects:bytes"},
+		metric: "bfhrf_go_heap_objects_bytes",
+		help:   "Bytes occupied by live heap objects plus dead objects not yet swept (runtime/metrics).",
+	},
+	{
+		names:  []string{"/memory/classes/total:bytes"},
+		metric: "bfhrf_go_mem_total_bytes",
+		help:   "Total bytes of memory mapped by the Go runtime (runtime/metrics).",
+	},
+	{
+		names:  []string{"/gc/cycles/total:gc-cycles"},
+		metric: "bfhrf_go_gc_cycles",
+		help:   "Completed GC cycles since process start (runtime/metrics).",
+	},
+	{
+		names:  []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"},
+		metric: "bfhrf_go_gc_pause_seconds",
+		help:   "Distribution of stop-the-world GC pause latencies, as quantile gauges (runtime/metrics).",
+	},
+	{
+		names:  []string{"/sched/latencies:seconds"},
+		metric: "bfhrf_go_sched_latency_seconds",
+		help:   "Distribution of goroutine scheduling latencies, as quantile gauges (runtime/metrics).",
+	},
+}
+
+// RuntimeCollector owns the background polling loop.
+type RuntimeCollector struct {
+	reg      *Registry
+	samples  []metrics.Sample
+	resolved []runtimeSample // parallel to samples
+	stop     chan struct{}
+	done     chan struct{}
+	once     sync.Once
+}
+
+// StartRuntimeCollector resolves the supported runtime metrics, polls
+// them into reg (Default when nil) immediately and then every interval,
+// and returns the collector; call Stop to terminate the loop. interval
+// defaults to 5s when non-positive.
+func StartRuntimeCollector(reg *Registry, interval time.Duration) *RuntimeCollector {
+	if reg == nil {
+		reg = Default
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	supported := make(map[string]bool)
+	for _, d := range metrics.All() {
+		supported[d.Name] = true
+	}
+	c := &RuntimeCollector{
+		reg:  reg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, rs := range runtimeSamples {
+		for _, name := range rs.names {
+			if supported[name] {
+				c.samples = append(c.samples, metrics.Sample{Name: name})
+				c.resolved = append(c.resolved, rs)
+				break
+			}
+		}
+	}
+	c.Collect()
+	go c.loop(interval)
+	return c
+}
+
+// Stop terminates the polling loop and waits for the in-flight poll.
+// Idempotent.
+func (c *RuntimeCollector) Stop() {
+	c.once.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+func (c *RuntimeCollector) loop(interval time.Duration) {
+	defer close(c.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.Collect()
+		}
+	}
+}
+
+// Collect performs one poll: reads every resolved runtime metric and
+// publishes it. Exposed so tests (and callers wanting a fresh snapshot
+// right before a scrape) can poll synchronously.
+func (c *RuntimeCollector) Collect() {
+	if len(c.samples) == 0 {
+		return
+	}
+	metrics.Read(c.samples)
+	for i, s := range c.samples {
+		rs := c.resolved[i]
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			c.reg.Gauge(rs.metric, rs.help).Set(float64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			c.reg.Gauge(rs.metric, rs.help).Set(s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			c.publishQuantiles(rs, s.Value.Float64Histogram())
+		}
+	}
+}
+
+// publishQuantiles reduces a runtime histogram to quantile gauges plus a
+// max gauge (the highest non-empty bucket's upper bound).
+func (c *RuntimeCollector) publishQuantiles(rs runtimeSample, h *metrics.Float64Histogram) {
+	if h == nil {
+		return
+	}
+	var total uint64
+	for _, n := range h.Counts {
+		total += n
+	}
+	for _, q := range runtimeQuantiles {
+		c.reg.Gauge(rs.metric, rs.help, L("quantile", formatFloat(q))).
+			Set(histQuantile(h, total, q))
+	}
+	maxV := 0.0
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			maxV = bucketBound(h, i)
+			break
+		}
+	}
+	c.reg.Gauge(rs.metric, rs.help, L("quantile", "max")).Set(maxV)
+}
+
+// histQuantile returns the upper bound of the bucket containing the q-th
+// quantile of h, 0 when the histogram is empty.
+func histQuantile(h *metrics.Float64Histogram, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i, n := range h.Counts {
+		cum += n
+		if cum > target {
+			return bucketBound(h, i)
+		}
+	}
+	return bucketBound(h, len(h.Counts)-1)
+}
+
+// bucketBound returns a finite representative upper bound for bucket i:
+// Buckets[i+1], falling back to the highest finite boundary when the
+// bucket is unbounded above.
+func bucketBound(h *metrics.Float64Histogram, i int) float64 {
+	// Counts[i] covers [Buckets[i], Buckets[i+1]).
+	b := h.Buckets[i+1]
+	if !isInf(b) {
+		return b
+	}
+	for j := len(h.Buckets) - 1; j >= 0; j-- {
+		if !isInf(h.Buckets[j]) {
+			return h.Buckets[j]
+		}
+	}
+	return 0
+}
+
+func isInf(f float64) bool { return f > 1e300 || f < -1e300 }

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorPublishes(t *testing.T) {
+	reg := NewRegistry()
+	rc := StartRuntimeCollector(reg, time.Hour) // immediate poll, then idle
+	defer rc.Stop()
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, family := range []string{
+		"bfhrf_go_goroutines",
+		"bfhrf_go_heap_objects_bytes",
+		"bfhrf_go_mem_total_bytes",
+		"bfhrf_go_gc_cycles",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("runtime collector did not publish %s:\n%s", family, out)
+		}
+	}
+	// The distribution families publish quantile-labelled gauges. These
+	// names are version-dependent in runtime/metrics; the resolver must
+	// have found at least the GC-pause source on any supported Go.
+	for _, want := range []string{
+		`bfhrf_go_gc_pause_seconds{quantile="0.5"}`,
+		`bfhrf_go_gc_pause_seconds{quantile="max"}`,
+		`bfhrf_go_sched_latency_seconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime collector did not publish %s", want)
+		}
+	}
+
+	if g := reg.Gauge("bfhrf_go_goroutines",
+		"Live goroutines (runtime/metrics /sched/goroutines).").Value(); g < 1 {
+		t.Errorf("bfhrf_go_goroutines = %g, want >= 1", g)
+	}
+
+	// A later synchronous poll refreshes values without the ticker.
+	done := make(chan struct{})
+	go func() { <-done }()
+	rc.Collect()
+	close(done)
+}
+
+func TestRuntimeCollectorStopIdempotent(t *testing.T) {
+	rc := StartRuntimeCollector(NewRegistry(), time.Millisecond)
+	time.Sleep(5 * time.Millisecond) // let the ticker fire at least once
+	rc.Stop()
+	rc.Stop() // second Stop must not panic or deadlock
+}

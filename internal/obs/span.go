@@ -2,7 +2,9 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -11,9 +13,17 @@ import (
 // (parse, BFH build, tree-vs-hash compare, an RPC fan-out) and, when
 // ended, records its duration into the registry's stage histogram and —
 // at debug verbosity — into the structured log with its parent and child
-// ordinal, reconstructing the per-request stage tree. Much lighter than a
-// tracing dependency: spans cost two time.Now calls and one histogram
-// observation, so they can stay on in production.
+// ordinal, reconstructing the per-request stage tree.
+//
+// On top of that sits distributed tracing (trace.go): a span started
+// without a parent is a trace root; if the current Tracer's policy keeps
+// it (head sampling or the slow-query tail rule), the root and all its
+// descendants carry a shared 128-bit trace ID, per-span 64-bit IDs with
+// parent links, and key/value attributes, and the completed trace lands
+// in the ring served at /debug/traces and in the JSONL export. With
+// tracing disabled a span still costs only two time.Now calls, one
+// histogram observation and two atomic adds, so spans stay on in
+// production.
 
 // StageMetric is the histogram family every span records into.
 const StageMetric = "bfhrf_stage_duration_seconds"
@@ -22,6 +32,16 @@ const stageHelp = "Duration of pipeline stages (spans), by stage name."
 
 // spanKey carries the active span through a context.
 type spanKey struct{}
+
+// activeSpans counts spans started but not yet ended, process-wide. The
+// obstest span-leak gate reads it after a test suite runs.
+var activeSpans atomic.Int64
+
+// ActiveSpans returns the number of spans currently started and not yet
+// ended. A process at rest reports 0; a persistent positive value after
+// work drains means some code path leaks spans (and so skews the stage
+// histograms silently). See internal/obs/obstest.
+func ActiveSpans() int64 { return activeSpans.Load() }
 
 // Span is one timed pipeline stage.
 type Span struct {
@@ -33,11 +53,23 @@ type Span struct {
 	children atomic.Int64
 	reg      *Registry
 	ended    atomic.Bool
+
+	// Tracing state; zero/nil when the trace is not being recorded.
+	trace    TraceID
+	id       SpanID
+	parentID SpanID
+	buf      *traceBuf
+	// root marks a span that owns its traceBuf's lifecycle: a local trace
+	// root (no parent span) or a remote root (StartRemoteSpan).
+	root bool
+	// attrs are owner-goroutine-only annotations (see SetAttr).
+	attrs []Attr
 }
 
 // StartSpan begins a stage named name, child of the span in ctx if any.
 // The returned context carries the new span; pass it to nested stages.
-// A nil ctx is treated as context.Background().
+// A nil ctx is treated as context.Background(). A span with no parent is
+// a trace root: the current Tracer decides whether the trace is recorded.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return startSpanIn(Default, ctx, name)
 }
@@ -51,7 +83,44 @@ func startSpanIn(reg *Registry, ctx context.Context, name string) (context.Conte
 	s := &Span{name: name, start: time.Now(), parent: parent, reg: reg}
 	if parent != nil {
 		s.seq = int(parent.children.Add(1))
+		if parent.buf != nil {
+			s.buf = parent.buf
+			s.trace = parent.trace
+			s.parentID = parent.id
+			s.id = SpanID(nextID())
+		}
+	} else if buf := CurrentTracer().startRoot(); buf != nil {
+		s.buf = buf
+		s.root = true
+		s.trace = newTraceID()
+		s.id = SpanID(nextID())
 	}
+	activeSpans.Add(1)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// StartRemoteSpan begins a span whose parent lives in another process:
+// the worker-side entry point of an RPC, joining the coordinator's trace
+// described by sc. When sc carries no trace (zero ID) or the trace is not
+// sampled and no local slow threshold is armed, the span behaves like a
+// plain local root. After End, Records returns the spans collected under
+// the remote root so the RPC reply can carry them back.
+func StartRemoteSpan(ctx context.Context, name string, sc SpanContext) (context.Context, *Span) {
+	if sc.Trace.IsZero() {
+		return StartSpan(ctx, name)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tr := CurrentTracer()
+	s := &Span{name: name, start: time.Now(), reg: Default, root: true}
+	if sc.Sampled || tr.SlowQuery() > 0 {
+		s.buf = &traceBuf{tracer: tr, sampled: sc.Sampled}
+		s.trace = sc.Trace
+		s.parentID = sc.Span
+		s.id = SpanID(nextID())
+	}
+	activeSpans.Add(1)
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
@@ -64,17 +133,124 @@ func SpanFromContext(ctx context.Context) *Span {
 	return s
 }
 
+// SpanContextFrom extracts the propagatable trace context of the active
+// span in ctx — what an RPC layer serializes into its request so the
+// remote side's spans stitch into this trace. The zero SpanContext (no
+// active span, or trace not recorded) disables remote recording.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	s := SpanFromContext(ctx)
+	if s == nil || s.buf == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.id, Sampled: s.buf.sampled}
+}
+
+// AttachSpans folds remotely collected span records (an RPC reply's
+// payload) into the trace of the active span in ctx. Records keep their
+// own IDs and parent links — the remote side already stamped them with
+// this trace's ID. A no-op when no recorded trace is active.
+func AttachSpans(ctx context.Context, recs []SpanRecord) {
+	s := SpanFromContext(ctx)
+	if s == nil || s.buf == nil {
+		return
+	}
+	for _, rec := range recs {
+		s.buf.add(rec)
+	}
+}
+
 // Name returns the stage name.
 func (s *Span) Name() string { return s.name }
 
+// Recorded reports whether the span belongs to a recorded trace. SetAttr
+// is a no-op otherwise, so callers computing an expensive attribute value
+// (a formatted fingerprint, a counter delta) can skip the work.
+func (s *Span) Recorded() bool { return s != nil && s.buf != nil }
+
+// TraceID returns the span's trace ID (zero when the trace is not being
+// recorded).
+func (s *Span) TraceID() TraceID { return s.trace }
+
+// SetAttr annotates the span with one key/value pair. Only the goroutine
+// that started the span may call it (attributes are read at End). Values
+// stringify via fast paths for the common types; a repeated key wins with
+// its last value. A no-op when the trace is not recorded, so callers can
+// annotate unconditionally on hot-ish paths.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil || s.buf == nil {
+		return
+	}
+	var v string
+	switch x := value.(type) {
+	case string:
+		v = x
+	case bool:
+		v = strconv.FormatBool(x)
+	case int:
+		v = strconv.Itoa(x)
+	case int64:
+		v = strconv.FormatInt(x, 10)
+	case uint64:
+		v = strconv.FormatUint(x, 10)
+	case float64:
+		v = strconv.FormatFloat(x, 'g', -1, 64)
+	case time.Duration:
+		v = x.String()
+	case fmt.Stringer:
+		v = x.String()
+	default:
+		v = fmt.Sprint(x)
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+}
+
+// Records returns the span records collected under a remote root after
+// End — the payload an RPC reply ships back to the caller's trace. Nil
+// for unrecorded traces, local spans, or before End.
+func (s *Span) Records() []SpanRecord {
+	if s == nil || s.buf == nil || !s.root || !s.ended.Load() {
+		return nil
+	}
+	s.buf.mu.Lock()
+	defer s.buf.mu.Unlock()
+	out := make([]SpanRecord, len(s.buf.spans))
+	copy(out, s.buf.spans)
+	return out
+}
+
+// record serializes the completed span. Duplicate attribute keys resolve
+// last-wins here, where the map is built.
+func (s *Span) record(d time.Duration) SpanRecord {
+	rec := SpanRecord{
+		TraceID:       s.trace.String(),
+		SpanID:        s.id.String(),
+		Name:          s.name,
+		StartUnixNano: s.start.UnixNano(),
+		DurationNanos: int64(d),
+	}
+	if s.parentID != 0 {
+		rec.ParentID = s.parentID.String()
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(s.attrs))
+		for _, kv := range s.attrs {
+			rec.Attrs[kv.Key] = kv.Value
+		}
+	}
+	return rec
+}
+
 // End stops the span, records its duration into the stage histogram, logs
-// it at debug level, and returns the duration. End is idempotent; only
-// the first call records.
+// it at debug level, and returns the duration. On a recorded trace the
+// span's record joins the trace buffer; ending a root additionally runs
+// the tracer's keep/drop policy (ring, JSONL export, slow-query log). End
+// is idempotent; only the first call records.
 func (s *Span) End() time.Duration {
 	d := time.Since(s.start)
 	if s.ended.Swap(true) {
 		return d
 	}
+	activeSpans.Add(-1)
 	s.reg.Histogram(StageMetric, stageHelp, DefLatencyBuckets, L("stage", s.name)).Observe(d.Seconds())
 	if slog.Default().Enabled(context.Background(), slog.LevelDebug) {
 		attrs := []any{
@@ -87,7 +263,18 @@ func (s *Span) End() time.Duration {
 				slog.Int("child_seq", s.seq),
 			)
 		}
+		if s.buf != nil {
+			attrs = append(attrs, slog.String("trace_id", s.trace.String()))
+		}
 		slog.Debug("span", attrs...)
+	}
+	if b := s.buf; b != nil {
+		b.add(s.record(d))
+		if s.root {
+			b.tracer.finish(s, b, d)
+		} else if slowAt := b.tracer.SlowQuery(); slowAt > 0 && d >= slowAt {
+			logSlowSpan(s, d)
+		}
 	}
 	return d
 }

@@ -1,0 +1,506 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atomicio"
+)
+
+// Distributed tracing on top of the span layer. Every trace is identified
+// by a 128-bit trace ID; every span by a 64-bit span ID with a parent
+// link, so a request's stage tree reconstructs exactly — including across
+// the coordinator→worker RPC boundary, where the trace context travels in
+// the RPC args and the worker's completed spans come back in the reply
+// (see internal/distrib).
+//
+// The Tracer keeps completed traces in a fixed-size ring with lock-free
+// reads (atomic pointer slots), serves the last K at /debug/traces, and
+// optionally exports every kept trace as JSONL through internal/atomicio.
+// Keep/drop combines probabilistic head sampling (decided at root start)
+// with tail-based retention: a root that exceeds the slow-query threshold
+// is always kept and additionally emits a structured slow-query log line
+// with its full stage breakdown. When neither sampling nor the slow
+// threshold is configured, spans carry no trace state at all and the
+// whole layer costs two atomic operations per span.
+
+// TraceID is a 128-bit trace identifier.
+type TraceID struct {
+	Hi, Lo uint64
+}
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (id TraceID) IsZero() bool { return id.Hi == 0 && id.Lo == 0 }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string {
+	return fmt.Sprintf("%016x%016x", id.Hi, id.Lo)
+}
+
+// SpanID is a 64-bit span identifier, unique within its process.
+type SpanID uint64
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// SpanContext is the propagatable part of an active span: what a
+// coordinator puts into RPC args so the worker's spans join its trace.
+type SpanContext struct {
+	// Trace is the 128-bit trace the span belongs to.
+	Trace TraceID
+	// Span is the propagating span's ID — the remote side's parent.
+	Span SpanID
+	// Sampled reports whether the trace is being recorded, so the remote
+	// side can skip span collection for traces nobody will keep.
+	Sampled bool
+}
+
+// Attr is one key/value annotation on a span (fingerprint, cache verdict,
+// probe mode, shard, retry count, …). Values are strings; SetAttr
+// stringifies common types.
+type Attr struct {
+	Key, Value string
+}
+
+// SpanRecord is the serialized form of a completed span — the JSONL and
+// /debug/traces schema. All IDs are fixed-width lowercase hex.
+type SpanRecord struct {
+	// TraceID is 32 hex digits; SpanID and ParentID are 16.
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	// Name is the stage name (StartSpan's name argument).
+	Name string `json:"name"`
+	// StartUnixNano is the span's wall-clock start.
+	StartUnixNano int64 `json:"start_unix_ns"`
+	// DurationNanos is the span's duration.
+	DurationNanos int64 `json:"duration_ns"`
+	// Attrs are the span's key/value annotations (last write wins per key).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace is one kept trace: the root span's identity plus every span
+// recorded under it, in end order.
+type Trace struct {
+	TraceID string `json:"trace_id"`
+	// Root is the root span's stage name.
+	Root string `json:"root"`
+	// DurationNanos is the root span's duration.
+	DurationNanos int64 `json:"duration_ns"`
+	// Slow marks a trace kept by the tail-based slow-query rule.
+	Slow bool `json:"slow,omitempty"`
+	// DroppedSpans counts spans discarded beyond the per-trace cap.
+	DroppedSpans int          `json:"dropped_spans,omitempty"`
+	Spans        []SpanRecord `json:"spans"`
+}
+
+// ---- ID generation ---------------------------------------------------------
+
+// idState seeds a splitmix64 sequence from crypto/rand once per process;
+// each ID is one atomic add plus the mix, cheap enough for per-span use.
+var idState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		idState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// nextID returns a non-zero pseudo-random 64-bit ID.
+func nextID() uint64 {
+	for {
+		x := idState.Add(0x9E3779B97F4A7C15)
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4B91D
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// newTraceID returns a fresh non-zero 128-bit trace ID.
+func newTraceID() TraceID { return TraceID{Hi: nextID(), Lo: nextID()} }
+
+// ---- trace collection ------------------------------------------------------
+
+// traceBuf accumulates the completed spans of one in-flight trace. The
+// root span allocates it; children (and remotely attached records) append
+// under the mutex. It is bounded by the tracer's per-trace span cap.
+type traceBuf struct {
+	tracer  *Tracer
+	sampled bool // head-sampling verdict, decided at root start
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int
+}
+
+// add appends one completed span's record, honouring the span cap.
+func (b *traceBuf) add(rec SpanRecord) {
+	max := b.tracer.maxSpans()
+	b.mu.Lock()
+	if len(b.spans) >= max {
+		b.dropped++
+	} else {
+		b.spans = append(b.spans, rec)
+	}
+	b.mu.Unlock()
+}
+
+// Trace-keeping metrics, published into the Default registry like every
+// other obs family. Resolved lazily so trace.go has no init-order
+// dependency on the Default registry.
+func tracesKept(reason string) *CounterMetric {
+	return Counter("bfhrf_traces_kept_total",
+		"Traces kept in the ring/export, by keep reason (sampled | slow).",
+		L("reason", reason))
+}
+
+func tracesDropped() *CounterMetric {
+	return Counter("bfhrf_traces_dropped_total",
+		"Recorded traces dropped by head sampling (not sampled, not slow).")
+}
+
+func slowQueries() *CounterMetric {
+	return Counter("bfhrf_slow_queries_total",
+		"Root spans exceeding the -slow-query threshold.")
+}
+
+// Tracer owns the keep/drop policy, the completed-trace ring and the
+// optional JSONL export. Configuration setters are safe to call at any
+// time; the zero state (sample 0, slow 0) disables recording entirely.
+type Tracer struct {
+	sampleBits atomic.Uint64 // float64 bits of the head-sampling probability
+	slowNanos  atomic.Int64  // tail-keep threshold; 0 disables
+	spanCap    atomic.Int64  // per-trace recorded-span cap
+
+	// ring: fixed slots holding immutable *Trace values. Writers claim a
+	// slot with one atomic add; readers snapshot with atomic loads — no
+	// lock on either side.
+	slots  []atomic.Pointer[Trace]
+	cursor atomic.Uint64
+
+	// export accumulates kept traces for the JSONL file (bounded).
+	expMu      sync.Mutex
+	expPath    string
+	expTraces  []*Trace
+	expDropped int
+}
+
+// DefaultTraceRing is the ring capacity of the process-wide tracer (the
+// "last K traces" served at /debug/traces).
+const DefaultTraceRing = 256
+
+// defaultTraceSpanCap bounds recorded spans per trace so a pathological
+// request cannot balloon a trace; overflow is counted in DroppedSpans.
+const defaultTraceSpanCap = 4096
+
+// maxExportTraces bounds the in-memory export buffer; beyond it kept
+// traces still reach the ring but are dropped from the JSONL file (the
+// flush logs how many).
+const maxExportTraces = 65536
+
+// NewTracer returns a tracer with the given ring capacity (minimum 1)
+// and recording disabled (sample rate 0, no slow threshold).
+func NewTracer(ringSize int) *Tracer {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	t := &Tracer{slots: make([]atomic.Pointer[Trace], ringSize)}
+	t.spanCap.Store(defaultTraceSpanCap)
+	return t
+}
+
+// curTracer is the process-wide tracer consulted by root spans.
+var curTracer atomic.Pointer[Tracer]
+
+func init() { curTracer.Store(NewTracer(DefaultTraceRing)) }
+
+// CurrentTracer returns the process-wide tracer (never nil).
+func CurrentTracer() *Tracer { return curTracer.Load() }
+
+// SetCurrentTracer swaps the process-wide tracer and returns the previous
+// one — test isolation; production code configures CurrentTracer in place.
+func SetCurrentTracer(t *Tracer) *Tracer {
+	if t == nil {
+		t = NewTracer(DefaultTraceRing)
+	}
+	return curTracer.Swap(t)
+}
+
+// SetSampleRate sets the head-sampling probability in [0, 1]: the chance
+// a fresh root trace is kept regardless of duration.
+func (tr *Tracer) SetSampleRate(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	tr.sampleBits.Store(floatBits(p))
+}
+
+// SampleRate returns the head-sampling probability.
+func (tr *Tracer) SampleRate() float64 { return floatFromBits(tr.sampleBits.Load()) }
+
+// SetSlowQuery sets the tail-keep threshold: a root span lasting at least
+// d is always kept and logged as a slow query. 0 disables.
+func (tr *Tracer) SetSlowQuery(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	tr.slowNanos.Store(int64(d))
+}
+
+// SlowQuery returns the tail-keep threshold (0 when disabled).
+func (tr *Tracer) SlowQuery() time.Duration { return time.Duration(tr.slowNanos.Load()) }
+
+// SetSpanCap bounds the recorded spans per trace (minimum 1).
+func (tr *Tracer) SetSpanCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	tr.spanCap.Store(int64(n))
+}
+
+func (tr *Tracer) maxSpans() int { return int(tr.spanCap.Load()) }
+
+// Enabled reports whether any recording policy is active.
+func (tr *Tracer) Enabled() bool {
+	return tr.SampleRate() > 0 || tr.SlowQuery() > 0
+}
+
+// startRoot decides a fresh root span's recording fate: nil when nothing
+// would keep the trace, otherwise a buffer carrying the head verdict.
+func (tr *Tracer) startRoot() *traceBuf {
+	p := tr.SampleRate()
+	sampled := p >= 1
+	if !sampled && p > 0 {
+		// 53 uniform bits from the ID sequence; no global rand lock.
+		sampled = float64(nextID()>>11)/(1<<53) < p
+	}
+	if !sampled && tr.SlowQuery() == 0 {
+		return nil
+	}
+	return &traceBuf{tracer: tr, sampled: sampled}
+}
+
+// finish applies the keep/drop policy to a completed root (local or
+// remote): push to the ring and export on keep, and emit the slow-query
+// log line for roots past the threshold.
+func (tr *Tracer) finish(s *Span, b *traceBuf, d time.Duration) {
+	slowAt := tr.SlowQuery()
+	slow := slowAt > 0 && d >= slowAt
+	if !b.sampled && !slow {
+		tracesDropped().Inc()
+		return
+	}
+	b.mu.Lock()
+	spans := b.spans
+	dropped := b.dropped
+	b.mu.Unlock()
+	t := &Trace{
+		TraceID:       s.trace.String(),
+		Root:          s.name,
+		DurationNanos: int64(d),
+		Slow:          slow,
+		DroppedSpans:  dropped,
+		Spans:         spans,
+	}
+	tr.Publish(t)
+	if slow {
+		slowQueries().Inc()
+		logSlowTrace(s, t, d)
+	}
+	if b.sampled {
+		tracesKept("sampled").Inc()
+	} else {
+		tracesKept("slow").Inc()
+	}
+}
+
+// Publish stores an assembled trace in the ring and, when exporting, the
+// JSONL buffer. Exposed so tests (and tools replaying captured traces)
+// can feed the ring deterministically.
+func (tr *Tracer) Publish(t *Trace) {
+	i := tr.cursor.Add(1) - 1
+	tr.slots[i%uint64(len(tr.slots))].Store(t)
+	tr.expMu.Lock()
+	if tr.expPath != "" {
+		if len(tr.expTraces) < maxExportTraces {
+			tr.expTraces = append(tr.expTraces, t)
+		} else {
+			tr.expDropped++
+		}
+	}
+	tr.expMu.Unlock()
+}
+
+// Snapshot returns up to n of the most recently kept traces, newest
+// first. It never blocks writers: each slot is one atomic load.
+func (tr *Tracer) Snapshot(n int) []*Trace {
+	size := len(tr.slots)
+	written := tr.cursor.Load()
+	avail := int(written)
+	if written > uint64(size) {
+		avail = size
+	}
+	if n <= 0 || n > avail {
+		n = avail
+	}
+	out := make([]*Trace, 0, n)
+	for k := 0; k < avail && len(out) < n; k++ {
+		// written-1-k counts back from the most recent claim. A slot may
+		// still be nil (claimed, not yet stored) or already overwritten
+		// by a newer trace; both are benign under concurrent publishing.
+		i := (written - 1 - uint64(k)) % uint64(size)
+		if t := tr.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SetExportPath arms JSONL export: every kept trace is buffered and
+// FlushExport writes them to path atomically. Empty disables.
+func (tr *Tracer) SetExportPath(path string) {
+	tr.expMu.Lock()
+	tr.expPath = path
+	tr.expMu.Unlock()
+}
+
+// FlushExport writes the buffered traces as one JSON object per line to
+// the configured export path via internal/atomicio (temp+fsync+rename),
+// so a crash mid-flush never leaves a torn trace file. A no-op without an
+// export path.
+func (tr *Tracer) FlushExport() error {
+	tr.expMu.Lock()
+	path := tr.expPath
+	traces := tr.expTraces
+	dropped := tr.expDropped
+	tr.expMu.Unlock()
+	if path == "" {
+		return nil
+	}
+	var sb strings.Builder
+	for _, t := range traces {
+		line, err := json.Marshal(t)
+		if err != nil {
+			return fmt.Errorf("obs: encoding trace %s: %w", t.TraceID, err)
+		}
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	if dropped > 0 {
+		slog.Warn("trace export buffer overflowed; JSONL is incomplete",
+			"path", path, "exported", len(traces), "dropped", dropped)
+	}
+	return atomicio.WriteFile(path, []byte(sb.String()))
+}
+
+// Handler serves the ring as JSON — the /debug/traces endpoint of the
+// admin listener. `?n=K` limits the response to the K newest traces.
+func (tr *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if q := req.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				http.Error(w, "invalid n: want a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		traces := tr.Snapshot(n)
+		w.Header().Set("Content-Type", "application/json")
+		resp := struct {
+			Count  int      `json:"count"`
+			Traces []*Trace `json:"traces"`
+		}{Count: len(traces), Traces: traces}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp) //nolint:errcheck — client gone mid-write is not actionable
+	})
+}
+
+// logSlowTrace emits the structured slow-query line: trace identity,
+// duration, the root's attributes, and the per-stage breakdown aggregated
+// from the kept spans (count and total time per stage name).
+func logSlowTrace(root *Span, t *Trace, d time.Duration) {
+	type agg struct {
+		count int
+		total time.Duration
+	}
+	stages := make(map[string]*agg)
+	for _, rec := range t.Spans {
+		if rec.Name == t.Root {
+			continue // the root's own time is the headline duration
+		}
+		a := stages[rec.Name]
+		if a == nil {
+			a = &agg{}
+			stages[rec.Name] = a
+		}
+		a.count++
+		a.total += time.Duration(rec.DurationNanos)
+	}
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		a := stages[name]
+		fmt.Fprintf(&sb, "%s×%d=%s", name, a.count, a.total)
+	}
+	attrs := []any{
+		slog.String("trace_id", t.TraceID),
+		slog.String("root", t.Root),
+		slog.Duration("duration", d),
+		slog.Int("spans", len(t.Spans)),
+		slog.String("stages", sb.String()),
+	}
+	for _, kv := range root.attrs {
+		attrs = append(attrs, slog.String(kv.Key, kv.Value))
+	}
+	slog.Warn("slow query", attrs...)
+}
+
+// logSlowSpan reports a non-root span past the slow threshold: no stage
+// breakdown (its children are interleaved in the trace), but enough to
+// attribute the time without waiting for the root to finish.
+func logSlowSpan(s *Span, d time.Duration) {
+	attrs := []any{
+		slog.String("trace_id", s.trace.String()),
+		slog.String("span", s.name),
+		slog.Duration("duration", d),
+	}
+	for _, kv := range s.attrs {
+		attrs = append(attrs, slog.String(kv.Key, kv.Value))
+	}
+	slog.Warn("slow span", attrs...)
+}
+
+// floatBits / floatFromBits keep the atomic sample-rate field readable.
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,492 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTracer swaps in an isolated tracer for one test and restores the
+// previous one afterwards.
+func withTracer(t *testing.T, tr *Tracer) *Tracer {
+	t.Helper()
+	prev := SetCurrentTracer(tr)
+	t.Cleanup(func() { SetCurrentTracer(prev) })
+	return tr
+}
+
+func TestTraceAndSpanIDs(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := nextID()
+		if id == 0 {
+			t.Fatal("nextID returned zero")
+		}
+		if seen[id] {
+			t.Fatalf("nextID repeated %x within 1000 draws", id)
+		}
+		seen[id] = true
+	}
+	tid := newTraceID()
+	if tid.IsZero() {
+		t.Error("newTraceID returned the zero ID")
+	}
+	if s := tid.String(); len(s) != 32 {
+		t.Errorf("TraceID string %q: len = %d, want 32", s, len(s))
+	}
+	if s := SpanID(1).String(); s != "0000000000000001" {
+		t.Errorf("SpanID(1) = %q, want 16 zero-padded hex digits", s)
+	}
+}
+
+func TestTracerDisabledRecordsNothing(t *testing.T) {
+	withTracer(t, NewTracer(8)) // sample 0, slow 0
+	ctx, root := StartSpan(nil, "coord.query")
+	if root.Recorded() {
+		t.Error("root should not be recorded with tracing disabled")
+	}
+	if sc := SpanContextFrom(ctx); sc != (SpanContext{}) {
+		t.Errorf("SpanContextFrom = %+v, want zero", sc)
+	}
+	_, child := StartSpan(ctx, "rpc.query")
+	child.SetAttr("k", "v") // must be a no-op, not a crash
+	child.End()
+	root.End()
+	if got := CurrentTracer().Snapshot(0); len(got) != 0 {
+		t.Errorf("ring holds %d traces, want 0", len(got))
+	}
+}
+
+func TestSampledTraceReachesRing(t *testing.T) {
+	tr := withTracer(t, NewTracer(8))
+	tr.SetSampleRate(1)
+	ctx, root := StartSpan(nil, "coord.query")
+	if !root.Recorded() {
+		t.Fatal("root should be recorded at sample rate 1")
+	}
+	root.SetAttr("fingerprint", "deadbeef")
+	root.SetAttr("retries", 2)
+	root.SetAttr("retries", 3) // last write wins
+	_, child := StartSpan(ctx, "rpc.query")
+	child.End()
+	root.End()
+
+	got := tr.Snapshot(0)
+	if len(got) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(got))
+	}
+	tc := got[0]
+	if tc.TraceID != root.TraceID().String() {
+		t.Errorf("trace ID %s, want %s", tc.TraceID, root.TraceID())
+	}
+	if tc.Root != "coord.query" || tc.Slow {
+		t.Errorf("root = %q slow = %t, want coord.query/false", tc.Root, tc.Slow)
+	}
+	if len(tc.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2 (child + root)", len(tc.Spans))
+	}
+	// Spans land in end order: child first, root last.
+	if tc.Spans[0].Name != "rpc.query" || tc.Spans[1].Name != "coord.query" {
+		t.Errorf("span order = %s, %s", tc.Spans[0].Name, tc.Spans[1].Name)
+	}
+	if tc.Spans[0].ParentID != tc.Spans[1].SpanID {
+		t.Errorf("child parent_id %s != root span_id %s", tc.Spans[0].ParentID, tc.Spans[1].SpanID)
+	}
+	if got := tc.Spans[1].Attrs["retries"]; got != "3" {
+		t.Errorf(`root attr retries = %q, want "3" (last write wins)`, got)
+	}
+	if got := tc.Spans[1].Attrs["fingerprint"]; got != "deadbeef" {
+		t.Errorf("root attr fingerprint = %q", got)
+	}
+}
+
+func TestHeadSampleDropStillArmsTailKeep(t *testing.T) {
+	tr := withTracer(t, NewTracer(8))
+	tr.SetSampleRate(0)
+	tr.SetSlowQuery(time.Hour) // armed, but nothing is that slow
+	dropped := tracesDropped().Value()
+	_, root := StartSpan(nil, "coord.query")
+	if !root.Recorded() {
+		t.Fatal("root must record when the slow threshold is armed (tail keep needs the spans)")
+	}
+	root.End()
+	if got := tr.Snapshot(0); len(got) != 0 {
+		t.Errorf("fast unsampled trace reached the ring (%d traces)", len(got))
+	}
+	if got := tracesDropped().Value() - dropped; got != 1 {
+		t.Errorf("traces_dropped delta = %d, want 1", got)
+	}
+}
+
+func TestSlowQueryKeptAndLogged(t *testing.T) {
+	prev := slog.Default()
+	defer slog.SetDefault(prev)
+	var buf bytes.Buffer
+	slog.SetDefault(slog.New(slog.NewTextHandler(&buf, nil)))
+
+	tr := withTracer(t, NewTracer(8))
+	tr.SetSlowQuery(time.Nanosecond) // everything is slow
+	slowBefore := slowQueries().Value()
+
+	ctx, root := StartSpan(nil, "coord.query")
+	root.SetAttr("fingerprint", "cafe0123")
+	for i := 0; i < 3; i++ {
+		_, c := StartSpan(ctx, "rpc.query")
+		c.End()
+	}
+	time.Sleep(time.Millisecond)
+	root.End()
+
+	got := tr.Snapshot(0)
+	if len(got) != 1 || !got[0].Slow {
+		t.Fatalf("want one slow trace in the ring, got %+v", got)
+	}
+	if got := slowQueries().Value() - slowBefore; got != 1 {
+		t.Errorf("slow_queries delta = %d, want 1", got)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow query") {
+		t.Fatalf("no slow-query log line:\n%s", out)
+	}
+	if !strings.Contains(out, "rpc.query×3=") {
+		t.Errorf("slow-query line lacks the stage breakdown (rpc.query×3):\n%s", out)
+	}
+	if !strings.Contains(out, "fingerprint=cafe0123") {
+		t.Errorf("slow-query line lacks the root attributes:\n%s", out)
+	}
+	if !strings.Contains(out, got[0].TraceID) {
+		t.Errorf("slow-query line lacks the trace ID:\n%s", out)
+	}
+}
+
+func TestRemoteStitch(t *testing.T) {
+	tr := withTracer(t, NewTracer(8))
+	tr.SetSampleRate(1)
+
+	// Coordinator side: root + one RPC span.
+	ctx, root := StartSpan(nil, "coord.query")
+	qctx, qspan := StartSpan(ctx, "rpc.query")
+	sc := SpanContextFrom(qctx)
+	if sc.Trace.IsZero() || !sc.Sampled {
+		t.Fatalf("propagated context = %+v", sc)
+	}
+
+	// "Worker" side, as if in another process: a remote root + child.
+	wctx, wroot := StartRemoteSpan(nil, "worker.query", sc)
+	_, wchild := StartSpan(wctx, "bfh.probe")
+	wchild.End()
+	wroot.End()
+	recs := wroot.Records()
+	if len(recs) != 2 {
+		t.Fatalf("worker records = %d, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if r.TraceID != sc.Trace.String() {
+			t.Errorf("worker span %s carries trace %s, want %s", r.Name, r.TraceID, sc.Trace)
+		}
+	}
+
+	// Reply path: stitch the worker spans into the live coordinator trace.
+	AttachSpans(qctx, recs)
+	qspan.End()
+	root.End()
+
+	// In one process the worker-side remote root also runs the keep policy
+	// and publishes its partial trace; the stitched trace is the one whose
+	// root is the coordinator's.
+	var stitched *Trace
+	for _, tc := range tr.Snapshot(0) {
+		if tc.Root == "coord.query" {
+			stitched = tc
+		}
+	}
+	if stitched == nil {
+		t.Fatalf("no coord.query trace in the ring: %+v", tr.Snapshot(0))
+	}
+	names := make(map[string]string) // name -> parent
+	for _, s := range stitched.Spans {
+		if s.TraceID != sc.Trace.String() {
+			t.Errorf("span %s carries trace %s", s.Name, s.TraceID)
+		}
+		names[s.Name] = s.ParentID
+	}
+	if len(names) != 4 {
+		t.Fatalf("stitched trace has spans %v, want 4 distinct", names)
+	}
+	// The worker root's parent is the coordinator's RPC span.
+	var qid string
+	for _, s := range stitched.Spans {
+		if s.Name == "rpc.query" {
+			qid = s.SpanID
+		}
+	}
+	if names["worker.query"] != qid {
+		t.Errorf("worker.query parent = %s, want rpc.query's %s", names["worker.query"], qid)
+	}
+}
+
+func TestRemoteSpanWithoutContextIsLocalRoot(t *testing.T) {
+	tr := withTracer(t, NewTracer(8))
+	tr.SetSampleRate(1)
+	_, s := StartRemoteSpan(nil, "worker.query", SpanContext{})
+	s.End()
+	if got := tr.Snapshot(0); len(got) != 1 || got[0].Root != "worker.query" {
+		t.Errorf("zero-context remote span should fall back to a local root; ring = %+v", got)
+	}
+}
+
+func TestJSONLExportRoundTrip(t *testing.T) {
+	tr := withTracer(t, NewTracer(8))
+	tr.SetSampleRate(1)
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	tr.SetExportPath(path)
+
+	for i := 0; i < 3; i++ {
+		ctx, root := StartSpan(nil, "coord.query")
+		root.SetAttr("i", i)
+		_, c := StartSpan(ctx, "rpc.query")
+		c.End()
+		root.End()
+	}
+	if err := tr.FlushExport(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", len(lines))
+	}
+	ring := tr.Snapshot(0) // newest first
+	for i, line := range lines {
+		var got Trace
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		want := ring[len(ring)-1-i] // export is oldest first
+		if got.TraceID != want.TraceID || len(got.Spans) != len(want.Spans) {
+			t.Errorf("line %d: trace %s (%d spans), ring has %s (%d spans)",
+				i, got.TraceID, len(got.Spans), want.TraceID, len(want.Spans))
+		}
+		for j := range got.Spans {
+			g, w := got.Spans[j], want.Spans[j]
+			if g.SpanID != w.SpanID || g.ParentID != w.ParentID || g.Name != w.Name ||
+				g.StartUnixNano != w.StartUnixNano || g.DurationNanos != w.DurationNanos {
+				t.Errorf("line %d span %d: round-trip mismatch\ngot  %+v\nwant %+v", i, j, g, w)
+			}
+			for k, v := range w.Attrs {
+				if g.Attrs[k] != v {
+					t.Errorf("line %d span %d attr %s: %q != %q", i, j, k, g.Attrs[k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestDebugTracesHandlerGolden(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Publish(&Trace{
+		TraceID:       "000102030405060708090a0b0c0d0e0f",
+		Root:          "coord.query",
+		DurationNanos: 1500,
+		Slow:          true,
+		Spans: []SpanRecord{{
+			TraceID:       "000102030405060708090a0b0c0d0e0f",
+			SpanID:        "1112131415161718",
+			Name:          "coord.query",
+			StartUnixNano: 42,
+			DurationNanos: 1500,
+			Attrs:         map[string]string{"fingerprint": "deadbeef"},
+		}},
+	})
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	golden := `{
+  "count": 1,
+  "traces": [
+    {
+      "trace_id": "000102030405060708090a0b0c0d0e0f",
+      "root": "coord.query",
+      "duration_ns": 1500,
+      "slow": true,
+      "spans": [
+        {
+          "trace_id": "000102030405060708090a0b0c0d0e0f",
+          "span_id": "1112131415161718",
+          "name": "coord.query",
+          "start_unix_ns": 42,
+          "duration_ns": 1500,
+          "attrs": {
+            "fingerprint": "deadbeef"
+          }
+        }
+      ]
+    }
+  ]
+}
+`
+	if rec.Body.String() != golden {
+		t.Errorf("/debug/traces response drifted from the documented schema:\ngot:\n%s\nwant:\n%s",
+			rec.Body.String(), golden)
+	}
+
+	// ?n=K limits, bad n is a 400.
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=bogus", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad n: status = %d, want 400", rec.Code)
+	}
+}
+
+func TestDebugTracesHandlerLimit(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 5; i++ {
+		tr.Publish(&Trace{TraceID: SpanID(i+1).String() + SpanID(i+1).String(), Root: "r"})
+	}
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=2", nil))
+	var resp struct {
+		Count  int      `json:"count"`
+		Traces []*Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 2 || len(resp.Traces) != 2 {
+		t.Fatalf("n=2 returned %d traces", len(resp.Traces))
+	}
+	// Newest first: the last published trace leads.
+	if resp.Traces[0].TraceID != SpanID(5).String()+SpanID(5).String() {
+		t.Errorf("newest trace = %s", resp.Traces[0].TraceID)
+	}
+}
+
+// TestTraceRingHammer publishes and snapshots concurrently; under -race
+// this is the lock-free ring's data-race gate, and the invariant checked
+// is that snapshots only ever see fully-formed traces.
+func TestTraceRingHammer(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.Publish(&Trace{
+					TraceID: newTraceID().String(),
+					Root:    "hammer",
+					Spans:   []SpanRecord{{Name: "hammer"}},
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				for _, tc := range tr.Snapshot(0) {
+					if tc.Root != "hammer" || len(tc.TraceID) != 32 {
+						t.Errorf("torn trace observed: %+v", tc)
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestSpanCapBoundsTrace(t *testing.T) {
+	tr := withTracer(t, NewTracer(8))
+	tr.SetSampleRate(1)
+	tr.SetSpanCap(3)
+	ctx, root := StartSpan(nil, "coord.query")
+	for i := 0; i < 10; i++ {
+		_, c := StartSpan(ctx, "rpc.query")
+		c.End()
+	}
+	root.End()
+	got := tr.Snapshot(0)
+	if len(got) != 1 {
+		t.Fatalf("ring holds %d traces", len(got))
+	}
+	if len(got[0].Spans) != 3 {
+		t.Errorf("spans = %d, want 3 (capped)", len(got[0].Spans))
+	}
+	// 10 children + 1 root ended; 3 kept.
+	if got[0].DroppedSpans != 8 {
+		t.Errorf("dropped_spans = %d, want 8", got[0].DroppedSpans)
+	}
+}
+
+func TestTraceFlagsSetup(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.jsonl")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := RegisterTraceFlags(fs)
+	if err := fs.Parse([]string{"-trace-out", out, "-trace-sample", "0.5", "-slow-query", "250ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Out != out || c.Sample != 0.5 || c.Slow != 250*time.Millisecond {
+		t.Errorf("parsed config = %+v", c)
+	}
+	if !c.Enabled(false) {
+		t.Error("config with -trace-out should be enabled")
+	}
+	if !(&TraceConfig{Sample: 1}).Enabled(true) {
+		t.Error("force must enable")
+	}
+	if (&TraceConfig{Sample: 1}).Enabled(false) {
+		t.Error("default config without force must stay disabled")
+	}
+
+	withTracer(t, NewTracer(8))
+	flush, err := c.Setup(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := CurrentTracer()
+	if tr.SampleRate() != 0.5 || tr.SlowQuery() != 250*time.Millisecond {
+		t.Errorf("tracer not configured: sample=%g slow=%v", tr.SampleRate(), tr.SlowQuery())
+	}
+	if err := flush(); err != nil {
+		t.Errorf("flush: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("flush did not write the export file: %v", err)
+	}
+
+	bad := &TraceConfig{Sample: 1.5}
+	if _, err := bad.Setup(true); err == nil {
+		t.Error("sample rate 1.5 must be rejected")
+	}
+	bad = &TraceConfig{Sample: 1, Slow: -time.Second}
+	if _, err := bad.Setup(true); err == nil {
+		t.Error("negative slow-query must be rejected")
+	}
+}

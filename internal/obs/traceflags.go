@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// Trace flag plumbing shared by cmd/bfhrf and cmd/bfhrfd, mirroring
+// RegisterLogFlags: three flags configure the process-wide tracer.
+//
+//	-trace-out FILE     export every kept trace as JSONL (atomic write)
+//	-trace-sample P     head-sampling probability in [0,1] (default 1)
+//	-slow-query D       always keep roots lasting ≥ D and log them with a
+//	                    stage breakdown; 0 disables the tail rule
+//
+// Tracing activates when -trace-out or -slow-query is set, or when the
+// caller forces it on (bfhrfd does, whenever -admin serves /debug/traces).
+// Otherwise the tracer stays disabled and spans carry no trace state.
+
+// TraceConfig holds the tracing flags' values.
+type TraceConfig struct {
+	// Out is the JSONL export path ("" disables export).
+	Out string
+	// Sample is the head-sampling probability in [0, 1].
+	Sample float64
+	// Slow is the slow-query threshold (0 disables tail-based keeping).
+	Slow time.Duration
+}
+
+// RegisterTraceFlags adds -trace-out, -trace-sample and -slow-query to fs
+// (the default flag set when fs is nil) and returns the struct they
+// populate.
+func RegisterTraceFlags(fs *flag.FlagSet) *TraceConfig {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	c := &TraceConfig{Sample: 1}
+	fs.StringVar(&c.Out, "trace-out", "",
+		"export kept traces as JSONL to this file (atomic: temp+fsync+rename; enables tracing)")
+	fs.Float64Var(&c.Sample, "trace-sample", 1,
+		"head-sampling probability in [0,1]: fraction of traces kept regardless of duration")
+	fs.DurationVar(&c.Slow, "slow-query", 0,
+		"always keep and log traces whose root lasts at least this long (slow-query diagnostics); 0 disables")
+	return c
+}
+
+// Enabled reports whether the flags (or force) turn tracing on.
+func (c *TraceConfig) Enabled(force bool) bool {
+	return force || c.Out != "" || c.Slow > 0
+}
+
+// Setup configures the process-wide tracer from the flags and returns the
+// flush function that writes the JSONL export (a no-op without
+// -trace-out); call it once on the way out, before os.Exit. force enables
+// ring recording even without -trace-out/-slow-query — what bfhrfd does
+// when the admin listener serves /debug/traces.
+func (c *TraceConfig) Setup(force bool) (flush func() error, err error) {
+	if c.Sample < 0 || c.Sample > 1 {
+		return nil, fmt.Errorf("obs: -trace-sample %g out of range [0,1]", c.Sample)
+	}
+	if c.Slow < 0 {
+		return nil, fmt.Errorf("obs: -slow-query must be non-negative")
+	}
+	tr := CurrentTracer()
+	if !c.Enabled(force) {
+		return func() error { return nil }, nil
+	}
+	tr.SetSampleRate(c.Sample)
+	tr.SetSlowQuery(c.Slow)
+	tr.SetExportPath(c.Out)
+	return tr.FlushExport, nil
+}
