@@ -4,7 +4,7 @@
 #   ./ci.sh            gofmt + doc gate + vet + build + tests + race (fast
 #                      subset, incl. the distrib failover/health tests) +
 #                      fuzz smoke + admin smoke
-#   CI_PERF=1 ./ci.sh  additionally gate the perf sweep against BENCH_0002.json
+#   CI_PERF=1 ./ci.sh  additionally gate the perf sweep against BENCH_0004.json
 #
 # The perf gate is opt-in because wall-clock measurements on a loaded CI
 # machine can exceed the noise threshold without any code change; run it
@@ -61,6 +61,7 @@ echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/newick
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/nexus
 go test -run='^$' -fuzz=FuzzTable -fuzztime=10s ./internal/bfhtable
+go test -run='^$' -fuzz=FuzzSuccinct -fuzztime=10s ./internal/bfhtable
 go test -run='^$' -fuzz=FuzzFingerprint -fuzztime=10s ./internal/core
 
 echo "== bfhrfd admin endpoint smoke =="
@@ -103,8 +104,8 @@ go build -o "$tmpdir/tracevet" ./cmd/tracevet
 grep -q "slow query" "$tmpdir/trace.log" || { echo "ci.sh: -slow-query 1ns produced no slow-query log line" >&2; exit 1; }
 
 if [[ "${CI_PERF:-0}" == "1" ]]; then
-  echo "== perf gate (rfbench -compare BENCH_0003.json) =="
-  go run ./cmd/rfbench -compare BENCH_0003.json -threshold 0.10 -reps 5
+  echo "== perf gate (rfbench -compare BENCH_0004.json) =="
+  go run ./cmd/rfbench -compare BENCH_0004.json -threshold 0.10 -reps 5
 fi
 
 echo "ci.sh: all checks passed"

@@ -58,8 +58,8 @@ func TestCLIHelpMentionsEveryFlag(t *testing.T) {
 			"work", "json", "compare", "with", "threshold", "reps", "version",
 		}, append(sharedProfFlags, sharedLogFlags...)...)},
 		{"treegen", []string{
-			"dataset", "n", "r", "seed", "random", "queries", "moves", "out",
-			"mean-branch",
+			"dataset", "n", "r", "seed", "random", "shape", "queries", "moves",
+			"out", "mean-branch",
 		}},
 		{"tracevet", []string{"summary", "min-traces"}},
 	}

@@ -132,21 +132,30 @@ func TestCLIRfbenchCompareGate(t *testing.T) {
 }
 
 func TestCLICommittedBaselineIsValid(t *testing.T) {
-	// BENCH_0001.json is the repo's perf trajectory anchor; it must
-	// always decode, validate, and gate cleanly against itself.
-	suite, err := perfjson.ReadFile("BENCH_0001.json")
-	if err != nil {
-		t.Fatalf("committed baseline invalid: %v", err)
-	}
-	if len(suite.Records) == 0 {
-		t.Fatal("committed baseline has no records")
-	}
-	cmp, err := perfjson.Compare(suite, suite, perfjson.Options{})
+	// Every committed BENCH_*.json of the perf trajectory must decode,
+	// validate, and gate cleanly against itself.
+	paths, err := filepath.Glob("BENCH_*.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cmp.OK() {
-		t.Errorf("baseline does not gate cleanly against itself: %+v", cmp)
+	if len(paths) == 0 {
+		t.Fatal("no committed BENCH_*.json baselines found")
+	}
+	for _, path := range paths {
+		suite, err := perfjson.ReadFile(path)
+		if err != nil {
+			t.Fatalf("committed baseline %s invalid: %v", path, err)
+		}
+		if len(suite.Records) == 0 {
+			t.Fatalf("committed baseline %s has no records", path)
+		}
+		cmp, err := perfjson.Compare(suite, suite, perfjson.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cmp.OK() {
+			t.Errorf("baseline %s does not gate cleanly against itself: %+v", path, cmp)
+		}
 	}
 }
 

@@ -43,7 +43,7 @@ func main() {
 	var (
 		exp       = flag.String("exp", "all", "experiment: all | datasets | avian | insect | vartaxa | vartrees | complexity | accuracy | headline | ablation | distrib")
 		scale     = flag.Float64("scale", 0.02, "fraction of the paper's dataset sizes (1 = full scale)")
-		engines   = flag.String("engines", "", "comma-separated engine subset (DS,DSMP8,DSMP16,HashRF,BFHRF8,BFHRF16,BFHRF-OA,BFHRF-MAP)")
+		engines   = flag.String("engines", "", "comma-separated engine subset (DS,DSMP8,DSMP16,HashRF,BFHRF8,BFHRF16,BFHRF-OA,BFHRF-MAP,BFHRF-SUCC)")
 		qcap      = flag.Int("query-cap", 64, "max queries executed by DS/DSMP before extrapolating (paper's estimation protocol)")
 		membw     = flag.Int("mem-budget", 2048, "HashRF matrix budget in MB (simulates the paper's OOM kills)")
 		csvDir    = flag.String("csv", "", "directory to save per-table CSV files")

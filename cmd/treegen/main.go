@@ -8,6 +8,8 @@
 //	treegen -dataset insect -r 5000 -out insect5k.nwk     # first 5000 trees
 //	treegen -n 200 -r 1000 -seed 7 -out custom.nwk        # custom MSC collection
 //	treegen -n 64 -r 500 -random -out random.nwk          # i.i.d. random topologies
+//	treegen -n 4096 -r 100 -shape caterpillar -out c.nwk  # label-permuted pectinate trees
+//	treegen -n 8192 -r 100 -shape balanced -out b.nwk     # label-permuted balanced trees
 //	treegen -dataset avian -queries 50 -moves 3 -out q.nwk # perturbed query set
 package main
 
@@ -34,6 +36,7 @@ func main() {
 		r       = flag.Int("r", 0, "tree count; 0 = dataset's full size")
 		seed    = flag.Int64("seed", 42, "random seed for custom collections")
 		random  = flag.Bool("random", false, "custom mode: i.i.d. uniform random topologies instead of MSC")
+		shape   = flag.String("shape", "", "custom mode: fixed tree shape with per-tree label permutation (caterpillar | balanced | random)")
 		queries = flag.Int("queries", 0, "emit this many NNI-perturbed query trees instead of the collection")
 		moves   = flag.Int("moves", 2, "NNI moves per query tree (with -queries)")
 		out     = flag.String("out", "", "output file (default stdout)")
@@ -85,12 +88,31 @@ func main() {
 	if *r > 0 && *r < count {
 		count = *r
 	}
+	mode := *shape
+	if mode == "" && *random {
+		mode = "random"
+	}
 	var src collection.Source
-	if *random {
+	if mode != "" {
+		// Fixed-shape modes: every tree i has the same topology class over
+		// an independent per-index label permutation. The makers are O(n)
+		// per tree (single permutation draw, one node per taxon), so huge
+		// catalogues (n >= 4096) generate in linear time.
+		var mk func(ts *taxa.Set, rng *rand.Rand) *tree.Tree
+		switch mode {
+		case "random":
+			mk = simphy.RandomBinary
+		case "caterpillar":
+			mk = simphy.Caterpillar
+		case "balanced":
+			mk = simphy.BalancedBinary
+		default:
+			fatal(fmt.Errorf("unknown shape %q (want caterpillar|balanced|random)", mode))
+		}
 		ts := taxa.Generate(spec.NumTaxa)
 		src = &collection.Generator{N: count, Make: func(i int) *tree.Tree {
 			rng := rand.New(rand.NewSource(*seed ^ int64(i+1)*0x5851F42D4C957F2D))
-			return simphy.RandomBinary(ts, rng)
+			return mk(ts, rng)
 		}}
 	} else {
 		full, _ := spec.Source()

@@ -1,0 +1,146 @@
+package bfhtable
+
+import "bytes"
+
+// Shard-ordered batched lookups for the succinct backend — LookupBatch
+// parity with Table. The mechanics mirror batch.go (counting sort by
+// shard, insertion sort by home slot, entries scattered back in caller
+// order so folds stay bit-identical to scalar), but keys are
+// variable-length encodings living in one flat byte buffer instead of
+// fixed-width word blocks.
+
+// SuccinctBatch is reusable scratch for SuccinctTable.LookupBatch: a flat
+// encoded-key buffer with per-key offsets, packed headers and hashes, the
+// shard-ordered permutation, and the result array. A zero SuccinctBatch is
+// ready to use; like a Prober it is single-goroutine state.
+type SuccinctBatch struct {
+	buf     []byte   // concatenated encoded keys
+	offs    []int32  // offs[i] is key i's start; offs[n] == len(buf)
+	meta    []uint32 // packed (bucket, length) headers
+	hashes  []uint64
+	order   []int32
+	entries []Entry
+	bucket  [maxShards + 1]int32
+	n       int
+}
+
+// Reset clears the batch for a new block of keys; storage is reused.
+func (b *SuccinctBatch) Reset() {
+	b.buf = b.buf[:0]
+	b.offs = append(b.offs[:0], 0)
+	b.meta = b.meta[:0]
+	b.hashes = b.hashes[:0]
+	b.n = 0
+}
+
+// BatchAppend encodes one query key into the batch. h must be the table's
+// hashing rule over words (the bipartition's precomputed hash). Keys are
+// probed by a later LookupBatch in the order they were appended.
+func (t *SuccinctTable) BatchAppend(b *SuccinctBatch, h uint64, words []uint64) {
+	var meta uint32
+	b.buf, meta = t.appendEncode(b.buf, words)
+	b.offs = append(b.offs, int32(len(b.buf)))
+	b.meta = append(b.meta, meta)
+	b.hashes = append(b.hashes, h)
+	b.n++
+}
+
+// key returns batch key i's encoded bytes.
+func (b *SuccinctBatch) key(i int32) []byte {
+	return b.buf[b.offs[i]:b.offs[i+1]]
+}
+
+// LookupBatch probes every key appended to pb since its Reset and returns
+// the entries in append order; absent and tombstoned keys yield a zero
+// Entry, matching the scalar LookupEncoded miss. Allocation-free once the
+// scratch warms up, lock-free, safe concurrently with other readers.
+func (t *SuccinctTable) LookupBatch(pb *SuccinctBatch) []Entry {
+	n := pb.n
+	if cap(pb.order) < n {
+		pb.order = make([]int32, n)
+		pb.entries = make([]Entry, n)
+	}
+	order := pb.order[:n]
+	entries := pb.entries[:n]
+	hashes := pb.hashes
+	// Pass 1: counting sort by shard index into order.
+	shift := t.shardShift
+	bucket := &pb.bucket
+	for i := range t.shards {
+		bucket[i] = 0
+	}
+	bucket[len(t.shards)] = 0
+	if shift >= 64 {
+		for i := 0; i < n; i++ {
+			order[i] = int32(i)
+		}
+		bucket[0] = int32(n)
+	} else {
+		for i := 0; i < n; i++ {
+			bucket[hashes[i]>>shift]++
+		}
+		sum := int32(0)
+		for i := 0; i <= len(t.shards); i++ {
+			c := bucket[i]
+			bucket[i] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			s := hashes[i] >> shift
+			order[bucket[s]] = int32(i)
+			bucket[s]++
+		}
+	}
+	// Pass 2: within each shard's run, insertion-sort by home slot, then
+	// probe in ascending slot order, scattering entries back.
+	start := int32(0)
+	for si := range t.shards {
+		end := bucket[si]
+		if end <= start {
+			start = end
+			continue
+		}
+		s := &t.shards[si]
+		if s.used == 0 {
+			for k := start; k < end; k++ {
+				entries[order[k]] = Entry{}
+			}
+			start = end
+			continue
+		}
+		mask := s.mask
+		run := order[start:end]
+		for i := 1; i < len(run); i++ {
+			oi := run[i]
+			slot := hashes[oi] & mask
+			j := i - 1
+			for j >= 0 && hashes[run[j]]&mask > slot {
+				run[j+1] = run[j]
+				j--
+			}
+			run[j+1] = oi
+		}
+		for _, oi := range run {
+			entries[oi] = s.probeOneEncoded(hashes[oi], pb.meta[oi], pb.key(oi))
+		}
+		start = end
+	}
+	return entries
+}
+
+// probeOneEncoded is the scalar probe loop shared by the batched path:
+// linear probing from the home slot, header-filtered byte compare, zero
+// Entry on an empty slot.
+func (s *sshard) probeOneEncoded(h uint64, meta uint32, enc []byte) Entry {
+	i := h & s.mask
+	for {
+		sh := s.hashes[i]
+		if sh == 0 {
+			return Entry{}
+		}
+		if sh == h && s.meta[i] == meta && bytes.Equal(s.keyAt(int(i)), enc) {
+			return s.entries[i]
+		}
+		i = (i + 1) & s.mask
+	}
+}

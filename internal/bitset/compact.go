@@ -34,55 +34,11 @@ func (b *Bits) CompactKey() string {
 // extended slice, allocating only when dst lacks capacity. Candidate
 // encodings are sized with a counting pass and only the winner is written,
 // so a reused scratch buffer makes compressed-key probing allocation-free.
+// It delegates to the word-based AppendWordsKey (popcount fast path) and
+// shares its byte format exactly.
 func (b *Bits) AppendCompactKey(dst []byte) []byte {
-	ones := b.Count()
-	zeros := b.width - ones
-
-	rawLen := len(b.words)*8 + 1
-	best, bestLen := byte(tagRaw), rawLen
-	if l := b.indicesLen(ones, true); l > 0 && l < bestLen {
-		best, bestLen = tagSparse, l
-	}
-	if l := b.indicesLen(zeros, false); l > 0 && l < bestLen {
-		best, bestLen = tagCosparse, l
-	}
-
-	switch best {
-	case tagRaw:
-		dst = append(dst, tagRaw)
-		return b.AppendKey(dst)
-	default:
-		dst = append(dst, best)
-		want := best == tagSparse
-		prev := -1
-		for i := 0; i < b.width; i++ {
-			if b.Test(i) != want {
-				continue
-			}
-			dst = appendUvarint(dst, uint64(i-prev))
-			prev = i
-		}
-		return dst
-	}
-}
-
-// indicesLen returns the encoded byte length of the delta+varint index
-// encoding over set (want=true) or clear (want=false) bits, or -1 when it
-// cannot beat raw (quick bail: each index costs at least 1 byte).
-func (b *Bits) indicesLen(count int, want bool) int {
-	if count >= len(b.words)*8 {
-		return -1
-	}
-	n := 1
-	prev := -1
-	for i := 0; i < b.width; i++ {
-		if b.Test(i) != want {
-			continue
-		}
-		n += uvarintLen(uint64(i - prev))
-		prev = i
-	}
-	return n
+	out, _ := AppendWordsKey(dst, b.words, b.width)
+	return out
 }
 
 func uvarintLen(v uint64) int {

@@ -1,0 +1,208 @@
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file is the word-slice counterpart of compact.go: the same
+// self-describing raw/sparse/cosparse key encoding, but operating directly
+// on a canonical mask's []uint64 words with popcount fast paths
+// (bits.OnesCount64 / bits.TrailingZeros64) instead of per-bit Test calls.
+// It exists for the succinct open-addressing backend, whose arena stores
+// these encodings and whose probe path must encode a query key into a
+// scratch buffer without ever materializing a *Bits. The byte format is
+// identical to CompactKey, so FromCompactKey decodes either producer.
+
+// PopCountWords returns the number of set bits across words — the
+// popcount fast path shared by the encoder and the succinct table's
+// cardinality buckets.
+func PopCountWords(words []uint64) int {
+	c := 0
+	for _, w := range words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AppendWordsKey appends the compact self-describing encoding of the
+// width-bit vector stored in words (little-endian, tail bits clear) to dst
+// and returns the extended slice plus the vector's population count. The
+// smallest of the raw/sparse/cosparse candidates wins, exactly as
+// AppendCompactKey chooses, so the two producers emit identical bytes for
+// identical vectors. Only the winner is written; with a reused dst the
+// call is allocation-free.
+// Candidate pruning keeps the encoder off the probe path's critical
+// cost: an index encoding spends at least one varint byte per index, so a
+// candidate whose floor (1 tag byte + count) cannot be strictly smaller
+// than the current best is rejected on the popcount alone, without
+// walking its indices. A sparse key therefore never walks its ~width
+// clear bits to rule cosparse out, and a dense-and-sparse-balanced key
+// picks raw without walking anything. The winner (strictly smallest,
+// ties resolved raw > sparse > cosparse) is unchanged, so the emitted
+// bytes stay identical to the unpruned encoder's.
+func AppendWordsKey(dst []byte, words []uint64, width int) ([]byte, int) {
+	ones := PopCountWords(words)
+	zeros := width - ones
+	start := len(dst)
+	rawLen := len(words)*8 + 1
+
+	// Sparse candidate: emit directly (measuring would walk the same
+	// indices), keep only if it actually beats raw.
+	sparseLen := -1
+	if 1+ones < rawLen {
+		dst = append(dst, tagSparse)
+		prev := -1
+		forEachIndex(words, width, true, func(i int) {
+			dst = appendUvarint(dst, uint64(i-prev))
+			prev = i
+		})
+		sparseLen = len(dst) - start
+		if sparseLen >= rawLen {
+			dst, sparseLen = dst[:start], -1
+		}
+	}
+	best := rawLen
+	if sparseLen > 0 {
+		best = sparseLen
+	}
+	if 1+zeros < best {
+		if l := wordIndicesLen(words, width, zeros, false); l > 0 && l < best {
+			dst = append(dst[:start], tagCosparse)
+			prev := -1
+			forEachIndex(words, width, false, func(i int) {
+				dst = appendUvarint(dst, uint64(i-prev))
+				prev = i
+			})
+			return dst, ones
+		}
+	}
+	if sparseLen > 0 {
+		return dst, ones
+	}
+	dst = append(dst[:start], tagRaw)
+	for _, w := range words {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst, ones
+}
+
+// wordIndicesLen mirrors Bits.indicesLen on raw words: the encoded byte
+// length of the delta+varint index encoding over set (want=true) or clear
+// (want=false) bits, or -1 when it cannot beat raw.
+func wordIndicesLen(words []uint64, width, count int, want bool) int {
+	if count >= len(words)*8 {
+		return -1
+	}
+	n := 1
+	prev := -1
+	forEachIndex(words, width, want, func(i int) {
+		n += uvarintLen(uint64(i - prev))
+		prev = i
+	})
+	return n
+}
+
+// forEachIndex visits the indices of set (want=true) or clear (want=false)
+// bits in increasing order, skipping whole words via TrailingZeros64.
+func forEachIndex(words []uint64, width int, want bool, fn func(i int)) {
+	for wi, w := range words {
+		if !want {
+			w = ^w
+			if wi == len(words)-1 && width%wordBits != 0 {
+				w &= (1 << uint(width%wordBits)) - 1
+			}
+		}
+		base := wi * wordBits
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// DecodeWordsKey reverses AppendWordsKey into dst, which must hold exactly
+// wordsFor(width) words; dst is fully overwritten. The key is validated as
+// FromCompactKey/FromKey validate: unknown tags, corrupt varints, indices
+// at or beyond width, wrong raw length, and raw tail bits beyond width are
+// all errors, so a round-trip through this decoder is a true bijection.
+func DecodeWordsKey(dst []uint64, key []byte, width int) error {
+	nw := wordsFor(width)
+	if len(dst) != nw {
+		return fmt.Errorf("bitset: decode buffer has %d words, want %d for width %d", len(dst), nw, width)
+	}
+	if len(key) == 0 {
+		return fmt.Errorf("bitset: empty compact key")
+	}
+	tag, body := key[0], key[1:]
+	switch tag {
+	case tagRaw:
+		if len(body) != nw*8 {
+			return fmt.Errorf("bitset: raw key body length %d does not match width %d (want %d bytes)", len(body), width, nw*8)
+		}
+		for i := 0; i < nw; i++ {
+			b := body[i*8:]
+			dst[i] = uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+				uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		}
+		if rem := width % wordBits; rem != 0 && nw > 0 && dst[nw-1]>>uint(rem) != 0 {
+			return fmt.Errorf("bitset: raw key has bits beyond width %d", width)
+		}
+		return nil
+	case tagSparse, tagCosparse:
+		if tag == tagSparse {
+			for i := range dst {
+				dst[i] = 0
+			}
+		} else {
+			for i := range dst {
+				dst[i] = ^uint64(0)
+			}
+			if rem := width % wordBits; rem != 0 && nw > 0 {
+				dst[nw-1] = (1 << uint(rem)) - 1
+			}
+		}
+		pos := -1
+		for len(body) > 0 {
+			d, n := readUvarintBytes(body)
+			if n <= 0 {
+				return fmt.Errorf("bitset: corrupt varint in compact key")
+			}
+			body = body[n:]
+			if d == 0 || d > uint64(width) {
+				return fmt.Errorf("bitset: compact key delta %d out of range for width %d", d, width)
+			}
+			pos += int(d)
+			if pos >= width {
+				return fmt.Errorf("bitset: compact key index %d beyond width %d", pos, width)
+			}
+			if tag == tagSparse {
+				dst[pos/wordBits] |= 1 << (uint(pos) % wordBits)
+			} else {
+				dst[pos/wordBits] &^= 1 << (uint(pos) % wordBits)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("bitset: unknown compact key tag %#x", tag)
+	}
+}
+
+func readUvarintBytes(s []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x80 {
+			if i > 9 || (i == 9 && c > 1) {
+				return 0, -1 // overflow
+			}
+			return v | uint64(c)<<shift, i + 1
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, -1
+}

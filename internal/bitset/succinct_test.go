@@ -1,0 +1,111 @@
+package bitset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomBitsP returns a width-bit vector with each bit set with probability p.
+func randomBitsP(rng *rand.Rand, width int, p float64) *Bits {
+	b := New(width)
+	for i := 0; i < width; i++ {
+		if rng.Float64() < p {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+func TestAppendWordsKeyMatchesCompactKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, width := range []int{0, 1, 7, 63, 64, 65, 100, 128, 1000, 4096} {
+		for _, p := range []float64{0, 0.01, 0.1, 0.5, 0.9, 0.99, 1} {
+			b := randomBitsP(rng, width, p)
+			want := b.CompactKey()
+			got, ones := AppendWordsKey(nil, b.Words(), width)
+			if string(got) != want {
+				t.Fatalf("width=%d p=%g: AppendWordsKey diverges from CompactKey (%d vs %d bytes)",
+					width, p, len(got), len(want))
+			}
+			if ones != b.Count() {
+				t.Fatalf("width=%d p=%g: popcount %d, want %d", width, p, ones, b.Count())
+			}
+		}
+	}
+}
+
+func TestDecodeWordsKeyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, width := range []int{1, 64, 65, 100, 1000, 4096, 8192} {
+		dst := make([]uint64, wordsFor(width))
+		for _, p := range []float64{0, 0.005, 0.05, 0.5, 0.95, 1} {
+			b := randomBitsP(rng, width, p)
+			key, _ := AppendWordsKey(nil, b.Words(), width)
+			// Poison dst so the decoder's full overwrite is exercised.
+			for i := range dst {
+				dst[i] = 0xdeadbeefdeadbeef
+			}
+			if err := DecodeWordsKey(dst, key, width); err != nil {
+				t.Fatalf("width=%d p=%g: decode: %v", width, p, err)
+			}
+			if !EqualWords(dst, b.Words()) {
+				t.Fatalf("width=%d p=%g: round-trip mismatch", width, p)
+			}
+		}
+	}
+}
+
+func TestDecodeWordsKeyRejectsCorrupt(t *testing.T) {
+	width := 100
+	dst := make([]uint64, wordsFor(width))
+	cases := map[string][]byte{
+		"empty":           {},
+		"unknown tag":     {0x7f, 1, 2},
+		"raw short":       {0x00, 1, 2, 3},
+		"raw tail bits":   append([]byte{0x00}, bytes.Repeat([]byte{0xff}, 16)...),
+		"sparse overflow": {0x01, 200},
+		"sparse zero":     {0x01, 0},
+		"corrupt varint":  {0x01, 0x80},
+		"cosparse beyond": {0x02, 120},
+	}
+	for name, key := range cases {
+		if err := DecodeWordsKey(dst, key, width); err == nil {
+			t.Errorf("%s: decode accepted corrupt key % x", name, key)
+		}
+	}
+	if err := DecodeWordsKey(make([]uint64, 1), []byte{0x00}, 100); err == nil {
+		t.Errorf("decode accepted short buffer")
+	}
+}
+
+func TestAppendWordsKeyCompression(t *testing.T) {
+	// A shallow split over 4096 taxa must compress far below raw words.
+	width := 4096
+	b := New(width)
+	for i := 0; i < 8; i++ {
+		b.Set(i * 3)
+	}
+	key, ones := AppendWordsKey(nil, b.Words(), width)
+	if ones != 8 {
+		t.Fatalf("popcount %d, want 8", ones)
+	}
+	if key[0] != tagSparse {
+		t.Fatalf("tag %#x, want sparse", key[0])
+	}
+	if len(key) >= wordsFor(width)*8 {
+		t.Fatalf("sparse key is %d bytes, no smaller than raw %d", len(key), wordsFor(width)*8)
+	}
+	// And its complement must go cosparse at the same size.
+	c := b.Complement()
+	ckey, cones := AppendWordsKey(nil, c.Words(), width)
+	if cones != width-8 {
+		t.Fatalf("complement popcount %d, want %d", cones, width-8)
+	}
+	if ckey[0] != tagCosparse {
+		t.Fatalf("complement tag %#x, want cosparse", ckey[0])
+	}
+	if len(ckey) != len(key) {
+		t.Fatalf("cosparse key %d bytes, sparse twin %d", len(ckey), len(key))
+	}
+}

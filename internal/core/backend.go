@@ -9,12 +9,23 @@ import (
 // (build.go) and the parallel-parse raw path (rawbuild.go): backend
 // resolution, the per-worker accumulator, and the final fold into the hash.
 
-// resolveBackend picks the concrete engine for the build options.
-func (o BuildOptions) resolveBackend() Backend {
+// autoSuccinctKeyBytes is the raw key width (wordsPerKey*8) from which
+// BackendAuto prefers the succinct backend: at 256 bytes per key
+// (catalogues past ~2000 taxa) the open-addressing arena dominates the
+// heap and the compressed arena's ~10–20× smaller keys buy far more than
+// the encode-per-probe costs.
+const autoSuccinctKeyBytes = 256
+
+// resolveBackendFor picks the concrete engine for the build options over
+// a catalogue of nTaxa taxa.
+func (o BuildOptions) resolveBackendFor(nTaxa int) Backend {
 	b := o.Backend
 	if b == BackendAuto {
 		if o.CompressKeys {
 			return BackendMap
+		}
+		if ((nTaxa+63)/64)*8 >= autoSuccinctKeyBytes {
+			return BackendSuccinct
 		}
 		return BackendOpenAddressing
 	}
@@ -37,6 +48,7 @@ func (o BuildOptions) shardCount(workers int) int {
 type buildAccum struct {
 	local    map[string]entry
 	tbl      *bfhtable.Table
+	stbl     *bfhtable.SuccinctTable
 	weighted bool
 	lenSum   float64
 	trees    int
@@ -44,12 +56,15 @@ type buildAccum struct {
 }
 
 // newBuildAccum returns a worker accumulator for h's backend. wordsPerKey
-// and shards only matter for the open-addressing engine.
+// and shards only matter for the table engines.
 func newBuildAccum(h *FreqHash, wordsPerKey, shards int) *buildAccum {
 	a := &buildAccum{weighted: true}
-	if h.oa != nil {
+	switch {
+	case h.oa != nil:
 		a.tbl = bfhtable.New(wordsPerKey, shards)
-	} else {
+	case h.st != nil:
+		a.stbl = bfhtable.NewSuccinct(h.taxa.Len(), shards)
+	default:
 		a.local = make(map[string]entry)
 	}
 	return a
@@ -72,6 +87,19 @@ func (a *buildAccum) add(h *FreqHash, bs []bipart.Bipartition) {
 		}
 		return
 	}
+	if a.stbl != nil {
+		for _, b := range bs {
+			length := 0.0
+			if b.HasLength {
+				length = b.Length
+			} else {
+				a.weighted = false
+			}
+			a.stbl.Add(b.Words(), uint32(b.Size()), length)
+			a.lenSum += length
+		}
+		return
+	}
 	for _, b := range bs {
 		k := h.keyOf(b)
 		e := a.local[k]
@@ -87,28 +115,40 @@ func (a *buildAccum) add(h *FreqHash, bs []bipart.Bipartition) {
 }
 
 // finishBuild folds every worker accumulator into the hash. Map-backend
-// locals fold serially (the legacy ablation baseline); open-addressing
-// tables merge shard-parallel via bfhtable.Merge. Returns the total
-// bipartition instances folded, for the build metrics.
+// locals fold serially (the legacy ablation baseline); both table
+// backends merge shard-parallel. The merged succinct table is frozen
+// here — the one point where the whole key population exists, so the
+// shared-prefix dictionary is minted once, deterministically. Returns the
+// total bipartition instances folded, for the build metrics.
 func (h *FreqHash) finishBuild(accums []*buildAccum) int {
 	bips := 0
 	var tbls []*bfhtable.Table
+	var stbls []*bfhtable.SuccinctTable
 	for _, a := range accums {
 		h.numTrees += a.trees
 		bips += a.bips
 		if !a.weighted {
 			h.weighted = false
 		}
-		if a.tbl != nil {
+		switch {
+		case a.tbl != nil:
 			tbls = append(tbls, a.tbl)
 			h.sum += uint64(a.bips)
 			h.lenSum += a.lenSum
-		} else {
+		case a.stbl != nil:
+			stbls = append(stbls, a.stbl)
+			h.sum += uint64(a.bips)
+			h.lenSum += a.lenSum
+		default:
 			h.merge(a.local)
 		}
 	}
 	if tbls != nil {
 		h.oa = bfhtable.Merge(tbls)
+	}
+	if stbls != nil {
+		h.st = bfhtable.MergeSuccinct(stbls)
+		h.st.Freeze()
 	}
 	return bips
 }

@@ -5,13 +5,33 @@ import (
 	"testing"
 
 	"repro/internal/collection"
+	"repro/internal/taxa"
 )
 
-// The backend-equivalence property: the open-addressing table and the
-// legacy map must be observationally identical — byte-identical Entries
-// output and identical AverageRF across every variant — on randomized
-// tree collections. Branch lengths in randomCollection are unit, so even
-// the weighted sums are exact in floating point regardless of fold order.
+// The backend-equivalence property: the open-addressing table, the
+// succinct table, and the legacy map must be observationally identical —
+// byte-identical Entries output and identical AverageRF across every
+// variant — on randomized tree collections. Branch lengths in
+// randomCollection are unit, so even the weighted sums are exact in
+// floating point regardless of fold order.
+
+// equivBackends builds the same collection on all three backends with the
+// given worker count; the map hash is first (the reference fold).
+func equivBackends(t *testing.T, src collection.Source, ts *taxa.Set, workers int) map[Backend]*FreqHash {
+	t.Helper()
+	hs := make(map[Backend]*FreqHash, 3)
+	for _, b := range []Backend{BackendMap, BackendOpenAddressing, BackendSuccinct} {
+		h, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: workers, Backend: b})
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		if h.Backend() != b {
+			t.Fatalf("backend selection wrong: built %v, want %v", h.Backend(), b)
+		}
+		hs[b] = h
+	}
+	return hs
+}
 
 func TestBackendsEquivalent(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
@@ -21,63 +41,57 @@ func TestBackendsEquivalent(t *testing.T) {
 		trees, ts := randomCollection(int64(100+trial), n, r)
 		src := collection.FromTrees(trees)
 
-		oa, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 1, Backend: BackendOpenAddressing})
-		if err != nil {
-			t.Fatal(err)
-		}
-		mp, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 1, Backend: BackendMap})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if oa.Backend() != BackendOpenAddressing || mp.Backend() != BackendMap {
-			t.Fatal("backend selection wrong")
-		}
-		if oa.UniqueBipartitions() != mp.UniqueBipartitions() ||
-			oa.TotalBipartitions() != mp.TotalBipartitions() {
-			t.Fatalf("trial %d: sizes differ: unique %d/%d total %d/%d", trial,
-				oa.UniqueBipartitions(), mp.UniqueBipartitions(),
-				oa.TotalBipartitions(), mp.TotalBipartitions())
-		}
+		hs := equivBackends(t, src, ts, 1)
+		mp := hs[BackendMap]
+		for _, b := range []Backend{BackendOpenAddressing, BackendSuccinct} {
+			h := hs[b]
+			if h.UniqueBipartitions() != mp.UniqueBipartitions() ||
+				h.TotalBipartitions() != mp.TotalBipartitions() {
+				t.Fatalf("trial %d %v: sizes differ: unique %d/%d total %d/%d", trial, b,
+					h.UniqueBipartitions(), mp.UniqueBipartitions(),
+					h.TotalBipartitions(), mp.TotalBipartitions())
+			}
 
-		// Entries(minFreq): byte-identical, including order.
-		for _, minFreq := range []int{0, 2} {
-			eo, err := oa.Entries(minFreq)
-			if err != nil {
-				t.Fatal(err)
-			}
-			em, err := mp.Entries(minFreq)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(eo) != len(em) {
-				t.Fatalf("trial %d minFreq %d: %d vs %d entries", trial, minFreq, len(eo), len(em))
-			}
-			for i := range eo {
-				if eo[i].Bipartition.Key() != em[i].Bipartition.Key() ||
-					eo[i].Frequency != em[i].Frequency ||
-					eo[i].Support != em[i].Support ||
-					eo[i].MeanLength != em[i].MeanLength {
-					t.Fatalf("trial %d minFreq %d entry %d differs: %+v vs %+v",
-						trial, minFreq, i, eo[i], em[i])
+			// Entries(minFreq): byte-identical, including order.
+			for _, minFreq := range []int{0, 2} {
+				eh, err := h.Entries(minFreq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				em, err := mp.Entries(minFreq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(eh) != len(em) {
+					t.Fatalf("trial %d %v minFreq %d: %d vs %d entries", trial, b, minFreq, len(eh), len(em))
+				}
+				for i := range eh {
+					if eh[i].Bipartition.Key() != em[i].Bipartition.Key() ||
+						eh[i].Frequency != em[i].Frequency ||
+						eh[i].Support != em[i].Support ||
+						eh[i].MeanLength != em[i].MeanLength {
+						t.Fatalf("trial %d %v minFreq %d entry %d differs: %+v vs %+v",
+							trial, b, minFreq, i, eh[i], em[i])
+					}
 				}
 			}
-		}
 
-		// AverageRF: identical across every variant (unit lengths make the
-		// weighted sums exact, so == is the right comparison).
-		for _, v := range []Variant{Plain, Normalized, Weighted} {
-			ro, err := oa.AverageRF(src, QueryOptions{RequireComplete: true, Workers: 1, Variant: v})
-			if err != nil {
-				t.Fatal(err)
-			}
-			rm, err := mp.AverageRF(src, QueryOptions{RequireComplete: true, Workers: 1, Variant: v})
-			if err != nil {
-				t.Fatal(err)
-			}
-			for i := range ro {
-				if ro[i].AvgRF != rm[i].AvgRF {
-					t.Fatalf("trial %d variant %v tree %d: %v vs %v",
-						trial, v, i, ro[i].AvgRF, rm[i].AvgRF)
+			// AverageRF: identical across every variant (unit lengths make
+			// the weighted sums exact, so == is the right comparison).
+			for _, v := range []Variant{Plain, Normalized, Weighted} {
+				rh, err := h.AverageRF(src, QueryOptions{RequireComplete: true, Workers: 1, Variant: v})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rm, err := mp.AverageRF(src, QueryOptions{RequireComplete: true, Workers: 1, Variant: v})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range rh {
+					if rh[i].AvgRF != rm[i].AvgRF {
+						t.Fatalf("trial %d %v variant %v tree %d: %v vs %v",
+							trial, b, v, i, rh[i].AvgRF, rm[i].AvgRF)
+					}
 				}
 			}
 		}
@@ -87,35 +101,33 @@ func TestBackendsEquivalent(t *testing.T) {
 // TestBackendsEquivalentParallelBuild repeats the Plain check with a
 // parallel build: integer frequencies are order-independent, so the
 // backends must still agree exactly no matter how trees land on workers.
+// For the succinct backend this also exercises the parallel consuming
+// merge and the post-merge dictionary freeze.
 func TestBackendsEquivalentParallelBuild(t *testing.T) {
 	trees, ts := randomCollection(53, 80, 400)
 	src := collection.FromTrees(trees)
-	oa, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 6, Backend: BackendOpenAddressing})
+	hs := equivBackends(t, src, ts, 6)
+	rm, err := hs[BackendMap].AverageRF(src, QueryOptions{RequireComplete: true, Variant: Plain})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mp, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 6, Backend: BackendMap})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ro, err := oa.AverageRF(src, QueryOptions{RequireComplete: true, Variant: Plain})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rm, err := mp.AverageRF(src, QueryOptions{RequireComplete: true, Variant: Plain})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range ro {
-		if ro[i].AvgRF != rm[i].AvgRF {
-			t.Fatalf("tree %d: %v vs %v", i, ro[i].AvgRF, rm[i].AvgRF)
+	for _, b := range []Backend{BackendOpenAddressing, BackendSuccinct} {
+		rh, err := hs[b].AverageRF(src, QueryOptions{RequireComplete: true, Variant: Plain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rh {
+			if rh[i].AvgRF != rm[i].AvgRF {
+				t.Fatalf("%v tree %d: %v vs %v", b, i, rh[i].AvgRF, rm[i].AvgRF)
+			}
 		}
 	}
 }
 
 // TestBackendAutoSelection pins the defaulting rules: auto is
-// open-addressing, except compressed keys force the map, and an explicit
-// OA + CompressKeys request is an error.
+// open-addressing below the succinct key-size threshold and succinct at
+// it, compressed keys force the map, and an explicit table backend +
+// CompressKeys request is an error.
 func TestBackendAutoSelection(t *testing.T) {
 	trees, ts := randomCollection(3, 16, 10)
 	src := collection.FromTrees(trees)
@@ -136,24 +148,38 @@ func TestBackendAutoSelection(t *testing.T) {
 	if _, err := Build(src, ts, BuildOptions{RequireComplete: true, CompressKeys: true, Backend: BackendOpenAddressing}); err == nil {
 		t.Fatal("openaddr + CompressKeys did not error")
 	}
+	if _, err := Build(src, ts, BuildOptions{RequireComplete: true, CompressKeys: true, Backend: BackendSuccinct}); err == nil {
+		t.Fatal("succinct + CompressKeys did not error")
+	}
+	// At and past autoSuccinctKeyBytes of raw key, auto flips to succinct.
+	bigTrees, bigTS := randomCollection(5, 8*autoSuccinctKeyBytes, 4)
+	h, err = Build(collection.FromTrees(bigTrees), bigTS, BuildOptions{RequireComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Backend() != BackendSuccinct {
+		t.Fatalf("auto backend at n=%d = %v, want succinct", bigTS.Len(), h.Backend())
+	}
+	// CompressKeys still wins at huge n (the §IX ablation stays reachable).
+	h, err = Build(collection.FromTrees(bigTrees), bigTS, BuildOptions{RequireComplete: true, CompressKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Backend() != BackendMap {
+		t.Fatalf("auto+compressed backend at n=%d = %v, want map", bigTS.Len(), h.Backend())
+	}
 }
 
 // TestBackendIncrementalUpdates checks AddTree/RemoveTree equivalence:
-// after identical update sequences both backends answer identically, and
-// the open-addressing tombstone path (remove to zero, then re-add) keeps
-// the table consistent.
+// after identical update sequences all backends answer identically, and
+// the table tombstone paths (remove to zero, then re-add) keep the
+// structures consistent — for the succinct table that revival happens in
+// the frozen, dictionary-bearing state.
 func TestBackendIncrementalUpdates(t *testing.T) {
 	trees, ts := randomCollection(29, 40, 30)
 	src := collection.FromTrees(trees[:20])
-	oa, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 1, Backend: BackendOpenAddressing})
-	if err != nil {
-		t.Fatal(err)
-	}
-	mp, err := Build(src, ts, BuildOptions{RequireComplete: true, Workers: 1, Backend: BackendMap})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, h := range []*FreqHash{oa, mp} {
+	hs := equivBackends(t, src, ts, 1)
+	for _, h := range hs {
 		for _, tr := range trees[20:] {
 			if err := h.AddTree(tr, nil, true); err != nil {
 				t.Fatal(err)
@@ -172,24 +198,28 @@ func TestBackendIncrementalUpdates(t *testing.T) {
 			}
 		}
 	}
-	if oa.UniqueBipartitions() != mp.UniqueBipartitions() ||
-		oa.TotalBipartitions() != mp.TotalBipartitions() {
-		t.Fatalf("post-update sizes differ: unique %d/%d total %d/%d",
-			oa.UniqueBipartitions(), mp.UniqueBipartitions(),
-			oa.TotalBipartitions(), mp.TotalBipartitions())
-	}
+	mp := hs[BackendMap]
 	all := collection.FromTrees(trees)
-	ro, err := oa.AverageRF(all, QueryOptions{RequireComplete: true, Workers: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
 	rm, err := mp.AverageRF(all, QueryOptions{RequireComplete: true, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range ro {
-		if ro[i].AvgRF != rm[i].AvgRF {
-			t.Fatalf("tree %d: %v vs %v", i, ro[i].AvgRF, rm[i].AvgRF)
+	for _, b := range []Backend{BackendOpenAddressing, BackendSuccinct} {
+		h := hs[b]
+		if h.UniqueBipartitions() != mp.UniqueBipartitions() ||
+			h.TotalBipartitions() != mp.TotalBipartitions() {
+			t.Fatalf("%v post-update sizes differ: unique %d/%d total %d/%d", b,
+				h.UniqueBipartitions(), mp.UniqueBipartitions(),
+				h.TotalBipartitions(), mp.TotalBipartitions())
+		}
+		rh, err := h.AverageRF(all, QueryOptions{RequireComplete: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rh {
+			if rh[i].AvgRF != rm[i].AvgRF {
+				t.Fatalf("%v tree %d: %v vs %v", b, i, rh[i].AvgRF, rm[i].AvgRF)
+			}
 		}
 	}
 }

@@ -31,14 +31,16 @@ type BuildOptions struct {
 	// trees first and keep this on for the reduced catalogue.
 	RequireComplete bool
 	// CompressKeys stores losslessly compressed bipartition keys (§IX),
-	// trading a little CPU per lookup for a smaller hash. Map backend only.
+	// trading a little CPU per lookup for a smaller hash. Map backend only
+	// (the succinct backend compresses keys natively).
 	CompressKeys bool
 	// Backend selects the storage engine. BackendAuto (the zero value)
-	// picks the open-addressing table, or the map when CompressKeys is set.
+	// picks the open-addressing table, the succinct table once raw keys
+	// reach autoSuccinctKeyBytes, or the map when CompressKeys is set.
 	Backend Backend
-	// HashShards overrides the open-addressing backend's shard count
-	// (default: one shard per worker; rounded to a power of two in
-	// [1, 256]). Ignored by the map backend.
+	// HashShards overrides the table backends' shard count (default: one
+	// shard per worker; rounded to a power of two in [1, 256]). Ignored by
+	// the map backend.
 	HashShards int
 }
 
@@ -59,7 +61,7 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 	if ts == nil {
 		return nil, fmt.Errorf("core: taxon catalogue is required")
 	}
-	if opts.Backend == BackendOpenAddressing && opts.CompressKeys {
+	if (opts.Backend == BackendOpenAddressing || opts.Backend == BackendSuccinct) && opts.CompressKeys {
 		return nil, fmt.Errorf("core: compressed keys require the map backend")
 	}
 	_, span := obs.StartSpan(nil, SpanBuild)
@@ -69,11 +71,14 @@ func Build(r collection.Source, ts *taxa.Set, opts BuildOptions) (*FreqHash, err
 		weighted:   true,
 		compressed: opts.CompressKeys,
 	}
-	if opts.resolveBackend() == BackendOpenAddressing {
+	switch opts.resolveBackendFor(ts.Len()) {
+	case BackendOpenAddressing:
 		// Placeholder so h.oa != nil routes the build; replaced by the
 		// merged worker tables in finishBuild.
 		h.oa = bfhtable.New(wordsPerKey(ts), 1)
-	} else {
+	case BackendSuccinct:
+		h.st = bfhtable.NewSuccinct(ts.Len(), 1)
+	default:
 		h.m = make(map[string]entry)
 	}
 	// Parallel-parse fast path: when the source hands out raw statements,

@@ -68,7 +68,7 @@ func equivConfigs() []equivConfig {
 	for _, b := range []struct {
 		name string
 		b    Backend
-	}{{"oa", BackendOpenAddressing}, {"map", BackendMap}, {"auto", BackendAuto}} {
+	}{{"oa", BackendOpenAddressing}, {"map", BackendMap}, {"succ", BackendSuccinct}, {"auto", BackendAuto}} {
 		for _, p := range []struct {
 			name string
 			p    ProbeMode
@@ -115,7 +115,7 @@ func TestCacheEquivalenceWall(t *testing.T) {
 			// re-derived per backend for the bit-identity checks.
 			crossBaseline := make(map[Variant][]float64)
 			hashes := map[Backend]*FreqHash{}
-			for _, b := range []Backend{BackendMap, BackendOpenAddressing, BackendAuto} {
+			for _, b := range []Backend{BackendMap, BackendOpenAddressing, BackendSuccinct, BackendAuto} {
 				h, err := Build(collection.FromTrees(trees), ts, BuildOptions{
 					RequireComplete: true, Backend: b,
 				})

@@ -35,6 +35,14 @@ const (
 	// only backend supporting the §IX compressed-key scheme, and serves as
 	// the A/B baseline for the backend ablation.
 	BackendMap
+	// BackendSuccinct is the compressed-key open-addressing table
+	// (bfhtable.SuccinctTable): keys live in a variable-length arena under
+	// the raw/sparse/cosparse/dictionary encoding, probes filter on a
+	// packed (popcount bucket, length) header, and the arena shrinks from
+	// n/8 bytes per key to the encoded size — the huge-n engine. Auto-
+	// selected when the estimated raw key width reaches
+	// autoSuccinctKeyBytes.
+	BackendSuccinct
 )
 
 // String names the backend for diagnostics and CLI flags.
@@ -46,6 +54,8 @@ func (b Backend) String() string {
 		return "openaddr"
 	case BackendMap:
 		return "map"
+	case BackendSuccinct:
+		return "succinct"
 	default:
 		return fmt.Sprintf("Backend(%d)", int(b))
 	}
@@ -60,8 +70,10 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendOpenAddressing, nil
 	case "map":
 		return BackendMap, nil
+	case "succinct", "succ":
+		return BackendSuccinct, nil
 	}
-	return 0, fmt.Errorf("core: unknown hash backend %q (want auto, openaddr or map)", s)
+	return 0, fmt.Errorf("core: unknown hash backend %q (want auto, openaddr, map or succinct)", s)
 }
 
 // FreqHash is the bipartition frequency hash BFH_R: a collision-free map
@@ -69,13 +81,15 @@ func ParseBackend(s string) (Backend, error) {
 // reference collection. It is immutable after Build and safe for
 // concurrent readers.
 //
-// Exactly one of the two storage engines is active: oa (the default
-// open-addressing word-keyed table) or m (the legacy string-keyed map,
-// required for compressed keys).
+// Exactly one of the three storage engines is active: oa (the default
+// open-addressing word-keyed table), st (the succinct compressed-key
+// table for huge catalogues), or m (the legacy string-keyed map, required
+// for compressed map keys).
 type FreqHash struct {
 	taxa *taxa.Set
 	m    map[string]entry
 	oa   *bfhtable.Table
+	st   *bfhtable.SuccinctTable
 	// sum is Σ_b freq[b] — the paper's sumBFHR.
 	sum uint64
 	// lenSum is Σ_b lengthSum[b], for the weighted variant's left term.
@@ -99,6 +113,9 @@ type FreqHash struct {
 func (h *FreqHash) Backend() Backend {
 	if h.oa != nil {
 		return BackendOpenAddressing
+	}
+	if h.st != nil {
+		return BackendSuccinct
 	}
 	return BackendMap
 }
@@ -135,7 +152,33 @@ func (h *FreqHash) UniqueBipartitions() int {
 	if h.oa != nil {
 		return h.oa.Len()
 	}
+	if h.st != nil {
+		return h.st.Len()
+	}
 	return len(h.m)
+}
+
+// FootprintBytes estimates the resident size of the hash's storage
+// engine. The table backends report exact array and arena sizes; the map
+// backend is an estimate (key bytes plus per-entry map overhead), good
+// enough for the peak-heap accounting of benchmark records. Exposed so
+// memprof measurements over pre-built hashes can include the table the
+// measured region probes (see memprof.MeasureNWith).
+func (h *FreqHash) FootprintBytes() int64 {
+	if h.oa != nil {
+		return h.oa.FootprintBytes()
+	}
+	if h.st != nil {
+		return h.st.FootprintBytes()
+	}
+	// Go map internals: per entry one 16-byte string header + key bytes +
+	// the 16-byte entry, plus roughly 32 bytes of bucket machinery at
+	// typical load factors.
+	var b int64
+	for k := range h.m {
+		b += int64(len(k)) + 64
+	}
+	return b
 }
 
 // TotalBipartitions returns sumBFHR, the total bipartition instances.
@@ -186,6 +229,10 @@ func (h *FreqHash) entryOf(b bipart.Bipartition) entry {
 		e, _ := h.oa.LookupHashed(b.Hash(), b.Words())
 		return e
 	}
+	if h.st != nil {
+		e, _ := h.st.Lookup(b.Words())
+		return e
+	}
 	return h.m[h.keyOf(b)]
 }
 
@@ -198,12 +245,16 @@ func (h *FreqHash) Frequency(b bipart.Bipartition) int {
 // FrequencyByKey is Frequency for a precomputed canonical (uncompressed)
 // Key() string.
 func (h *FreqHash) FrequencyByKey(key string) int {
-	if h.oa != nil {
+	if h.oa != nil || h.st != nil {
 		mask, err := bitset.FromKey(key, h.taxa.Len())
 		if err != nil {
 			return 0
 		}
-		e, _ := h.oa.Lookup(mask.Words())
+		if h.oa != nil {
+			e, _ := h.oa.Lookup(mask.Words())
+			return int(e.Freq)
+		}
+		e, _ := h.st.Lookup(mask.Words())
 		return int(e.Freq)
 	}
 	return int(h.m[key].Freq)
@@ -228,11 +279,14 @@ type Prober struct {
 
 	// Query-side acceleration state (see query.go): an optional shared
 	// result cache keyed by topology fingerprint, the probe-path selector,
-	// and per-prober scratch for fingerprinting and batched lookups.
-	cache *QueryCache
-	probe ProbeMode
-	fp    fingerprinter
-	batch bfhtable.ProbeBatch
+	// and per-prober scratch for fingerprinting and batched lookups (the
+	// word-keyed batch for the open-addressing backend, the encoded-key
+	// batch for the succinct backend).
+	cache  *QueryCache
+	probe  ProbeMode
+	fp     fingerprinter
+	batch  bfhtable.ProbeBatch
+	sbatch bfhtable.SuccinctBatch
 	// autoBatch memoizes ProbeAuto's table-footprint decision:
 	// 0 undecided, +1 batch, -1 scalar (see Prober.batchAuto).
 	autoBatch int8
@@ -247,6 +301,12 @@ func (p *Prober) entryOf(b bipart.Bipartition) entry {
 	h := p.h
 	if h.oa != nil {
 		e, _ := h.oa.LookupHashed(b.Hash(), b.Words())
+		return e
+	}
+	if h.st != nil {
+		var meta uint32
+		p.buf, meta = h.st.AppendEncoded(p.buf[:0], b.Words())
+		e, _ := h.st.LookupEncoded(b.Hash(), p.buf, meta)
 		return e
 	}
 	if h.compressed {
@@ -273,9 +333,9 @@ type Entry struct {
 // forEachEntry yields every stored live bipartition's canonical mask and
 // record, in unspecified order. The mask is freshly decoded and owned by fn.
 func (h *FreqHash) forEachEntry(fn func(mask *bitset.Bits, e entry)) error {
-	if h.oa != nil {
+	if h.oa != nil || h.st != nil {
 		var decodeErr error
-		h.oa.Range(func(words []uint64, e entry) bool {
+		visit := func(words []uint64, e entry) bool {
 			mask, err := bitset.FromWords(words, h.taxa.Len())
 			if err != nil {
 				decodeErr = fmt.Errorf("core: corrupt hash words: %w", err)
@@ -283,7 +343,12 @@ func (h *FreqHash) forEachEntry(fn func(mask *bitset.Bits, e entry)) error {
 			}
 			fn(mask, e)
 			return true
-		})
+		}
+		if h.oa != nil {
+			h.oa.Range(visit)
+		} else {
+			h.st.Range(visit)
+		}
 		return decodeErr
 	}
 	for k, e := range h.m {
@@ -335,7 +400,8 @@ func (h *FreqHash) Entries(minFreq int) ([]Entry, error) {
 
 // KeySizes returns the byte length of every stored key, for memory
 // accounting (the §IX compression ablation). The open-addressing backend
-// stores fixed-width word keys, so every length is WordsPerKey()*8.
+// stores fixed-width word keys, so every length is WordsPerKey()*8; the
+// succinct backend reports each key's encoded arena length.
 func (h *FreqHash) KeySizes() []int {
 	if h.oa != nil {
 		out := make([]int, 0, h.oa.Len())
@@ -346,6 +412,16 @@ func (h *FreqHash) KeySizes() []int {
 		})
 		return out
 	}
+	if h.st != nil {
+		out := make([]int, 0, h.st.Len())
+		for s := 0; s < h.st.NumShards(); s++ {
+			h.st.RangeShardEncoded(s, func(enc []byte, e entry) bool {
+				out = append(out, len(enc))
+				return true
+			})
+		}
+		return out
+	}
 	out := make([]int, 0, len(h.m))
 	for k := range h.m {
 		out = append(out, len(k))
@@ -353,11 +429,14 @@ func (h *FreqHash) KeySizes() []int {
 	return out
 }
 
-// NumShards returns the shard count of the open-addressing backend
-// (1 for the map backend, which is unsharded).
+// NumShards returns the shard count of the table backends (1 for the map
+// backend, which is unsharded).
 func (h *FreqHash) NumShards() int {
 	if h.oa != nil {
 		return h.oa.NumShards()
+	}
+	if h.st != nil {
+		return h.st.NumShards()
 	}
 	return 1
 }
@@ -369,6 +448,10 @@ func (h *FreqHash) NumShards() int {
 func (h *FreqHash) RangeShardRaw(shard int, fn func(words []uint64, e entry) bool) error {
 	if h.oa != nil {
 		h.oa.RangeShard(shard, fn)
+		return nil
+	}
+	if h.st != nil {
+		h.st.RangeShard(shard, fn)
 		return nil
 	}
 	if shard != 0 {
@@ -385,6 +468,11 @@ func (h *FreqHash) RangeShardRaw(shard int, fn func(words []uint64, e entry) boo
 	}
 	return nil
 }
+
+// Succinct returns the succinct backend's table, or nil when another
+// backend is active. The distributed snapshot path uses it to serialize
+// the compressed arena and its dictionary without decoding keys.
+func (h *FreqHash) Succinct() *bfhtable.SuccinctTable { return h.st }
 
 // merge folds a worker-local frequency map into the hash (map-backend
 // build phase only).

@@ -42,6 +42,21 @@ var (
 	mProbeBatchSize = obs.Histogram("bfhrf_probe_batch_size",
 		"Query bipartitions probed per shard-ordered batch (batched lookup path only).",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+	mKeyBytesRaw = obs.Counter("bfhrf_key_bytes_total",
+		"Arena bytes held by the succinct backend after the most recent build, by key encoding.",
+		obs.L("encoding", "raw"))
+	mKeyBytesSparse = obs.Counter("bfhrf_key_bytes_total",
+		"Arena bytes held by the succinct backend after the most recent build, by key encoding.",
+		obs.L("encoding", "sparse"))
+	mKeyBytesCosparse = obs.Counter("bfhrf_key_bytes_total",
+		"Arena bytes held by the succinct backend after the most recent build, by key encoding.",
+		obs.L("encoding", "cosparse"))
+	mKeyBytesDict = obs.Counter("bfhrf_key_bytes_total",
+		"Arena bytes held by the succinct backend after the most recent build, by key encoding.",
+		obs.L("encoding", "dict"))
+	mSuccinctProbeLength = obs.Histogram("bfhrf_succinct_bucket_probe_length",
+		"Probe-chain displacement of occupied succinct-backend slots, observed once per slot after each BFH build (0 = direct hit; misses along the chain are filtered by the packed (bucket, length) header).",
+		[]float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32})
 )
 
 // SpanBuild and SpanQuery are the core's stage names in obs.StageMetric.
@@ -50,20 +65,31 @@ const (
 	SpanQuery = "bfh.query"
 )
 
-// recordBuild publishes one completed build's tallies. The open-addressing
-// table health metrics (probe-length histogram, load factor) are sampled
-// here, once per build over the finished table — the insert and lookup hot
-// paths stay untouched.
+// recordBuild publishes one completed build's tallies. The table health
+// metrics (probe-length histograms, load factor, succinct key-byte
+// composition) are sampled here, once per build over the finished table —
+// the insert and lookup hot paths stay untouched.
 func recordBuild(h *FreqHash, bipartitions int) {
 	mRefTrees.Add(uint64(h.numTrees))
 	mBipartitionsHashed.Add(uint64(bipartitions))
 	mUniqueBipartitions.Set(float64(h.UniqueBipartitions()))
-	if h.oa != nil {
+	switch {
+	case h.oa != nil:
 		mHashLoadFactor.Set(h.oa.LoadFactor())
 		h.oa.ProbeLengths(func(d int) {
 			mHashProbeLength.Observe(float64(d))
 		})
-	} else {
+	case h.st != nil:
+		mHashLoadFactor.Set(h.st.LoadFactor())
+		h.st.ProbeLengths(func(d int) {
+			mSuccinctProbeLength.Observe(float64(d))
+		})
+		raw, sparse, cosparse, dict := h.st.KeyByteTotals()
+		mKeyBytesRaw.Add(uint64(raw))
+		mKeyBytesSparse.Add(uint64(sparse))
+		mKeyBytesCosparse.Add(uint64(cosparse))
+		mKeyBytesDict.Add(uint64(dict))
+	default:
 		mHashLoadFactor.Set(0)
 	}
 }
@@ -75,11 +101,7 @@ func annotateBuildSpan(span *obs.Span, h *FreqHash) {
 	if !span.Recorded() {
 		return
 	}
-	if h.oa != nil {
-		span.SetAttr("backend", "openaddr")
-	} else {
-		span.SetAttr("backend", "map")
-	}
+	span.SetAttr("backend", h.Backend().String())
 	span.SetAttr("trees", h.NumTrees())
 	span.SetAttr("unique", h.UniqueBipartitions())
 	span.SetAttr("fingerprint", fmt.Sprintf("%016x", h.Fingerprint()))

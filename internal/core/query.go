@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/bfhtable"
 	"repro/internal/bipart"
 	"repro/internal/collection"
 	"repro/internal/obs"
@@ -94,12 +95,12 @@ const probeBatchMin = 16
 const probeBatchTableMin = 4 << 20
 
 // batchAuto reports whether ProbeAuto should take the batched path,
-// deciding once per prober from the table's footprint. Probers are
-// created per query pass, so a table growing across passes (AddTree)
+// deciding once per prober from the active table's footprint. Probers
+// are created per query pass, so a table growing across passes (AddTree)
 // re-evaluates naturally.
 func (p *Prober) batchAuto() bool {
 	if p.autoBatch == 0 {
-		if p.h.oa.FootprintBytes() >= probeBatchTableMin {
+		if p.h.FootprintBytes() >= probeBatchTableMin {
 			p.autoBatch = 1
 		} else {
 			p.autoBatch = -1
@@ -377,12 +378,12 @@ func (p *Prober) AverageRFOfSplits(bs []bipart.Bipartition, v Variant) (float64,
 }
 
 // averageRFUncached is the probe pass proper: shard-ordered batches when
-// the open-addressing backend is active and the mode allows, the scalar
-// loop otherwise. Both paths fold in the bipartition slice's order, so
-// they are bit-identical in every variant.
+// a table backend is active and the mode allows, the scalar loop
+// otherwise. Both paths fold in the bipartition slice's order, so they
+// are bit-identical in every variant.
 func (p *Prober) averageRFUncached(bs []bipart.Bipartition, v Variant) (float64, error) {
 	h := p.h
-	if h.oa != nil &&
+	if (h.oa != nil || h.st != nil) &&
 		(p.probe == ProbeBatched ||
 			(p.probe == ProbeAuto && len(bs) >= probeBatchMin && p.batchAuto())) {
 		return p.averageRFBatched(bs, v)
@@ -420,6 +421,22 @@ func (p *Prober) averageRFUncached(bs []bipart.Bipartition, v Variant) (float64,
 					rfLeft -= f
 					rfRight += rInt - f
 				}
+			}
+		} else if st := h.st; st != nil {
+			// Succinct path: encode each query mask into the prober's
+			// scratch (no allocation once warm) and probe the compressed
+			// arena; the (bucket, length) header resolves most misses
+			// before any key bytes are read.
+			var meta uint32
+			for _, b := range bs {
+				p.buf, meta = st.AppendEncoded(p.buf[:0], b.Words())
+				e, _ := st.LookupEncoded(b.Hash(), p.buf, meta)
+				f := int64(e.Freq)
+				if f == 0 {
+					misses++
+				}
+				rfLeft -= f
+				rfRight += rInt - f
 			}
 		} else {
 			for _, b := range bs {
@@ -466,29 +483,40 @@ func (p *Prober) averageRFUncached(bs []bipart.Bipartition, v Variant) (float64,
 	}
 }
 
-// averageRFBatched is the probe pass over the open-addressing backend via
-// bfhtable.LookupBatch: keys are loaded into the prober's batch scratch,
-// probed in shard-then-slot order for locality, and the entries come back
-// in the original index order — so the fold below runs in exactly the
-// same order as the scalar loop, keeping even the Weighted variant's
-// float summation bit-identical.
+// averageRFBatched is the probe pass over a table backend via its
+// LookupBatch: keys are loaded into the prober's batch scratch (raw words
+// for open addressing, compressed encodings for succinct), probed in
+// shard-then-slot order for locality, and the entries come back in the
+// original index order — so the fold below runs in exactly the same order
+// as the scalar loop, keeping even the Weighted variant's float summation
+// bit-identical.
 func (p *Prober) averageRFBatched(bs []bipart.Bipartition, v Variant) (float64, error) {
 	h := p.h
-	oa := h.oa
-	nw := oa.WordsPerKey()
-	keys, hashes := p.batch.Reset(len(bs), nw)
-	if nw == 1 {
-		for i, b := range bs {
-			keys[i] = b.Words()[0]
-			hashes[i] = b.Hash()
+	var entries []bfhtable.Entry
+	if st := h.st; st != nil {
+		pb := &p.sbatch
+		pb.Reset()
+		for _, b := range bs {
+			st.BatchAppend(pb, b.Hash(), b.Words())
 		}
+		entries = st.LookupBatch(pb)
 	} else {
-		for i, b := range bs {
-			copy(keys[i*nw:(i+1)*nw], b.Words())
-			hashes[i] = b.Hash()
+		oa := h.oa
+		nw := oa.WordsPerKey()
+		keys, hashes := p.batch.Reset(len(bs), nw)
+		if nw == 1 {
+			for i, b := range bs {
+				keys[i] = b.Words()[0]
+				hashes[i] = b.Hash()
+			}
+		} else {
+			for i, b := range bs {
+				copy(keys[i*nw:(i+1)*nw], b.Words())
+				hashes[i] = b.Hash()
+			}
 		}
+		entries = oa.LookupBatch(&p.batch, len(bs))
 	}
-	entries := oa.LookupBatch(&p.batch, len(bs))
 	mProbeBatchSize.Observe(float64(len(bs)))
 	r := float64(h.numTrees)
 	misses := 0

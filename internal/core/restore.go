@@ -44,7 +44,7 @@ func NewRestorer(spec RestoreSpec) (*Restorer, error) {
 	if spec.Taxa == nil {
 		return nil, fmt.Errorf("core: restore requires a taxon catalogue")
 	}
-	if spec.Backend == BackendOpenAddressing && spec.CompressKeys {
+	if (spec.Backend == BackendOpenAddressing || spec.Backend == BackendSuccinct) && spec.CompressKeys {
 		return nil, fmt.Errorf("core: compressed keys require the map backend")
 	}
 	h := &FreqHash{
@@ -54,13 +54,16 @@ func NewRestorer(spec RestoreSpec) (*Restorer, error) {
 		compressed: spec.CompressKeys,
 	}
 	opts := BuildOptions{CompressKeys: spec.CompressKeys, Backend: spec.Backend}
-	if opts.resolveBackend() == BackendOpenAddressing {
-		shards := spec.HashShards
-		if shards <= 0 {
-			shards = 1
-		}
+	shards := spec.HashShards
+	if shards <= 0 {
+		shards = 1
+	}
+	switch opts.resolveBackendFor(spec.Taxa.Len()) {
+	case BackendOpenAddressing:
 		h.oa = bfhtable.New(wordsPerKey(spec.Taxa), shards)
-	} else {
+	case BackendSuccinct:
+		h.st = bfhtable.NewSuccinct(spec.Taxa.Len(), shards)
+	default:
 		h.m = make(map[string]entry)
 	}
 	return &Restorer{h: h, nw: wordsPerKey(spec.Taxa)}, nil
@@ -74,9 +77,12 @@ func (r *Restorer) AddEntry(words []uint64, e bfhtable.Entry) error {
 		return fmt.Errorf("core: restore entry has %d words, want %d", len(words), r.nw)
 	}
 	h := r.h
-	if h.oa != nil {
+	switch {
+	case h.oa != nil:
 		h.oa.AddEntry(words, e)
-	} else {
+	case h.st != nil:
+		h.st.AddEntry(words, e)
+	default:
 		mask, err := bitset.FromWords(words, h.taxa.Len())
 		if err != nil {
 			return fmt.Errorf("core: restore entry: %w", err)
@@ -93,10 +99,15 @@ func (r *Restorer) AddEntry(words []uint64, e bfhtable.Entry) error {
 	return nil
 }
 
-// Finish returns the reassembled hash.
+// Finish returns the reassembled hash. A restored succinct table is
+// frozen here so its shared-prefix dictionary is rebuilt over the full
+// reassembled population (worker snapshots arrive dictionary-free).
 func (r *Restorer) Finish() (*FreqHash, error) {
 	if r.h.numTrees <= 0 {
 		return nil, fmt.Errorf("core: restored hash has no trees")
+	}
+	if r.h.st != nil {
+		r.h.st.Freeze()
 	}
 	return r.h, nil
 }

@@ -12,7 +12,7 @@ import (
 // is a handful of counter updates — no rebuild, no other engine supports
 // this. Useful for growing collections (e.g. posterior samples arriving
 // from an MCMC run) and for leave-one-out analyses. Both backends support
-// it: the map deletes exhausted keys, the open-addressing table keeps them
+// it: the map deletes exhausted keys, and both table backends keep them
 // as keyed tombstones (probe chains stay intact; a later AddTree revives
 // the slot).
 
@@ -31,9 +31,12 @@ func (h *FreqHash) AddTree(t *tree.Tree, filter bipart.Filter, requireComplete b
 		} else {
 			h.weighted = false
 		}
-		if h.oa != nil {
+		switch {
+		case h.oa != nil:
 			h.oa.Add(b.Words(), uint32(b.Size()), length)
-		} else {
+		case h.st != nil:
+			h.st.Add(b.Words(), uint32(b.Size()), length)
+		default:
 			k := h.keyOf(b)
 			e := h.m[k]
 			e.Freq++
@@ -78,9 +81,12 @@ func (h *FreqHash) RemoveTree(t *tree.Tree, filter bipart.Filter, requireComplet
 		if b.HasLength {
 			length = b.Length
 		}
-		if h.oa != nil {
+		switch {
+		case h.oa != nil:
 			h.oa.Dec(b.Words(), length)
-		} else {
+		case h.st != nil:
+			h.st.Dec(b.Words(), length)
+		default:
 			k := h.keyOf(b)
 			e := h.m[k]
 			e.Freq--

@@ -71,6 +71,14 @@ func VariableTaxa(n int) Spec {
 	return Spec{Name: fmt.Sprintf("vartaxa-n%d", n), NumTaxa: n, NumTrees: 1000, Seed: 29002 + int64(n), MeanInternalBranch: 1.0}
 }
 
+// HugeTaxa extends the variable-taxa sweep past the paper's n=1000 into
+// the regime where a raw bipartition key is n/8 bytes and the reference
+// table's key storage dominates the heap — the workload family of the
+// succinct-backend ablation (n=4096 and n=8192 in the perf index).
+func HugeTaxa(n int) Spec {
+	return Spec{Name: fmt.Sprintf("hugetaxa-n%d", n), NumTaxa: n, NumTrees: 1000, Seed: 29100 + int64(n), MeanInternalBranch: 1.0}
+}
+
 // Taxa returns the dataset's taxon catalogue.
 func (s Spec) Taxa() *taxa.Set { return taxa.Generate(s.NumTaxa) }
 

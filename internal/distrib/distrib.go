@@ -54,8 +54,9 @@ type InitArgs struct {
 	// CompressKeys selects the §IX compact key encoding on the shard
 	// (forces the map backend).
 	CompressKeys bool
-	// Backend names the shard's hash engine ("auto", "openaddr", "map");
-	// empty selects auto. Strings keep the wire format free of core enums.
+	// Backend names the shard's hash engine ("auto", "openaddr", "map",
+	// "succinct"); empty selects auto. Strings keep the wire format free
+	// of core enums.
 	Backend string
 	// HashShards overrides the open-addressing backend's internal shard
 	// count (0 = default).

@@ -22,15 +22,23 @@ import (
 // Wire layout (all integers little-endian or uvarint):
 //
 //	magic   "BFS1"
-//	flags   byte: bit0 weighted, bit1 compressed keys, bit2 open-addressing
+//	flags   byte: bit0 weighted, bit1 compressed keys, bit2 open-addressing,
+//	        bit3 succinct
 //	trees   uvarint (r)
 //	taxa    uvarint count, then per name: uvarint length + bytes
 //	nw      uvarint words per key
 //	shards  uvarint shard count
+//	succinct only: dict uvarint count, then per prefix: uvarint length + bytes
 //	per shard:
 //	  entries uvarint
-//	  per entry: nw × 8-byte LE words, uvarint freq, uvarint size,
+//	  per entry: key, uvarint freq, uvarint size,
 //	             8-byte LE float64 bits of the length sum
+//	  where key is nw × 8-byte LE words, or for succinct snapshots the
+//	  compressed encoding as uvarint length + bytes
+//
+// The succinct backend ships its arena verbatim — compressed keys plus the
+// shared-prefix dictionary — so a huge-n shard's snapshot shrinks with the
+// same ratio as its in-memory table.
 
 const snapshotMagic = "BFS1"
 
@@ -38,6 +46,7 @@ const (
 	snapFlagWeighted   = 1 << 0
 	snapFlagCompressed = 1 << 1
 	snapFlagOpenAddr   = 1 << 2
+	snapFlagSuccinct   = 1 << 3
 )
 
 // EncodeSnapshot serializes h into the snapshot wire format.
@@ -56,6 +65,10 @@ func EncodeSnapshot(h *core.FreqHash) ([]byte, error) {
 	if h.Backend() == core.BackendOpenAddressing {
 		flags |= snapFlagOpenAddr
 	}
+	st := h.Succinct()
+	if st != nil {
+		flags |= snapFlagSuccinct
+	}
 	buf = append(buf, flags)
 	buf = binary.AppendUvarint(buf, uint64(h.NumTrees()))
 	names := ts.Names()
@@ -67,6 +80,34 @@ func EncodeSnapshot(h *core.FreqHash) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(nw))
 	shards := h.NumShards()
 	buf = binary.AppendUvarint(buf, uint64(shards))
+	if st != nil {
+		// Succinct fast path: ship the compressed arena as-is (dictionary
+		// first, then per-shard encoded keys) instead of decoding every
+		// mask back to nw raw words.
+		dict := st.DictEntries()
+		buf = binary.AppendUvarint(buf, uint64(len(dict)))
+		for _, d := range dict {
+			buf = binary.AppendUvarint(buf, uint64(len(d)))
+			buf = append(buf, d...)
+		}
+		for s := 0; s < shards; s++ {
+			count := 0
+			st.RangeShardEncoded(s, func([]byte, bfhtable.Entry) bool {
+				count++
+				return true
+			})
+			buf = binary.AppendUvarint(buf, uint64(count))
+			st.RangeShardEncoded(s, func(enc []byte, e bfhtable.Entry) bool {
+				buf = binary.AppendUvarint(buf, uint64(len(enc)))
+				buf = append(buf, enc...)
+				buf = binary.AppendUvarint(buf, uint64(e.Freq))
+				buf = binary.AppendUvarint(buf, uint64(e.Size))
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.LengthSum))
+				return true
+			})
+		}
+		return buf, nil
+	}
 	for s := 0; s < shards; s++ {
 		// Count first: the format is length-prefixed per shard.
 		count := 0
@@ -176,8 +217,30 @@ func DecodeSnapshot(data []byte) (*core.FreqHash, error) {
 		return nil, err
 	}
 	backend := core.BackendMap
-	if flags&snapFlagOpenAddr != 0 {
+	switch {
+	case flags&snapFlagSuccinct != 0:
+		backend = core.BackendSuccinct
+	case flags&snapFlagOpenAddr != 0:
 		backend = core.BackendOpenAddressing
+	}
+	var dict [][]byte
+	if flags&snapFlagSuccinct != 0 {
+		nDict, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dict = make([][]byte, nDict)
+		for i := range dict {
+			l, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			b, err := r.bytes(int(l))
+			if err != nil {
+				return nil, err
+			}
+			dict[i] = b
+		}
 	}
 	rest, err := core.NewRestorer(core.RestoreSpec{
 		Taxa:         ts,
@@ -191,16 +254,32 @@ func DecodeSnapshot(data []byte) (*core.FreqHash, error) {
 		return nil, err
 	}
 	words := make([]uint64, nw)
+	var scratch []byte
 	for s := uint64(0); s < shards; s++ {
 		count, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
 		for i := uint64(0); i < count; i++ {
-			for w := range words {
-				words[w], err = r.uint64()
+			if flags&snapFlagSuccinct != 0 {
+				l, err := r.uvarint()
 				if err != nil {
 					return nil, err
+				}
+				enc, err := r.bytes(int(l))
+				if err != nil {
+					return nil, err
+				}
+				scratch, err = bfhtable.DecodeKeyWithDict(words, enc, dict, scratch, ts.Len())
+				if err != nil {
+					return nil, fmt.Errorf("distrib: snapshot key: %w", err)
+				}
+			} else {
+				for w := range words {
+					words[w], err = r.uint64()
+					if err != nil {
+						return nil, err
+					}
 				}
 			}
 			freq, err := r.uvarint()

@@ -21,6 +21,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		{"openaddr", core.BuildOptions{RequireComplete: true, Backend: core.BackendOpenAddressing}},
 		{"map", core.BuildOptions{RequireComplete: true, Backend: core.BackendMap}},
 		{"map-compressed", core.BuildOptions{RequireComplete: true, CompressKeys: true}},
+		{"succinct", core.BuildOptions{RequireComplete: true, Backend: core.BackendSuccinct}},
 	}
 	for _, c := range cases {
 		h, err := core.Build(src, ts, c.opts)
@@ -158,7 +159,7 @@ func TestMigrateShard(t *testing.T) {
 // TestInitBackendSelection drives the InitArgs backend plumbing end to end.
 func TestInitBackendSelection(t *testing.T) {
 	trees, ts := testCollection(7, 12, 40)
-	for _, backend := range []core.Backend{core.BackendOpenAddressing, core.BackendMap} {
+	for _, backend := range []core.Backend{core.BackendOpenAddressing, core.BackendMap, core.BackendSuccinct} {
 		addrs := startWorkers(t, 1)
 		coord, err := Dial(addrs)
 		if err != nil {

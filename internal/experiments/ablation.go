@@ -78,7 +78,7 @@ func (c *Config) Ablation() *Report {
 	// splits (the same measured region as the BFHRF-OA/BFHRF-MAP perf
 	// records), so the lookup cost the backend changes is visible apart
 	// from parsing.
-	back := tabfmt.New("Hash backend ablation — open-addressing vs map",
+	back := tabfmt.New("Hash backend ablation — open-addressing vs map vs succinct",
 		"Backend", "n", "R", "Build(m)", "Query(m)", "PeakMem(MB)", "Unique")
 	rep.Tables = append(rep.Tables, back)
 	bspec := dataset.Avian()
@@ -91,6 +91,7 @@ func (c *Config) Ablation() *Report {
 		{"openaddr", core.BackendOpenAddressing, false},
 		{"map", core.BackendMap, false},
 		{"map+compressed", core.BackendMap, true},
+		{"succinct", core.BackendSuccinct, false},
 	} {
 		path, ts, err := c.materialize(bspec, br)
 		if err != nil {
@@ -140,6 +141,67 @@ func (c *Config) Ablation() *Report {
 		back.AddRow(bc.label, bspec.NumTaxa, br,
 			fmt.Sprintf("%.4f", mb.Minutes()), fmt.Sprintf("%.4f", mq.Minutes()),
 			fmt.Sprintf("%.1f", mb.PeakHeapMB()), h.UniqueBipartitions())
+	}
+
+	// --- succinct backend at huge n -----------------------------------------
+	// The regime the succinct arena exists for: raw keys of n/8 bytes.
+	// Build each backend once at n=4096, then report the table footprint
+	// and a pure query pass — the offline twin of the hugetaxa-n4096 perf
+	// workload (BENCH_0004).
+	huge := tabfmt.New("Succinct backend ablation — table footprint at huge n",
+		"Backend", "n", "R", "Footprint(MB)", "Query(m)", "Unique")
+	rep.Tables = append(rep.Tables, huge)
+	hspec := dataset.HugeTaxa(4096)
+	hr := c.ScaleTrees(hspec.NumTrees)
+	for _, bc := range []struct {
+		label   string
+		backend core.Backend
+	}{
+		{"openaddr", core.BackendOpenAddressing},
+		{"succinct", core.BackendSuccinct},
+	} {
+		path, ts, err := c.materialize(hspec, hr)
+		if err != nil {
+			rep.Notes = append(rep.Notes, err.Error())
+			break
+		}
+		src, err := collection.OpenFile(path)
+		if err != nil {
+			rep.Notes = append(rep.Notes, err.Error())
+			break
+		}
+		h, err := core.Build(src, ts, core.BuildOptions{
+			RequireComplete: true,
+			Backend:         bc.backend,
+		})
+		src.Close()
+		if err != nil {
+			rep.Notes = append(rep.Notes, err.Error())
+			continue
+		}
+		splits, err := extractAll(path, ts)
+		if err != nil {
+			rep.Notes = append(rep.Notes, err.Error())
+			continue
+		}
+		mq := memprof.Measure(func() error {
+			p := h.NewProber()
+			for pass := 0; pass < 2; pass++ {
+				for _, bs := range splits {
+					if _, err := p.AverageRFOfSplits(bs, core.Plain); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if mq.Err != nil {
+			rep.Notes = append(rep.Notes, mq.Err.Error())
+			continue
+		}
+		huge.AddRow(bc.label, hspec.NumTaxa, hr,
+			fmt.Sprintf("%.1f", float64(h.FootprintBytes())/(1<<20)),
+			fmt.Sprintf("%.4f", mq.Minutes()), h.UniqueBipartitions())
 	}
 
 	// --- worker scaling ------------------------------------------------------

@@ -41,14 +41,18 @@ const (
 	HashRF  Engine = "HashRF"
 	BFHRF8  Engine = "BFHRF8"
 	BFHRF16 Engine = "BFHRF16"
-	// BFHRFOA and BFHRFMAP are the hash-backend A/B pair, beyond the
-	// paper's six configurations: identical 8-worker BFHRF runs that pin
-	// the frequency hash to the open-addressing table or the legacy Go
-	// map. Their measured region is repeated query passes over
-	// pre-extracted bipartition sets (build and parsing excluded), so the
-	// OA/map ratio isolates the per-lookup cost the backend changes.
-	BFHRFOA  Engine = "BFHRF-OA"
-	BFHRFMAP Engine = "BFHRF-MAP"
+	// BFHRFOA, BFHRFMAP, and BFHRFSUCC are the hash-backend ablation
+	// trio, beyond the paper's six configurations: identical 8-worker
+	// BFHRF runs that pin the frequency hash to the open-addressing
+	// table, the legacy Go map, or the succinct compressed-key table.
+	// Their measured region is repeated query passes over pre-extracted
+	// bipartition sets (build and parsing excluded), so the ns/op ratios
+	// isolate the per-lookup cost each backend changes, and the peak-heap
+	// figure — table footprint plus in-region allocation — records the
+	// succinct arena's memory win on the huge-n workloads.
+	BFHRFOA   Engine = "BFHRF-OA"
+	BFHRFMAP  Engine = "BFHRF-MAP"
+	BFHRFSUCC Engine = "BFHRF-SUCC"
 	// BFHRFCACHED and BFHRFNOCACHE are the query-cache A/B pair on the
 	// replicate-heavy workload (see replicate.go): identical 8-worker
 	// probe passes over a repeat-dominated query stream, with and without
@@ -257,7 +261,7 @@ func (c *Config) MeasurePoint(engine Engine, spec dataset.Spec, r int) (memprof.
 		return c.runHashRF(src, ts)
 	case BFHRF8, BFHRF16:
 		return c.runBFHRF(engine, src, path, ts)
-	case BFHRFOA, BFHRFMAP:
+	case BFHRFOA, BFHRFMAP, BFHRFSUCC:
 		return c.runBFHRFBackend(engine, src, path, ts)
 	case BFHRFCACHED, BFHRFNOCACHE:
 		return c.runBFHRFReplicate(engine, src, ts, spec)
@@ -270,7 +274,7 @@ func workersOf(e Engine) int {
 	switch e {
 	case DS:
 		return 1
-	case DSMP8, BFHRF8, BFHRFOA, BFHRFMAP, BFHRFCACHED, BFHRFNOCACHE:
+	case DSMP8, BFHRF8, BFHRFOA, BFHRFMAP, BFHRFSUCC, BFHRFCACHED, BFHRFNOCACHE:
 		return 8
 	case DSMP16, BFHRF16:
 		return 16
@@ -334,21 +338,32 @@ func (c *Config) runHashRF(src *collection.File, ts *taxa.Set) (memprof.Measurem
 // band without changing their ratio.
 const backendQueryPasses = 100
 
+// hugeTaxaQueryPasses replaces backendQueryPasses once masks reach 4096
+// taxa: each pass is two orders of magnitude more work per probe, so ten
+// passes already put the measured region far beyond the comparator's
+// noise band without stretching the sweep.
+const hugeTaxaQueryPasses = 10
+
 func backendOf(engine Engine) core.Backend {
-	if engine == BFHRFMAP {
+	switch engine {
+	case BFHRFMAP:
 		return core.BackendMap
+	case BFHRFSUCC:
+		return core.BackendSuccinct
+	default:
+		return core.BackendOpenAddressing
 	}
-	return core.BackendOpenAddressing
 }
 
-// runBFHRFBackend measures the BFHRF-OA / BFHRF-MAP pair. The hash build
-// and the query-tree parsing/extraction both happen before measurement
-// starts: the two engines differ only in the frequency-hash backend, so
-// the recorded region is backendQueryPasses repeated AverageRFOfSplits
-// passes over pre-extracted bipartition sets. The ns/op ratio is then
-// lookup-dominated, and the peak-heap figure exposes per-lookup
-// allocation (the map backend's historical weakness) rather than the
-// table itself, which sits below the measurement baseline.
+// runBFHRFBackend measures the BFHRF-OA / BFHRF-MAP / BFHRF-SUCC trio.
+// The hash build and the query-tree parsing/extraction both happen before
+// measurement starts: the engines differ only in the frequency-hash
+// backend, so the recorded region is repeated AverageRFOfSplits passes
+// over pre-extracted bipartition sets and the ns/op ratio is
+// lookup-dominated. The pre-built table itself sits below the sampled
+// baseline, so its footprint is folded into the peak-heap figure via
+// MeasureWith — the record then reports what the backend actually holds,
+// which is the number the succinct arena shrinks.
 func (c *Config) runBFHRFBackend(engine Engine, src *collection.File, path string, ts *taxa.Set) (memprof.Measurement, float64, error) {
 	h, err := core.Build(src, ts, core.BuildOptions{
 		Workers:         workersOf(engine),
@@ -362,9 +377,13 @@ func (c *Config) runBFHRFBackend(engine Engine, src *collection.File, path strin
 	if err != nil {
 		return memprof.Measurement{}, 1, err
 	}
-	m := memprof.Measure(func() error {
+	passes := backendQueryPasses
+	if ts.Len() >= 4096 {
+		passes = hugeTaxaQueryPasses
+	}
+	m := memprof.MeasureWith(h.FootprintBytes, func() error {
 		p := h.NewProber()
-		for pass := 0; pass < backendQueryPasses; pass++ {
+		for pass := 0; pass < passes; pass++ {
 			for _, bs := range splits {
 				if _, err := p.AverageRFOfSplits(bs, core.Plain); err != nil {
 					return err

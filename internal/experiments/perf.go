@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/dataset"
 	"repro/internal/memprof"
@@ -31,6 +32,12 @@ var perfEngines = []Engine{DS, DSMP8, HashRF, BFHRF8}
 // open-addressing table's query-phase advantage over the legacy map.
 var avianEngines = []Engine{DS, DSMP8, HashRF, BFHRF8, BFHRFOA, BFHRFMAP}
 
+// hugeTaxaEngines is the succinct-backend ablation pair on the huge-n
+// workloads: identical probe passes with raw-word keys (BFHRF-OA) and
+// compressed arena keys (BFHRF-SUCC), recording the peak-heap-vs-ns/op
+// trade once raw keys are 512+ bytes.
+var hugeTaxaEngines = []Engine{BFHRFOA, BFHRFSUCC}
+
 // PerfIndex is the experiment index of the benchmark trajectory: one
 // point per dataset family, sized so that at the default scale every
 // measured operation is tens to hundreds of milliseconds — big enough
@@ -45,6 +52,12 @@ func PerfIndex() []PerfWorkload {
 		{ID: "avian-n48-r14446", Spec: dataset.Avian(), R: 14446, Engines: avianEngines},
 		{ID: "insect-n144-r10000", Spec: dataset.Insect(), R: 10000, Engines: []Engine{DS, DSMP8, BFHRF8}},
 		{ID: "vartaxa-n1000-r1000", Spec: dataset.VariableTaxa(1000), R: 1000, Engines: perfEngines},
+		// The huge-n points: raw bipartition keys are 512 and 1024 bytes,
+		// so the reference table's key storage dominates the heap and the
+		// succinct backend's compressed arena is measured against the
+		// open-addressing raw-word arena (see EXPERIMENTS.md, BENCH_0004).
+		{ID: "hugetaxa-n4096-r1000", Spec: dataset.HugeTaxa(4096), R: 1000, Engines: hugeTaxaEngines},
+		{ID: "hugetaxa-n8192-r1000", Spec: dataset.HugeTaxa(8192), R: 1000, Engines: hugeTaxaEngines},
 		{ID: "vartrees-n100-r10000", Spec: dataset.VariableTrees(10000), R: 10000, Engines: perfEngines},
 		{ID: "vartrees-n100-r50000", Spec: dataset.VariableTrees(50000), R: 50000, Engines: []Engine{HashRF, BFHRF8}},
 		// The replicate-heavy point: a repeat-dominated query stream over a
@@ -111,6 +124,11 @@ func (c *Config) PerfSweep(reps int) (*perfjson.Suite, error) {
 			if pass > 0 {
 				cl.ms = append(cl.ms, m)
 			}
+			// Inter-cell barrier: return the cell's heap to the OS so a
+			// large workload (the huge-n tables reach hundreds of MB)
+			// cannot bleed allocator state, RSS, or GC pacing into the
+			// next cell's measured region.
+			debug.FreeOSMemory()
 		}
 	}
 

@@ -1,0 +1,73 @@
+package simphy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// Caterpillar returns the fully pectinate (ladder) tree over a random
+// permutation of the catalogue, with unit branch lengths. Caterpillars
+// maximize tree depth (n-2 nested internal edges), so a collection of
+// label-permuted caterpillars is the depth-stress case for extraction and
+// the sparse-key case for the succinct backend: every internal bipartition
+// near the tip end has very few set bits.
+//
+// Construction is iterative and O(n): one permutation draw, one node per
+// taxon, no per-label scans — safe for the huge-n collections (n >= 4096)
+// that treegen -shape targets.
+func Caterpillar(ts *taxa.Set, rng *rand.Rand) *tree.Tree {
+	n := ts.Len()
+	if n < 2 {
+		panic(fmt.Sprintf("simphy: need at least 2 taxa, have %d", n))
+	}
+	perm := rng.Perm(n)
+	leaf := func(i int) *tree.Node {
+		return &tree.Node{Name: ts.Name(perm[i]), Length: 1, HasLength: true}
+	}
+	spine := &tree.Node{Length: 1, HasLength: true}
+	spine.AddChild(leaf(0))
+	spine.AddChild(leaf(1))
+	for i := 2; i < n; i++ {
+		parent := &tree.Node{Length: 1, HasLength: true}
+		parent.AddChild(spine)
+		parent.AddChild(leaf(i))
+		spine = parent
+	}
+	t := tree.New(spine)
+	t.Root.HasLength = false
+	t.Deroot()
+	return t
+}
+
+// BalancedBinary returns a maximally balanced binary tree over a random
+// permutation of the catalogue, with unit branch lengths: at every internal
+// node the taxa split as evenly as possible. Balanced trees minimize depth
+// (⌈log₂ n⌉) and make half the bipartitions dense — the cosparse-key case
+// for the succinct backend, and the opposite extreme from Caterpillar.
+//
+// Construction is O(n) (one permutation draw, one node per taxon).
+func BalancedBinary(ts *taxa.Set, rng *rand.Rand) *tree.Tree {
+	n := ts.Len()
+	if n < 2 {
+		panic(fmt.Sprintf("simphy: need at least 2 taxa, have %d", n))
+	}
+	perm := rng.Perm(n)
+	var build func(lo, hi int) *tree.Node
+	build = func(lo, hi int) *tree.Node {
+		if hi-lo == 1 {
+			return &tree.Node{Name: ts.Name(perm[lo]), Length: 1, HasLength: true}
+		}
+		mid := lo + (hi-lo+1)/2
+		p := &tree.Node{Length: 1, HasLength: true}
+		p.AddChild(build(lo, mid))
+		p.AddChild(build(mid, hi))
+		return p
+	}
+	t := tree.New(build(0, n))
+	t.Root.HasLength = false
+	t.Deroot()
+	return t
+}

@@ -1,0 +1,149 @@
+package simphy
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+func validShapeTree(t *testing.T, tr *tree.Tree, ts *taxa.Set, label string) {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("%s: invalid tree: %v", label, err)
+	}
+	if tr.NumLeaves() != ts.Len() {
+		t.Fatalf("%s: leaves = %d, want %d", label, tr.NumLeaves(), ts.Len())
+	}
+	if ts.Len() >= 3 && !tr.IsBinaryUnrooted() {
+		t.Errorf("%s: not binary unrooted", label)
+	}
+	names := tr.LeafNames()
+	sort.Strings(names)
+	for i, name := range names {
+		if name != ts.Name(i) {
+			t.Fatalf("%s: taxa mismatch at %d: %q != %q", label, i, name, ts.Name(i))
+		}
+	}
+}
+
+func TestCaterpillarShape(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 10, 64, 200} {
+		ts := taxa.Generate(n)
+		tr := Caterpillar(ts, rand.New(rand.NewSource(int64(n))))
+		validShapeTree(t, tr, ts, "caterpillar")
+		// Pectinate: maximum leaf depth is n-1 edges from the (derooted)
+		// root for n >= 4.
+		if n >= 4 {
+			maxDepth := 0
+			var walk func(nd *tree.Node, d int)
+			walk = func(nd *tree.Node, d int) {
+				if nd.IsLeaf() && d > maxDepth {
+					maxDepth = d
+				}
+				for _, c := range nd.Children {
+					walk(c, d+1)
+				}
+			}
+			walk(tr.Root, 0)
+			if want := n - 2; maxDepth != want {
+				t.Errorf("caterpillar n=%d: max leaf depth = %d, want %d", n, maxDepth, want)
+			}
+		}
+	}
+}
+
+func TestBalancedBinaryShape(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 10, 64, 200} {
+		ts := taxa.Generate(n)
+		tr := BalancedBinary(ts, rand.New(rand.NewSource(int64(n))))
+		validShapeTree(t, tr, ts, "balanced")
+		// Balanced: depth is logarithmic — far below the pectinate n-2.
+		maxDepth := 0
+		var walk func(nd *tree.Node, d int)
+		walk = func(nd *tree.Node, d int) {
+			if nd.IsLeaf() && d > maxDepth {
+				maxDepth = d
+			}
+			for _, c := range nd.Children {
+				walk(c, d+1)
+			}
+		}
+		walk(tr.Root, 0)
+		if n >= 16 && maxDepth > 2+logCeil2(n) {
+			t.Errorf("balanced n=%d: max leaf depth = %d, want <= %d", n, maxDepth, 2+logCeil2(n))
+		}
+	}
+}
+
+func logCeil2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+func TestShapesPermuteLabels(t *testing.T) {
+	ts := taxa.Generate(32)
+	a := Caterpillar(ts, rand.New(rand.NewSource(1)))
+	b := Caterpillar(ts, rand.New(rand.NewSource(2)))
+	an, bn := a.LeafNames(), b.LeafNames()
+	same := true
+	for i := range an {
+		if an[i] != bn[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should permute caterpillar labels")
+	}
+	// Same seed must be reproducible.
+	c := Caterpillar(ts, rand.New(rand.NewSource(1)))
+	cn := c.LeafNames()
+	for i := range an {
+		if an[i] != cn[i] {
+			t.Fatal("same seed should give identical trees")
+		}
+	}
+}
+
+// TestShapesHugeNLinear guards the satellite requirement that shape
+// generation stays linear in n: building at n=8192 must cost well under
+// 16x the n=512 build (quadratic handling would be ~256x).
+func TestShapesHugeNLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	timeBuild := func(n int, mk func(*taxa.Set, *rand.Rand) *tree.Tree) time.Duration {
+		ts := taxa.Generate(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		mk(ts, rng) // warmup
+		const reps = 5
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			mk(ts, rng)
+		}
+		return time.Since(start) / reps
+	}
+	for _, mk := range []struct {
+		name string
+		f    func(*taxa.Set, *rand.Rand) *tree.Tree
+	}{
+		{"caterpillar", Caterpillar},
+		{"balanced", BalancedBinary},
+	} {
+		small := timeBuild(512, mk.f)
+		big := timeBuild(8192, mk.f)
+		// 16x the input; allow generous constant-factor slack (64x) while
+		// still catching a quadratic (256x) regression.
+		if small > 0 && big > 64*small {
+			t.Errorf("%s: n=8192 took %v vs n=512 %v (> 64x — superlinear label handling?)",
+				mk.name, big, small)
+		}
+	}
+}
