@@ -3,8 +3,8 @@
 #
 #   ./ci.sh            gofmt + doc gate + vet + build + tests + race (fast
 #                      subset, incl. the distrib failover/health tests) +
-#                      fuzz smoke + admin smoke
-#   CI_PERF=1 ./ci.sh  additionally gate the perf sweep against BENCH_0004.json
+#                      fuzz smoke + admin smoke + snapshot round-trip smoke
+#   CI_PERF=1 ./ci.sh  additionally gate the perf sweep against BENCH_0005.json
 #
 # The perf gate is opt-in because wall-clock measurements on a loaded CI
 # machine can exceed the noise threshold without any code change; run it
@@ -56,6 +56,10 @@ echo "== chaos smoke (seeded fault schedules under -race) =="
 go test -race -run 'TestChaos' -count=1 ./internal/faultinject
 go test -run 'TestCrashAndResume|TestCorruptCheckpointQuarantine|TestResumeRejectsForeignCheckpoint' \
   -count=1 ./cmd/bfhrf
+# Kill-and-reload chaos for the snapshot store: crash inside every
+# window of the epoch publish/reap protocol, then reload and demand
+# byte-identical answers.
+go test -run 'TestSnapshotCrashAndReload|TestDeltaMatchesScratchBuild' -count=1 ./cmd/bfhrf
 
 echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/newick
@@ -63,6 +67,7 @@ go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/nexus
 go test -run='^$' -fuzz=FuzzTable -fuzztime=10s ./internal/bfhtable
 go test -run='^$' -fuzz=FuzzSuccinct -fuzztime=10s ./internal/bfhtable
 go test -run='^$' -fuzz=FuzzFingerprint -fuzztime=10s ./internal/core
+go test -run='^$' -fuzz=FuzzSnapshot -fuzztime=10s ./internal/bfhsnap
 
 echo "== bfhrfd admin endpoint smoke =="
 # Start a worker on ephemeral RPC+admin ports, scrape /healthz and
@@ -103,9 +108,26 @@ go build -o "$tmpdir/tracevet" ./cmd/tracevet
 "$tmpdir/tracevet" -min-traces 1 "$tmpdir/traces.jsonl"
 grep -q "slow query" "$tmpdir/trace.log" || { echo "ci.sh: -slow-query 1ns produced no slow-query log line" >&2; exit 1; }
 
+echo "== snapshot round-trip smoke (save → load → identical answers, all backends) =="
+# For each hash backend: build from the reference file and persist an
+# epoch, then answer the same queries from the loaded snapshot and from
+# the fresh build; outputs must be byte-identical.
+"$tmpdir/treegen" -n 24 -r 60 -seed 11 -out "$tmpdir/snaprefs.nwk"
+"$tmpdir/treegen" -n 24 -r 60 -seed 12 -queries 8 -moves 2 -out "$tmpdir/snapq.nwk"
+for backend in openaddr map succinct; do
+  snapdir="$tmpdir/snap-$backend"
+  "$tmpdir/bfhrf" -ref "$tmpdir/snaprefs.nwk" -query "$tmpdir/snapq.nwk" -backend "$backend" \
+    -save-bfh "$snapdir" -o "$tmpdir/built-$backend.tsv" >/dev/null
+  "$tmpdir/bfhrf" -load-bfh "$snapdir" -query "$tmpdir/snapq.nwk" \
+    -o "$tmpdir/loaded-$backend.tsv" >/dev/null
+  cmp "$tmpdir/built-$backend.tsv" "$tmpdir/loaded-$backend.tsv" \
+    || { echo "ci.sh: $backend snapshot round trip changed the answers" >&2; exit 1; }
+done
+echo "snapshot smoke: save/load round trip byte-identical for all three backends"
+
 if [[ "${CI_PERF:-0}" == "1" ]]; then
-  echo "== perf gate (rfbench -compare BENCH_0004.json) =="
-  go run ./cmd/rfbench -compare BENCH_0004.json -threshold 0.10 -reps 5
+  echo "== perf gate (rfbench -compare BENCH_0005.json) =="
+  go run ./cmd/rfbench -compare BENCH_0005.json -threshold 0.10 -reps 5
 fi
 
 echo "ci.sh: all checks passed"

@@ -39,6 +39,8 @@ func TestCLIHelpMentionsEveryFlag(t *testing.T) {
 			"o", "checkpoint", "checkpoint-interval", "resume",
 			"skip-bad-trees", "bad-tree-log",
 			"max-taxa", "max-tree-bytes", "max-input-bytes",
+			"backend", "hash-shards",
+			"save-bfh", "load-bfh", "delta-add", "delta-retire", "compact-bfh",
 		}, append(sharedProfFlags, append(sharedLogFlags, sharedTraceFlags...)...)...)},
 		{"bfhrfd", append([]string{
 			"serve", "workers", "ref", "query", "compress", "chunk", "batch",
@@ -47,6 +49,7 @@ func TestCLIHelpMentionsEveryFlag(t *testing.T) {
 			"query-cache", "query-cache-size", "query-cache-bytes",
 			"o", "checkpoint", "checkpoint-interval", "resume",
 			"skip-bad-trees", "max-taxa", "max-tree-bytes", "max-input-bytes",
+			"save-bfh", "load-bfh",
 			"mutex-profile-fraction", "block-profile-rate",
 		}, append(sharedProfFlags, append(sharedLogFlags, sharedTraceFlags...)...)...)},
 		{"rfdist", append([]string{

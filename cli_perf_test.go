@@ -159,6 +159,40 @@ func TestCLICommittedBaselineIsValid(t *testing.T) {
 	}
 }
 
+func TestCLISnapshotLoadBeatsRebuild(t *testing.T) {
+	// The committed BENCH_0005 baseline must record the snapshot win the
+	// docs claim: on the huge-taxa point, loading a persisted epoch is at
+	// least 5x faster than rebuilding the table from the Newick file. The
+	// assertion is on the committed numbers, not a fresh measurement, so it
+	// is immune to CI noise — but a regenerated baseline that loses the win
+	// cannot land.
+	suite, err := perfjson.ReadFile("BENCH_0005.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workload = "hugetaxa-n4096-r1000"
+	var load, rebuild *perfjson.Record
+	for i := range suite.Records {
+		r := &suite.Records[i]
+		if r.Workload != workload {
+			continue
+		}
+		switch r.Engine {
+		case "BFHRF-LOAD":
+			load = r
+		case "BFHRF-REBUILD":
+			rebuild = r
+		}
+	}
+	if load == nil || rebuild == nil {
+		t.Fatalf("BENCH_0005.json must record both BFHRF-LOAD and BFHRF-REBUILD on %s", workload)
+	}
+	if ratio := float64(rebuild.NsOpMedian) / float64(load.NsOpMedian); ratio < 5 {
+		t.Errorf("snapshot load is only %.1fx faster than rebuild on %s (median %d vs %d ns/op), want >= 5x",
+			ratio, workload, load.NsOpMedian, rebuild.NsOpMedian)
+	}
+}
+
 func TestCLIBfhrfProfilingHooks(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI tests in -short mode")

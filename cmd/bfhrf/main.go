@@ -60,6 +60,11 @@ type cliOptions struct {
 	checkpointEvery    int
 	resume             bool
 	badTreeLog         string
+	saveDir            string
+	loadDir            string
+	deltaAdd           string
+	deltaRetire        string
+	compactDir         string
 }
 
 func main() {
@@ -72,6 +77,13 @@ func main() {
 	flag.IntVar(&o.cfg.MaxSplitSize, "max-split", 0, "drop bipartitions whose smaller side has more taxa (0 = no bound)")
 	flag.BoolVar(&o.cfg.IntersectTaxa, "intersect-taxa", false, "variable-taxa mode: restrict all trees to their common taxa")
 	flag.BoolVar(&o.cfg.CompressKeys, "compress", false, "store losslessly compressed bipartition keys (lower memory; selects the map hash backend)")
+	flag.StringVar(&o.cfg.Backend, "backend", "auto", "hash backend: auto | openaddr | map | succinct")
+	flag.IntVar(&o.cfg.HashShards, "hash-shards", 0, "hash shard count, a power of two (0 = default; more shards = finer snapshot deltas)")
+	flag.StringVar(&o.saveDir, "save-bfh", "", "after building the hash from -ref, publish it as the next epoch of this snapshot directory")
+	flag.StringVar(&o.loadDir, "load-bfh", "", "load the hash from this snapshot directory instead of building from -ref")
+	flag.StringVar(&o.deltaAdd, "delta-add", "", "with -load-bfh: append this Newick file's trees and publish a delta epoch")
+	flag.StringVar(&o.deltaRetire, "delta-retire", "", "with -load-bfh: remove this Newick file's trees and publish a delta epoch")
+	flag.StringVar(&o.compactDir, "compact-bfh", "", "delete all epochs but the current one in this snapshot directory, then exit")
 	queryCache := flag.Bool("query-cache", true, "answer exact topological repeats from the topology-fingerprint result cache (plain/normalized variants)")
 	flag.IntVar(&o.cfg.QueryCacheEntries, "query-cache-size", 0, "query-cache capacity in entries (0 = default 65536)")
 	flag.Int64Var(&o.cfg.QueryCacheBytes, "query-cache-bytes", 0, "query-cache memory cap in bytes (0 = default 8 MiB)")
@@ -129,7 +141,24 @@ func main() {
 }
 
 func run(o *cliOptions) int {
-	if o.refPath == "" {
+	if o.compactDir != "" {
+		remaining, err := repro.CompactSnapshots(o.compactDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bfhrf: compacted %s: %d epoch(s) remain\n", o.compactDir, remaining)
+		return 0
+	}
+	if o.loadDir != "" && o.refPath != "" {
+		fmt.Fprintln(os.Stderr, "bfhrf: -load-bfh and -ref are mutually exclusive (the snapshot is the reference collection)")
+		return 2
+	}
+	if (o.deltaAdd != "" || o.deltaRetire != "") && o.loadDir == "" {
+		fmt.Fprintln(os.Stderr, "bfhrf: -delta-add/-delta-retire require -load-bfh")
+		return 2
+	}
+	if o.refPath == "" && o.loadDir == "" {
 		fmt.Fprintln(os.Stderr, "bfhrf: -ref is required")
 		flag.Usage()
 		return 2
@@ -183,7 +212,18 @@ func run(o *cliOptions) int {
 		}
 	}()
 
-	results, err := repro.AverageRFFilesResumable(q, o.refPath, o.cfg, repro.RunOptions{
+	if o.loadDir != "" || o.saveDir != "" {
+		return snapshotMode(o, cancel)
+	}
+
+	results, err := repro.AverageRFFilesResumable(q, o.refPath, o.cfg, runOptions(o, cancel))
+	return finish(o, results, err)
+}
+
+// runOptions builds the checkpoint/cancel wiring shared by the build-
+// and-query path and the snapshot modes.
+func runOptions(o *cliOptions, cancel <-chan struct{}) repro.RunOptions {
+	return repro.RunOptions{
 		CheckpointPath:     o.checkpointPath,
 		CheckpointInterval: o.checkpointEvery,
 		Resume:             o.resume,
@@ -191,7 +231,62 @@ func run(o *cliOptions) int {
 		OnResume: func(done int) {
 			fmt.Fprintf(os.Stderr, "bfhrf: resuming from %s: %d queries already done\n", o.checkpointPath, done)
 		},
-	})
+	}
+}
+
+// snapshotMode services -save-bfh and -load-bfh: the hash comes from a
+// fresh build (save) or from the snapshot store (load, optionally with a
+// delta publish), and any requested queries then run against it without
+// a rebuild.
+func snapshotMode(o *cliOptions, cancel <-chan struct{}) int {
+	var h *repro.Hash
+	var err error
+	switch {
+	case o.loadDir != "" && (o.deltaAdd != "" || o.deltaRetire != ""):
+		var d repro.SnapshotDelta
+		h, d, err = repro.DeltaHashSnapshot(o.loadDir, o.deltaAdd, o.deltaRetire, o.cfg)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "bfhrf: delta epoch %d over %d: %d part(s) rewritten, %d hard-linked\n",
+				d.Epoch, d.Base, d.PartsWritten, d.PartsLinked)
+		}
+	case o.loadDir != "":
+		h, err = repro.LoadHashSnapshot(o.loadDir, o.cfg)
+	default:
+		h, err = repro.BuildHashFile(o.refPath, o.cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
+		return 1
+	}
+	if o.saveDir != "" {
+		epoch, err := h.SaveSnapshot(o.saveDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfhrf: %v\n", err)
+			return 1
+		}
+		st := h.Stats()
+		fmt.Fprintf(os.Stderr, "bfhrf: saved epoch %d to %s (%d trees, %d unique bipartitions)\n",
+			epoch, o.saveDir, st.NumTrees, st.UniqueBipartitions)
+	}
+	q := o.queryPath
+	if q == "" && o.refPath != "" {
+		q = o.refPath // -save-bfh keeps the Q-is-R default
+	}
+	if q == "" {
+		// A pure delta or compaction run has nothing to query; a plain
+		// -load-bfh with no work at all is a usage error.
+		if o.deltaAdd == "" && o.deltaRetire == "" {
+			fmt.Fprintln(os.Stderr, "bfhrf: -load-bfh needs -query (or -delta-add/-delta-retire)")
+			return 2
+		}
+		return 0
+	}
+	results, err := h.AverageRFFileResumable(q, runOptions(o, cancel))
+	return finish(o, results, err)
+}
+
+// finish reports a completed (or interrupted) query run.
+func finish(o *cliOptions, results []repro.Result, err error) int {
 	if errors.Is(err, repro.ErrCanceled) {
 		if o.checkpointPath != "" {
 			fmt.Fprintf(os.Stderr, "bfhrf: interrupted after %d queries; checkpoint %s is valid — rerun with -resume to continue\n",

@@ -1,0 +1,154 @@
+package main
+
+// Kill-and-reload chaos for the epoch-versioned snapshot store: the real
+// bfhrf binary is hard-killed (exit 137) inside each window of the
+// publish and reap protocols — mid section write, before the epoch
+// directory rename, between the rename and the CURRENT update, and mid
+// reap — and after every crash a plain reload must serve byte-identical
+// query results. This is the failure-model promise "a crash never leaves
+// a partially visible epoch" driven end to end.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotCrashAndReload(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	rp := filepath.Join(dir, "refs.nwk")
+	qp := filepath.Join(dir, "queries.nwk")
+	ap := filepath.Join(dir, "add.nwk")
+	writeCollection(t, rp, 11, 14, 20)
+	writeCollection(t, qp, 12, 14, 6)
+	writeCollection(t, ap, 13, 14, 2)
+	snap := filepath.Join(dir, "snap")
+	out := filepath.Join(dir, "out.txt")
+
+	// Baseline: build, publish epoch 1, and query it.
+	code, msg := runBin(t, bin, nil, "-ref", rp, "-query", qp, "-cpus", "1",
+		"-hash-shards", "8", "-save-bfh", snap, "-o", out)
+	if code != 0 {
+		t.Fatalf("baseline save failed (%d): %s", code, msg)
+	}
+	want, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// loadMatches reloads the store with no faults and checks the answers.
+	loadMatches := func(stage string) {
+		t.Helper()
+		os.Remove(out)
+		code, msg := runBin(t, bin, nil, "-load-bfh", snap, "-query", qp, "-cpus", "1", "-o", out)
+		if code != 0 {
+			t.Fatalf("%s: reload failed (%d): %s", stage, code, msg)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: reloaded answers differ from baseline:\ngot:\n%s\nwant:\n%s", stage, got, want)
+		}
+	}
+
+	// Crash a re-publish inside each window of the protocol. Epoch 1 must
+	// keep serving after every one.
+	for _, c := range []struct{ name, fault string }{
+		{"mid section write", "snap.write:crash@2"},
+		{"before epoch rename", "snap.rename:crash@1"},
+		{"before CURRENT update", "snap.rename:crash@2"},
+	} {
+		code, msg := runBin(t, bin, []string{"BFHRF_FAULTS=" + c.fault},
+			"-ref", rp, "-cpus", "1", "-hash-shards", "8", "-save-bfh", snap, "-query", qp, "-o", out)
+		if code != 137 {
+			t.Fatalf("%s: crash run exited %d, want 137: %s", c.name, code, msg)
+		}
+		loadMatches("after crash " + c.name)
+	}
+
+	// A crashed delta publish must also leave the base epoch intact.
+	code, msg = runBin(t, bin, []string{"BFHRF_FAULTS=snap.rename:crash@2"},
+		"-load-bfh", snap, "-delta-add", ap, "-cpus", "1")
+	if code != 137 {
+		t.Fatalf("delta crash run exited %d, want 137: %s", code, msg)
+	}
+	loadMatches("after crashed delta")
+
+	// Publish a second epoch so compaction has something to reap, then
+	// kill it mid reap; the current epoch must be untouched.
+	code, msg = runBin(t, bin, nil, "-ref", rp, "-cpus", "1", "-hash-shards", "8", "-save-bfh", snap)
+	if code != 0 {
+		t.Fatalf("second save failed (%d): %s", code, msg)
+	}
+	code, msg = runBin(t, bin, []string{"BFHRF_FAULTS=snap.reap:crash@1"}, "-compact-bfh", snap)
+	if code != 137 {
+		t.Fatalf("reap crash run exited %d, want 137: %s", code, msg)
+	}
+	loadMatches("after crashed reap")
+	code, msg = runBin(t, bin, nil, "-compact-bfh", snap)
+	if code != 0 {
+		t.Fatalf("compaction after crash failed (%d): %s", code, msg)
+	}
+	loadMatches("after recovery compaction")
+}
+
+// TestDeltaMatchesScratchBuild is the equivalence wall at the CLI level:
+// a delta-published epoch must answer queries byte-identically to a
+// from-scratch build over the updated collection.
+func TestDeltaMatchesScratchBuild(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	rp := filepath.Join(dir, "refs.nwk")
+	qp := filepath.Join(dir, "queries.nwk")
+	ap := filepath.Join(dir, "add.nwk")
+	writeCollection(t, rp, 21, 16, 25)
+	writeCollection(t, qp, 22, 16, 7)
+	writeCollection(t, ap, 23, 16, 2)
+	snap := filepath.Join(dir, "snap")
+
+	code, msg := runBin(t, bin, nil, "-ref", rp, "-cpus", "1", "-hash-shards", "16", "-save-bfh", snap)
+	if code != 0 {
+		t.Fatalf("save failed (%d): %s", code, msg)
+	}
+	outDelta := filepath.Join(dir, "delta.out")
+	code, msg = runBin(t, bin, nil, "-load-bfh", snap, "-delta-add", ap,
+		"-query", qp, "-cpus", "1", "-o", outDelta)
+	if code != 0 {
+		t.Fatalf("delta run failed (%d): %s", code, msg)
+	}
+
+	// From-scratch reference over refs+add.
+	refs, err := os.ReadFile(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add, err := os.ReadFile(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := filepath.Join(dir, "combined.nwk")
+	if err := os.WriteFile(combined, append(refs, add...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outScratch := filepath.Join(dir, "scratch.out")
+	code, msg = runBin(t, bin, nil, "-ref", combined, "-query", qp, "-cpus", "1", "-o", outScratch)
+	if code != 0 {
+		t.Fatalf("scratch run failed (%d): %s", code, msg)
+	}
+
+	got, err := os.ReadFile(outDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(outScratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("delta epoch answers differ from scratch build:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

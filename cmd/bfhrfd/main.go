@@ -83,6 +83,8 @@ func main() {
 		refPath   = flag.String("ref", "", "reference tree collection (coordinator mode)")
 		queryPath = flag.String("query", "", "query tree collection; defaults to -ref (coordinator mode)")
 		compress  = flag.Bool("compress", false, "store losslessly compressed bipartition keys on the shards (selects the map hash backend; coordinator mode)")
+		saveBfh   = flag.String("save-bfh", "", "after loading -ref, persist the cluster's shards as a worker-layout snapshot epoch in this directory (coordinator mode)")
+		loadBfh   = flag.String("load-bfh", "", "restore the cluster from the snapshot directory's current epoch instead of loading -ref (coordinator mode)")
 		chunk     = flag.Int("chunk", 512, "reference trees per load RPC (coordinator mode)")
 		batch     = flag.Int("batch", 256, "query trees per query RPC (coordinator mode)")
 		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9090)")
@@ -192,6 +194,8 @@ func main() {
 			maxTaxa:         *maxTaxa,
 			maxTreeBytes:    *maxTreeBytes,
 			maxInputBytes:   *maxInputBytes,
+			saveDir:         *saveBfh,
+			loadDir:         *loadBfh,
 		})
 	}
 	if err := stop(); err != nil {
@@ -218,6 +222,7 @@ var coordinatorOnly = []string{
 	"query-cache", "query-cache-size", "query-cache-bytes",
 	"o", "checkpoint", "checkpoint-interval", "resume",
 	"skip-bad-trees", "max-taxa", "max-tree-bytes", "max-input-bytes",
+	"save-bfh", "load-bfh",
 }
 
 // setFlags reports which flags were explicitly set on the command line.
@@ -313,6 +318,7 @@ type coordConfig struct {
 	skipBadTrees                           bool
 	maxTaxa, maxTreeBytes                  int
 	maxInputBytes                          int64
+	saveDir, loadDir                       string
 }
 
 // ingest translates the hardening flags to collection options; skipped
@@ -346,9 +352,17 @@ func (cfg coordConfig) resultKey() string {
 }
 
 func runCoordinator(cfg coordConfig) int {
-	if cfg.refPath == "" {
+	if cfg.loadDir != "" && cfg.refPath != "" {
+		fmt.Fprintln(os.Stderr, "bfhrfd: -load-bfh and -ref are mutually exclusive (the snapshot is the reference collection)")
+		return 2
+	}
+	if cfg.refPath == "" && cfg.loadDir == "" {
 		fmt.Fprintln(os.Stderr, "bfhrfd: -ref is required in coordinator mode")
 		flag.Usage()
+		return 2
+	}
+	if cfg.loadDir != "" && cfg.queryPath == "" {
+		fmt.Fprintln(os.Stderr, "bfhrfd: -load-bfh needs -query (no reference file to default to)")
 		return 2
 	}
 	if cfg.resume && cfg.checkpointPath == "" {
@@ -404,21 +418,35 @@ func runCoordinator(cfg coordConfig) int {
 		defer adm.Shutdown() //nolint:errcheck — best-effort drain on exit
 	}
 
-	refs, err := collection.OpenFileOpts(cfg.refPath, cfg.ingest())
-	if err != nil {
-		return fail(err)
+	if cfg.loadDir != "" {
+		if err := coord.LoadSnapshotContext(ctx, cfg.loadDir); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "bfhrfd: restored snapshot %s across %d workers\n", cfg.loadDir, coord.NumWorkers())
+	} else {
+		refs, err := collection.OpenFileOpts(cfg.refPath, cfg.ingest())
+		if err != nil {
+			return fail(err)
+		}
+		defer refs.Close()
+		_, span := obs.StartSpan(nil, "coord.scan_taxa")
+		ts, err := collection.ScanTaxa(refs)
+		span.End()
+		if err != nil {
+			return fail(err)
+		}
+		if err := coord.LoadContext(ctx, refs, ts, cfg.compress); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "bfhrfd: loaded references across %d workers\n", coord.NumWorkers())
 	}
-	defer refs.Close()
-	_, span := obs.StartSpan(nil, "coord.scan_taxa")
-	ts, err := collection.ScanTaxa(refs)
-	span.End()
-	if err != nil {
-		return fail(err)
+	if cfg.saveDir != "" {
+		epoch, err := coord.SaveSnapshotsContext(ctx, cfg.saveDir)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "bfhrfd: saved snapshot epoch %d to %s\n", epoch, cfg.saveDir)
 	}
-	if err := coord.LoadContext(ctx, refs, ts, cfg.compress); err != nil {
-		return fail(err)
-	}
-	fmt.Fprintf(os.Stderr, "bfhrfd: loaded references across %d workers\n", coord.NumWorkers())
 
 	if cfg.healthInterval > 0 {
 		stopHealth := coord.StartHealthLoop(cfg.healthInterval)

@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"io/fs"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Every durable artifact is identified by a magic string declared as a
+// `Magic`/`magic` constant in its owning package. FORMATS.md is the
+// byte-level spec for all of them; a new format (or a changed magic)
+// that skips the spec is exactly the drift this gate exists to catch.
+func TestFormatsSpecCoversEveryMagic(t *testing.T) {
+	spec, err := os.ReadFile("FORMATS.md")
+	if err != nil {
+		t.Fatalf("reading FORMATS.md: %v", err)
+	}
+	magicDecl := regexp.MustCompile(`const\s+[Mm]agic\s*=\s*"([^"]+)"`)
+
+	found := map[string][]string{} // magic -> declaring files
+	err = fs.WalkDir(os.DirFS("."), ".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range magicDecl.FindAllSubmatch(src, -1) {
+			magic := string(m[1])
+			found[magic] = append(found[magic], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The two formats this repo ships today; shrinking this set means a
+	// format was dropped and FORMATS.md needs a matching edit.
+	for _, want := range []string{"BFHSNAP1", "bfhrf-checkpoint v1"} {
+		if len(found[want]) == 0 {
+			t.Errorf("no package declares magic %q anymore; update this test and FORMATS.md together", want)
+		}
+	}
+	for magic, files := range found {
+		if !strings.Contains(string(spec), magic) {
+			t.Errorf("magic %q (declared in %s) is not documented in FORMATS.md", magic, strings.Join(files, ", "))
+		}
+	}
+}

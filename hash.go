@@ -42,12 +42,11 @@ func buildHash(r collection.Source, cfg Config) (*Hash, error) {
 	if err != nil {
 		return nil, err
 	}
-	h, err := core.Build(r, ts, core.BuildOptions{
-		Workers:         cfg.Workers,
-		Filter:          cfg.filter(ts.Len()),
-		RequireComplete: true,
-		CompressKeys:    cfg.CompressKeys,
-	})
+	bo, err := cfg.buildOptions(ts)
+	if err != nil {
+		return nil, err
+	}
+	h, err := core.Build(r, ts, bo)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,55 @@
+package bfhsnap_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bfhsnap"
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/simphy"
+	"repro/internal/taxa"
+	"repro/internal/tree"
+)
+
+// Example builds a BFH over a small reference collection, saves it to a
+// single snapshot file, and loads it back without re-parsing a single
+// tree. The loaded hash answers queries exactly like the original.
+func Example() {
+	ts := taxa.Generate(24)
+	rng := rand.New(rand.NewSource(7))
+	trees := make([]*tree.Tree, 50)
+	for i := range trees {
+		trees[i] = simphy.RandomBinary(ts, rng)
+	}
+	h, err := core.Build(collection.FromTrees(trees), ts, core.BuildOptions{
+		RequireComplete: true, Workers: 1, Backend: core.BackendOpenAddressing,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	dir, err := os.MkdirTemp("", "bfhsnap-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ref.bfh")
+
+	if _, err := bfhsnap.SaveFile(path, h); err != nil {
+		panic(err)
+	}
+	loaded, hdr, err := bfhsnap.LoadFile(path)
+	if err != nil {
+		panic(err)
+	}
+
+	q := simphy.RandomBinary(ts, rng)
+	a, _ := h.AverageRFOne(q, core.QueryOptions{RequireComplete: true})
+	b, _ := loaded.AverageRFOne(q, core.QueryOptions{RequireComplete: true})
+	fmt.Printf("backend=%s trees=%d identical=%v\n", hdr.Backend, hdr.Trees, a == b)
+	// Output:
+	// backend=openaddr trees=50 identical=true
+}

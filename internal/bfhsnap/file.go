@@ -1,0 +1,80 @@
+package bfhsnap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/atomicio"
+	"repro/internal/core"
+)
+
+// Whole-file save/load: the single-stream convenience layer used directly
+// for standalone .bfh files and by the epoch store for its part files.
+
+// SaveFile atomically writes a complete snapshot of h to path and returns
+// the bytes written. The write is crash-safe (temp file + fsync + rename
+// via internal/atomicio): a crash mid-save leaves any previous file
+// intact.
+func SaveFile(path string, h *core.FreqHash) (int64, error) {
+	f, err := atomicio.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	n, err := WriteStream(bw, h, 0, h.NumShards())
+	if err != nil {
+		return n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("bfhsnap: writing %s: %w", path, err)
+	}
+	return n, f.Commit()
+}
+
+// LoadFile loads a complete single-stream snapshot.
+func LoadFile(path string) (*core.FreqHash, *Header, error) {
+	start := time.Now()
+	f, size, err := openSized(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	h, hdr, err := ReadStream(bufio.NewReaderSize(f, 1<<20), size)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bfhsnap: loading %s: %w", path, err)
+	}
+	mSnapshotLoadSeconds.Observe(time.Since(start).Seconds())
+	return h, hdr, nil
+}
+
+// ReadHeaderFile decodes just the header of a snapshot file — enough to
+// learn the taxa, backend, and shard range without loading any storage.
+func ReadHeaderFile(path string) (*Header, error) {
+	f, size, err := openSized(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hdr, err := ReadHeader(bufio.NewReaderSize(f, 1<<16), size)
+	if err != nil {
+		return nil, fmt.Errorf("bfhsnap: reading %s: %w", path, err)
+	}
+	return hdr, nil
+}
+
+func openSized(path string) (io.ReadCloser, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bfhsnap: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("bfhsnap: %w", err)
+	}
+	return f, st.Size(), nil
+}

@@ -1,0 +1,20 @@
+package bfhsnap
+
+import "repro/internal/obs"
+
+// Snapshot telemetry (README "Metrics" table). Load latency covers the
+// full stream decode and adopt; the byte counters split save and load
+// traffic; the epoch gauge tracks how many epoch directories exist on
+// disk, so a reaping failure (or pinned stale epoch) is visible as a
+// plateau above 1.
+var (
+	mSnapshotLoadSeconds = obs.Histogram("bfhrf_snapshot_load_seconds",
+		"Wall time to load a BFH snapshot (all parts) into a servable hash.",
+		obs.DefLatencyBuckets)
+	mSnapshotBytesSave = obs.Counter("bfhrf_snapshot_bytes",
+		"Snapshot stream bytes processed, by operation.", obs.L("op", "save"))
+	mSnapshotBytesLoad = obs.Counter("bfhrf_snapshot_bytes",
+		"Snapshot stream bytes processed, by operation.", obs.L("op", "load"))
+	mEpochActive = obs.Gauge("bfhrf_epoch_active",
+		"Epoch directories currently on disk in the snapshot store.")
+)

@@ -1,312 +1,53 @@
 package distrib
 
 import (
-	"encoding/binary"
+	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
+	"os"
+	"path/filepath"
 
+	"repro/internal/bfhsnap"
 	"repro/internal/bfhtable"
 	"repro/internal/core"
 	"repro/internal/taxa"
 )
 
-// Shard snapshots: a compact, shard-aware binary serialization of a
-// worker's partial frequency hash. A snapshot captures the hash itself —
-// not the reference trees — so restoring costs one pass over the entries
-// instead of a re-parse and re-extract of the shard's collection. Because
-// entries are serialized as raw canonical mask words grouped by hash
-// shard, the encoder walks the open-addressing table's arenas without
-// materializing keys, and the layout is backend-independent on restore.
+// Shard snapshots: a worker's partial frequency hash, serialized in the
+// shared bfhsnap stream format (see FORMATS.md). A snapshot captures the
+// hash itself — not the reference trees — so restoring costs one pass
+// over the storage instead of a re-parse and re-extract of the shard's
+// collection. Both sides stream: the encoder walks the table arenas
+// section by section and the decoder installs each section as it
+// arrives, so neither holds more than one section's payload beyond the
+// transport buffer itself.
 //
-// Wire layout (all integers little-endian or uvarint):
-//
-//	magic   "BFS1"
-//	flags   byte: bit0 weighted, bit1 compressed keys, bit2 open-addressing,
-//	        bit3 succinct
-//	trees   uvarint (r)
-//	taxa    uvarint count, then per name: uvarint length + bytes
-//	nw      uvarint words per key
-//	shards  uvarint shard count
-//	succinct only: dict uvarint count, then per prefix: uvarint length + bytes
-//	per shard:
-//	  entries uvarint
-//	  per entry: key, uvarint freq, uvarint size,
-//	             8-byte LE float64 bits of the length sum
-//	  where key is nw × 8-byte LE words, or for succinct snapshots the
-//	  compressed encoding as uvarint length + bytes
-//
-// The succinct backend ships its arena verbatim — compressed keys plus the
-// shared-prefix dictionary — so a huge-n shard's snapshot shrinks with the
-// same ratio as its in-memory table.
+// Snapshots travel two ways. Over RPC (checkpointing, migration,
+// failover) the stream rides in a []byte because net/rpc frames whole
+// messages. On a shared filesystem the coordinator persists worker
+// snapshots as a worker-layout bfhsnap epoch (SaveSnapshotsContext) and
+// workers re-open the part files directly (RestoreArgs.Path), skipping
+// the RPC byte ship entirely.
 
-const snapshotMagic = "BFS1"
-
-const (
-	snapFlagWeighted   = 1 << 0
-	snapFlagCompressed = 1 << 1
-	snapFlagOpenAddr   = 1 << 2
-	snapFlagSuccinct   = 1 << 3
-)
-
-// EncodeSnapshot serializes h into the snapshot wire format.
+// EncodeSnapshot serializes h into the bfhsnap stream format. Callers
+// with an io.Writer at hand should prefer bfhsnap.WriteStream, which
+// streams; this materializes the stream for RPC transport.
 func EncodeSnapshot(h *core.FreqHash) ([]byte, error) {
-	ts := h.Taxa()
-	nw := (ts.Len() + 63) / 64
-	buf := make([]byte, 0, 64+h.UniqueBipartitions()*(nw*8+6))
-	buf = append(buf, snapshotMagic...)
-	var flags byte
-	if h.Weighted() {
-		flags |= snapFlagWeighted
+	var buf bytes.Buffer
+	if _, err := bfhsnap.WriteStream(&buf, h, 0, h.NumShards()); err != nil {
+		return nil, err
 	}
-	if h.Compressed() {
-		flags |= snapFlagCompressed
-	}
-	if h.Backend() == core.BackendOpenAddressing {
-		flags |= snapFlagOpenAddr
-	}
-	st := h.Succinct()
-	if st != nil {
-		flags |= snapFlagSuccinct
-	}
-	buf = append(buf, flags)
-	buf = binary.AppendUvarint(buf, uint64(h.NumTrees()))
-	names := ts.Names()
-	buf = binary.AppendUvarint(buf, uint64(len(names)))
-	for _, n := range names {
-		buf = binary.AppendUvarint(buf, uint64(len(n)))
-		buf = append(buf, n...)
-	}
-	buf = binary.AppendUvarint(buf, uint64(nw))
-	shards := h.NumShards()
-	buf = binary.AppendUvarint(buf, uint64(shards))
-	if st != nil {
-		// Succinct fast path: ship the compressed arena as-is (dictionary
-		// first, then per-shard encoded keys) instead of decoding every
-		// mask back to nw raw words.
-		dict := st.DictEntries()
-		buf = binary.AppendUvarint(buf, uint64(len(dict)))
-		for _, d := range dict {
-			buf = binary.AppendUvarint(buf, uint64(len(d)))
-			buf = append(buf, d...)
-		}
-		for s := 0; s < shards; s++ {
-			count := 0
-			st.RangeShardEncoded(s, func([]byte, bfhtable.Entry) bool {
-				count++
-				return true
-			})
-			buf = binary.AppendUvarint(buf, uint64(count))
-			st.RangeShardEncoded(s, func(enc []byte, e bfhtable.Entry) bool {
-				buf = binary.AppendUvarint(buf, uint64(len(enc)))
-				buf = append(buf, enc...)
-				buf = binary.AppendUvarint(buf, uint64(e.Freq))
-				buf = binary.AppendUvarint(buf, uint64(e.Size))
-				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.LengthSum))
-				return true
-			})
-		}
-		return buf, nil
-	}
-	for s := 0; s < shards; s++ {
-		// Count first: the format is length-prefixed per shard.
-		count := 0
-		if err := h.RangeShardRaw(s, func([]uint64, bfhtable.Entry) bool {
-			count++
-			return true
-		}); err != nil {
-			return nil, err
-		}
-		buf = binary.AppendUvarint(buf, uint64(count))
-		if err := h.RangeShardRaw(s, func(words []uint64, e bfhtable.Entry) bool {
-			for _, w := range words {
-				buf = binary.LittleEndian.AppendUint64(buf, w)
-			}
-			buf = binary.AppendUvarint(buf, uint64(e.Freq))
-			buf = binary.AppendUvarint(buf, uint64(e.Size))
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.LengthSum))
-			return true
-		}); err != nil {
-			return nil, err
-		}
-	}
-	return buf, nil
+	return buf.Bytes(), nil
 }
 
-// snapReader walks a snapshot buffer with explicit bounds checking.
-type snapReader struct {
-	buf []byte
-	off int
-}
-
-func (r *snapReader) bytes(n int) ([]byte, error) {
-	if n < 0 || r.off+n > len(r.buf) {
-		return nil, fmt.Errorf("distrib: truncated snapshot at offset %d", r.off)
-	}
-	b := r.buf[r.off : r.off+n]
-	r.off += n
-	return b, nil
-}
-
-func (r *snapReader) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(r.buf[r.off:])
-	if n <= 0 {
-		return 0, fmt.Errorf("distrib: corrupt snapshot varint at offset %d", r.off)
-	}
-	r.off += n
-	return v, nil
-}
-
-func (r *snapReader) uint64() (uint64, error) {
-	b, err := r.bytes(8)
-	if err != nil {
-		return 0, err
-	}
-	return binary.LittleEndian.Uint64(b), nil
-}
-
-// DecodeSnapshot reassembles a hash from the wire format. The restored
+// DecodeSnapshot reassembles a hash from the stream format. The restored
 // hash keeps the snapshot's backend and key scheme.
 func DecodeSnapshot(data []byte) (*core.FreqHash, error) {
-	r := &snapReader{buf: data}
-	magic, err := r.bytes(len(snapshotMagic))
-	if err != nil {
-		return nil, err
-	}
-	if string(magic) != snapshotMagic {
-		return nil, fmt.Errorf("distrib: bad snapshot magic %q", magic)
-	}
-	fb, err := r.bytes(1)
-	if err != nil {
-		return nil, err
-	}
-	flags := fb[0]
-	trees, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	nNames, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	names := make([]string, nNames)
-	for i := range names {
-		l, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		b, err := r.bytes(int(l))
-		if err != nil {
-			return nil, err
-		}
-		names[i] = string(b)
-	}
-	ts, err := taxa.NewOrderedSet(names)
-	if err != nil {
-		return nil, fmt.Errorf("distrib: snapshot catalogue: %w", err)
-	}
-	nw, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if want := uint64((ts.Len() + 63) / 64); nw != want {
-		return nil, fmt.Errorf("distrib: snapshot has %d words per key, catalogue needs %d", nw, want)
-	}
-	shards, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	backend := core.BackendMap
-	switch {
-	case flags&snapFlagSuccinct != 0:
-		backend = core.BackendSuccinct
-	case flags&snapFlagOpenAddr != 0:
-		backend = core.BackendOpenAddressing
-	}
-	var dict [][]byte
-	if flags&snapFlagSuccinct != 0 {
-		nDict, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		dict = make([][]byte, nDict)
-		for i := range dict {
-			l, err := r.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			b, err := r.bytes(int(l))
-			if err != nil {
-				return nil, err
-			}
-			dict[i] = b
-		}
-	}
-	rest, err := core.NewRestorer(core.RestoreSpec{
-		Taxa:         ts,
-		NumTrees:     int(trees),
-		Weighted:     flags&snapFlagWeighted != 0,
-		CompressKeys: flags&snapFlagCompressed != 0,
-		Backend:      backend,
-		HashShards:   int(shards),
-	})
-	if err != nil {
-		return nil, err
-	}
-	words := make([]uint64, nw)
-	var scratch []byte
-	for s := uint64(0); s < shards; s++ {
-		count, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		for i := uint64(0); i < count; i++ {
-			if flags&snapFlagSuccinct != 0 {
-				l, err := r.uvarint()
-				if err != nil {
-					return nil, err
-				}
-				enc, err := r.bytes(int(l))
-				if err != nil {
-					return nil, err
-				}
-				scratch, err = bfhtable.DecodeKeyWithDict(words, enc, dict, scratch, ts.Len())
-				if err != nil {
-					return nil, fmt.Errorf("distrib: snapshot key: %w", err)
-				}
-			} else {
-				for w := range words {
-					words[w], err = r.uint64()
-					if err != nil {
-						return nil, err
-					}
-				}
-			}
-			freq, err := r.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			size, err := r.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			lenBits, err := r.uint64()
-			if err != nil {
-				return nil, err
-			}
-			if err := rest.AddEntry(words, bfhtable.Entry{
-				Freq:      uint32(freq),
-				Size:      uint32(size),
-				LengthSum: math.Float64frombits(lenBits),
-			}); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if r.off != len(data) {
-		return nil, fmt.Errorf("distrib: %d trailing snapshot bytes", len(data)-r.off)
-	}
-	return rest.Finish()
+	h, _, err := bfhsnap.ReadStream(bytes.NewReader(data), int64(len(data)))
+	return h, err
 }
 
 // SnapshotArgs request a worker's shard snapshot.
@@ -346,9 +87,13 @@ func (w *Worker) snapshot(_ SnapshotArgs, reply *SnapshotReply) error {
 	return nil
 }
 
-// RestoreArgs carry a snapshot to install on a worker.
+// RestoreArgs carry a snapshot to install on a worker. When Path is set
+// the worker streams the snapshot straight from that file (the workers
+// share a filesystem with the coordinator — the epoch-store case) and
+// Data may be left empty; otherwise Data holds the serialized stream.
 type RestoreArgs struct {
 	Data []byte
+	Path string
 }
 
 // Restore replaces the worker's shard state with the decoded snapshot,
@@ -358,7 +103,21 @@ func (w *Worker) Restore(args RestoreArgs, reply *LoadReply) error {
 }
 
 func (w *Worker) restore(args RestoreArgs, reply *LoadReply) error {
-	h, err := DecodeSnapshot(args.Data)
+	var h *core.FreqHash
+	var err error
+	switch {
+	case args.Path != "":
+		h, _, err = bfhsnap.LoadFile(args.Path)
+		if err != nil && len(args.Data) > 0 {
+			// The worker may not share the coordinator's filesystem; fall
+			// back to the shipped bytes.
+			h, err = DecodeSnapshot(args.Data)
+		}
+	case len(args.Data) > 0:
+		h, err = DecodeSnapshot(args.Data)
+	default:
+		return fmt.Errorf("distrib: restore request carries neither path nor data")
+	}
 	if err != nil {
 		return err
 	}
@@ -371,7 +130,8 @@ func (w *Worker) restore(args RestoreArgs, reply *LoadReply) error {
 	reply.ShardTrees = h.NumTrees()
 	reply.ShardUnique = h.UniqueBipartitions()
 	slog.Debug("shard restored from snapshot",
-		"bytes", len(args.Data), "trees", reply.ShardTrees, "unique", reply.ShardUnique)
+		"path", args.Path, "bytes", len(args.Data),
+		"trees", reply.ShardTrees, "unique", reply.ShardUnique)
 	return nil
 }
 
@@ -382,7 +142,7 @@ type AdoptArgs struct {
 	// the coordinator). Adoption is idempotent per ID: a retried Adopt
 	// after a lost reply cannot double-count the shard.
 	ShardID int
-	// Data is the shard's snapshot in the wire format above.
+	// Data is the shard's snapshot in the stream format above.
 	Data []byte
 }
 
@@ -476,4 +236,169 @@ func mergeHashes(a, b *core.FreqHash) (*core.FreqHash, error) {
 		}
 	}
 	return rest.Finish()
+}
+
+// SaveSnapshotsContext persists the cluster's loaded reference collection
+// as a worker-layout epoch under dir: one part file per non-empty worker,
+// each a complete bfhsnap stream of that worker's partial hash. Workers
+// are snapshotted one at a time and streamed straight to the staging
+// directory, so the coordinator holds at most one shard's bytes. Returns
+// the published epoch number.
+func (c *Coordinator) SaveSnapshotsContext(ctx context.Context, dir string) (int, error) {
+	if c.taxa == nil || c.r == 0 {
+		return 0, fmt.Errorf("distrib: nothing to save: load references first")
+	}
+	store, err := bfhsnap.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	var workers []int
+	for _, i := range c.liveIndexes() {
+		if c.slot(i).trees > 0 {
+			workers = append(workers, i)
+		}
+	}
+	if len(workers) == 0 {
+		return 0, fmt.Errorf("distrib: no live worker holds a shard")
+	}
+	man := &bfhsnap.Manifest{
+		Backend:     c.Backend.String(),
+		Trees:       c.r,
+		Sum:         c.sum,
+		Taxa:        c.taxa.Len(),
+		Shards:      c.HashShards,
+		Fingerprint: c.fp,
+	}
+	// Shard count, key scheme and weighted totals are worker-side facts;
+	// each writer folds its part's header into the manifest as it streams
+	// (PublishWorkerEpoch runs writers before serializing MANIFEST).
+	var lenSum float64
+	writers := make([]func(io.Writer) error, 0, len(workers))
+	for _, i := range workers {
+		i := i
+		writers = append(writers, func(w io.Writer) error {
+			var reply SnapshotReply
+			if err := c.call(ctx, i, "Snapshot", SnapshotArgs{}, &reply); err != nil {
+				return fmt.Errorf("distrib: snapshotting worker %d: %w", i, err)
+			}
+			hdr, err := bfhsnap.ReadHeader(bytes.NewReader(reply.Data), int64(len(reply.Data)))
+			if err != nil {
+				return fmt.Errorf("distrib: worker %d snapshot: %w", i, err)
+			}
+			man.Shards = hdr.Shards
+			man.Compressed = hdr.Comp
+			man.Weighted = man.Weighted || hdr.Weighted
+			lenSum += hdr.LenSum
+			man.LenSumBits = math.Float64bits(lenSum)
+			if _, err := w.Write(reply.Data); err != nil {
+				return err
+			}
+			return nil
+		})
+	}
+	n, err := store.PublishWorkerEpoch(man, writers)
+	if err != nil {
+		return 0, err
+	}
+	slog.Info("cluster snapshot published", "dir", dir, "epoch", n,
+		"parts", len(workers), "trees", c.r)
+	return n, nil
+}
+
+// LoadSnapshotContext restores the cluster from the current worker-layout
+// epoch under dir, installing one part per worker (parts beyond the
+// worker count are merged onto workers round-robin). Workers that share
+// the coordinator's filesystem stream the part files directly; others
+// get the bytes over RPC. Replaces any previously loaded references.
+func (c *Coordinator) LoadSnapshotContext(ctx context.Context, dir string) error {
+	if c.NumWorkers() == 0 {
+		return fmt.Errorf("distrib: no workers")
+	}
+	store, err := bfhsnap.Open(dir)
+	if err != nil {
+		return err
+	}
+	cur := store.Current()
+	if cur == 0 {
+		return fmt.Errorf("distrib: %s holds no published epoch", dir)
+	}
+	man, err := store.Manifest(cur)
+	if err != nil {
+		return err
+	}
+	if man.Layout != bfhsnap.LayoutWorker {
+		return fmt.Errorf("distrib: epoch %d has %q layout (a single-node snapshot); load it with bfhrf", cur, man.Layout)
+	}
+	hdr0, err := bfhsnap.ReadHeaderFile(store.PartPath(cur, man.Parts[0]))
+	if err != nil {
+		return err
+	}
+	ts, err := taxa.NewOrderedSet(hdr0.TaxaNames)
+	if err != nil {
+		return fmt.Errorf("distrib: epoch %d catalogue: %w", cur, err)
+	}
+	c.taxa = ts
+	n := c.NumWorkers()
+	for p, part := range man.Parts {
+		path, err := filepath.Abs(store.PartPath(cur, part))
+		if err != nil {
+			return err
+		}
+		target := p % n
+		var reply LoadReply
+		if p < n {
+			// First part on this worker: replace its shard. Try the shared
+			// filesystem first; on failure re-send with the bytes inline.
+			if err := c.call(ctx, target, "Restore", RestoreArgs{Path: path}, &reply); err != nil {
+				data, rerr := readPartBytes(path)
+				if rerr != nil {
+					return fmt.Errorf("distrib: restoring worker %d: %w", target, err)
+				}
+				if err := c.call(ctx, target, "Restore", RestoreArgs{Data: data}, &reply); err != nil {
+					return fmt.Errorf("distrib: restoring worker %d: %w", target, err)
+				}
+			}
+		} else {
+			// More parts than workers: fold the extras in round-robin.
+			data, err := readPartBytes(path)
+			if err != nil {
+				return err
+			}
+			if err := c.call(ctx, target, "Adopt", AdoptArgs{ShardID: -1 - p, Data: data}, &reply); err != nil {
+				return fmt.Errorf("distrib: merging part %d onto worker %d: %w", p, target, err)
+			}
+		}
+	}
+	// Re-fold global totals from the restored cluster, as Load does.
+	c.sum, c.r = 0, 0
+	for i := 0; i < n; i++ {
+		var reply QueryReply
+		if err := c.call(ctx, i, "Query", QueryArgs{}, &reply); err != nil {
+			return fmt.Errorf("distrib: probing worker %d: %w", i, err)
+		}
+		c.sum += reply.ShardSum
+		c.r += reply.ShardTrees
+		c.slot(i).trees = reply.ShardTrees
+	}
+	if man.Trees != 0 && c.r != man.Trees {
+		return fmt.Errorf("distrib: restored cluster holds %d trees, epoch %d declares %d", c.r, cur, man.Trees)
+	}
+	c.fp = fingerprint(ts, c.r, c.sum)
+	if man.Fingerprint != 0 && c.fp != man.Fingerprint {
+		return fmt.Errorf("distrib: restored fingerprint %016x, epoch %d declares %016x", c.fp, cur, man.Fingerprint)
+	}
+	if err := c.checkpoint(ctx); err != nil {
+		return err
+	}
+	slog.Info("cluster restored from snapshot", "dir", dir, "epoch", cur,
+		"parts", len(man.Parts), "trees", c.r)
+	return nil
+}
+
+func readPartBytes(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: %w", err)
+	}
+	return b, nil
 }

@@ -156,6 +156,70 @@ func TestMigrateShard(t *testing.T) {
 	}
 }
 
+// TestClusterSnapshotSaveLoad persists a loaded cluster as a
+// worker-layout epoch and restores it onto a fresh cluster — including
+// one with fewer workers, which must merge the extra parts — checking
+// the restored cluster answers exactly like a single-node build.
+func TestClusterSnapshotSaveLoad(t *testing.T) {
+	trees, ts := testCollection(47, 24, 90)
+	queries := trees[:20]
+	local, err := core.BuildDefault(collection.FromTrees(trees), ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.AverageRF(collection.FromTrees(queries), core.QueryOptions{RequireComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	addrs := startWorkers(t, 3)
+	coord, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.ChunkSize = 11
+	if err := coord.Load(collection.FromTrees(trees), ts, false); err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := coord.SaveSnapshotsContext(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("first save published epoch %d, want 1", epoch)
+	}
+	wantFP := coord.Fingerprint()
+	coord.Close()
+
+	for _, nw := range []int{3, 2} {
+		fresh := startWorkers(t, nw)
+		coord2, err := Dial(fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord2.LoadSnapshotContext(context.Background(), dir); err != nil {
+			t.Fatalf("%d workers: %v", nw, err)
+		}
+		if coord2.r != len(trees) {
+			t.Fatalf("%d workers: restored cluster holds %d trees, want %d", nw, coord2.r, len(trees))
+		}
+		if coord2.Fingerprint() != wantFP {
+			t.Fatalf("%d workers: fingerprint %016x, want %016x", nw, coord2.Fingerprint(), wantFP)
+		}
+		got, err := coord2.AverageRF(collection.FromTrees(queries))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if math.Abs(got[i].AvgRF-want[i].AvgRF) > 1e-9 {
+				t.Errorf("%d workers: query %d: restored %v vs local %v", nw, i, got[i].AvgRF, want[i].AvgRF)
+			}
+		}
+		coord2.Close()
+	}
+}
+
 // TestInitBackendSelection drives the InitArgs backend plumbing end to end.
 func TestInitBackendSelection(t *testing.T) {
 	trees, ts := testCollection(7, 12, 40)

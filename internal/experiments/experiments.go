@@ -61,6 +61,15 @@ const (
 	// isolates what the cache saves on bootstrap-style traffic.
 	BFHRFCACHED  Engine = "BFHRF-CACHED"
 	BFHRFNOCACHE Engine = "BFHRF-NOCACHE"
+	// BFHRFLOAD and BFHRFREBUILD are the snapshot A/B pair on the huge-n
+	// workload (see snapshot.go): REBUILD measures what every fresh run
+	// pays — streaming the reference file through parse, extraction, and
+	// the parallel hash build — while LOAD measures restoring the same
+	// hash from a persisted epoch (bfhsnap.Store), which installs the
+	// stored slot arrays wholesale. Their ratio is the win `-save-bfh` /
+	// `-load-bfh` buys on a reference collection that rarely changes.
+	BFHRFLOAD    Engine = "BFHRF-LOAD"
+	BFHRFREBUILD Engine = "BFHRF-REBUILD"
 )
 
 // AllEngines lists the engines in the paper's table order.
@@ -265,6 +274,8 @@ func (c *Config) MeasurePoint(engine Engine, spec dataset.Spec, r int) (memprof.
 		return c.runBFHRFBackend(engine, src, path, ts)
 	case BFHRFCACHED, BFHRFNOCACHE:
 		return c.runBFHRFReplicate(engine, src, ts, spec)
+	case BFHRFLOAD, BFHRFREBUILD:
+		return c.runSnapshotLoad(engine, src, path, ts, r)
 	default:
 		return memprof.Measurement{}, 1, fmt.Errorf("experiments: unknown engine %q", engine)
 	}
@@ -274,7 +285,8 @@ func workersOf(e Engine) int {
 	switch e {
 	case DS:
 		return 1
-	case DSMP8, BFHRF8, BFHRFOA, BFHRFMAP, BFHRFSUCC, BFHRFCACHED, BFHRFNOCACHE:
+	case DSMP8, BFHRF8, BFHRFOA, BFHRFMAP, BFHRFSUCC, BFHRFCACHED, BFHRFNOCACHE,
+		BFHRFLOAD, BFHRFREBUILD:
 		return 8
 	case DSMP16, BFHRF16:
 		return 16

@@ -38,6 +38,13 @@ var avianEngines = []Engine{DS, DSMP8, HashRF, BFHRF8, BFHRFOA, BFHRFMAP}
 // trade once raw keys are 512+ bytes.
 var hugeTaxaEngines = []Engine{BFHRFOA, BFHRFSUCC}
 
+// hugeTaxa4096Engines adds the snapshot A/B pair (BFHRF-LOAD vs
+// BFHRF-REBUILD) on the n=4096 point: the trajectory's record of what
+// loading a persisted epoch saves over rebuilding from the Newick file —
+// the workload where both the build (wide masks) and the saved tables
+// (compressed succinct arena) are substantial.
+var hugeTaxa4096Engines = []Engine{BFHRFOA, BFHRFSUCC, BFHRFLOAD, BFHRFREBUILD}
+
 // PerfIndex is the experiment index of the benchmark trajectory: one
 // point per dataset family, sized so that at the default scale every
 // measured operation is tens to hundreds of milliseconds — big enough
@@ -56,7 +63,7 @@ func PerfIndex() []PerfWorkload {
 		// so the reference table's key storage dominates the heap and the
 		// succinct backend's compressed arena is measured against the
 		// open-addressing raw-word arena (see EXPERIMENTS.md, BENCH_0004).
-		{ID: "hugetaxa-n4096-r1000", Spec: dataset.HugeTaxa(4096), R: 1000, Engines: hugeTaxaEngines},
+		{ID: "hugetaxa-n4096-r1000", Spec: dataset.HugeTaxa(4096), R: 1000, Engines: hugeTaxa4096Engines},
 		{ID: "hugetaxa-n8192-r1000", Spec: dataset.HugeTaxa(8192), R: 1000, Engines: hugeTaxaEngines},
 		{ID: "vartrees-n100-r10000", Spec: dataset.VariableTrees(10000), R: 10000, Engines: perfEngines},
 		{ID: "vartrees-n100-r50000", Spec: dataset.VariableTrees(50000), R: 50000, Engines: []Engine{HashRF, BFHRF8}},

@@ -53,6 +53,16 @@ const (
 	// eviction hammer races over, and crash plans model a process dying
 	// between computing a result and caching it.
 	PointCachePut = "cache.put"
+	// PointSnapWrite fires per section while a BFH snapshot part is
+	// written — crash plans model a process dying mid-file, which must
+	// leave the published epoch untouched.
+	PointSnapWrite = "snap.write"
+	// PointSnapRename fires before an epoch directory rename and before
+	// the CURRENT pointer update — the two publish steps whose crash
+	// windows the epoch recovery sweep covers.
+	PointSnapRename = "snap.rename"
+	// PointSnapReap fires before an obsolete epoch directory is removed.
+	PointSnapReap = "snap.reap"
 )
 
 // Kind enumerates what an armed plan does when it fires.

@@ -63,6 +63,12 @@ type Config struct {
 	// CompressKeys stores losslessly compressed bipartition keys in the
 	// frequency hash, trading a little CPU for memory (paper §IX).
 	CompressKeys bool
+	// Backend selects the hash storage: "auto" (default), "openaddr",
+	// "map" or "succinct". CompressKeys forces the map backend.
+	Backend string
+	// HashShards is the hash's shard count (a power of two; 0 = default).
+	// More shards mean finer-grained copy-on-write in snapshot deltas.
+	HashShards int
 
 	// NoQueryCache disables the topology-fingerprint result cache that
 	// answers exact topological repeats (bootstrap replicates, posterior
@@ -144,6 +150,23 @@ func (c Config) queryCache() *core.QueryCache {
 		return nil
 	}
 	return core.NewQueryCache(c.QueryCacheEntries, c.QueryCacheBytes)
+}
+
+// buildOptions translates the Config's build-affecting fields, resolving
+// the backend name.
+func (c Config) buildOptions(ts *taxa.Set) (core.BuildOptions, error) {
+	b, err := core.ParseBackend(c.Backend)
+	if err != nil {
+		return core.BuildOptions{}, fmt.Errorf("repro: %w", err)
+	}
+	return core.BuildOptions{
+		Workers:         c.Workers,
+		Filter:          c.filter(ts.Len()),
+		RequireComplete: true,
+		CompressKeys:    c.CompressKeys,
+		Backend:         b,
+		HashShards:      c.HashShards,
+	}, nil
 }
 
 func (c Config) filter(n int) bipart.Filter {
@@ -247,12 +270,11 @@ func prepare(q, r collection.Source, cfg Config) (*core.FreqHash, collection.Sou
 			return nil, nil, err
 		}
 	}
-	h, err := core.Build(r, ts, core.BuildOptions{
-		Workers:         cfg.Workers,
-		Filter:          cfg.filter(ts.Len()),
-		RequireComplete: true,
-		CompressKeys:    cfg.CompressKeys,
-	})
+	bo, err := cfg.buildOptions(ts)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := core.Build(r, ts, bo)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -358,12 +380,11 @@ func consensusWith(r collection.Source, cfg Config, build func(*core.FreqHash) (
 	if err != nil {
 		return "", err
 	}
-	h, err := core.Build(r, ts, core.BuildOptions{
-		Workers:         cfg.Workers,
-		Filter:          cfg.filter(ts.Len()),
-		RequireComplete: true,
-		CompressKeys:    cfg.CompressKeys,
-	})
+	bo, err := cfg.buildOptions(ts)
+	if err != nil {
+		return "", err
+	}
+	h, err := core.Build(r, ts, bo)
 	if err != nil {
 		return "", err
 	}

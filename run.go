@@ -76,7 +76,25 @@ func AverageRFFilesResumable(queryPath, refPath string, cfg Config, run RunOptio
 	if err != nil {
 		return nil, err
 	}
+	return resumableQuery(h, qsrc, cfg, run)
+}
 
+// AverageRFFileResumable runs the query file against this hash with the
+// same checkpoint/resume semantics as AverageRFFilesResumable — but
+// without rebuilding the reference hash, so a snapshot-loaded hash can
+// serve crash-safe batch runs directly.
+func (h *Hash) AverageRFFileResumable(queryPath string, run RunOptions) ([]Result, error) {
+	q, err := collection.OpenFileOpts(queryPath, h.cfg.ingest())
+	if err != nil {
+		return nil, err
+	}
+	defer q.Close()
+	return resumableQuery(h.h, q, h.cfg, run)
+}
+
+// resumableQuery is the checkpoint-wired query loop shared by the
+// file-pair entry point and the prebuilt-hash method.
+func resumableQuery(h *core.FreqHash, qsrc collection.Source, cfg Config, run RunOptions) ([]Result, error) {
 	v, info, err := cfg.variant()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,133 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bfhsnap"
+	"repro/internal/collection"
+	"repro/internal/tree"
+)
+
+// Persistent snapshots: the built BFH saved to an epoch-versioned
+// directory (see FORMATS.md) so later runs load it in one pass over the
+// stored tables instead of re-parsing and re-extracting the reference
+// collection. Small reference updates publish delta epochs that rewrite
+// only the touched shards and hard-link the rest.
+
+// SnapshotDelta reports what a delta build published.
+type SnapshotDelta struct {
+	// Epoch is the newly published epoch; Base is the epoch it extends.
+	Epoch, Base int
+	// PartsWritten part files were re-serialized; PartsLinked were reused
+	// from the base epoch via hard link (copy-on-write).
+	PartsWritten, PartsLinked int
+}
+
+// SaveSnapshot publishes the hash as the next epoch of the snapshot
+// store at dir (created if needed) and returns the epoch number. The
+// publish is crash-safe: a crash mid-save can never leave a partially
+// visible epoch.
+func (h *Hash) SaveSnapshot(dir string) (int, error) {
+	store, err := bfhsnap.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	return store.SaveEpoch(h.h)
+}
+
+// LoadHashSnapshot loads the current epoch of the snapshot store at dir.
+// cfg supplies the query-time settings (variant, workers, filters); its
+// build-affecting fields must match the configuration the snapshot was
+// built with, or query results will not correspond to a fresh build.
+func LoadHashSnapshot(dir string, cfg Config) (*Hash, error) {
+	store, err := bfhsnap.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	e, err := store.Pin()
+	if err != nil {
+		return nil, err
+	}
+	// The loaded hash is a private in-memory copy; the pin only protects
+	// the on-disk directory, which we are done with.
+	defer e.Release()
+	return &Hash{h: e.Hash, cfg: cfg}, nil
+}
+
+// DeltaHashSnapshot applies reference updates to the snapshot store at
+// dir: trees in addPath are appended, trees in retirePath are removed,
+// and the result is published as a new epoch that hard-links every part
+// file the update did not touch. Either path may be empty. Returns the
+// updated hash (already loaded) and the delta report.
+func DeltaHashSnapshot(dir, addPath, retirePath string, cfg Config) (*Hash, SnapshotDelta, error) {
+	var d SnapshotDelta
+	store, err := bfhsnap.Open(dir)
+	if err != nil {
+		return nil, d, err
+	}
+	cur := store.Current()
+	if cur == 0 {
+		return nil, d, fmt.Errorf("repro: %s holds no published epoch", dir)
+	}
+	man, err := store.Manifest(cur)
+	if err != nil {
+		return nil, d, err
+	}
+	add, err := readTreeFile(addPath, cfg)
+	if err != nil {
+		return nil, d, err
+	}
+	retire, err := readTreeFile(retirePath, cfg)
+	if err != nil {
+		return nil, d, err
+	}
+	if len(add) == 0 && len(retire) == 0 {
+		return nil, d, fmt.Errorf("repro: delta with nothing to add or retire")
+	}
+	res, err := store.Delta(add, retire, cfg.filter(man.Taxa), true)
+	if err != nil {
+		return nil, d, err
+	}
+	d = SnapshotDelta{Epoch: res.Epoch, Base: res.Base,
+		PartsWritten: res.PartsWritten, PartsLinked: res.PartsLinked}
+	e, err := store.Pin()
+	if err != nil {
+		return nil, d, err
+	}
+	defer e.Release()
+	return &Hash{h: e.Hash, cfg: cfg}, d, nil
+}
+
+// CompactSnapshots reclaims disk from the store at dir: every epoch
+// other than the current one is deleted. Returns the number of epoch
+// directories remaining.
+func CompactSnapshots(dir string) (int, error) {
+	store, err := bfhsnap.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	return store.Compact(), nil
+}
+
+func readTreeFile(path string, cfg Config) ([]*tree.Tree, error) {
+	if path == "" {
+		return nil, nil
+	}
+	src, err := collection.OpenFileOpts(path, cfg.ingest())
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	var trees []*tree.Tree
+	for {
+		t, err := src.Next()
+		if err == io.EOF {
+			return trees, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		trees = append(trees, t)
+	}
+}
