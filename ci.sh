@@ -39,8 +39,8 @@ go test -race -short \
   ./internal/core ./internal/distrib ./internal/faultinject \
   ./internal/memprof ./internal/newick ./internal/nexus \
   ./internal/obs ./internal/perfjson ./internal/profhook \
-  ./internal/seqrf ./internal/stats ./internal/tabfmt \
-  ./internal/taxa ./internal/tree
+  ./internal/seqrf ./internal/serve ./internal/stats \
+  ./internal/tabfmt ./internal/taxa ./internal/tree
 
 echo "== go test -race (distrib fault tolerance) =="
 # The failover, retry, and health-loop paths are the concurrency-heavy
@@ -74,7 +74,8 @@ echo "== bfhrfd admin endpoint smoke =="
 # /metrics, check the operator-facing metric families exist, shut down.
 tmpdir="$(mktemp -d)"
 worker_pid=""
-trap 'if [[ -n "$worker_pid" ]]; then kill "$worker_pid" 2>/dev/null || true; fi; rm -rf "$tmpdir"' EXIT
+serve_pid=""
+trap 'for p in "$worker_pid" "$serve_pid"; do [[ -n "$p" ]] && kill "$p" 2>/dev/null || true; done; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/bfhrfd" ./cmd/bfhrfd
 "$tmpdir/bfhrfd" -serve 127.0.0.1:0 -admin 127.0.0.1:0 2>"$tmpdir/worker.log" &
 worker_pid=$!
@@ -124,6 +125,48 @@ for backend in openaddr map succinct; do
     || { echo "ci.sh: $backend snapshot round trip changed the answers" >&2; exit 1; }
 done
 echo "snapshot smoke: save/load round trip byte-identical for all three backends"
+
+echo "== serve overload smoke (tiny queue, concurrent hammer, shed + recover) =="
+# A standalone query service over the openaddr snapshot from above, with
+# a one-slot queue and a 200ms injected delay per query so the hammer
+# reliably overflows admission. The burst must shed (counter moves),
+# and afterwards the service must still be healthy and still answer the
+# pre-burst query byte-identically.
+cat > "$tmpdir/collections.json" <<EOF
+{"collections": [{"name": "smoke", "dir": "$tmpdir/snap-openaddr"}]}
+EOF
+BFHRF_FAULTS='serve.query:delay@1x*:200ms' "$tmpdir/bfhrfd" -serve-http \
+  -collections "$tmpdir/collections.json" -admin 127.0.0.1:0 \
+  -max-inflight 1 -queue-depth 1 2>"$tmpdir/serve.log" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr="$(sed -n 's/^bfhrfd: admin serving on //p' "$tmpdir/serve.log")"
+  [[ -n "$serve_addr" ]] && break
+  sleep 0.1
+done
+[[ -n "$serve_addr" ]] || { echo "ci.sh: serve-http bfhrfd never announced its admin address" >&2; cat "$tmpdir/serve.log" >&2; exit 1; }
+qtree="$(head -1 "$tmpdir/snapq.nwk")"
+qbody="{\"collection\":\"smoke\",\"trees\":[\"$qtree\"]}"
+curl -fsS -X POST -d "$qbody" "http://$serve_addr/v1/query" >"$tmpdir/serve-pre.json"
+grep -q '"avg_rf"' "$tmpdir/serve-pre.json" || { echo "ci.sh: pre-burst query returned no results: $(cat "$tmpdir/serve-pre.json")" >&2; exit 1; }
+hammer_pids=()
+for _ in $(seq 1 40); do
+  curl -s -o /dev/null -X POST -d "$qbody" "http://$serve_addr/v1/query" &
+  hammer_pids+=("$!")
+done
+wait "${hammer_pids[@]}" 2>/dev/null || true
+shed="$(curl -fsS "http://$serve_addr/metrics" | awk '/^bfhrf_requests_shed_total\{/ {s+=$2} END {print s+0}')"
+[[ "$shed" -gt 0 ]] || { echo "ci.sh: hammer never shed (bfhrf_requests_shed_total = $shed)" >&2; exit 1; }
+health="$(curl -s "http://$serve_addr/healthz")"
+grep -q '"status":"ok"' <<<"$health" || { echo "ci.sh: post-burst /healthz = $health, want ok" >&2; exit 1; }
+curl -fsS -X POST -d "$qbody" "http://$serve_addr/v1/query" >"$tmpdir/serve-post.json"
+cmp -s "$tmpdir/serve-pre.json" "$tmpdir/serve-post.json" \
+  || { echo "ci.sh: post-burst answer differs from pre-burst" >&2; exit 1; }
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+echo "serve smoke: shed $shed request(s) under the burst, healthy and byte-identical after"
 
 if [[ "${CI_PERF:-0}" == "1" ]]; then
   echo "== perf gate (rfbench -compare BENCH_0005.json) =="

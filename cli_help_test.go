@@ -51,6 +51,9 @@ func TestCLIHelpMentionsEveryFlag(t *testing.T) {
 			"skip-bad-trees", "max-taxa", "max-tree-bytes", "max-input-bytes",
 			"save-bfh", "load-bfh",
 			"mutex-profile-fraction", "block-profile-rate",
+			"serve-http", "collections", "collections-root", "collection-name",
+			"max-inflight", "queue-depth", "tenant-rate", "tenant-burst",
+			"request-max-bytes", "query-deadline", "drain-timeout",
 		}, append(sharedProfFlags, append(sharedLogFlags, sharedTraceFlags...)...)...)},
 		{"rfdist", append([]string{
 			"a", "b", "matrix", "avg", "cluster", "linkage", "phylip",
@@ -123,6 +126,8 @@ func TestCLIHelpFlagDescriptionsCurrent(t *testing.T) {
 		{"bfhrf", "head-sampling probability"}, // -trace-sample is a probability, not a ratio denominator
 		{"bfhrf", "slow-query diagnostics"},    // -slow-query keeps AND logs
 		{"bfhrfd", "/debug/pprof/mutex"},       // -mutex-profile-fraction feeds the pprof endpoint
+		{"bfhrfd", "shed with 503"},            // -queue-depth overflow is shed, not queued
+		{"bfhrfd", "X-Tenant"},                 // -tenant-rate keys on the tenant header
 		{"rfbench", "exit 3 on regression"},
 	}
 	for _, c := range checks {

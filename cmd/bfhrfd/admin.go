@@ -36,8 +36,9 @@ type adminServer struct {
 	rc  *obs.RuntimeCollector
 }
 
-// startAdmin serves the admin mux on addr. healthz is mode-specific.
-func startAdmin(addr string, healthz http.HandlerFunc) (*adminServer, error) {
+// startAdmin serves the admin mux on addr. healthz is mode-specific;
+// mount, when non-nil, adds extra routes (the /v1 query service).
+func startAdmin(addr string, healthz http.HandlerFunc, mount func(*http.ServeMux)) (*adminServer, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("admin listener: %w", err)
@@ -51,9 +52,26 @@ func startAdmin(addr string, healthz http.HandlerFunc) (*adminServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if mount != nil {
+		mount(mux)
+	}
 	a := &adminServer{
-		srv: &http.Server{Handler: mux},
-		l:   l,
+		// The listener is reachable by anything that can scrape metrics, so
+		// it gets the full slow-client armor: a client must finish its
+		// headers in 10s and its whole request in 1m, idle keep-alives are
+		// reaped, and headers are capped — a slowloris holds a connection,
+		// not a goroutine-per-byte forever. ReadTimeout is generous because
+		// /v1/query bodies are real payloads; WriteTimeout stays 0 so a
+		// long CPU profile stream (/debug/pprof/profile?seconds=...) is not
+		// cut off mid-write.
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       time.Minute,
+			IdleTimeout:       2 * time.Minute,
+			MaxHeaderBytes:    64 << 10,
+		},
+		l: l,
 		// Poll runtime health (GC pauses, heap, goroutines, sched latency)
 		// into the registry for as long as /metrics is being served.
 		rc: obs.StartRuntimeCollector(nil, 5*time.Second),

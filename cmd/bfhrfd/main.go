@@ -57,12 +57,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -74,6 +76,7 @@ import (
 	"repro/internal/newick"
 	"repro/internal/obs"
 	"repro/internal/profhook"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -126,6 +129,29 @@ func main() {
 			"sample 1/n of mutex contention events for /debug/pprof/mutex; 0 disables (both modes)")
 		blockRate = flag.Int("block-profile-rate", 0,
 			"sample blocking events lasting at least this many nanoseconds for /debug/pprof/block; 0 disables (both modes)")
+
+		serveHTTP = flag.Bool("serve-http", false,
+			"run as a long-lived query service: answer POST /v1/query on the -admin listener instead of running one batch (serve mode)")
+		collections = flag.String("collections", "",
+			"JSON manifest of named snapshot collections to serve (serve mode)")
+		collectionsRoot = flag.String("collections-root", "",
+			"directory under which /v1/collections registrations without an explicit dir resolve, as <root>/<name> (serve mode)")
+		collectionName = flag.String("collection-name", "default",
+			"catalog name for the worker-backed collection loaded via -ref/-load-bfh (serve mode with -workers)")
+		maxInflight = flag.Int("max-inflight", 0,
+			"queries executing concurrently; 0 = GOMAXPROCS (serve mode)")
+		queueDepth = flag.Int("queue-depth", 0,
+			"admitted requests that may wait for an execution slot; beyond it requests are shed with 503; 0 = default 64 (serve mode)")
+		tenantRate = flag.Float64("tenant-rate", 0,
+			"per-tenant sustained requests/second, keyed on the X-Tenant header; over-rate requests are shed with 429; 0 disables (serve mode)")
+		tenantBurst = flag.Float64("tenant-burst", 0,
+			"per-tenant token-bucket burst capacity; 0 = 2x -tenant-rate (serve mode)")
+		requestMaxBytes = flag.Int64("request-max-bytes", 0,
+			"per-request body cap; 0 = default 1 MiB (serve mode)")
+		queryDeadline = flag.Duration("query-deadline", 0,
+			"end-to-end deadline per admitted request, propagated into worker RPCs; 0 = default 30s (serve mode)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"on SIGTERM, wait this long for in-flight queries before exiting (serve mode)")
 	)
 	profs := profhook.RegisterFlags(nil)
 	logc := obs.RegisterLogFlags(nil)
@@ -155,7 +181,7 @@ func main() {
 		runtime.SetBlockProfileRate(*blockRate)
 	}
 
-	if code, msg := validateFlags(*serve, *workers, setFlags()); code != 0 {
+	if code, msg := validateFlags(*serve, *workers, *serveHTTP, *admin, setFlags()); code != 0 {
 		fmt.Fprintf(os.Stderr, "bfhrfd: %s\n", msg)
 		flag.Usage()
 		os.Exit(code)
@@ -167,10 +193,28 @@ func main() {
 		os.Exit(1)
 	}
 
+	svcCfg := serveConfig{
+		manifest:        *collections,
+		root:            *collectionsRoot,
+		collectionName:  *collectionName,
+		maxInflight:     *maxInflight,
+		queueDepth:      *queueDepth,
+		tenantRate:      *tenantRate,
+		tenantBurst:     *tenantBurst,
+		requestMaxBytes: *requestMaxBytes,
+		queryDeadline:   *queryDeadline,
+		drainTimeout:    *drainTimeout,
+		maxTaxa:         *maxTaxa,
+		maxTreeBytes:    *maxTreeBytes,
+	}
+
 	var code int
-	if *serve != "" {
+	switch {
+	case *serve != "":
 		code = runWorker(*serve, *admin)
-	} else {
+	case *serveHTTP && *workers == "":
+		code = runServeStandalone(*admin, svcCfg)
+	default:
 		code = runCoordinator(coordConfig{
 			workers:         *workers,
 			refPath:         *refPath,
@@ -196,6 +240,8 @@ func main() {
 			maxInputBytes:   *maxInputBytes,
 			saveDir:         *saveBfh,
 			loadDir:         *loadBfh,
+			serveHTTP:       *serveHTTP,
+			serveCfg:        svcCfg,
 		})
 	}
 	if err := stop(); err != nil {
@@ -225,6 +271,28 @@ var coordinatorOnly = []string{
 	"save-bfh", "load-bfh",
 }
 
+// serveOnly lists the flags that configure the query service; setting one
+// outside -serve-http mode is an error, not a silent no-op.
+var serveOnly = []string{
+	"collections", "collections-root", "collection-name",
+	"max-inflight", "queue-depth", "tenant-rate", "tenant-burst",
+	"request-max-bytes", "query-deadline", "drain-timeout",
+}
+
+// batchOnly lists the coordinator flags that only make sense for a
+// one-shot batch run; in serve mode queries arrive over HTTP, so a batch
+// query file or checkpoint is a configuration error.
+var batchOnly = []string{"query", "o", "checkpoint", "checkpoint-interval", "resume"}
+
+// workerShardOnly lists the coordinator flags that additionally need a
+// worker cluster; standalone serve mode (no -workers) rejects them.
+var workerShardOnly = []string{
+	"ref", "compress", "chunk", "batch",
+	"rpc-timeout", "retries", "partial-results", "health-interval",
+	"query-cache", "query-cache-size", "query-cache-bytes",
+	"skip-bad-trees", "max-input-bytes", "save-bfh", "load-bfh",
+}
+
 // setFlags reports which flags were explicitly set on the command line.
 func setFlags() map[string]bool {
 	set := make(map[string]bool)
@@ -232,22 +300,52 @@ func setFlags() map[string]bool {
 	return set
 }
 
-// validateFlags enforces the mode split: -serve selects worker mode and
-// -workers coordinator mode; they are mutually exclusive, and the
-// coordinator-only flags are errors in worker mode rather than silently
-// ignored.
-func validateFlags(serve, workers string, set map[string]bool) (int, string) {
+// validateFlags enforces the mode split. -serve selects worker mode,
+// -workers coordinator mode (batch, or a service with -serve-http), and
+// -serve-http alone a standalone service over local snapshots; flags
+// belonging to another mode are errors rather than silently ignored.
+func validateFlags(serve, workers string, serveHTTP bool, admin string, set map[string]bool) (int, string) {
 	switch {
-	case serve == "" && workers == "":
-		return 2, "need -serve (worker) or -workers (coordinator)"
+	case serve == "" && workers == "" && !serveHTTP:
+		return 2, "need -serve (worker), -workers (coordinator) or -serve-http (query service)"
 	case serve != "" && workers != "":
 		return 2, "-serve (worker mode) and -workers (coordinator mode) are mutually exclusive"
+	case serve != "" && serveHTTP:
+		return 2, "-serve (worker mode) and -serve-http (query service) are mutually exclusive"
 	}
 	if serve != "" {
-		for _, name := range coordinatorOnly {
+		for _, name := range append(append([]string{}, coordinatorOnly...), serveOnly...) {
 			if set[name] {
 				return 2, fmt.Sprintf("-%s is a coordinator flag; a worker receives its shard over RPC", name)
 			}
+		}
+		return 0, ""
+	}
+	if !serveHTTP {
+		for _, name := range serveOnly {
+			if set[name] {
+				return 2, fmt.Sprintf("-%s only applies with -serve-http", name)
+			}
+		}
+		return 0, ""
+	}
+	// Serve mode: the query API rides the admin listener.
+	if admin == "" {
+		return 2, "-serve-http needs -admin (the query API is served on the admin listener)"
+	}
+	for _, name := range batchOnly {
+		if set[name] {
+			return 2, fmt.Sprintf("-%s is a batch flag; in -serve-http mode queries arrive over HTTP", name)
+		}
+	}
+	if workers == "" {
+		for _, name := range workerShardOnly {
+			if set[name] {
+				return 2, fmt.Sprintf("-%s needs -workers; standalone -serve-http serves local snapshot collections", name)
+			}
+		}
+		if !set["collections"] && !set["collections-root"] {
+			return 2, "standalone -serve-http needs -collections (manifest) or -collections-root"
 		}
 	}
 	return 0, ""
@@ -275,7 +373,7 @@ func runWorker(addr, adminAddr string) int {
 
 	var adm *adminServer
 	if adminAddr != "" {
-		adm, err = startAdmin(adminAddr, workerHealthz(w))
+		adm, err = startAdmin(adminAddr, workerHealthz(w), nil)
 		if err != nil {
 			l.Close()
 			return fail(err)
@@ -319,6 +417,8 @@ type coordConfig struct {
 	maxTaxa, maxTreeBytes                  int
 	maxInputBytes                          int64
 	saveDir, loadDir                       string
+	serveHTTP                              bool
+	serveCfg                               serveConfig
 }
 
 // ingest translates the hardening flags to collection options; skipped
@@ -361,7 +461,7 @@ func runCoordinator(cfg coordConfig) int {
 		flag.Usage()
 		return 2
 	}
-	if cfg.loadDir != "" && cfg.queryPath == "" {
+	if cfg.loadDir != "" && cfg.queryPath == "" && !cfg.serveHTTP {
 		fmt.Fprintln(os.Stderr, "bfhrfd: -load-bfh needs -query (no reference file to default to)")
 		return 2
 	}
@@ -378,10 +478,43 @@ func runCoordinator(cfg coordConfig) int {
 			addrs = append(addrs, a)
 		}
 	}
-	// SIGINT/SIGTERM cancels the context, which aborts in-flight RPCs and
-	// backoff sleeps instead of leaving the run hanging on a dead cluster.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Signal handling is phased. During startup (dial, load) there is
+	// nothing worth draining, so SIGINT/SIGTERM cancels the context
+	// outright, aborting in-flight RPCs and backoff sleeps instead of
+	// leaving the run hanging on a dead cluster. Once the query phase
+	// begins, the first signal drains — /healthz flips to "draining",
+	// in-flight work finishes (batch: the current batches fold and the
+	// checkpoint flushes; serve: admission stops and admitted queries
+	// complete) — and only a second signal hard-cancels.
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	soft := make(chan struct{})
+	var draining atomic.Bool
+	var queryPhase atomic.Bool
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		softClosed := false
+		for s := range sig {
+			if !queryPhase.Load() {
+				fmt.Fprintf(os.Stderr, "bfhrfd: %s during startup, aborting\n", s)
+				cancel()
+				return
+			}
+			if !softClosed {
+				softClosed = true
+				draining.Store(true)
+				fmt.Fprintf(os.Stderr, "bfhrfd: %s: draining — finishing in-flight work (signal again to abort)\n", s)
+				slog.Info("draining", "signal", s.String())
+				close(soft)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "bfhrfd: %s again: aborting\n", s)
+			cancel()
+			return
+		}
+	}()
 
 	retry := distrib.RetryPolicy{MaxAttempts: cfg.retries + 1}
 	// Workers may still be starting when the coordinator launches; ride
@@ -407,9 +540,26 @@ func runCoordinator(cfg coordConfig) int {
 		coord.Cache = core.NewQueryCache(cfg.queryCacheSize, cfg.queryCacheBytes)
 	}
 
+	// In serve mode the /v1 routes must exist before the listener opens, so
+	// the catalog and service are built first and the worker-backed
+	// collection is registered after Load completes (queries for it 404
+	// until then; /healthz already reports readiness honestly).
+	var svc *serve.Service
+	var cat *serve.Catalog
+	healthz := coordinatorHealthz(coord)
+	var mount func(*http.ServeMux)
+	if cfg.serveHTTP {
+		cat = serve.NewCatalog(cfg.serveCfg.root, 0)
+		defer cat.Close()
+		svc = cfg.serveCfg.service(cat)
+		healthz = svc.WrapHealthz(healthz)
+		mount = svc.Register
+	} else {
+		healthz = drainingHealthz(&draining, healthz)
+	}
 	var adm *adminServer
 	if cfg.adminAddr != "" {
-		adm, err = startAdmin(cfg.adminAddr, coordinatorHealthz(coord))
+		adm, err = startAdmin(cfg.adminAddr, healthz, mount)
 		if err != nil {
 			return fail(err)
 		}
@@ -454,6 +604,22 @@ func runCoordinator(cfg coordConfig) int {
 		slog.Info("health loop started", "interval", cfg.healthInterval.String())
 	}
 
+	if cfg.serveHTTP {
+		if err := cat.Register(cfg.serveCfg.collectionName, &serve.Distributed{Coord: coord}); err != nil {
+			return fail(err)
+		}
+		if cfg.serveCfg.manifest != "" {
+			if err := cat.LoadManifest(cfg.serveCfg.manifest); err != nil {
+				return fail(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bfhrfd: serving queries for collection %q on %s\n",
+			cfg.serveCfg.collectionName, adm.Addr())
+		slog.Info("query service ready", "collection", cfg.serveCfg.collectionName)
+		queryPhase.Store(true)
+		return serveWait(ctx, svc, soft, cfg.serveCfg.drainTimeout)
+	}
+
 	queries, err := collection.OpenFileOpts(cfg.queryPath, cfg.ingest())
 	if err != nil {
 		return fail(err)
@@ -463,7 +629,11 @@ func runCoordinator(cfg coordConfig) int {
 	// Checkpoint wiring: each folded result streams into the record file,
 	// and a resumed run skips the queries already on disk after verifying
 	// the checkpoint was written against these references and flags.
-	ropts := distrib.QueryRunOptions{Cancel: ctx.Done()}
+	// Cancellation is the soft channel: the first signal stops the run at
+	// a batch boundary with in-flight batches folded and the checkpoint
+	// flushed; a second signal cancels ctx, aborting in-flight RPCs.
+	queryPhase.Store(true)
+	ropts := distrib.QueryRunOptions{Cancel: soft}
 	done := map[int]float64{}
 	var w *checkpoint.Writer
 	var ckMu sync.Mutex

@@ -133,6 +133,26 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Reload re-reads the CURRENT pointer from disk, picking up epochs
+// published by another process (a delta or compact run) since Open.
+// Unlike Open it never deletes anything — a concurrent publisher may
+// legitimately own staging directories and not-yet-current epochs — so
+// it is safe to call from a long-lived serving process at any time.
+// Existing pins are unaffected.
+func (s *Store) Reload() error {
+	cur, err := s.readCurrent()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if cur > s.current {
+		s.current = cur
+	}
+	s.mu.Unlock()
+	s.updateGauge()
+	return nil
+}
+
 // Current returns the published epoch number (0 when the store is empty).
 func (s *Store) Current() int {
 	s.mu.Lock()

@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -511,6 +512,18 @@ func (c *Coordinator) batchSize() int {
 // not resume a distributed run, or vice versa.)
 func (c *Coordinator) Fingerprint() uint64 { return c.fp }
 
+// RefTrees is the number of reference trees loaded across all shards.
+// Valid after Load.
+func (c *Coordinator) RefTrees() int { return c.r }
+
+// TaxaLen is the size of the shared taxon catalogue. Valid after Load.
+func (c *Coordinator) TaxaLen() int {
+	if c.taxa == nil {
+		return 0
+	}
+	return c.taxa.Len()
+}
+
 func fingerprint(ts *taxa.Set, trees int, sum uint64) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -817,6 +830,14 @@ func (c *Coordinator) queryBatch(ctx context.Context, newicks []string, out *Out
 			switch {
 			case p.err == nil:
 				answered = append(answered, p)
+			case errors.Is(p.err, context.Canceled) || errors.Is(p.err, context.DeadlineExceeded):
+				// A caller-imposed deadline or cancellation is not worker
+				// fault: context.DeadlineExceeded satisfies net.Error (and
+				// so IsTransient), but marking the worker dead for it would
+				// let one impatient client disable a healthy shard. The
+				// coordinator's own RPC timeout uses a distinct error and
+				// still takes the transient path below.
+				return nil, 0, fmt.Errorf("distrib: %w", p.err)
 			case IsTransient(p.err):
 				c.markDead(p.idx, p.err)
 				lost = true

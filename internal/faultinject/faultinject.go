@@ -63,6 +63,15 @@ const (
 	PointSnapRename = "snap.rename"
 	// PointSnapReap fires before an obsolete epoch directory is removed.
 	PointSnapReap = "snap.reap"
+	// PointServeAdmit fires in the query service after admission checks
+	// but before any body parsing — error plans model an admission-layer
+	// rejection (shed with 503), delay plans hold requests in the
+	// admitted-but-not-parsing window that the overload tests widen.
+	PointServeAdmit = "serve.admit"
+	// PointServeQuery fires just before a catalog backend executes an
+	// admitted query — error plans turn into clean 502 responses, delay
+	// plans pin execution slots to force queue growth.
+	PointServeQuery = "serve.query"
 )
 
 // Kind enumerates what an armed plan does when it fires.

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// The admission layer is the service's front door, built so that
+// overload costs O(1) per rejected request: the tenant rate check and
+// the queue-slot reservation happen before a single body byte is read
+// or parsed, and a rejection allocates nothing that outlives the
+// response. Capacity is two nested bounds — MaxInflight queries execute
+// concurrently, and at most QueueDepth more may wait for a slot; a
+// request beyond both is shed with 503 and Retry-After. Per-tenant
+// token buckets (keyed on the validated X-Tenant header) shed
+// over-rate tenants with 429 before they reach the shared queue.
+
+// AdmissionConfig sizes the admission layer. The zero value applies the
+// documented defaults.
+type AdmissionConfig struct {
+	// MaxInflight is the number of queries executing concurrently
+	// (default GOMAXPROCS — for a distributed collection, size it to the
+	// worker count times the per-worker parallelism you want).
+	MaxInflight int
+	// QueueDepth is how many admitted requests may wait for an execution
+	// slot beyond MaxInflight (default 64). Queue-full requests are shed.
+	QueueDepth int
+	// TenantRate is each tenant's sustained request rate per second;
+	// 0 disables per-tenant limiting.
+	TenantRate float64
+	// TenantBurst is the token-bucket capacity (default 2×TenantRate,
+	// minimum 1).
+	TenantBurst float64
+	// MaxTenants bounds how many distinct tenants get their own bucket
+	// and metric series (default 256); tenants beyond the cap share the
+	// "_other" bucket, so hostile header churn cannot grow memory or
+	// metric cardinality.
+	MaxTenants int
+}
+
+func (c AdmissionConfig) maxInflight() int {
+	if c.MaxInflight > 0 {
+		return c.MaxInflight
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c AdmissionConfig) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 64
+}
+
+func (c AdmissionConfig) maxTenants() int {
+	if c.MaxTenants > 0 {
+		return c.MaxTenants
+	}
+	return 256
+}
+
+func (c AdmissionConfig) tenantBurst() float64 {
+	b := c.TenantBurst
+	if b <= 0 {
+		b = 2 * c.TenantRate
+	}
+	return math.Max(b, 1)
+}
+
+// Shed describes a load-shedding decision: the response the rejected
+// request receives.
+type Shed struct {
+	// Status is 429 (over rate) or 503 (queue full / draining).
+	Status int
+	// Reason is the bfhrf_requests_shed_total label value.
+	Reason string
+	// RetryAfter is the client's suggested back-off.
+	RetryAfter time.Duration
+}
+
+// Admission is the bounded work queue plus per-tenant rate limiter.
+type Admission struct {
+	cfg AdmissionConfig
+	// slots is the total-admission bound: MaxInflight + QueueDepth
+	// tokens. Acquired non-blocking — full means shed.
+	slots chan struct{}
+	// sem is the execution bound: MaxInflight tokens, acquired blocking
+	// (bounded by the request deadline).
+	sem chan struct{}
+	tb  *tenantBuckets
+}
+
+// NewAdmission builds the admission layer for cfg.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	return &Admission{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.maxInflight()+cfg.queueDepth()),
+		sem:   make(chan struct{}, cfg.maxInflight()),
+		// rate 0 never denies; the bucket map still bounds the per-tenant
+		// metric label set.
+		tb: newTenantBuckets(cfg.TenantRate, cfg.tenantBurst(), cfg.maxTenants()),
+	}
+}
+
+// Capacity returns (concurrent executions, waiting slots).
+func (a *Admission) Capacity() (inflight, queue int) {
+	return cap(a.sem), cap(a.slots) - cap(a.sem)
+}
+
+// Admit runs the O(1) front-door checks for one request from tenant
+// (already validated). On success it returns a release func that must be
+// called exactly once when the request finishes; on rejection it
+// returns the Shed verdict (and has already counted the shed).
+func (a *Admission) Admit(tenant string) (release func(), shed *Shed) {
+	ok, retry, label := a.tb.allow(tenant)
+	tenantRequests(label).Inc()
+	if !ok {
+		return nil, &Shed{Status: 429, Reason: shedRate, RetryAfter: retry}
+	}
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		return nil, &Shed{Status: 503, Reason: shedQueueFull, RetryAfter: time.Second}
+	}
+	queueDepthGauge().Set(float64(a.queued()))
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-a.slots
+			queueDepthGauge().Set(float64(a.queued()))
+		})
+	}, nil
+}
+
+// queued is the number of admitted requests not yet executing (clamped
+// at 0: slots and sem are read racily, which can transiently undercount).
+func (a *Admission) queued() int {
+	q := len(a.slots) - len(a.sem)
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// Acquire blocks until an execution slot is free or ctx expires.
+func (a *Admission) Acquire(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}:
+	default:
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case a.sem <- struct{}{}:
+		case <-done:
+			return fmt.Errorf("serve: timed out waiting for an execution slot: %w", ctx.Err())
+		}
+	}
+	queueDepthGauge().Set(float64(a.queued()))
+	inflightGauge().Set(float64(len(a.sem)))
+	return nil
+}
+
+// ReleaseExec returns an execution slot.
+func (a *Admission) ReleaseExec() {
+	<-a.sem
+	inflightGauge().Set(float64(len(a.sem)))
+}
+
+// tenantBuckets is a capped map of token buckets. rate 0 means buckets
+// never deny (the map then only serves label bounding).
+type tenantBuckets struct {
+	mu    sync.Mutex
+	rate  float64
+	burst float64
+	max   int
+	now   func() time.Time
+	m     map[string]*bucket
+	// other is the shared bucket for tenants beyond the cap.
+	other bucket
+}
+
+// bucket is one tenant's token-bucket state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantBuckets(rate, burst float64, max int) *tenantBuckets {
+	return &tenantBuckets{
+		rate:  rate,
+		burst: burst,
+		max:   max,
+		now:   time.Now,
+		m:     make(map[string]*bucket, 16),
+		other: bucket{tokens: burst},
+	}
+}
+
+// allow takes one token from tenant's bucket. It returns whether the
+// request may proceed, how long until a token is available when not,
+// and the bounded metric label for this tenant.
+func (t *tenantBuckets) allow(tenant string) (ok bool, retry time.Duration, label string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, tracked := t.m[tenant]
+	label = tenant
+	switch {
+	case tracked:
+	case len(t.m) < t.max:
+		b = &bucket{tokens: t.burst, last: t.now()}
+		t.m[tenant] = b
+	default:
+		b = &t.other
+		label = tenantOther
+	}
+	if t.rate <= 0 {
+		return true, 0, label
+	}
+	now := t.now()
+	if !b.last.IsZero() {
+		b.tokens = math.Min(t.burst, b.tokens+now.Sub(b.last).Seconds()*t.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0, label
+	}
+	need := (1 - b.tokens) / t.rate
+	return false, time.Duration(need * float64(time.Second)), label
+}
+
+// RetryAfterSeconds renders d as a Retry-After header value: whole
+// seconds, rounded up, at least 1.
+func RetryAfterSeconds(d time.Duration) string {
+	s := int64(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return fmt.Sprintf("%d", s)
+}
+
+// nameMaxLen bounds tenant and collection names.
+const nameMaxLen = 64
+
+// ValidName reports whether s is a safe tenant or collection name:
+// 1..64 bytes of [A-Za-z0-9_.-], not starting with '.' or '-'. The
+// charset has no path separators and the leading-dot rule forbids "."
+// and "..", so a valid name can never traverse out of a catalog root,
+// and it is a legal Prometheus label value, so hostile headers cannot
+// corrupt the metrics exposition.
+func ValidName(s string) bool {
+	if len(s) == 0 || len(s) > nameMaxLen {
+		return false
+	}
+	if s[0] == '.' || s[0] == '-' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+		case c == '_' || c == '.' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

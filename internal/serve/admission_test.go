@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestValidName(t *testing.T) {
+	valid := []string{
+		"a", "default", "refs-2024", "A.b_c-9", strings.Repeat("x", 64),
+	}
+	for _, s := range valid {
+		if !ValidName(s) {
+			t.Errorf("ValidName(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{
+		"", ".", "..", ".hidden", "-flag", "a/b", "a\\b", "a b",
+		"a\x00b", "é", "a:b", strings.Repeat("x", 65), "../../etc/passwd",
+	}
+	for _, s := range invalid {
+		if ValidName(s) {
+			t.Errorf("ValidName(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestTenantBucketsRateAndRetry(t *testing.T) {
+	tb := newTenantBuckets(1, 2, 8) // 1 req/s, burst 2
+	now := time.Unix(1000, 0)
+	tb.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _, _ := tb.allow("a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry, _ := tb.allow("a")
+	if ok {
+		t.Fatal("third request within the burst window allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry = %v, want in (0, 1s]", retry)
+	}
+	// A different tenant has its own bucket.
+	if ok, _, _ := tb.allow("b"); !ok {
+		t.Fatal("fresh tenant denied")
+	}
+	// Tokens refill with time.
+	now = now.Add(1500 * time.Millisecond)
+	if ok, _, _ := tb.allow("a"); !ok {
+		t.Fatal("request after refill denied")
+	}
+}
+
+func TestTenantBucketsCardinalityCap(t *testing.T) {
+	tb := newTenantBuckets(1000, 1000, 3)
+	names := []string{"t1", "t2", "t3", "t4", "t5"}
+	for _, n := range names {
+		_, _, label := tb.allow(n)
+		switch n {
+		case "t1", "t2", "t3":
+			if label != n {
+				t.Errorf("tracked tenant %q got label %q", n, label)
+			}
+		default:
+			if label != tenantOther {
+				t.Errorf("overflow tenant %q got label %q, want %q", n, label, tenantOther)
+			}
+		}
+	}
+	if len(tb.m) != 3 {
+		t.Fatalf("bucket map grew to %d entries, cap is 3", len(tb.m))
+	}
+}
+
+func TestTenantBucketsZeroRateNeverDenies(t *testing.T) {
+	tb := newTenantBuckets(0, 1, 2)
+	for i := 0; i < 100; i++ {
+		if ok, _, _ := tb.allow("a"); !ok {
+			t.Fatal("zero-rate bucket denied a request")
+		}
+	}
+}
+
+func TestAdmissionQueueBound(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInflight: 2, QueueDepth: 3})
+	ifl, q := a.Capacity()
+	if ifl != 2 || q != 3 {
+		t.Fatalf("Capacity() = (%d, %d), want (2, 3)", ifl, q)
+	}
+	var releases []func()
+	for i := 0; i < 5; i++ {
+		rel, sd := a.Admit("t")
+		if sd != nil {
+			t.Fatalf("request %d shed with capacity free: %+v", i, sd)
+		}
+		releases = append(releases, rel)
+	}
+	_, sd := a.Admit("t")
+	if sd == nil {
+		t.Fatal("request beyond MaxInflight+QueueDepth admitted")
+	}
+	if sd.Status != 503 || sd.Reason != shedQueueFull {
+		t.Fatalf("shed = %+v, want 503/%s", sd, shedQueueFull)
+	}
+	releases[0]()
+	releases[0]() // release is idempotent: double-call must not free two slots
+	if rel, sd := a.Admit("t"); sd != nil {
+		t.Fatalf("request after release shed: %+v", sd)
+	} else {
+		releases = append(releases, rel)
+	}
+	if _, sd := a.Admit("t"); sd == nil {
+		t.Fatal("double release freed two slots")
+	}
+	for _, rel := range releases[1:] {
+		rel()
+	}
+}
+
+func TestAdmissionRateShed(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInflight: 8, QueueDepth: 8, TenantRate: 0.001, TenantBurst: 1})
+	rel, sd := a.Admit("x")
+	if sd != nil {
+		t.Fatalf("first request shed: %+v", sd)
+	}
+	rel()
+	_, sd = a.Admit("x")
+	if sd == nil {
+		t.Fatal("over-rate request admitted")
+	}
+	if sd.Status != 429 || sd.Reason != shedRate || sd.RetryAfter <= 0 {
+		t.Fatalf("shed = %+v, want 429/%s with positive RetryAfter", sd, shedRate)
+	}
+}
+
+func TestAcquireRespectsContext(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInflight: 1, QueueDepth: 1})
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := a.Acquire(ctx); err == nil {
+		t.Fatal("second Acquire succeeded with the slot held")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Acquire did not respect the context deadline")
+	}
+	a.ReleaseExec()
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	a.ReleaseExec()
+}
+
+// TestAdmissionConcurrentAccounting hammers Admit/release from many
+// goroutines under -race and checks slot accounting stays exact.
+func TestAdmissionConcurrentAccounting(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInflight: 4, QueueDepth: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rel, sd := a.Admit("t")
+				if sd == nil {
+					rel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every admitted request released its slot: full capacity is free.
+	var rels []func()
+	for i := 0; i < 8; i++ {
+		rel, sd := a.Admit("t")
+		if sd != nil {
+			t.Fatalf("slot %d leaked: %+v", i, sd)
+		}
+		rels = append(rels, rel)
+	}
+	for _, rel := range rels {
+		rel()
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{-time.Second, "1"},
+		{300 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1100 * time.Millisecond, "2"},
+		{5 * time.Second, "5"},
+	}
+	for _, c := range cases {
+		if got := RetryAfterSeconds(c.d); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Chaos coverage for the admission fault points: an injected admission
+// fault sheds cleanly (O(1), Retry-After, counted), an injected backend
+// fault surfaces as a clean 502, and an injected delay that outlives the
+// request deadline surfaces as 504 — never a hang, never a torn
+// response.
+
+func TestChaosAdmitFaultSheds(t *testing.T) {
+	defer faultinject.Disarm()
+	trees, ts := testTrees(30, 8, 4)
+	_, srv := testService(t, Config{}, trees, ts)
+	body := map[string]any{"collection": "refs", "trees": newickStrings(trees[:1])}
+
+	faultinject.Arm(faultinject.Plan{Point: faultinject.PointServeAdmit, Kind: faultinject.KindError, Hit: 1})
+	before := requestsShed(shedFault).Value()
+	code, data, hdr := postQuery(t, srv.URL, "", body)
+	if code != 503 {
+		t.Fatalf("admit fault: status %d (%s), want 503", code, data)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("admit fault shed without Retry-After")
+	}
+	if got := requestsShed(shedFault).Value(); got != before+1 {
+		t.Errorf("bfhrf_requests_shed_total{reason=%q} = %d, want %d", shedFault, got, before+1)
+	}
+	// The plan fired once; the service recovers immediately.
+	faultinject.Disarm()
+	if code, data, _ := postQuery(t, srv.URL, "", body); code != 200 {
+		t.Fatalf("post-fault query: status %d (%s)", code, data)
+	}
+}
+
+func TestChaosBackendFaultIsClean5xx(t *testing.T) {
+	defer faultinject.Disarm()
+	trees, ts := testTrees(31, 8, 4)
+	_, srv := testService(t, Config{}, trees, ts)
+	body := map[string]any{"collection": "refs", "trees": newickStrings(trees[:1])}
+
+	faultinject.Arm(faultinject.Plan{Point: faultinject.PointServeQuery, Kind: faultinject.KindError, Hit: 1})
+	code, data, _ := postQuery(t, srv.URL, "", body)
+	if code != 502 {
+		t.Fatalf("backend fault: status %d (%s), want 502", code, data)
+	}
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &errResp); err != nil || errResp.Error == "" {
+		t.Fatalf("backend fault body is not a JSON error: %s (%v)", data, err)
+	}
+	faultinject.Disarm()
+	if code, data, _ := postQuery(t, srv.URL, "", body); code != 200 {
+		t.Fatalf("post-fault query: status %d (%s)", code, data)
+	}
+}
+
+func TestChaosDelayBeyondDeadlineIs504(t *testing.T) {
+	defer faultinject.Disarm()
+	trees, ts := testTrees(32, 8, 4)
+	_, srv := testService(t, Config{DefaultDeadline: 25 * time.Millisecond}, trees, ts)
+	body := map[string]any{"collection": "refs", "trees": newickStrings(trees[:1])}
+
+	faultinject.Arm(faultinject.Plan{
+		Point: faultinject.PointServeQuery, Kind: faultinject.KindDelay,
+		Hit: 1, Delay: 100 * time.Millisecond,
+	})
+	start := time.Now()
+	code, data, _ := postQuery(t, srv.URL, "", body)
+	if code != 504 {
+		t.Fatalf("delayed query: status %d (%s), want 504", code, data)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delayed query took %v — the deadline did not bound it", elapsed)
+	}
+}

@@ -1,0 +1,9 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/obs/obstest"
+)
+
+func TestMain(m *testing.M) { obstest.Main(m) }

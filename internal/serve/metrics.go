@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Admission instrumentation, published into the obs Default registry.
+// Every label set here comes from a small closed set: HTTP status codes,
+// the fixed shed-reason vocabulary, and tenant names that passed
+// ValidName and the tenantBuckets tracking cap (overflow tenants fold
+// into the "_other" series), so hostile traffic cannot grow the registry
+// unboundedly.
+
+const (
+	// tenantOther is the shared metric label (and shared token bucket) for
+	// tenants beyond the tracking cap — the cardinality overflow valve.
+	tenantOther = "_other"
+)
+
+// Shed reasons — the closed vocabulary of bfhrf_requests_shed_total.
+const (
+	shedDraining  = "draining"
+	shedRate      = "rate_limited"
+	shedQueueFull = "queue_full"
+	shedFault     = "fault_injected"
+)
+
+// requestsTotal counts finished HTTP requests on the query service, by
+// status code.
+func requestsTotal(code int) *obs.CounterMetric {
+	return obs.Counter("bfhrf_requests_total",
+		"HTTP requests answered by the query service, by status code.",
+		obs.L("code", strconv.Itoa(code)))
+}
+
+// requestsShed counts requests rejected before any parsing work, by
+// reason (draining, rate_limited, queue_full, fault_injected).
+func requestsShed(reason string) *obs.CounterMetric {
+	return obs.Counter("bfhrf_requests_shed_total",
+		"Requests rejected in O(1) by the admission layer, by reason.",
+		obs.L("reason", reason))
+}
+
+// queueDepthGauge exposes how many admitted requests are waiting for an
+// execution slot right now.
+func queueDepthGauge() *obs.GaugeMetric {
+	return obs.Gauge("bfhrf_request_queue_depth",
+		"Admitted query requests waiting for an execution slot.")
+}
+
+// inflightGauge exposes how many queries are executing right now.
+func inflightGauge() *obs.GaugeMetric {
+	return obs.Gauge("bfhrf_requests_inflight",
+		"Query requests currently executing.")
+}
+
+// tenantRequests counts query requests per tenant (admitted and shed).
+// The label value is the validated tenant name for tracked tenants and
+// "_other" past the tracking cap, keeping cardinality bounded.
+func tenantRequests(tenant string) *obs.CounterMetric {
+	return obs.Counter("bfhrf_tenant_requests_total",
+		"Query requests per tenant (tenants beyond the tracking cap fold into _other).",
+		obs.L("tenant", tenant))
+}
+
+// requestDuration observes end-to-end handler latency for admitted
+// requests (sheds are excluded: they are O(1) by construction and would
+// drown the signal).
+func requestDuration() *obs.HistogramMetric {
+	return obs.Histogram("bfhrf_request_duration_seconds",
+		"End-to-end latency of admitted /v1/query requests.",
+		obs.DefLatencyBuckets)
+}
+
+// collectionsGauge exposes the number of collections in the catalog.
+func collectionsGauge() *obs.GaugeMetric {
+	return obs.Gauge("bfhrf_collections",
+		"Reference collections registered in the serving catalog.")
+}
+
+// init pre-registers the families a fresh process should already expose,
+// so an admin /metrics scrape is meaningful before the first request.
+func init() {
+	requestsTotal(200)
+	for _, reason := range []string{shedDraining, shedRate, shedQueueFull} {
+		requestsShed(reason)
+	}
+	queueDepthGauge()
+	inflightGauge()
+	requestDuration()
+	collectionsGauge()
+}

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+// slowBackend wraps a Backend, sleeping before each query and tracking
+// the maximum observed concurrency — the instrument that proves the
+// admission layer's execution bound holds under load.
+type slowBackend struct {
+	inner Backend
+	delay time.Duration
+	cur   atomic.Int64
+	max   atomic.Int64
+}
+
+func (s *slowBackend) Query(ctx context.Context, trees []*tree.Tree, v core.Variant) (*Answer, error) {
+	n := s.cur.Add(1)
+	for {
+		m := s.max.Load()
+		if n <= m || s.max.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	defer s.cur.Add(-1)
+	if s.delay > 0 {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return s.inner.Query(ctx, trees, v)
+}
+
+func (s *slowBackend) Stats() CollectionStats { return s.inner.Stats() }
+func (s *slowBackend) Close()                 { s.inner.Close() }
+
+// hammerClient posts one query body and classifies the response.
+type hammerResult struct {
+	status     int
+	body       []byte
+	retryAfter string
+}
+
+func hammer(t *testing.T, client *http.Client, url string, body []byte) hammerResult {
+	t.Helper()
+	resp, err := client.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Errorf("hammer request: %v", err)
+		return hammerResult{}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Errorf("hammer read: %v", err)
+	}
+	return hammerResult{status: resp.StatusCode, body: data, retryAfter: resp.Header.Get("Retry-After")}
+}
+
+// TestOverloadHammer floods a service whose queue capacity is tiny with
+// 10x as many concurrent requests and asserts graceful degradation:
+// exact shed accounting, Retry-After on every rejection, the execution
+// bound respected, accepted responses byte-identical to an unloaded
+// baseline, and goroutines back to baseline afterwards.
+func TestOverloadHammer(t *testing.T) {
+	const (
+		maxInflight = 2
+		queueDepth  = 4
+		distinct    = 6
+	)
+	capacity := maxInflight + queueDepth
+	total := 10 * capacity
+
+	trees, ts := testTrees(20, 14, 10)
+	local, err := OpenLocal(newStore(t, trees, ts), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &slowBackend{inner: local, delay: 2 * time.Millisecond}
+	cat := NewCatalog("", 0)
+	t.Cleanup(cat.Close)
+	if err := cat.Register("refs", slow); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{Admission: AdmissionConfig{MaxInflight: maxInflight, QueueDepth: queueDepth}}, cat)
+	mux := http.NewServeMux()
+	svc.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	// Distinct payloads, one per request slot modulo `distinct`.
+	payloads := make([][]byte, distinct)
+	for i := range payloads {
+		qs, _ := testTrees(int64(100+i), 14, 2)
+		// Rebuild on the shared taxa set so the queries are answerable.
+		for j := range qs {
+			qs[j] = trees[(i+j)%len(trees)]
+		}
+		body, err := json.Marshal(map[string]any{"collection": "refs", "trees": newickStrings(qs)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads[i] = body
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: total}}
+	t.Cleanup(client.CloseIdleConnections)
+
+	// Unloaded baseline, sequential: the byte-exact answers.
+	baseline := make([][]byte, distinct)
+	for i, p := range payloads {
+		r := hammer(t, client, srv.URL, p)
+		if r.status != 200 {
+			t.Fatalf("baseline %d: status %d: %s", i, r.status, r.body)
+		}
+		baseline[i] = r.body
+	}
+
+	client.CloseIdleConnections()
+	time.Sleep(50 * time.Millisecond)
+	goroutinesBefore := runtime.NumGoroutine()
+
+	shedBefore := requestsShed(shedQueueFull).Value() + requestsShed(shedRate).Value()
+	results := make([]hammerResult, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = hammer(t, client, srv.URL, payloads[i%distinct])
+		}(i)
+	}
+	wg.Wait()
+
+	var accepted, shed int
+	for i, r := range results {
+		switch r.status {
+		case 200:
+			accepted++
+			if !bytes.Equal(r.body, baseline[i%distinct]) {
+				t.Errorf("request %d: accepted body differs from unloaded baseline:\n got %s\nwant %s",
+					i, r.body, baseline[i%distinct])
+			}
+		case 429, 503:
+			shed++
+			if r.retryAfter == "" {
+				t.Errorf("request %d: shed %d without Retry-After", i, r.status)
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d: %s", i, r.status, r.body)
+		}
+	}
+	if accepted+shed != total {
+		t.Fatalf("accounting: accepted %d + shed %d != sent %d", accepted, shed, total)
+	}
+	if shed == 0 {
+		t.Fatalf("10x overload produced no sheds (accepted all %d)", total)
+	}
+	if accepted == 0 {
+		t.Fatal("overload starved every request; some must be served")
+	}
+	shedMetric := requestsShed(shedQueueFull).Value() + requestsShed(shedRate).Value() - shedBefore
+	if shedMetric != uint64(shed) {
+		t.Errorf("bfhrf_requests_shed_total grew by %d, HTTP saw %d sheds", shedMetric, shed)
+	}
+	if m := slow.max.Load(); m > maxInflight {
+		t.Errorf("backend concurrency reached %d, execution bound is %d", m, maxInflight)
+	}
+
+	// The burst must not leak goroutines.
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= goroutinesBefore+5 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > goroutinesBefore+5 {
+		t.Errorf("goroutines grew from %d to %d after the burst", goroutinesBefore, g)
+	}
+
+	// After the burst the service is healthy again: a fresh query answers
+	// correctly and the queue gauge is back to zero.
+	r := hammer(t, client, srv.URL, payloads[0])
+	if r.status != 200 || !bytes.Equal(r.body, baseline[0]) {
+		t.Fatalf("post-burst query: status %d body %s", r.status, r.body)
+	}
+	if d := queueDepthGauge().Value(); d != 0 {
+		t.Errorf("queue depth gauge stuck at %v after the burst", d)
+	}
+}
+
+// TestTenantRateLimitOverHTTP checks the 429 path end to end, including
+// per-tenant isolation.
+func TestTenantRateLimitOverHTTP(t *testing.T) {
+	trees, ts := testTrees(21, 8, 4)
+	_, srv := testService(t, Config{
+		Admission: AdmissionConfig{MaxInflight: 4, QueueDepth: 4, TenantRate: 0.0001, TenantBurst: 1},
+	}, trees, ts)
+	body := map[string]any{"collection": "refs", "trees": newickStrings(trees[:1])}
+
+	code, _, _ := postQuery(t, srv.URL, "alice", body)
+	if code != 200 {
+		t.Fatalf("alice's first request: status %d", code)
+	}
+	code, data, hdr := postQuery(t, srv.URL, "alice", body)
+	if code != 429 {
+		t.Fatalf("alice's second request: status %d (%s), want 429", code, data)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// bob has his own bucket.
+	if code, _, _ := postQuery(t, srv.URL, "bob", body); code != 200 {
+		t.Fatalf("bob's first request: status %d", code)
+	}
+}
+
+// TestDrainMidBurst drains the service while requests are in flight:
+// every admitted query completes with a correct answer, later arrivals
+// shed with "draining", and Drain returns once the last one finishes.
+func TestDrainMidBurst(t *testing.T) {
+	trees, ts := testTrees(22, 12, 8)
+	local, err := OpenLocal(newStore(t, trees, ts), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &slowBackend{inner: local, delay: 30 * time.Millisecond}
+	cat := NewCatalog("", 0)
+	t.Cleanup(cat.Close)
+	if err := cat.Register("refs", slow); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{Admission: AdmissionConfig{MaxInflight: 2, QueueDepth: 8}}, cat)
+	mux := http.NewServeMux()
+	svc.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	body, _ := json.Marshal(map[string]any{"collection": "refs", "trees": newickStrings(trees[:2])})
+	baseline := hammer(t, &http.Client{}, srv.URL, body)
+	if baseline.status != 200 {
+		t.Fatalf("baseline: %d %s", baseline.status, baseline.body)
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	t.Cleanup(client.CloseIdleConnections)
+	const n = 8
+	results := make([]hammerResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = hammer(t, client, srv.URL, body)
+		}(i)
+	}
+	// Let some requests get admitted, then drain.
+	time.Sleep(10 * time.Millisecond)
+	if !svc.Drain(5 * time.Second) {
+		t.Fatal("Drain timed out with slow queries in flight")
+	}
+	wg.Wait()
+
+	var ok200, shed int
+	for i, r := range results {
+		switch r.status {
+		case 200:
+			ok200++
+			if !bytes.Equal(r.body, baseline.body) {
+				t.Errorf("request %d: drained answer differs from baseline", i)
+			}
+		case 503:
+			shed++
+		default:
+			t.Errorf("request %d: unexpected status %d", i, r.status)
+		}
+	}
+	if ok200+shed != n {
+		t.Fatalf("accounting: %d ok + %d shed != %d", ok200, shed, n)
+	}
+	if ok200 == 0 {
+		t.Fatal("drain killed every in-flight request; admitted queries must finish")
+	}
+
+	// Post-drain arrivals shed with the draining reason.
+	r := hammer(t, client, srv.URL, body)
+	if r.status != 503 || r.retryAfter == "" {
+		t.Fatalf("post-drain request: status %d retryAfter %q, want 503 with Retry-After", r.status, r.retryAfter)
+	}
+	if got := fmt.Sprintf("%s", r.body); !bytes.Contains(r.body, []byte(shedDraining)) {
+		t.Errorf("post-drain body %q does not mention %q", got, shedDraining)
+	}
+}
